@@ -1,0 +1,94 @@
+//! Shared error type for the baseline implementations.
+
+use std::fmt;
+
+use tmark_classifiers::TrainError;
+
+/// Errors raised by baseline training/inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// No training nodes were supplied.
+    NoTrainingNodes,
+    /// A training node id exceeded the network size.
+    TrainNodeOutOfRange(usize),
+    /// A training node carries no ground-truth label.
+    TrainNodeUnlabeled(usize),
+    /// The underlying base classifier failed to train.
+    BaseClassifier(TrainError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::NoTrainingNodes => write!(f, "at least one training node is required"),
+            BaselineError::TrainNodeOutOfRange(v) => write!(f, "training node {v} out of range"),
+            BaselineError::TrainNodeUnlabeled(v) => {
+                write!(f, "training node {v} has no ground-truth label")
+            }
+            BaselineError::BaseClassifier(e) => write!(f, "base classifier failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<TrainError> for BaselineError {
+    fn from(e: TrainError) -> Self {
+        BaselineError::BaseClassifier(e)
+    }
+}
+
+/// Validates a training set against a network of `n` labeled nodes.
+pub fn validate_train_nodes(hin: &tmark_hin::Hin, train: &[usize]) -> Result<(), BaselineError> {
+    if train.is_empty() {
+        return Err(BaselineError::NoTrainingNodes);
+    }
+    for &v in train {
+        if v >= hin.num_nodes() {
+            return Err(BaselineError::TrainNodeOutOfRange(v));
+        }
+        if hin.labels().labels_of(v).is_empty() {
+            return Err(BaselineError::TrainNodeUnlabeled(v));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmark_hin::HinBuilder;
+
+    #[test]
+    fn validation_catches_bad_training_sets() {
+        let mut b = HinBuilder::new(1, vec!["r".into()], vec!["c".into()]);
+        let u = b.add_node(vec![0.0]);
+        let v = b.add_node(vec![1.0]);
+        b.add_undirected_edge(u, v, 0).unwrap();
+        b.set_label(u, 0).unwrap();
+        let hin = b.build().unwrap();
+        assert_eq!(
+            validate_train_nodes(&hin, &[]),
+            Err(BaselineError::NoTrainingNodes)
+        );
+        assert_eq!(
+            validate_train_nodes(&hin, &[9]),
+            Err(BaselineError::TrainNodeOutOfRange(9))
+        );
+        assert_eq!(
+            validate_train_nodes(&hin, &[v]),
+            Err(BaselineError::TrainNodeUnlabeled(v))
+        );
+        assert_eq!(validate_train_nodes(&hin, &[u]), Ok(()));
+    }
+
+    #[test]
+    fn train_error_converts() {
+        let e: BaselineError = TrainError::NoClasses.into();
+        assert!(matches!(
+            e,
+            BaselineError::BaseClassifier(TrainError::NoClasses)
+        ));
+        assert!(e.to_string().contains("base classifier"));
+    }
+}

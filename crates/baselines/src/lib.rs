@@ -1,0 +1,39 @@
+//! Collective-classification baselines from Section 6 of the T-Mark paper.
+//!
+//! Every baseline exposes the same surface: a `score(hin, train_nodes)`
+//! method returning an `n × q` matrix of per-node class scores, from which
+//! the evaluation layer derives single- or multi-label predictions with
+//! one shared rule. The implementations follow the paper's descriptions:
+//!
+//! - [`Ica`]: classic iterative classification ("for multiple types of
+//!   links, we aggregate them all into one type"), content features plus
+//!   aggregated neighbour-label counts, with inference iterations.
+//! - [`Hcc`]: meta-path-based heterogeneous collective classification
+//!   (Kong et al.): one neighbour-label aggregate block per link type,
+//!   plus two-hop same-type meta-path blocks.
+//! - [`HccSs`]: Hcc with the semiICA self-training mechanism — after each
+//!   round, confident unlabeled predictions join the training set.
+//! - [`WvrnRl`]: weighted-vote relational neighbour with relaxation
+//!   labeling; content similarity is converted into an additional link
+//!   type, as the paper describes, and all links vote equally.
+//! - [`Emr`]: the ensemble of Preisach & Schmidt-Thieme — one ICA
+//!   classifier per link type with a linear SVM base, combined by summing
+//!   class probabilities.
+//!
+//! The `TensorRrCc` baseline is `tmark::TMarkConfig::tensor_rrcc()`, and
+//! the neural baselines (Highway Network, Graph Inception) live in
+//! `tmark-nn`; both are adapted into the common harness by `tmark-eval`.
+
+#![deny(missing_docs)]
+pub mod emr;
+pub mod error;
+pub mod hcc;
+pub mod ica;
+pub mod relational;
+pub mod wvrn;
+
+pub use emr::Emr;
+pub use error::BaselineError;
+pub use hcc::{Hcc, HccSs};
+pub use ica::Ica;
+pub use wvrn::WvrnRl;

@@ -1,0 +1,176 @@
+//! Shared relational-feature machinery for the ICA family.
+//!
+//! All ICA-style methods represent a node as its content features
+//! concatenated with *neighbour label aggregates*: for each relational
+//! view (one adjacency matrix), the fraction of the node's neighbours
+//! currently believed to carry each class. During inference the "current
+//! belief" matrix mixes ground-truth labels for training nodes with the
+//! classifier's own running predictions for the rest — the defining trick
+//! of iterative collective classification.
+
+use tmark_hin::Hin;
+use tmark_linalg::{DenseMatrix, SparseMatrix};
+
+/// Builds the `n × q` label-belief matrix: one-hot rows (uniform over the
+/// label set for multi-label nodes) for `train` nodes, and `estimates`
+/// rows (zero if `None`) for everything else.
+pub fn label_belief_matrix(
+    hin: &Hin,
+    train: &[usize],
+    estimates: Option<&DenseMatrix>,
+) -> DenseMatrix {
+    let n = hin.num_nodes();
+    let q = hin.num_classes();
+    let mut y = DenseMatrix::zeros(n, q);
+    if let Some(est) = estimates {
+        debug_assert_eq!(est.shape(), (n, q), "estimate shape mismatch");
+        y = est.clone();
+    }
+    for &v in train {
+        let labels = hin.labels().labels_of(v);
+        let row = y.row_mut(v);
+        row.fill(0.0);
+        if !labels.is_empty() {
+            let mass = 1.0 / labels.len() as f64;
+            for &c in labels {
+                row[c] = mass;
+            }
+        }
+    }
+    y
+}
+
+/// Aggregates neighbour beliefs through one adjacency view:
+/// `F[v][c] = Σ_u adj[u][v] · Y[u][c]`, row-normalized to fractions.
+/// (`adj[u][v]` follows the walk convention: column `v` lists where `v`
+/// can step, i.e. its out-neighbourhood.)
+pub fn neighbor_label_features(adj: &SparseMatrix, beliefs: &DenseMatrix) -> DenseMatrix {
+    let n = adj.cols();
+    let q = beliefs.cols();
+    let mut f = DenseMatrix::zeros(n, q);
+    for c in 0..q {
+        let y_col = beliefs.col(c);
+        // feat_col[v] = Σ_u adj[u][v] y[u]  =  (adjᵀ y_col)[v]
+        let agg = adj.matvec_transpose(&y_col).expect("square adjacency");
+        for (v, &val) in agg.iter().enumerate() {
+            f.set(v, c, val);
+        }
+    }
+    // Normalize each row to a fraction (leave all-zero rows untouched).
+    for v in 0..n {
+        let row = f.row_mut(v);
+        let s: f64 = row.iter().sum();
+        if s > 0.0 {
+            for x in row.iter_mut() {
+                *x /= s;
+            }
+        }
+    }
+    f
+}
+
+/// Concatenates the content features with one or more relational blocks
+/// into the design matrix an ICA base classifier trains on.
+pub fn concat_features(content: &DenseMatrix, relational: &[DenseMatrix]) -> DenseMatrix {
+    let n = content.rows();
+    let total_cols = content.cols() + relational.iter().map(|m| m.cols()).sum::<usize>();
+    let mut out = DenseMatrix::zeros(n, total_cols);
+    for v in 0..n {
+        let row = out.row_mut(v);
+        let mut offset = 0;
+        row[..content.cols()].copy_from_slice(content.row(v));
+        offset += content.cols();
+        for block in relational {
+            debug_assert_eq!(block.rows(), n, "relational block row mismatch");
+            row[offset..offset + block.cols()].copy_from_slice(block.row(v));
+            offset += block.cols();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmark_hin::HinBuilder;
+
+    fn path_hin() -> Hin {
+        // 0 - 1 - 2 (undirected single relation), classes {a, b}.
+        let mut b = HinBuilder::new(1, vec!["r".into()], vec!["a".into(), "b".into()]);
+        for i in 0..3 {
+            let v = b.add_node(vec![i as f64]);
+            b.set_label(v, if i == 0 { 0 } else { 1 }).unwrap();
+        }
+        b.add_undirected_edge(0, 1, 0).unwrap();
+        b.add_undirected_edge(1, 2, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn belief_matrix_one_hot_for_train_nodes() {
+        let hin = path_hin();
+        let y = label_belief_matrix(&hin, &[0, 2], None);
+        assert_eq!(y.row(0), &[1.0, 0.0]);
+        assert_eq!(y.row(2), &[0.0, 1.0]);
+        assert_eq!(y.row(1), &[0.0, 0.0], "non-train nodes start at zero");
+    }
+
+    #[test]
+    fn belief_matrix_overrides_estimates_on_train_nodes() {
+        let hin = path_hin();
+        let mut est = DenseMatrix::zeros(3, 2);
+        est.set(0, 1, 0.9); // wrong estimate on a train node
+        est.set(1, 0, 0.7);
+        let y = label_belief_matrix(&hin, &[0], Some(&est));
+        assert_eq!(y.row(0), &[1.0, 0.0], "ground truth wins on train nodes");
+        assert_eq!(y.row(1), &[0.7, 0.0], "estimates survive elsewhere");
+    }
+
+    #[test]
+    fn multi_label_train_node_spreads_mass() {
+        let mut b = HinBuilder::new(1, vec!["r".into()], vec!["a".into(), "b".into()]);
+        let u = b.add_node(vec![0.0]);
+        let v = b.add_node(vec![1.0]);
+        b.add_undirected_edge(u, v, 0).unwrap();
+        b.set_label(u, 0).unwrap();
+        b.set_label(u, 1).unwrap();
+        let hin = b.build().unwrap();
+        let y = label_belief_matrix(&hin, &[u], None);
+        assert_eq!(y.row(u), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn neighbor_features_average_neighbor_beliefs() {
+        let hin = path_hin();
+        let y = label_belief_matrix(&hin, &[0, 1, 2], None);
+        let f = neighbor_label_features(&hin.aggregated_adjacency(), &y);
+        // Node 1's neighbours are 0 (class a) and 2 (class b).
+        assert_eq!(f.row(1), &[0.5, 0.5]);
+        // Node 0's only neighbour is 1 (class b).
+        assert_eq!(f.row(0), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn isolated_node_gets_zero_relational_features() {
+        let mut b = HinBuilder::new(1, vec!["r".into()], vec!["a".into()]);
+        let u = b.add_node(vec![0.0]);
+        let v = b.add_node(vec![1.0]);
+        let _w = b.add_node(vec![2.0]);
+        b.add_undirected_edge(u, v, 0).unwrap();
+        b.set_label(u, 0).unwrap();
+        let hin = b.build().unwrap();
+        let y = label_belief_matrix(&hin, &[u], None);
+        let f = neighbor_label_features(&hin.aggregated_adjacency(), &y);
+        assert_eq!(f.row(2), &[0.0]);
+    }
+
+    #[test]
+    fn concat_layout_is_content_then_blocks() {
+        let content = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b1 = DenseMatrix::from_rows(&[vec![5.0], vec![6.0]]).unwrap();
+        let b2 = DenseMatrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0]]).unwrap();
+        let out = concat_features(&content, &[b1, b2]);
+        assert_eq!(out.row(0), &[1.0, 2.0, 5.0, 7.0, 8.0]);
+        assert_eq!(out.row(1), &[3.0, 4.0, 6.0, 9.0, 10.0]);
+    }
+}

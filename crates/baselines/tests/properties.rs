@@ -1,0 +1,113 @@
+//! Property-based tests for the baselines: on arbitrary labeled networks
+//! every method must return finite, row-calibrated scores and clamp its
+//! training rows.
+
+use proptest::prelude::*;
+use tmark_baselines::{Emr, Hcc, HccSs, Ica, WvrnRl};
+use tmark_hin::{Hin, HinBuilder};
+use tmark_linalg::DenseMatrix;
+
+/// Strategy: a connected labeled HIN plus one training node per class.
+fn labeled_hin() -> impl Strategy<Value = (Hin, Vec<usize>)> {
+    (4usize..14, 1usize..3, 2usize..4).prop_flat_map(|(n, m, q)| {
+        let edges = prop::collection::vec((0..n, 0..n, 0..m), 1..=2 * n);
+        let features = prop::collection::vec(0.0..3.0f64, n * 4);
+        (Just(n), Just(m), Just(q), edges, features).prop_map(|(n, m, q, edges, features)| {
+            let mut b = HinBuilder::new(
+                4,
+                (0..m).map(|k| format!("r{k}")).collect(),
+                (0..q).map(|c| format!("c{c}")).collect(),
+            );
+            for v in 0..n {
+                b.add_node(features[v * 4..(v + 1) * 4].to_vec());
+                b.set_label(v, v % q).unwrap();
+            }
+            for (u, v, k) in edges {
+                if u != v {
+                    b.add_undirected_edge(u, v, k).unwrap();
+                }
+            }
+            // A spanning chain keeps every node reachable.
+            for v in 1..n {
+                b.add_undirected_edge(v - 1, v, 0).unwrap();
+            }
+            let train: Vec<usize> = (0..q).collect();
+            (b.build().unwrap(), train)
+        })
+    })
+}
+
+fn check_scores(
+    hin: &Hin,
+    train: &[usize],
+    scores: &DenseMatrix,
+    name: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        scores.shape(),
+        (hin.num_nodes(), hin.num_classes()),
+        "{} shape",
+        name
+    );
+    prop_assert!(
+        scores
+            .as_slice()
+            .iter()
+            .all(|v| v.is_finite() && *v >= -1e-9),
+        "{name}: non-finite or negative scores"
+    );
+    // Training rows are clamped to ground truth.
+    for &v in train {
+        let truth = hin.labels().labels_of(v)[0];
+        let row = scores.row(v);
+        let argmax = tmark_linalg::vector::argmax(row).unwrap();
+        prop_assert_eq!(argmax, truth, "{} train row {} not clamped", name, v);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ica_scores_are_well_formed((hin, train) in labeled_hin()) {
+        let scores = Ica::new(1).score(&hin, &train).unwrap();
+        check_scores(&hin, &train, &scores, "ICA")?;
+    }
+
+    #[test]
+    fn hcc_scores_are_well_formed((hin, train) in labeled_hin()) {
+        let scores = Hcc::new(1).score(&hin, &train).unwrap();
+        check_scores(&hin, &train, &scores, "Hcc")?;
+    }
+
+    #[test]
+    fn hcc_ss_scores_are_well_formed((hin, train) in labeled_hin()) {
+        let scores = HccSs::new(1).score(&hin, &train).unwrap();
+        check_scores(&hin, &train, &scores, "Hcc-ss")?;
+    }
+
+    #[test]
+    fn wvrn_scores_are_well_formed((hin, train) in labeled_hin()) {
+        let scores = WvrnRl::new().score(&hin, &train).unwrap();
+        check_scores(&hin, &train, &scores, "wvRN+RL")?;
+    }
+
+    #[test]
+    fn emr_scores_are_well_formed((hin, train) in labeled_hin()) {
+        let scores = Emr::new(1).score(&hin, &train).unwrap();
+        check_scores(&hin, &train, &scores, "EMR")?;
+    }
+
+    #[test]
+    fn all_baselines_are_deterministic((hin, train) in labeled_hin()) {
+        prop_assert_eq!(
+            Ica::new(7).score(&hin, &train).unwrap(),
+            Ica::new(7).score(&hin, &train).unwrap()
+        );
+        prop_assert_eq!(
+            Emr::new(7).score(&hin, &train).unwrap(),
+            Emr::new(7).score(&hin, &train).unwrap()
+        );
+    }
+}

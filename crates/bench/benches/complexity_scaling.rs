@@ -1,0 +1,59 @@
+//! The Section 4.5 complexity claim: a full T-Mark solve costs `O(qTD)`.
+//! Sweeping the network size at constant per-node density makes `D` grow
+//! linearly with `n`, so fit time should grow linearly too (modulo the
+//! dense `W` construction, which is benchmarked separately and dominated
+//! by `n²` at these sizes — the kNN mode keeps that linear as well).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tmark::model::FeatureWalkMode;
+use tmark::{TMarkConfig, TMarkModel};
+use tmark_datasets::{dblp::dblp_with_size, stratified_split};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complexity_scaling");
+    group.sample_size(10);
+    for &n in &[100usize, 200, 400, 800] {
+        let hin = dblp_with_size(n, 7);
+        let (train, _) = stratified_split(&hin, 0.3, 1);
+        let nnz = hin.tensor().nnz();
+        group.throughput(Throughput::Elements(nnz as u64));
+        // kNN feature walk keeps every stage linear in D (the Section 4.5
+        // accounting assumes the sparse regime).
+        group.bench_with_input(BenchmarkId::new("fit_knn_walk", n), &hin, |b, hin| {
+            b.iter(|| {
+                TMarkModel::new(TMarkConfig::default())
+                    .with_feature_walk(FeatureWalkMode::Knn(16))
+                    .fit(hin, &train)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_walk_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_vs_knn_walk");
+    group.sample_size(10);
+    let hin = dblp_with_size(400, 7);
+    let (train, _) = stratified_split(&hin, 0.3, 1);
+    group.bench_function("dense_w", |b| {
+        b.iter(|| {
+            TMarkModel::new(TMarkConfig::default())
+                .with_feature_walk(FeatureWalkMode::Dense)
+                .fit(&hin, &train)
+                .unwrap()
+        });
+    });
+    group.bench_function("knn_w", |b| {
+        b.iter(|| {
+            TMarkModel::new(TMarkConfig::default())
+                .with_feature_walk(FeatureWalkMode::Knn(16))
+                .fit(&hin, &train)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_dense_walk_overhead);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Convergence benchmarks (Fig. 10): iterations-to-fixed-point cost at
+//! different tolerances, and the cost split between the T-Mark refresh
+//! and the TensorRrCc fixed restart.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmark::{TMarkConfig, TMarkModel};
+use tmark_datasets::{dblp::dblp_with_size, stratified_split};
+
+fn bench_tolerances(c: &mut Criterion) {
+    let hin = dblp_with_size(200, 7);
+    let (train, _) = stratified_split(&hin, 0.3, 1);
+    let mut group = c.benchmark_group("fig10_convergence");
+    group.sample_size(10);
+    for &epsilon in &[1e-4, 1e-8, 1e-12] {
+        let config = TMarkConfig {
+            epsilon,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("epsilon", format!("{epsilon:.0e}")),
+            &config,
+            |b, config| {
+                b.iter(|| TMarkModel::new(*config).fit(&hin, &train).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ica_refresh_cost(c: &mut Criterion) {
+    // The ablation DESIGN.md calls out: what does the Eq. 12 refresh cost
+    // relative to the plain TensorRrCc iteration?
+    let hin = dblp_with_size(200, 7);
+    let (train, _) = stratified_split(&hin, 0.3, 1);
+    let mut group = c.benchmark_group("ica_refresh_ablation");
+    group.sample_size(10);
+    let base = TMarkConfig {
+        alpha: 0.9,
+        gamma: 0.6,
+        lambda: 0.9,
+        ..Default::default()
+    };
+    group.bench_function("tmark_with_refresh", |b| {
+        b.iter(|| TMarkModel::new(base).fit(&hin, &train).unwrap());
+    });
+    group.bench_function("tensor_rrcc_without_refresh", |b| {
+        b.iter(|| {
+            TMarkModel::new(base.tensor_rrcc())
+                .fit(&hin, &train)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tolerances, bench_ica_refresh_cost);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmarks for the library extensions beyond the paper's core:
+//! MultiRank, HAR co-ranking, and link prediction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmark::{har, multirank, top_missing_links, MultiRankConfig, TMarkModel};
+use tmark_bench::Dataset;
+use tmark_datasets::{dblp::dblp_with_size, stratified_split};
+
+fn bench_coranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coranking");
+    group.sample_size(10);
+    for &n in &[100usize, 400] {
+        let hin = dblp_with_size(n, 7);
+        let stoch = hin.stochastic_tensors();
+        group.bench_with_input(BenchmarkId::new("multirank", n), &stoch, |b, stoch| {
+            b.iter(|| multirank(stoch, &MultiRankConfig::default()));
+        });
+        group.bench_with_input(BenchmarkId::new("har", n), &stoch, |b, stoch| {
+            b.iter(|| har(stoch, &MultiRankConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_link_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_prediction");
+    group.sample_size(10);
+    let hin = Dataset::Dblp.load(7);
+    let (train, _) = stratified_split(&hin, 0.3, 1);
+    let result = TMarkModel::new(Dataset::Dblp.tmark_config())
+        .fit(&hin, &train)
+        .unwrap();
+    group.bench_function("top_missing_links_k100", |b| {
+        b.iter(|| top_missing_links(&hin, &result, 0, 100));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coranking, bench_link_prediction);
+criterion_main!(benches);

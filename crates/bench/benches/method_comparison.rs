@@ -1,0 +1,37 @@
+//! Per-method cost of one sweep cell (the columns of Tables 3/4/11), on a
+//! reduced DBLP so the full nine-method comparison stays benchable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmark::TMarkConfig;
+use tmark_datasets::{dblp::dblp_with_size, stratified_split};
+use tmark_eval::methods::standard_methods;
+
+fn bench_methods(c: &mut Criterion) {
+    let hin = dblp_with_size(200, 7);
+    let (train, _) = stratified_split(&hin, 0.3, 1);
+    let config = TMarkConfig {
+        alpha: 0.9,
+        gamma: 0.6,
+        lambda: 0.9,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("method_comparison");
+    group.sample_size(10);
+    for method in standard_methods(config) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, method| {
+                b.iter(|| {
+                    method
+                        .score(&hin, &train, 7)
+                        .expect("method scores cleanly")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

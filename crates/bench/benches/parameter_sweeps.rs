@@ -1,0 +1,48 @@
+//! Parameter-sweep benchmarks (Figs. 6–9): fit cost as a function of `α`
+//! and `γ`. Besides wall-clock, the Criterion series documents how the
+//! restart weight changes convergence speed (larger `α` contracts faster).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmark::{TMarkConfig, TMarkModel};
+use tmark_datasets::{dblp::dblp_with_size, stratified_split};
+
+fn bench_alpha(c: &mut Criterion) {
+    let hin = dblp_with_size(200, 7);
+    let (train, _) = stratified_split(&hin, 0.3, 1);
+    let mut group = c.benchmark_group("fig6_alpha_sweep");
+    group.sample_size(10);
+    for &alpha in &[0.2, 0.5, 0.8, 0.99] {
+        let config = TMarkConfig {
+            alpha,
+            gamma: 0.6,
+            lambda: 0.9,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &config, |b, config| {
+            b.iter(|| TMarkModel::new(*config).fit(&hin, &train).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_gamma(c: &mut Criterion) {
+    let hin = dblp_with_size(200, 7);
+    let (train, _) = stratified_split(&hin, 0.3, 1);
+    let mut group = c.benchmark_group("fig8_gamma_sweep");
+    group.sample_size(10);
+    for &gamma in &[0.0, 0.5, 1.0] {
+        let config = TMarkConfig {
+            alpha: 0.9,
+            gamma,
+            lambda: 0.9,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &config, |b, config| {
+            b.iter(|| TMarkModel::new(*config).fit(&hin, &train).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha, bench_gamma);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! End-to-end T-Mark fit time on each evaluation dataset — the inner loop
+//! of every sweep cell in Tables 3, 4, 8, and 11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmark::TMarkModel;
+use tmark_bench::Dataset;
+use tmark_datasets::stratified_split;
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tmark_fit");
+    group.sample_size(10);
+    for dataset in [
+        Dataset::Dblp,
+        Dataset::Movies,
+        Dataset::NusTagset1,
+        Dataset::NusTagset2,
+        Dataset::Acm,
+    ] {
+        let hin = dataset.load(7);
+        let (train, _) = stratified_split(&hin, 0.3, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dataset.name()),
+            &hin,
+            |b, hin| {
+                b.iter(|| {
+                    TMarkModel::new(dataset.tmark_config())
+                        .fit(hin, &train)
+                        .expect("calibrated fit succeeds")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Quick calibration snapshots: a reduced sweep (three fractions, three
+//! trials) on one dataset, for re-tuning generator parameters after
+//! changes. The full reproduction protocol lives in the `repro` binary.
+//!
+//! Usage: `calibrate [dblp|movies|nus|acm]`
+
+use tmark_bench::{accuracy_sweep, macro_f1_sweep, nus_tagset_sweep, Dataset};
+use tmark_eval::tables::render_sweep_table;
+
+const QUICK_FRACTIONS: [f64; 3] = [0.1, 0.5, 0.9];
+const QUICK_TRIALS: usize = 3;
+
+fn main() {
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "dblp".to_string());
+    match which.as_str() {
+        "dblp" => {
+            let result = accuracy_sweep(Dataset::Dblp, &QUICK_FRACTIONS, QUICK_TRIALS);
+            println!("{}", render_sweep_table("DBLP (calibration)", &result));
+        }
+        "movies" => {
+            let result = accuracy_sweep(Dataset::Movies, &QUICK_FRACTIONS, QUICK_TRIALS);
+            println!("{}", render_sweep_table("Movies (calibration)", &result));
+        }
+        "nus" => {
+            for dataset in [Dataset::NusTagset1, Dataset::NusTagset2] {
+                let result = nus_tagset_sweep(dataset, &QUICK_FRACTIONS, QUICK_TRIALS);
+                println!(
+                    "{}",
+                    render_sweep_table(&format!("{} (calibration)", dataset.name()), &result)
+                );
+            }
+        }
+        "acm" => {
+            let result = macro_f1_sweep(&QUICK_FRACTIONS, QUICK_TRIALS);
+            println!(
+                "{}",
+                render_sweep_table("ACM Macro-F1 (calibration)", &result)
+            );
+        }
+        other => {
+            eprintln!("unknown dataset {other}; expected dblp|movies|nus|acm");
+            std::process::exit(2);
+        }
+    }
+}

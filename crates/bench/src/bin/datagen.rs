@@ -1,0 +1,72 @@
+//! Exports the synthetic evaluation datasets in the `hin v1` text format
+//! so they can be inspected or consumed by other tools.
+//!
+//! ```text
+//! datagen <dblp|movies|nus1|nus2|acm> [--seed S] [--out PATH]
+//! ```
+//!
+//! Without `--out`, writes to stdout.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+
+use tmark_bench::Dataset;
+use tmark_hin::io::write_hin;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut which = None;
+    let mut seed = 7u64;
+    let mut out_path: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed needs an integer"));
+            }
+            "--out" => {
+                out_path = Some(args.next().unwrap_or_else(|| panic!("--out needs a path")));
+            }
+            name => which = Some(name.to_string()),
+        }
+    }
+    let dataset = match which.as_deref() {
+        Some("dblp") => Dataset::Dblp,
+        Some("movies") => Dataset::Movies,
+        Some("nus1") => Dataset::NusTagset1,
+        Some("nus2") => Dataset::NusTagset2,
+        Some("acm") => Dataset::Acm,
+        other => {
+            eprintln!(
+                "usage: datagen <dblp|movies|nus1|nus2|acm> [--seed S] [--out PATH]; got {other:?}"
+            );
+            std::process::exit(2);
+        }
+    };
+    let hin = dataset.load(seed);
+    let result = match out_path {
+        Some(path) => {
+            let file = File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            let mut w = BufWriter::new(file);
+            write_hin(&hin, &mut w).and_then(|()| w.flush().map_err(Into::into))
+        }
+        None => {
+            let stdout = io::stdout();
+            let mut lock = BufWriter::new(stdout.lock());
+            write_hin(&hin, &mut lock).and_then(|()| lock.flush().map_err(Into::into))
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("export failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "exported {} (seed {seed}): {} nodes, {} link types, {} entries",
+        dataset.name(),
+        hin.num_nodes(),
+        hin.num_link_types(),
+        hin.tensor().nnz()
+    );
+}

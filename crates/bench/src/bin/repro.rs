@@ -1,0 +1,495 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! repro <experiment> [--trials N]
+//!
+//! experiments:
+//!   table2   top-5 conferences per research area (DBLP link ranking)
+//!   table3   nine-method accuracy sweep on DBLP
+//!   table4   nine-method accuracy sweep on Movies
+//!   table5   top-10 directors per genre (Movies link ranking)
+//!   table6   the Tagset1 tag list
+//!   table7   the Tagset2 tag list
+//!   table8   T-Mark accuracy, Tagset1 vs Tagset2 (NUS)
+//!   table9   top-12 tags per class, Tagset1
+//!   table10  top-12 tags per class, Tagset2
+//!   table11  nine-method Macro-F1 sweep on ACM (multi-label)
+//!   fig5     relative importance of ACM link types per class
+//!   fig6     T-Mark accuracy vs alpha on DBLP
+//!   fig7     T-Mark accuracy vs alpha on NUS
+//!   fig8     T-Mark accuracy vs gamma on DBLP
+//!   fig9     T-Mark accuracy vs gamma on NUS
+//!   fig10    convergence curves on the four datasets
+//!   ablation design-choice ablations (ICA refresh, gamma extremes, W metric)
+//!   datasets structural statistics of the four synthetic networks
+//!   all      every table and figure, in order (ablation/datasets not included)
+//! ```
+//!
+//! `--csv DIR` additionally writes each sweep/series as a CSV file into
+//! `DIR` for external plotting.
+//!
+//! The paper runs 10 trials per sweep cell; the default here is 3 so the
+//! whole reproduction finishes in minutes — pass `--trials 10` for the
+//! full protocol.
+
+use std::fmt::Write as _;
+
+use tmark::TMarkConfig;
+use tmark_bench::{
+    accuracy_sweep, fit_once, macro_f1_sweep, nus_tagset_sweep, tmark_accuracy, Dataset,
+};
+use tmark_eval::tables::{render_ranking_table, render_series, render_sweep_table};
+
+struct Options {
+    experiments: Vec<String>,
+    trials: usize,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Options {
+    let mut experiments = Vec::new();
+    let mut trials = 3usize;
+    let mut csv_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trials" => {
+                trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--trials needs a positive integer"));
+            }
+            "--csv" => {
+                csv_dir = Some(std::path::PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| panic!("--csv needs a directory")),
+                ));
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+    Options {
+        experiments,
+        trials,
+        csv_dir,
+    }
+}
+
+fn write_csv(csv_dir: &Option<std::path::PathBuf>, name: &str, contents: &str) {
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv directory");
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, contents)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+const FRACTIONS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+fn table2() {
+    let (hin, result) = fit_once(Dataset::Dblp, 0.3, 42);
+    let class_names: Vec<String> = hin.labels().class_names().to_vec();
+    let rankings: Vec<Vec<String>> = (0..hin.num_classes())
+        .map(|c| result.top_links(c, 5).into_iter().map(|(n, _)| n).collect())
+        .collect();
+    println!(
+        "{}",
+        render_ranking_table(
+            "Table 2: top-5 conferences of each research area given by T-Mark",
+            &class_names,
+            &rankings,
+            5,
+        )
+    );
+}
+
+fn table3(trials: usize, csv: &Option<std::path::PathBuf>) {
+    let result = accuracy_sweep(Dataset::Dblp, &FRACTIONS, trials);
+    println!(
+        "{}",
+        render_sweep_table("Table 3: node classification accuracy on DBLP", &result)
+    );
+    write_csv(
+        csv,
+        "table3_dblp_accuracy",
+        &tmark_eval::tables::render_sweep_csv(&result),
+    );
+}
+
+fn table4(trials: usize, csv: &Option<std::path::PathBuf>) {
+    let result = accuracy_sweep(Dataset::Movies, &FRACTIONS, trials);
+    println!(
+        "{}",
+        render_sweep_table("Table 4: node classification accuracy on Movies", &result)
+    );
+    write_csv(
+        csv,
+        "table4_movies_accuracy",
+        &tmark_eval::tables::render_sweep_csv(&result),
+    );
+}
+
+fn table5() {
+    let (hin, result) = fit_once(Dataset::Movies, 0.3, 42);
+    let class_names: Vec<String> = hin.labels().class_names().to_vec();
+    let rankings: Vec<Vec<String>> = (0..hin.num_classes())
+        .map(|c| {
+            result
+                .top_links(c, 10)
+                .into_iter()
+                .map(|(n, _)| n)
+                .collect()
+        })
+        .collect();
+    println!(
+        "{}",
+        render_ranking_table(
+            "Table 5: top-10 directors of each movie genre given by T-Mark",
+            &class_names,
+            &rankings,
+            10,
+        )
+    );
+}
+
+fn tag_table(title: &str, tags: &[&str]) {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (i, chunk) in tags.chunks(4).enumerate() {
+        let range = format!("{} - {}", i * 4 + 1, i * 4 + chunk.len());
+        let _ = write!(out, "{range:<10}");
+        for tag in chunk {
+            let _ = write!(out, "{tag:>16}");
+        }
+        let _ = writeln!(out);
+    }
+    println!("{out}");
+}
+
+fn table6() {
+    tag_table(
+        "Table 6: the tags in Tagset1 (each tag is one link type)",
+        &tmark_datasets::names::NUS_TAGSET1,
+    );
+}
+
+fn table7() {
+    tag_table(
+        "Table 7: the tags in Tagset2 (each tag is one link type)",
+        &tmark_datasets::names::NUS_TAGSET2,
+    );
+}
+
+fn table8(trials: usize) {
+    let t1 = nus_tagset_sweep(Dataset::NusTagset1, &FRACTIONS, trials);
+    let t2 = nus_tagset_sweep(Dataset::NusTagset2, &FRACTIONS, trials);
+    println!("Table 8: T-Mark accuracy on NUS with the two tag sets");
+    println!("{:<12}{:>12}{:>12}", "Percentage", "Tagset1", "Tagset2");
+    println!("{}", "-".repeat(36));
+    for (fi, &f) in t1.fractions.iter().enumerate() {
+        println!(
+            "{f:<12.1}{:>12.3}{:>12.3}",
+            t1.rows[fi][0].mean, t2.rows[fi][0].mean
+        );
+    }
+    println!();
+}
+
+fn tag_ranking_table(title: &str, dataset: Dataset) {
+    let (hin, result) = fit_once(dataset, 0.3, 42);
+    let class_names: Vec<String> = hin.labels().class_names().to_vec();
+    let rankings: Vec<Vec<String>> = (0..hin.num_classes())
+        .map(|c| {
+            result
+                .top_links(c, 12)
+                .into_iter()
+                .map(|(n, _)| n)
+                .collect()
+        })
+        .collect();
+    println!(
+        "{}",
+        render_ranking_table(title, &class_names, &rankings, 12)
+    );
+}
+
+fn table9() {
+    tag_ranking_table(
+        "Table 9: top-12 tags in Tagset1 given by T-Mark",
+        Dataset::NusTagset1,
+    );
+}
+
+fn table10() {
+    tag_ranking_table(
+        "Table 10: top-12 tags in Tagset2 given by T-Mark",
+        Dataset::NusTagset2,
+    );
+}
+
+fn table11(trials: usize, csv: &Option<std::path::PathBuf>) {
+    let result = macro_f1_sweep(&FRACTIONS, trials);
+    println!(
+        "{}",
+        render_sweep_table(
+            "Table 11: node classification performance under Macro F1 on ACM",
+            &result
+        )
+    );
+    write_csv(
+        csv,
+        "table11_acm_macro_f1",
+        &tmark_eval::tables::render_sweep_csv(&result),
+    );
+}
+
+fn fig5() {
+    let (hin, result) = fit_once(Dataset::Acm, 0.3, 42);
+    println!("Fig. 5: relative importance of link types on ACM given by T-Mark");
+    let mut header = format!("{:<18}", "Link type");
+    for c in hin.labels().class_names() {
+        let _ = write!(header, "{c:>24}");
+    }
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+    for k in 0..hin.num_link_types() {
+        let mut line = format!("{:<18}", hin.link_type_name(k));
+        for c in 0..hin.num_classes() {
+            let _ = write!(line, "{:>24.4}", result.link_scores().get(k, c));
+        }
+        println!("{line}");
+    }
+    println!();
+}
+
+fn alpha_sweep(
+    dataset: Dataset,
+    title: &str,
+    trials: usize,
+    csv: &Option<std::path::PathBuf>,
+    csv_name: &str,
+) {
+    let alphas = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99];
+    let base = dataset.tmark_config();
+    let points: Vec<(f64, f64)> = alphas
+        .iter()
+        .map(|&alpha| {
+            let config = TMarkConfig { alpha, ..base };
+            (alpha, tmark_accuracy(dataset, config, 0.3, trials))
+        })
+        .collect();
+    println!("{}", render_series(title, "alpha", "accuracy", &points));
+    write_csv(
+        csv,
+        csv_name,
+        &tmark_eval::tables::render_series_csv("alpha", "accuracy", &points),
+    );
+}
+
+fn gamma_sweep(
+    dataset: Dataset,
+    title: &str,
+    trials: usize,
+    csv: &Option<std::path::PathBuf>,
+    csv_name: &str,
+) {
+    let gammas = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let base = dataset.tmark_config();
+    let points: Vec<(f64, f64)> = gammas
+        .iter()
+        .map(|&gamma| {
+            let config = TMarkConfig { gamma, ..base };
+            (gamma, tmark_accuracy(dataset, config, 0.3, trials))
+        })
+        .collect();
+    println!("{}", render_series(title, "gamma", "accuracy", &points));
+    write_csv(
+        csv,
+        csv_name,
+        &tmark_eval::tables::render_series_csv("gamma", "accuracy", &points),
+    );
+}
+
+fn ablation(trials: usize) {
+    use tmark::{FeatureWalkMode, TMarkModel};
+    use tmark_datasets::stratified_split;
+    use tmark_eval::metrics::accuracy;
+    use tmark_linalg::similarity::SimilarityMetric;
+
+    println!("Ablations (accuracy at 30% labels, {trials} trials)");
+    println!(
+        "{:<16}{:>10}{:>12}{:>10}{:>10}{:>10}{:>10}",
+        "Dataset", "T-Mark", "TensorRrCc", "gamma=0", "gamma=1", "Jaccard", "Gaussian"
+    );
+    println!("{}", "-".repeat(78));
+    for dataset in [
+        Dataset::Dblp,
+        Dataset::Movies,
+        Dataset::NusTagset1,
+        Dataset::Acm,
+    ] {
+        let hin = dataset.load(tmark_bench::DATA_SEED);
+        let base = dataset.tmark_config();
+        let mut row = format!("{:<16}", dataset.name());
+        let variants: Vec<(TMarkConfig, Option<SimilarityMetric>)> = vec![
+            (base, None),
+            (base.tensor_rrcc(), None),
+            (TMarkConfig { gamma: 0.0, ..base }, None),
+            (TMarkConfig { gamma: 1.0, ..base }, None),
+            (base, Some(SimilarityMetric::Jaccard)),
+            (base, Some(SimilarityMetric::Gaussian { sigma: 2.0 })),
+        ];
+        for (config, metric) in variants {
+            let mut total = 0.0;
+            for t in 0..trials {
+                let (train, test) = stratified_split(&hin, 0.3, 500 + t as u64);
+                let mut model = TMarkModel::new(config);
+                if let Some(m) = metric {
+                    model = model
+                        .with_similarity(m)
+                        .with_feature_walk(FeatureWalkMode::Dense);
+                }
+                let result = model.fit(&hin, &train).expect("ablation fit succeeds");
+                total += accuracy(&hin, result.confidences(), &test);
+            }
+            row.push_str(&format!("{:>10.3}", total / trials as f64));
+        }
+        println!("{row}");
+    }
+    println!();
+}
+
+fn dataset_stats() {
+    use tmark_hin::stats::{hin_stats, mean_class_purity};
+    println!("Structural statistics of the synthetic evaluation networks");
+    println!(
+        "{:<16}{:>8}{:>8}{:>9}{:>10}{:>12}{:>14}",
+        "Dataset", "nodes", "types", "classes", "entries", "mean-purity", "multi-label"
+    );
+    println!("{}", "-".repeat(77));
+    for dataset in [
+        Dataset::Dblp,
+        Dataset::Movies,
+        Dataset::NusTagset1,
+        Dataset::NusTagset2,
+        Dataset::Acm,
+    ] {
+        let hin = dataset.load(tmark_bench::DATA_SEED);
+        let stats = hin_stats(&hin);
+        let purity = mean_class_purity(&stats).unwrap_or(0.0);
+        println!(
+            "{:<16}{:>8}{:>8}{:>9}{:>10}{:>12.3}{:>14}",
+            dataset.name(),
+            stats.num_nodes,
+            stats.num_link_types,
+            stats.num_classes,
+            stats.num_edges,
+            purity,
+            hin.labels().is_multi_label(),
+        );
+    }
+    println!();
+}
+
+fn fig10() {
+    println!("Fig. 10: convergence of T-Mark (residual per iteration, class 0)");
+    for dataset in [
+        Dataset::Dblp,
+        Dataset::Movies,
+        Dataset::NusTagset1,
+        Dataset::Acm,
+    ] {
+        let (_, result) = fit_once(dataset, 0.3, 42);
+        let report = result.convergence(0);
+        let points: Vec<(f64, f64)> = report
+            .residual_trace
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| ((i + 1) as f64, r))
+            .collect();
+        println!(
+            "{}",
+            render_series(
+                &format!(
+                    "{} (converged: {}, iterations: {})",
+                    dataset.name(),
+                    report.converged,
+                    report.iterations
+                ),
+                "iteration",
+                "residual",
+                &points,
+            )
+        );
+    }
+}
+
+fn run_experiment(exp: &str, trials: usize, csv: &Option<std::path::PathBuf>) {
+    match exp {
+        "table2" => table2(),
+        "table3" => table3(trials, csv),
+        "table4" => table4(trials, csv),
+        "table5" => table5(),
+        "table6" => table6(),
+        "table7" => table7(),
+        "table8" => table8(trials),
+        "table9" => table9(),
+        "table10" => table10(),
+        "table11" => table11(trials, csv),
+        "fig5" => fig5(),
+        "fig6" => alpha_sweep(
+            Dataset::Dblp,
+            "Fig. 6: accuracy of T-Mark vs alpha on DBLP",
+            trials,
+            csv,
+            "fig6_alpha_dblp",
+        ),
+        "fig7" => alpha_sweep(
+            Dataset::NusTagset1,
+            "Fig. 7: accuracy of T-Mark vs alpha on NUS",
+            trials,
+            csv,
+            "fig7_alpha_nus",
+        ),
+        "fig8" => gamma_sweep(
+            Dataset::Dblp,
+            "Fig. 8: accuracy of T-Mark vs gamma on DBLP",
+            trials,
+            csv,
+            "fig8_gamma_dblp",
+        ),
+        "fig9" => gamma_sweep(
+            Dataset::NusTagset1,
+            "Fig. 9: accuracy of T-Mark vs gamma on NUS",
+            trials,
+            csv,
+            "fig9_gamma_nus",
+        ),
+        "fig10" => fig10(),
+        "ablation" => ablation(trials),
+        "datasets" => dataset_stats(),
+        "all" => {
+            for e in [
+                "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+                "table10", "table11", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            ] {
+                run_experiment(e, trials, csv);
+            }
+        }
+        other => {
+            eprintln!("unknown experiment {other}; see the module docs for the list");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    for exp in &options.experiments {
+        run_experiment(exp, options.trials, &options.csv_dir);
+    }
+}

@@ -1,0 +1,150 @@
+//! k-nearest-neighbour classifier over cosine similarity.
+//!
+//! A lazy, hyperparameter-light base learner: it complements the
+//! parametric classifiers when baselines need a model that cannot
+//! overfit a tiny training set (the low-label-fraction regime the
+//! paper's sweeps start from).
+
+use tmark_linalg::{vector, DenseMatrix};
+
+use crate::traits::{validate_training_inputs, Classifier, TrainError};
+
+/// kNN with cosine similarity and distance-weighted voting.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    /// Neighbourhood size.
+    pub k: usize,
+    train_x: Option<DenseMatrix>,
+    train_y: Vec<usize>,
+    num_classes: usize,
+}
+
+impl KnnClassifier {
+    /// A kNN classifier with neighbourhood size `k` (clamped to the
+    /// training-set size at prediction time).
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KnnClassifier {
+            k,
+            train_x: None,
+            train_y: Vec::new(),
+            num_classes: 0,
+        }
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(
+        &mut self,
+        features: &DenseMatrix,
+        labels: &[usize],
+        num_classes: usize,
+    ) -> Result<(), TrainError> {
+        validate_training_inputs(features, labels, num_classes)?;
+        self.train_x = Some(features.clone());
+        self.train_y = labels.to_vec();
+        self.num_classes = num_classes;
+        Ok(())
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        let train_x = self
+            .train_x
+            .as_ref()
+            .expect("predict_proba called before fit");
+        let n = train_x.rows();
+        let mut sims: Vec<(usize, f64)> = (0..n)
+            .map(|r| (r, vector::cosine(train_x.row(r), features).max(0.0)))
+            .collect();
+        sims.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        sims.truncate(self.k.min(n));
+        let mut votes = vec![0.0; self.num_classes];
+        let mut total = 0.0;
+        for &(r, s) in &sims {
+            votes[self.train_y[r]] += s;
+            total += s;
+        }
+        if total == 0.0 {
+            // No similar neighbours at all: uniform.
+            return vec![1.0 / self.num_classes as f64; self.num_classes];
+        }
+        for v in votes.iter_mut() {
+            *v /= total;
+        }
+        votes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered() -> (DenseMatrix, Vec<usize>) {
+        let rows = vec![
+            vec![1.0, 0.0],
+            vec![0.95, 0.05],
+            vec![0.9, 0.1],
+            vec![0.0, 1.0],
+            vec![0.05, 0.95],
+            vec![0.1, 0.9],
+        ];
+        (
+            DenseMatrix::from_rows(&rows).unwrap(),
+            vec![0, 0, 0, 1, 1, 1],
+        )
+    }
+
+    #[test]
+    fn classifies_clear_clusters() {
+        let (x, y) = clustered();
+        let mut knn = KnnClassifier::new(3);
+        knn.fit(&x, &y, 2).unwrap();
+        assert_eq!(knn.predict(&[1.0, 0.05]), 0);
+        assert_eq!(knn.predict(&[0.02, 1.0]), 1);
+        assert_eq!(knn.predict_batch(&x), y);
+    }
+
+    #[test]
+    fn proba_is_stochastic() {
+        let (x, y) = clustered();
+        let mut knn = KnnClassifier::new(4);
+        knn.fit(&x, &y, 2).unwrap();
+        let p = knn.predict_proba(&[0.5, 0.5]);
+        assert!(vector::is_stochastic(&p, 1e-12));
+    }
+
+    #[test]
+    fn zero_query_falls_back_to_uniform() {
+        let (x, y) = clustered();
+        let mut knn = KnnClassifier::new(3);
+        knn.fit(&x, &y, 2).unwrap();
+        assert_eq!(knn.predict_proba(&[0.0, 0.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn k_larger_than_training_set_is_clamped() {
+        let (x, y) = clustered();
+        let mut knn = KnnClassifier::new(100);
+        knn.fit(&x, &y, 2).unwrap();
+        let p = knn.predict_proba(&[1.0, 0.0]);
+        assert!(vector::is_stochastic(&p, 1e-12));
+        assert!(p[0] > p[1]);
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let mut knn = KnnClassifier::new(1);
+        let x = DenseMatrix::from_rows(&[vec![1.0]]).unwrap();
+        assert_eq!(knn.fit(&x, &[2], 2), Err(TrainError::LabelOutOfRange(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        KnnClassifier::new(0);
+    }
+}

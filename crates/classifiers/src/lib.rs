@@ -1,0 +1,32 @@
+//! Base single-node classifiers for the collective-classification
+//! baselines.
+//!
+//! The baselines of Section 6 (ICA, Hcc, Hcc-ss, EMR) all wrap an ordinary
+//! feature-vector classifier: ICA iterates one over content + neighbour
+//! label counts; Hcc feeds it meta-path aggregates; EMR votes over one
+//! classifier per link type ("with SVM as the base classifier"). This
+//! crate supplies three interchangeable base learners behind the
+//! [`Classifier`] trait:
+//!
+//! - [`LogisticRegression`]: multinomial logistic regression trained by
+//!   mini-batch SGD with L2 regularization — the workhorse default.
+//! - [`MultinomialNaiveBayes`]: count-based, no iteration, very fast on
+//!   bag-of-words features.
+//! - [`LinearSvm`]: one-vs-rest linear SVM trained by hinge-loss SGD
+//!   (Pegasos-style), matching the paper's EMR setup.
+//! - [`KnnClassifier`]: lazy cosine-kNN, overfit-proof on tiny label sets.
+//!
+//! All training is deterministic given the seed passed at construction.
+
+#![deny(missing_docs)]
+pub mod knn;
+pub mod logistic;
+pub mod naive_bayes;
+pub mod svm;
+pub mod traits;
+
+pub use knn::KnnClassifier;
+pub use logistic::LogisticRegression;
+pub use naive_bayes::MultinomialNaiveBayes;
+pub use svm::LinearSvm;
+pub use traits::{Classifier, TrainError};

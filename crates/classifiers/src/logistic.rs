@@ -1,0 +1,220 @@
+//! Multinomial logistic regression trained by mini-batch SGD.
+
+// Indexed loops below walk several parallel arrays with one index;
+// clippy's iterator rewrite would obscure the shared-index structure.
+#![allow(clippy::needless_range_loop)]
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tmark_linalg::{vector, DenseMatrix};
+
+use crate::traits::{validate_training_inputs, Classifier, TrainError};
+
+/// Multinomial (softmax) logistic regression.
+///
+/// Weights are a `q × (d + 1)` matrix (the last column is the bias).
+/// Training runs `epochs` passes of shuffled mini-batch SGD on the
+/// cross-entropy loss with L2 regularization; all randomness comes from
+/// the constructor seed, so training is reproducible.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    seed: u64,
+    weights: Option<DenseMatrix>,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model with sensible defaults
+    /// (`lr = 0.1`, `l2 = 1e-4`, `epochs = 50`, `batch = 32`).
+    pub fn new(seed: u64) -> Self {
+        LogisticRegression {
+            learning_rate: 0.1,
+            l2: 1e-4,
+            epochs: 50,
+            batch_size: 32,
+            seed,
+            weights: None,
+        }
+    }
+
+    /// Builder-style override of the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Builder-style override of the learning rate.
+    pub fn with_learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    fn scores(&self, w: &DenseMatrix, features: &[f64]) -> Vec<f64> {
+        let q = w.rows();
+        let d = w.cols() - 1;
+        let mut s = vec![0.0; q];
+        for (c, sc) in s.iter_mut().enumerate() {
+            let row = w.row(c);
+            *sc = vector::dot(&row[..d], &features[..d.min(features.len())]) + row[d];
+        }
+        s
+    }
+}
+
+/// Numerically stable softmax.
+fn softmax_in_place(s: &mut [f64]) {
+    let max = s.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+    let mut sum = 0.0;
+    for v in s.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in s.iter_mut() {
+        *v /= sum;
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(
+        &mut self,
+        features: &DenseMatrix,
+        labels: &[usize],
+        num_classes: usize,
+    ) -> Result<(), TrainError> {
+        validate_training_inputs(features, labels, num_classes)?;
+        let n = features.rows();
+        let d = features.cols();
+        let mut w = DenseMatrix::zeros(num_classes, d + 1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut probs = vec![0.0; num_classes];
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(self.batch_size.max(1)) {
+                // Accumulate gradients over the batch, then apply.
+                let scale = self.learning_rate / batch.len() as f64;
+                for &r in batch {
+                    let x = features.row(r);
+                    probs.copy_from_slice(&self.scores(&w, x));
+                    softmax_in_place(&mut probs);
+                    for c in 0..num_classes {
+                        let err = probs[c] - if labels[r] == c { 1.0 } else { 0.0 };
+                        let wrow = w.row_mut(c);
+                        for (wj, &xj) in wrow[..d].iter_mut().zip(x) {
+                            *wj -= scale * (err * xj + self.l2 * *wj);
+                        }
+                        wrow[d] -= scale * err;
+                    }
+                }
+            }
+        }
+        self.weights = Some(w);
+        Ok(())
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        let w = self
+            .weights
+            .as_ref()
+            .expect("predict_proba called before fit");
+        let mut s = self.scores(w, features);
+        softmax_in_place(&mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable_data() -> (DenseMatrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.02;
+            if i % 2 == 0 {
+                rows.push(vec![1.0 + jitter, 0.0]);
+                labels.push(0);
+            } else {
+                rows.push(vec![0.0, 1.0 + jitter]);
+                labels.push(1);
+            }
+        }
+        (DenseMatrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn learns_linearly_separable_problem() {
+        let (x, y) = separable_data();
+        let mut clf = LogisticRegression::new(7);
+        clf.fit(&x, &y, 2).unwrap();
+        let preds = clf.predict_batch(&x);
+        assert_eq!(preds, y);
+    }
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let (x, y) = separable_data();
+        let mut clf = LogisticRegression::new(7).with_epochs(300);
+        clf.fit(&x, &y, 2).unwrap();
+        let p = clf.predict_proba(&[1.0, 0.0]);
+        assert!(vector::is_stochastic(&p, 1e-9));
+        assert!(p[0] > 0.85, "confident on a training-like point: {p:?}");
+    }
+
+    #[test]
+    fn three_class_problem() {
+        let rows = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.9, 0.1, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.1, 0.9, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 0.1, 0.9],
+        ];
+        let x = DenseMatrix::from_rows(&rows).unwrap();
+        let y = vec![0, 0, 1, 1, 2, 2];
+        let mut clf = LogisticRegression::new(1).with_epochs(200);
+        clf.fit(&x, &y, 3).unwrap();
+        assert_eq!(clf.predict_batch(&x), y);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let (x, y) = separable_data();
+        let mut a = LogisticRegression::new(42);
+        let mut b = LogisticRegression::new(42);
+        a.fit(&x, &y, 2).unwrap();
+        b.fit(&x, &y, 2).unwrap();
+        assert_eq!(a.predict_proba(&[0.5, 0.5]), b.predict_proba(&[0.5, 0.5]));
+    }
+
+    #[test]
+    fn fit_propagates_validation_errors() {
+        let mut clf = LogisticRegression::new(0);
+        let x = DenseMatrix::zeros(0, 2);
+        assert_eq!(clf.fit(&x, &[], 2), Err(TrainError::EmptyTrainingSet));
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        LogisticRegression::new(0).predict_proba(&[1.0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_scores() {
+        let mut s = vec![1000.0, 1001.0];
+        softmax_in_place(&mut s);
+        assert!(s.iter().all(|v| v.is_finite()));
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[1] > s[0]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Multinomial naive Bayes for nonnegative (bag-of-words) features.
+
+// Indexed loops below walk several parallel arrays with one index;
+// clippy's iterator rewrite would obscure the shared-index structure.
+#![allow(clippy::needless_range_loop)]
+use tmark_linalg::DenseMatrix;
+
+use crate::traits::{validate_training_inputs, Classifier, TrainError};
+
+/// Multinomial naive Bayes with Laplace smoothing.
+///
+/// Suited to the paper's bag-of-words content features (publication
+/// titles, user tags). Negative feature values are clamped to zero, since
+/// the multinomial event model is defined over counts.
+#[derive(Debug, Clone)]
+pub struct MultinomialNaiveBayes {
+    /// Laplace smoothing constant.
+    pub smoothing: f64,
+    /// `log P(c)` per class.
+    log_priors: Vec<f64>,
+    /// `log P(feature | c)`, `q × d`.
+    log_likelihoods: Option<DenseMatrix>,
+}
+
+impl MultinomialNaiveBayes {
+    /// Creates an untrained model with Laplace smoothing `1.0`.
+    pub fn new() -> Self {
+        MultinomialNaiveBayes {
+            smoothing: 1.0,
+            log_priors: Vec::new(),
+            log_likelihoods: None,
+        }
+    }
+}
+
+impl Default for MultinomialNaiveBayes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Classifier for MultinomialNaiveBayes {
+    fn fit(
+        &mut self,
+        features: &DenseMatrix,
+        labels: &[usize],
+        num_classes: usize,
+    ) -> Result<(), TrainError> {
+        validate_training_inputs(features, labels, num_classes)?;
+        let n = features.rows();
+        let d = features.cols();
+        let mut class_counts = vec![0usize; num_classes];
+        let mut feature_sums = DenseMatrix::zeros(num_classes, d);
+        for r in 0..n {
+            let c = labels[r];
+            class_counts[c] += 1;
+            for (j, &v) in features.row(r).iter().enumerate() {
+                feature_sums.add_at(c, j, v.max(0.0));
+            }
+        }
+        self.log_priors = class_counts
+            .iter()
+            .map(|&cnt| {
+                ((cnt as f64 + self.smoothing) / (n as f64 + self.smoothing * num_classes as f64))
+                    .ln()
+            })
+            .collect();
+        let mut ll = DenseMatrix::zeros(num_classes, d);
+        for c in 0..num_classes {
+            let total: f64 = feature_sums.row(c).iter().sum();
+            let denom = total + self.smoothing * d as f64;
+            for j in 0..d {
+                let p = (feature_sums.get(c, j) + self.smoothing) / denom;
+                ll.set(c, j, p.ln());
+            }
+        }
+        self.log_likelihoods = Some(ll);
+        Ok(())
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        let ll = self
+            .log_likelihoods
+            .as_ref()
+            .expect("predict_proba called before fit");
+        let q = ll.rows();
+        let d = ll.cols();
+        let mut log_post = vec![0.0; q];
+        for c in 0..q {
+            let mut s = self.log_priors[c];
+            let row = ll.row(c);
+            for j in 0..d.min(features.len()) {
+                let v = features[j].max(0.0);
+                if v > 0.0 {
+                    s += v * row[j];
+                }
+            }
+            log_post[c] = s;
+        }
+        // Softmax over log posteriors.
+        let max = log_post.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0;
+        for v in log_post.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in log_post.iter_mut() {
+            *v /= sum;
+        }
+        log_post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmark_linalg::vector;
+
+    fn bow_data() -> (DenseMatrix, Vec<usize>) {
+        // Class 0 uses words {0, 1}; class 1 uses words {2, 3}.
+        let rows = vec![
+            vec![3.0, 1.0, 0.0, 0.0],
+            vec![2.0, 2.0, 0.0, 0.0],
+            vec![1.0, 3.0, 0.0, 1.0],
+            vec![0.0, 0.0, 2.0, 2.0],
+            vec![0.0, 1.0, 3.0, 1.0],
+            vec![0.0, 0.0, 1.0, 3.0],
+        ];
+        (
+            DenseMatrix::from_rows(&rows).unwrap(),
+            vec![0, 0, 0, 1, 1, 1],
+        )
+    }
+
+    #[test]
+    fn classifies_bag_of_words() {
+        let (x, y) = bow_data();
+        let mut nb = MultinomialNaiveBayes::new();
+        nb.fit(&x, &y, 2).unwrap();
+        assert_eq!(nb.predict_batch(&x), y);
+        assert_eq!(nb.predict(&[5.0, 2.0, 0.0, 0.0]), 0);
+        assert_eq!(nb.predict(&[0.0, 0.0, 4.0, 4.0]), 1);
+    }
+
+    #[test]
+    fn probabilities_form_a_distribution() {
+        let (x, y) = bow_data();
+        let mut nb = MultinomialNaiveBayes::new();
+        nb.fit(&x, &y, 2).unwrap();
+        let p = nb.predict_proba(&[1.0, 1.0, 1.0, 1.0]);
+        assert!(vector::is_stochastic(&p, 1e-9));
+    }
+
+    #[test]
+    fn smoothing_handles_unseen_words() {
+        let (x, y) = bow_data();
+        let mut nb = MultinomialNaiveBayes::new();
+        nb.fit(&x, &y, 2).unwrap();
+        // Word 3 never appears in class 0 unsmoothed contexts; prediction
+        // must still be finite and valid.
+        let p = nb.predict_proba(&[0.0, 0.0, 0.0, 10.0]);
+        assert!(p.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn priors_reflect_class_imbalance() {
+        let x = DenseMatrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]]).unwrap();
+        let y = vec![0, 0, 0, 1];
+        let mut nb = MultinomialNaiveBayes::new();
+        nb.fit(&x, &y, 2).unwrap();
+        // Identical features: prediction falls back to the prior.
+        assert_eq!(nb.predict(&[1.0]), 0);
+    }
+
+    #[test]
+    fn negative_features_are_clamped() {
+        let (x, y) = bow_data();
+        let mut nb = MultinomialNaiveBayes::new();
+        nb.fit(&x, &y, 2).unwrap();
+        let p = nb.predict_proba(&[-5.0, -5.0, 1.0, 1.0]);
+        assert!(vector::is_stochastic(&p, 1e-9));
+        assert_eq!(vector::argmax(&p), Some(1));
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let mut nb = MultinomialNaiveBayes::new();
+        let x = DenseMatrix::from_rows(&[vec![1.0]]).unwrap();
+        assert_eq!(nb.fit(&x, &[3], 2), Err(TrainError::LabelOutOfRange(3)));
+    }
+}

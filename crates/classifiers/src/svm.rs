@@ -1,0 +1,212 @@
+//! One-vs-rest linear SVM trained by Pegasos-style hinge-loss SGD.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tmark_linalg::{vector, DenseMatrix};
+
+use crate::traits::{validate_training_inputs, Classifier, TrainError};
+
+/// Linear SVM with one binary (one-vs-rest) machine per class.
+///
+/// This is the base classifier the paper's EMR baseline trains per link
+/// type. Decision scores are converted to pseudo-probabilities with a
+/// softmax so the [`Classifier`] contract (stochastic `predict_proba`)
+/// holds; hard predictions use the raw margins.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    /// Regularization strength λ of the Pegasos objective.
+    pub lambda: f64,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    seed: u64,
+    /// `q × (d + 1)` weight matrix (last column is the bias).
+    weights: Option<DenseMatrix>,
+}
+
+impl LinearSvm {
+    /// Creates an untrained SVM (`λ = 1e-2`, `epochs = 50`).
+    pub fn new(seed: u64) -> Self {
+        LinearSvm {
+            lambda: 1e-2,
+            epochs: 50,
+            seed,
+            weights: None,
+        }
+    }
+
+    /// Builder-style override of the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    fn margins(&self, w: &DenseMatrix, x: &[f64]) -> Vec<f64> {
+        let d = w.cols() - 1;
+        (0..w.rows())
+            .map(|c| {
+                let row = w.row(c);
+                vector::dot(&row[..d.min(x.len())], &x[..d.min(x.len())]) + row[d]
+            })
+            .collect()
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(
+        &mut self,
+        features: &DenseMatrix,
+        labels: &[usize],
+        num_classes: usize,
+    ) -> Result<(), TrainError> {
+        validate_training_inputs(features, labels, num_classes)?;
+        let n = features.rows();
+        let d = features.cols();
+        let mut w = DenseMatrix::zeros(num_classes, d + 1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut t = 1usize;
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &r in &order {
+                let eta = 1.0 / (self.lambda * t as f64);
+                let x = features.row(r);
+                for c in 0..num_classes {
+                    let y = if labels[r] == c { 1.0 } else { -1.0 };
+                    let row = w.row(c);
+                    let margin = y * (vector::dot(&row[..d], x) + row[d]);
+                    let row = w.row_mut(c);
+                    // Pegasos update: shrink, then step on violation.
+                    let shrink = 1.0 - eta * self.lambda;
+                    for wj in row[..d].iter_mut() {
+                        *wj *= shrink;
+                    }
+                    if margin < 1.0 {
+                        for (wj, &xj) in row[..d].iter_mut().zip(x) {
+                            *wj += eta * y * xj;
+                        }
+                        row[d] += eta * y;
+                    }
+                    // Pegasos projection onto the ‖w‖ ≤ 1/√λ ball; without
+                    // it the early 1/(λt) steps blow the weights up and
+                    // the machine never recovers.
+                    let norm = vector::norm_l2(&row[..d]);
+                    let radius = 1.0 / self.lambda.sqrt();
+                    if norm > radius {
+                        let shrink = radius / norm;
+                        for wj in row[..d].iter_mut() {
+                            *wj *= shrink;
+                        }
+                        row[d] *= shrink;
+                    }
+                }
+                t += 1;
+            }
+        }
+        self.weights = Some(w);
+        Ok(())
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        let w = self
+            .weights
+            .as_ref()
+            .expect("predict_proba called before fit");
+        let mut s = self.margins(w, features);
+        // Softmax over margins as a calibration-free probability proxy.
+        let max = s.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0;
+        for v in s.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in s.iter_mut() {
+            *v /= sum;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> (DenseMatrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            let eps = (i % 3) as f64 * 0.05;
+            match i % 3 {
+                0 => {
+                    rows.push(vec![1.0 + eps, 0.0, 0.0]);
+                    labels.push(0);
+                }
+                1 => {
+                    rows.push(vec![0.0, 1.0 + eps, 0.0]);
+                    labels.push(1);
+                }
+                _ => {
+                    rows.push(vec![0.0, 0.0, 1.0 + eps]);
+                    labels.push(2);
+                }
+            }
+        }
+        (DenseMatrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn separates_three_classes() {
+        let (x, y) = separable();
+        let mut svm = LinearSvm::new(3).with_epochs(100);
+        svm.fit(&x, &y, 3).unwrap();
+        assert_eq!(svm.predict_batch(&x), y);
+    }
+
+    #[test]
+    fn proba_is_stochastic() {
+        let (x, y) = separable();
+        let mut svm = LinearSvm::new(3);
+        svm.fit(&x, &y, 3).unwrap();
+        let p = svm.predict_proba(&[0.4, 0.3, 0.3]);
+        assert!(vector::is_stochastic(&p, 1e-9));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = separable();
+        let mut a = LinearSvm::new(11);
+        let mut b = LinearSvm::new(11);
+        a.fit(&x, &y, 3).unwrap();
+        b.fit(&x, &y, 3).unwrap();
+        assert_eq!(
+            a.predict_proba(&[1.0, 0.0, 0.0]),
+            b.predict_proba(&[1.0, 0.0, 0.0])
+        );
+    }
+
+    #[test]
+    fn binary_case_works() {
+        let x = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.9, 0.1],
+            vec![0.0, 1.0],
+            vec![0.1, 0.9],
+        ])
+        .unwrap();
+        let y = vec![0, 0, 1, 1];
+        let mut svm = LinearSvm::new(5).with_epochs(200);
+        svm.fit(&x, &y, 2).unwrap();
+        assert_eq!(svm.predict(&[1.0, 0.0]), 0);
+        assert_eq!(svm.predict(&[0.0, 1.0]), 1);
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let mut svm = LinearSvm::new(0);
+        let x = DenseMatrix::from_rows(&[vec![1.0]]).unwrap();
+        assert_eq!(
+            svm.fit(&x, &[0, 1], 2),
+            Err(TrainError::LabelCountMismatch { rows: 1, labels: 2 })
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! The shared classifier interface.
+
+use std::fmt;
+
+use tmark_linalg::DenseMatrix;
+
+/// Errors raised by classifier training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// No training rows were supplied.
+    EmptyTrainingSet,
+    /// `labels.len()` disagrees with the number of feature rows.
+    LabelCountMismatch {
+        /// Feature rows supplied.
+        rows: usize,
+        /// Labels supplied.
+        labels: usize,
+    },
+    /// A label id `>= num_classes`.
+    LabelOutOfRange(usize),
+    /// `num_classes` was zero.
+    NoClasses,
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::EmptyTrainingSet => write!(f, "training set is empty"),
+            TrainError::LabelCountMismatch { rows, labels } => {
+                write!(f, "{rows} feature rows but {labels} labels")
+            }
+            TrainError::LabelOutOfRange(c) => write!(f, "label {c} out of range"),
+            TrainError::NoClasses => write!(f, "num_classes must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// A single-node (feature-vector → class) classifier.
+pub trait Classifier {
+    /// Trains on `features` (one row per example) with integer `labels`.
+    ///
+    /// # Errors
+    /// [`TrainError`] on empty or inconsistent training data.
+    fn fit(
+        &mut self,
+        features: &DenseMatrix,
+        labels: &[usize],
+        num_classes: usize,
+    ) -> Result<(), TrainError>;
+
+    /// Class-probability estimates for one feature vector. Must sum to one.
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64>;
+
+    /// Hard prediction: argmax of [`Classifier::predict_proba`].
+    fn predict(&self, features: &[f64]) -> usize {
+        tmark_linalg::vector::argmax(&self.predict_proba(features))
+            .expect("fitted classifiers have at least one class")
+    }
+
+    /// Hard predictions for every row of a feature matrix.
+    fn predict_batch(&self, features: &DenseMatrix) -> Vec<usize> {
+        (0..features.rows())
+            .map(|r| self.predict(features.row(r)))
+            .collect()
+    }
+}
+
+/// Validates the common preconditions of `fit` implementations.
+pub fn validate_training_inputs(
+    features: &DenseMatrix,
+    labels: &[usize],
+    num_classes: usize,
+) -> Result<(), TrainError> {
+    if num_classes == 0 {
+        return Err(TrainError::NoClasses);
+    }
+    if features.rows() == 0 {
+        return Err(TrainError::EmptyTrainingSet);
+    }
+    if features.rows() != labels.len() {
+        return Err(TrainError::LabelCountMismatch {
+            rows: features.rows(),
+            labels: labels.len(),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&c| c >= num_classes) {
+        return Err(TrainError::LabelOutOfRange(bad));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_each_failure_mode() {
+        let x = DenseMatrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert_eq!(
+            validate_training_inputs(&x, &[0, 1], 0),
+            Err(TrainError::NoClasses)
+        );
+        assert_eq!(
+            validate_training_inputs(&DenseMatrix::zeros(0, 1), &[], 2),
+            Err(TrainError::EmptyTrainingSet)
+        );
+        assert_eq!(
+            validate_training_inputs(&x, &[0], 2),
+            Err(TrainError::LabelCountMismatch { rows: 2, labels: 1 })
+        );
+        assert_eq!(
+            validate_training_inputs(&x, &[0, 5], 2),
+            Err(TrainError::LabelOutOfRange(5))
+        );
+        assert_eq!(validate_training_inputs(&x, &[0, 1], 2), Ok(()));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(TrainError::LabelOutOfRange(9).to_string().contains('9'));
+        assert!(TrainError::LabelCountMismatch { rows: 3, labels: 2 }
+            .to_string()
+            .contains("3 feature rows"));
+    }
+}

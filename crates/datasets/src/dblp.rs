@@ -1,0 +1,138 @@
+//! The synthetic DBLP bibliography network (Section 6.1).
+//!
+//! Paper setting: authors from 20 conferences across four research areas
+//! (DB, DM, AI, IR); each conference is one link type connecting authors
+//! who published there; content features are title bags-of-words; the task
+//! is predicting each author's area.
+//!
+//! Regime planted here: every conference link type is strongly aligned
+//! with its area (high purity), and the bag-of-words features are
+//! moderately informative — which is why, in the paper, relation-aware
+//! methods sit in the 0.92–0.94 band, the feature-only ablation drops
+//! below 0.8 (Fig. 8), and the link ranking recovers Table 1's grouping
+//! (Table 2).
+
+use tmark_hin::Hin;
+
+use crate::generator::{LinkTypeSpec, SyntheticHinConfig};
+use crate::names::{DBLP_AREAS, DBLP_CONFERENCES};
+
+/// Default author count of the synthetic DBLP network.
+pub const DBLP_NUM_NODES: usize = 600;
+
+/// Generates the synthetic DBLP network.
+pub fn dblp(seed: u64) -> Hin {
+    dblp_with_size(DBLP_NUM_NODES, seed)
+}
+
+/// Generates DBLP at a custom node count (used by the scaling bench).
+pub fn dblp_with_size(num_nodes: usize, seed: u64) -> Hin {
+    let mut link_types = Vec::with_capacity(20);
+    // Edges scale with the network so sparsity stays constant; real
+    // conference co-attendance is near-clique dense.
+    let edges_per_conf = num_nodes * 3;
+    // Per-conference class purity. Core venues are strongly aligned with
+    // their area; crossover venues (CIKM, WWW, CVPR, …) span areas — the
+    // paper's own Table 2 discussion places CIKM in the DB top-5, CVPR at
+    // rank 11 in AI, WSDM at rank 19 in IR, so heterogeneous purity is a
+    // property of the real corpus, and it is what separates the
+    // relevance-aware methods from equal-vote baselines.
+    const PURITY: [[f64; 5]; 4] = [
+        [0.85, 0.85, 0.80, 0.80, 0.70], // DB: VLDB SIGMOD ICDE EDBT PODS
+        [0.85, 0.85, 0.80, 0.80, 0.70], // DM: KDD ICDM PAKDD SDM PKDD
+        [0.85, 0.85, 0.80, 0.70, 0.45], // AI: IJCAI AAAI ICML ECML CVPR
+        [0.85, 0.55, 0.80, 0.65, 0.50], // IR: SIGIR CIKM ECIR WWW WSDM
+    ];
+    for (area, confs) in DBLP_CONFERENCES.iter().enumerate() {
+        for (ci, conf) in confs.iter().enumerate() {
+            link_types.push(LinkTypeSpec {
+                name: (*conf).to_string(),
+                class_affinity: Some(area),
+                num_edges: edges_per_conf,
+                purity: PURITY[area][ci],
+            });
+        }
+    }
+    SyntheticHinConfig {
+        num_nodes,
+        class_names: DBLP_AREAS.iter().map(|s| s.to_string()).collect(),
+        link_types,
+        feature_dim: 160,
+        tokens_per_node: 14,
+        feature_signal: 0.32,
+        extra_label_prob: 0.0,
+        label_noise: 0.07,
+        seed,
+    }
+    .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmark_hin::stats::{hin_stats, mean_class_purity};
+
+    #[test]
+    fn shape_matches_the_paper_setting() {
+        let hin = dblp(1);
+        assert_eq!(hin.num_nodes(), 600);
+        assert_eq!(hin.num_link_types(), 20);
+        assert_eq!(hin.num_classes(), 4);
+        assert_eq!(hin.link_type_name(0), "VLDB");
+        assert_eq!(hin.link_type_name(19), "WSDM");
+    }
+
+    #[test]
+    fn conference_links_are_class_aligned() {
+        let hin = dblp(1);
+        let stats = hin_stats(&hin);
+        let mean = mean_class_purity(&stats).unwrap();
+        assert!(mean > 0.65, "mean purity: {mean}");
+    }
+
+    #[test]
+    fn each_area_has_balanced_membership() {
+        let hin = dblp(1);
+        let counts = hin.labels().class_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 600);
+        for &c in &counts {
+            assert_eq!(c, 150);
+        }
+    }
+
+    #[test]
+    fn conferences_touch_their_own_area() {
+        let hin = dblp(2);
+        // KDD (index 5) belongs to DM (class 1): most of its edges should
+        // involve DM authors.
+        let mut dm_edges = 0;
+        let mut total = 0;
+        for e in hin.tensor().entries().iter().filter(|e| e.k == 5) {
+            total += 1;
+            if hin.labels().has_label(e.i, 1) && hin.labels().has_label(e.j, 1) {
+                dm_edges += 1;
+            }
+        }
+        assert!(
+            dm_edges as f64 / total as f64 > 0.7,
+            "KDD intra-DM fraction: {dm_edges}/{total}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let a = dblp(7);
+        let b = dblp(7);
+        let c = dblp(8);
+        assert_eq!(a.tensor().nnz(), b.tensor().nnz());
+        assert_eq!(a.features().as_slice(), b.features().as_slice());
+        assert_ne!(a.features().as_slice(), c.features().as_slice());
+    }
+
+    #[test]
+    fn custom_size_scales_edges() {
+        let small = dblp_with_size(100, 1);
+        let large = dblp_with_size(400, 1);
+        assert!(large.tensor().nnz() > 2 * small.tensor().nnz());
+    }
+}

@@ -1,0 +1,373 @@
+//! The configurable synthetic-HIN generator all dataset presets share.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tmark_hin::{Hin, HinBuilder};
+
+/// Specification of one link type to generate.
+#[derive(Debug, Clone)]
+pub struct LinkTypeSpec {
+    /// Human-readable name (conference, director, tag, …).
+    pub name: String,
+    /// The class this link type is associated with, if any. Edges of an
+    /// affiliated type prefer endpoints of that class; unaffiliated types
+    /// sample their "home" endpoint uniformly.
+    pub class_affinity: Option<usize>,
+    /// Number of undirected edges to generate for this type.
+    pub num_edges: usize,
+    /// Probability that an edge connects two nodes of the same class
+    /// (the link's *relevance* in the paper's Section 6.3 sense).
+    pub purity: f64,
+}
+
+/// Full generator configuration.
+#[derive(Debug, Clone)]
+pub struct SyntheticHinConfig {
+    /// Number of nodes `n`.
+    pub num_nodes: usize,
+    /// Class names (length `q`).
+    pub class_names: Vec<String>,
+    /// Link types to generate.
+    pub link_types: Vec<LinkTypeSpec>,
+    /// Bag-of-words feature dimensionality `d`. The vocabulary is split
+    /// into `q` equal class blocks plus a shared-noise remainder.
+    pub feature_dim: usize,
+    /// Tokens drawn per node.
+    pub tokens_per_node: usize,
+    /// Probability that a token comes from the node's class block rather
+    /// than the shared block — the feature signal strength.
+    pub feature_signal: f64,
+    /// Probability that a node receives a second class label (multi-label
+    /// datasets set this positive; single-label datasets use 0).
+    pub extra_label_prob: f64,
+    /// Behavioural label noise: with this probability a node's *edges and
+    /// features* follow a different class than its reported label. This
+    /// models the irreducible ambiguity of the real corpora (authors who
+    /// publish across areas, genre-crossing movies) and puts a ceiling of
+    /// roughly `1 − label_noise` on every method's achievable accuracy —
+    /// without it the planted structure is unrealistically separable.
+    pub label_noise: f64,
+    /// RNG seed; everything downstream is deterministic in it.
+    pub seed: u64,
+}
+
+impl SyntheticHinConfig {
+    /// Generates the HIN.
+    ///
+    /// Classes are assigned round-robin (so every class has
+    /// `⌈n/q⌉ ± 1` members), then features and edges are sampled.
+    /// A final sweep links isolated nodes to a same-class neighbour so the
+    /// network has no zero-degree nodes (matching the paper's standing
+    /// connectivity assumption).
+    ///
+    /// # Panics
+    /// Panics on an empty class list, zero nodes, or an affinity id out of
+    /// range — configuration bugs, not data conditions.
+    pub fn generate(&self) -> Hin {
+        let n = self.num_nodes;
+        let q = self.class_names.len();
+        assert!(n > 0, "num_nodes must be positive");
+        assert!(q > 0, "at least one class required");
+        for lt in &self.link_types {
+            if let Some(c) = lt.class_affinity {
+                assert!(
+                    c < q,
+                    "link type {:?} references class {c} out of {q}",
+                    lt.name
+                );
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Primary (reported) class per node: shuffled round-robin.
+        let mut primary: Vec<usize> = (0..n).map(|i| i % q).collect();
+        primary.shuffle(&mut rng);
+
+        // Behavioural class: what the node's features and edges follow.
+        // Noisy nodes behave like a different class than they report.
+        let behavior: Vec<usize> = primary
+            .iter()
+            .map(|&c| {
+                if q > 1 && self.label_noise > 0.0 && rng.gen_bool(self.label_noise) {
+                    loop {
+                        let other = rng.gen_range(0..q);
+                        if other != c {
+                            break other;
+                        }
+                    }
+                } else {
+                    c
+                }
+            })
+            .collect();
+
+        // Secondary labels for multi-label datasets.
+        let mut label_sets: Vec<Vec<usize>> = primary.iter().map(|&c| vec![c]).collect();
+        if self.extra_label_prob > 0.0 && q > 1 {
+            for set in label_sets.iter_mut() {
+                if rng.gen_bool(self.extra_label_prob) {
+                    let extra = loop {
+                        let c = rng.gen_range(0..q);
+                        if !set.contains(&c) {
+                            break c;
+                        }
+                    };
+                    set.push(extra);
+                }
+            }
+        }
+
+        // Features: class-block bag of words.
+        let d = self.feature_dim;
+        let block = d / (q + 1).max(1); // q class blocks + shared remainder
+        let names: Vec<String> = self.link_types.iter().map(|lt| lt.name.clone()).collect();
+        let mut builder = HinBuilder::new(d, names, self.class_names.clone());
+        for (v, set) in label_sets.iter().enumerate() {
+            // Tokens follow the behavioural class (plus any secondary
+            // labels), not the reported one.
+            let mut pools: Vec<usize> = vec![behavior[v]];
+            pools.extend(
+                set.iter()
+                    .copied()
+                    .filter(|&c| c != primary[v] && c != behavior[v]),
+            );
+            let mut f = vec![0.0; d];
+            for _ in 0..self.tokens_per_node {
+                let token = if block > 0 && rng.gen_bool(self.feature_signal) {
+                    // A token from one of the node's class blocks.
+                    let c = pools[rng.gen_range(0..pools.len())];
+                    c * block + rng.gen_range(0..block)
+                } else {
+                    // A shared-noise token from the remainder of the
+                    // vocabulary (or anywhere, if there is no remainder).
+                    if d > q * block && block > 0 {
+                        q * block + rng.gen_range(0..d - q * block)
+                    } else {
+                        rng.gen_range(0..d)
+                    }
+                };
+                f[token] += 1.0;
+            }
+            builder.add_node(f);
+        }
+        for (v, set) in label_sets.iter().enumerate() {
+            for &c in set {
+                builder.set_label(v, c).expect("generated ids are valid");
+            }
+        }
+
+        // Edge-visible classes per node: the behavioural class plus any
+        // secondary labels, so multi-label nodes participate in the link
+        // structure of *all* their classes (otherwise secondary labels
+        // would be invisible to relational methods).
+        let edge_classes: Vec<Vec<usize>> = (0..n)
+            .map(|v| {
+                let mut cs = vec![behavior[v]];
+                cs.extend(
+                    label_sets[v]
+                        .iter()
+                        .copied()
+                        .filter(|&c| c != primary[v] && c != behavior[v]),
+                );
+                cs
+            })
+            .collect();
+        // Per-class node pools for affinity sampling, keyed on the
+        // edge-visible classes.
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); q];
+        for (v, cs) in edge_classes.iter().enumerate() {
+            for &c in cs {
+                by_class[c].push(v);
+            }
+        }
+
+        let mut degree = vec![0usize; n];
+        for (k, lt) in self.link_types.iter().enumerate() {
+            for _ in 0..lt.num_edges {
+                // Home endpoint: from the affiliated class pool, or anywhere.
+                let u = match lt.class_affinity {
+                    Some(c) if !by_class[c].is_empty() => {
+                        by_class[c][rng.gen_range(0..by_class[c].len())]
+                    }
+                    _ => rng.gen_range(0..n),
+                };
+                // Partner: same class with probability `purity`, where
+                // "class" is drawn from the home node's edge-visible set.
+                let v = if rng.gen_bool(lt.purity.clamp(0.0, 1.0)) {
+                    let cu = edge_classes[u][rng.gen_range(0..edge_classes[u].len())];
+                    let pool = &by_class[cu];
+                    if pool.len() < 2 {
+                        rng.gen_range(0..n)
+                    } else {
+                        loop {
+                            let cand = pool[rng.gen_range(0..pool.len())];
+                            if cand != u {
+                                break cand;
+                            }
+                        }
+                    }
+                } else {
+                    loop {
+                        let cand = rng.gen_range(0..n);
+                        if cand != u {
+                            break cand;
+                        }
+                    }
+                };
+                builder
+                    .add_undirected_edge(u, v, k)
+                    .expect("generated ids valid");
+                degree[u] += 1;
+                degree[v] += 1;
+            }
+        }
+
+        // Connectivity sweep: attach isolated nodes to a same-class peer
+        // through the last link type.
+        let last_type = self.link_types.len().saturating_sub(1);
+        if !self.link_types.is_empty() {
+            for v in 0..n {
+                if degree[v] == 0 {
+                    let pool = &by_class[behavior[v]];
+                    debug_assert!(!pool.is_empty(), "behaviour pools cover every class");
+                    let partner = if pool.len() >= 2 {
+                        loop {
+                            let cand = pool[rng.gen_range(0..pool.len())];
+                            if cand != v {
+                                break cand;
+                            }
+                        }
+                    } else {
+                        (v + 1) % n
+                    };
+                    builder
+                        .add_undirected_edge(v, partner, last_type)
+                        .expect("valid ids");
+                    degree[v] += 1;
+                    degree[partner] += 1;
+                }
+            }
+        }
+
+        builder.build().expect("generator produces a valid network")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmark_hin::stats::hin_stats;
+
+    fn basic_config() -> SyntheticHinConfig {
+        SyntheticHinConfig {
+            num_nodes: 60,
+            class_names: vec!["a".into(), "b".into(), "c".into()],
+            link_types: vec![
+                LinkTypeSpec {
+                    name: "pure".into(),
+                    class_affinity: Some(0),
+                    num_edges: 60,
+                    purity: 1.0,
+                },
+                LinkTypeSpec {
+                    name: "mixed".into(),
+                    class_affinity: None,
+                    num_edges: 60,
+                    purity: 0.0,
+                },
+            ],
+            feature_dim: 40,
+            tokens_per_node: 12,
+            feature_signal: 0.8,
+            extra_label_prob: 0.0,
+            label_noise: 0.0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = basic_config();
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.tensor().entries().len(), b.tensor().entries().len());
+        assert_eq!(a.features().as_slice(), b.features().as_slice());
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let hin = basic_config().generate();
+        let counts = hin.labels().class_counts();
+        assert_eq!(counts, vec![20, 20, 20]);
+    }
+
+    #[test]
+    fn purity_parameter_controls_class_purity() {
+        let hin = basic_config().generate();
+        let stats = hin_stats(&hin);
+        let pure = stats.relations[0].class_purity.unwrap();
+        let mixed = stats.relations[1].class_purity.unwrap();
+        assert!(pure > 0.95, "pure link type purity: {pure}");
+        // A 0-purity link over 3 balanced classes still hits ~1/3 by chance.
+        assert!(mixed < 0.55, "mixed link type purity: {mixed}");
+    }
+
+    #[test]
+    fn affinity_concentrates_edges_on_the_class() {
+        let hin = basic_config().generate();
+        let mut touching_a = 0;
+        let mut total = 0;
+        for e in hin.tensor().entries().iter().filter(|e| e.k == 0) {
+            total += 1;
+            if hin.labels().has_label(e.i, 0) || hin.labels().has_label(e.j, 0) {
+                touching_a += 1;
+            }
+        }
+        assert!(
+            touching_a as f64 / total as f64 > 0.9,
+            "affiliated link type should touch its class: {touching_a}/{total}"
+        );
+    }
+
+    #[test]
+    fn no_isolated_nodes() {
+        let hin = basic_config().generate();
+        for v in 0..hin.num_nodes() {
+            assert!(!hin.out_neighbors(v).is_empty(), "node {v} is isolated");
+        }
+    }
+
+    #[test]
+    fn features_carry_class_signal() {
+        let hin = basic_config().generate();
+        let block = 40 / 4;
+        // For class-0 nodes, the class-0 block should hold most mass.
+        for v in hin.labels().nodes_with_class(0).into_iter().take(5) {
+            let row = hin.features().row(v);
+            let class_mass: f64 = row[..block].iter().sum();
+            let total: f64 = row.iter().sum();
+            assert!(class_mass / total > 0.5, "node {v}: {class_mass}/{total}");
+        }
+    }
+
+    #[test]
+    fn multi_label_probability_produces_second_labels() {
+        let mut cfg = basic_config();
+        cfg.extra_label_prob = 0.5;
+        let hin = cfg.generate();
+        assert!(hin.labels().is_multi_label());
+        let multi = (0..hin.num_nodes())
+            .filter(|&v| hin.labels().labels_of(v).len() == 2)
+            .count();
+        assert!(multi > 10 && multi < 50, "multi-label count: {multi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn bad_affinity_panics() {
+        let mut cfg = basic_config();
+        cfg.link_types[0].class_affinity = Some(9);
+        cfg.generate();
+    }
+}

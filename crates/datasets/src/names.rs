@@ -1,0 +1,221 @@
+//! The named entities of the paper's tables, so that the reproduced
+//! rankings (Tables 2, 5, 6, 7, 9, 10) print the same strings.
+
+/// The research areas of the DBLP experiment (Table 1).
+pub const DBLP_AREAS: [&str; 4] = ["DB", "DM", "AI", "IR"];
+
+/// The 20 conferences of the DBLP experiment, grouped 5 per area in the
+/// order of [`DBLP_AREAS`] (Table 1).
+pub const DBLP_CONFERENCES: [[&str; 5]; 4] = [
+    ["VLDB", "SIGMOD", "ICDE", "EDBT", "PODS"],
+    ["KDD", "ICDM", "PAKDD", "SDM", "PKDD"],
+    ["IJCAI", "AAAI", "ICML", "ECML", "CVPR"],
+    ["SIGIR", "CIKM", "ECIR", "WWW", "WSDM"],
+];
+
+/// The five movie genres of the Movies experiment.
+pub const MOVIE_GENRES: [&str; 5] = ["Adventure", "Documentary", "Romance", "Thriller", "War"];
+
+/// Directors named in the paper's Table 5 (used for the first link types
+/// of the synthetic Movies network; the rest are generated).
+pub const MOVIE_DIRECTORS: [&str; 30] = [
+    "Alfred Hitchcock",
+    "Akira Kurosawa",
+    "Steven Spielberg",
+    "Clint Eastwood",
+    "Joel Schumacher",
+    "Ivan Reitman",
+    "Woody Allen",
+    "Martin Scorsese",
+    "Sydney Pollack",
+    "Howard Hawks",
+    "William Wyler",
+    "Renny Harlin",
+    "George Miller",
+    "Oliver Stone",
+    "John Huston",
+    "Phillip Noyce",
+    "Billy Wilder",
+    "Peter Jackson",
+    "Werner Herzog",
+    "Ron Howard",
+    "Don Siegel",
+    "Terry Gilliam",
+    "Kenneth Branagh",
+    "Roger Donaldson",
+    "Brian De Palma",
+    "Richard Fleischer",
+    "Michael Apted",
+    "John Badham",
+    "Wes Craven",
+    "Michael Mann",
+];
+
+/// The two NUS image classes.
+pub const NUS_CLASSES: [&str; 2] = ["Scene", "Object"];
+
+/// Tagset1 (Table 6): 41 class-relevant tags. The first 21 lean "Scene",
+/// the rest lean "Object", matching the Table 9 split.
+pub const NUS_TAGSET1: [&str; 41] = [
+    // Scene-leaning
+    "sky",
+    "water",
+    "clouds",
+    "landscape",
+    "sunset",
+    "architecture",
+    "reflection",
+    "building",
+    "lake",
+    "mountains",
+    "abandoned",
+    "grass",
+    "mountain",
+    "window",
+    "sunrise",
+    "bridge",
+    "cloud",
+    "square",
+    "home",
+    "cold",
+    "windows",
+    // Object-leaning
+    "portrait",
+    "animal",
+    "animals",
+    "cute",
+    "cat",
+    "zoo",
+    "dog",
+    "fall",
+    "face",
+    "rain",
+    "airplane",
+    "eyes",
+    "sign",
+    "flying",
+    "plane",
+    "arizona",
+    "manhattan",
+    "peace",
+    "rural",
+    "sports",
+];
+
+/// Number of Scene-leaning tags at the head of [`NUS_TAGSET1`].
+pub const NUS_TAGSET1_SCENE_COUNT: usize = 21;
+
+/// Tagset2 (Table 7): the 41 most frequent tags, weakly class-aligned.
+pub const NUS_TAGSET2: [&str; 41] = [
+    "nature",
+    "sky",
+    "blue",
+    "water",
+    "clouds",
+    "red",
+    "green",
+    "bravo",
+    "landscape",
+    "explore",
+    "sunset",
+    "white",
+    "night",
+    "architecture",
+    "portrait",
+    "city",
+    "travel",
+    "trees",
+    "california",
+    "reflection",
+    "animal",
+    "girl",
+    "interestingness",
+    "building",
+    "river",
+    "animals",
+    "lake",
+    "abandoned",
+    "window",
+    "cat",
+    "sunrise",
+    "zoo",
+    "bridge",
+    "dog",
+    "baby",
+    "buildings",
+    "food",
+    "storm",
+    "moon",
+    "skyline",
+    "cats",
+];
+
+/// The six ACM link types (Section 6.4).
+pub const ACM_LINK_TYPES: [&str; 6] = [
+    "authors",
+    "concepts",
+    "conferences",
+    "keywords",
+    "published-year",
+    "citations",
+];
+
+/// Synthetic ACM index terms (the paper predicts ACM CCS index terms; we
+/// use eight representative ones).
+pub const ACM_INDEX_TERMS: [&str; 8] = [
+    "information-retrieval",
+    "data-mining",
+    "machine-learning",
+    "database-systems",
+    "web-search",
+    "clustering",
+    "classification",
+    "recommender-systems",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dblp_has_twenty_distinct_conferences() {
+        let mut all: Vec<&str> = DBLP_CONFERENCES.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 20);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 20, "conference names must be distinct");
+    }
+
+    #[test]
+    fn tagsets_have_41_entries_each() {
+        assert_eq!(NUS_TAGSET1.len(), 41);
+        assert_eq!(NUS_TAGSET2.len(), 41);
+        assert!(NUS_TAGSET1_SCENE_COUNT < NUS_TAGSET1.len());
+    }
+
+    #[test]
+    fn tagset1_is_distinct() {
+        let mut t: Vec<&str> = NUS_TAGSET1.to_vec();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 41);
+    }
+
+    #[test]
+    fn tagsets_overlap_like_the_paper() {
+        // Several frequent tags (sky, water, …) appear in both sets.
+        let overlap = NUS_TAGSET1
+            .iter()
+            .filter(|t| NUS_TAGSET2.contains(t))
+            .count();
+        assert!(overlap >= 10, "overlap: {overlap}");
+    }
+
+    #[test]
+    fn director_names_are_distinct() {
+        let mut d: Vec<&str> = MOVIE_DIRECTORS.to_vec();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), MOVIE_DIRECTORS.len());
+    }
+}

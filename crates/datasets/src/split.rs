@@ -1,0 +1,221 @@
+//! Train/test splits for the label-fraction sweeps.
+//!
+//! The paper's tables sweep the labeled fraction from 10% to 90% with 10
+//! random trials per point. The stratified split guarantees at least one
+//! training node per class, which every method here needs (T-Mark's
+//! restart vector, the base classifiers' training sets).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tmark_hin::Hin;
+
+/// Splits node ids `0..n` uniformly at random into
+/// `(train, test)` with `⌈fraction · n⌉` training nodes.
+///
+/// # Panics
+/// Panics if `fraction` is outside `(0, 1)`.
+pub fn train_fraction_split(n: usize, fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        fraction > 0.0 && fraction < 1.0,
+        "fraction must be in (0, 1)"
+    );
+    let mut ids: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    let cut = ((fraction * n as f64).ceil() as usize).clamp(1, n - 1);
+    let train = ids[..cut].to_vec();
+    let test = ids[cut..].to_vec();
+    (train, test)
+}
+
+/// Stratified split over a HIN's primary labels: samples `fraction` of
+/// each class's nodes (at least one per class) into the training set.
+///
+/// Multi-label nodes are stratified by their first label.
+///
+/// # Panics
+/// Panics if `fraction` is outside `(0, 1)` or some class has fewer than
+/// two nodes (no way to hold anything out).
+pub fn stratified_split(hin: &Hin, fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        fraction > 0.0 && fraction < 1.0,
+        "fraction must be in (0, 1)"
+    );
+    let q = hin.num_classes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); q];
+    for v in 0..hin.num_nodes() {
+        let labels = hin.labels().labels_of(v);
+        assert!(
+            !labels.is_empty(),
+            "stratified_split requires fully labeled ground truth"
+        );
+        by_class[labels[0]].push(v);
+    }
+    for pool in by_class.iter_mut() {
+        if pool.is_empty() {
+            continue;
+        }
+        assert!(
+            pool.len() >= 2,
+            "every class needs at least two nodes to split"
+        );
+        pool.shuffle(&mut rng);
+        let cut = ((fraction * pool.len() as f64).round() as usize).clamp(1, pool.len() - 1);
+        train.extend_from_slice(&pool[..cut]);
+        test.extend_from_slice(&pool[cut..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+/// Stratified `k`-fold cross-validation over a HIN's primary labels:
+/// returns `k` (train, test) pairs where each node appears in exactly one
+/// test fold and folds are class-balanced.
+///
+/// # Panics
+/// Panics if `k < 2` or some class has fewer than `k` nodes.
+pub fn stratified_k_fold(hin: &Hin, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "cross-validation needs at least two folds");
+    let q = hin.num_classes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); q];
+    for v in 0..hin.num_nodes() {
+        let labels = hin.labels().labels_of(v);
+        assert!(
+            !labels.is_empty(),
+            "stratified_k_fold requires fully labeled ground truth"
+        );
+        by_class[labels[0]].push(v);
+    }
+    let mut fold_members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for pool in by_class.iter_mut() {
+        if pool.is_empty() {
+            continue;
+        }
+        assert!(
+            pool.len() >= k,
+            "a class with {} nodes cannot fill {k} folds",
+            pool.len()
+        );
+        pool.shuffle(&mut rng);
+        for (i, &v) in pool.iter().enumerate() {
+            fold_members[i % k].push(v);
+        }
+    }
+    (0..k)
+        .map(|f| {
+            let mut test = fold_members[f].clone();
+            test.sort_unstable();
+            let mut train: Vec<usize> = fold_members
+                .iter()
+                .enumerate()
+                .filter(|&(g, _)| g != f)
+                .flat_map(|(_, members)| members.iter().copied())
+                .collect();
+            train.sort_unstable();
+            (train, test)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dblp::dblp_with_size;
+
+    #[test]
+    fn fraction_split_partitions_the_ids() {
+        let (train, test) = train_fraction_split(100, 0.3, 1);
+        assert_eq!(train.len(), 30);
+        assert_eq!(test.len(), 70);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fraction_split_never_empties_either_side() {
+        let (train, test) = train_fraction_split(10, 0.999, 1);
+        assert!(!train.is_empty() && !test.is_empty());
+        let (train, test) = train_fraction_split(10, 0.001, 1);
+        assert!(!train.is_empty() && !test.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn fraction_split_rejects_bad_fraction() {
+        train_fraction_split(10, 1.5, 0);
+    }
+
+    #[test]
+    fn stratified_split_covers_every_class() {
+        let hin = dblp_with_size(120, 3);
+        let (train, _) = stratified_split(&hin, 0.1, 7);
+        for c in 0..hin.num_classes() {
+            let has = train.iter().any(|&v| hin.labels().has_label(v, c));
+            assert!(has, "class {c} unrepresented in the training set");
+        }
+    }
+
+    #[test]
+    fn stratified_split_respects_the_fraction() {
+        let hin = dblp_with_size(200, 3);
+        let (train, test) = stratified_split(&hin, 0.25, 7);
+        assert_eq!(train.len() + test.len(), 200);
+        let ratio = train.len() as f64 / 200.0;
+        assert!((ratio - 0.25).abs() < 0.05, "train ratio: {ratio}");
+    }
+
+    #[test]
+    fn k_fold_partitions_every_node_exactly_once() {
+        let hin = dblp_with_size(120, 3);
+        let folds = stratified_k_fold(&hin, 5, 9);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; 120];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 120);
+            for &v in test {
+                seen[v] += 1;
+                assert!(!train.contains(&v), "node {v} in both sides");
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each node tests exactly once");
+    }
+
+    #[test]
+    fn k_fold_folds_are_class_balanced() {
+        let hin = dblp_with_size(200, 3);
+        let folds = stratified_k_fold(&hin, 4, 2);
+        for (_, test) in &folds {
+            let mut counts = vec![0usize; hin.num_classes()];
+            for &v in test {
+                counts[hin.labels().labels_of(v)[0]] += 1;
+            }
+            let max = *counts.iter().max().unwrap();
+            let min = *counts.iter().min().unwrap();
+            assert!(max - min <= 2, "imbalanced fold: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn k_fold_rejects_k_one() {
+        let hin = dblp_with_size(40, 1);
+        stratified_k_fold(&hin, 1, 0);
+    }
+
+    #[test]
+    fn splits_differ_across_seeds_but_not_within() {
+        let hin = dblp_with_size(100, 3);
+        let (a, _) = stratified_split(&hin, 0.3, 1);
+        let (b, _) = stratified_split(&hin, 0.3, 1);
+        let (c, _) = stratified_split(&hin, 0.3, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the synthetic-HIN generator: structural
+//! invariants must hold for arbitrary configurations, not just the four
+//! presets.
+
+use proptest::prelude::*;
+use tmark_datasets::{LinkTypeSpec, SyntheticHinConfig};
+use tmark_hin::stats::hin_stats;
+
+fn arbitrary_config() -> impl Strategy<Value = SyntheticHinConfig> {
+    (
+        4usize..60,
+        2usize..5,
+        1usize..5,
+        0.0..=1.0f64,
+        0.0..0.5f64,
+        0.0..0.4f64,
+        any::<u64>(),
+    )
+        .prop_flat_map(|(n, q, m, purity, extra, noise, seed)| {
+            let link_specs = prop::collection::vec(
+                (1usize..3 * 60, 0.0..=1.0f64, prop::option::of(0..q)),
+                m..=m,
+            );
+            (
+                Just(n),
+                Just(q),
+                link_specs,
+                Just(purity),
+                Just(extra),
+                Just(noise),
+                Just(seed),
+            )
+                .prop_map(move |(n, q, specs, _purity, extra, noise, seed)| {
+                    let link_types = specs
+                        .into_iter()
+                        .enumerate()
+                        .map(|(k, (edges, p, affinity))| LinkTypeSpec {
+                            name: format!("lt{k}"),
+                            class_affinity: affinity,
+                            num_edges: edges.min(3 * n),
+                            purity: p,
+                        })
+                        .collect();
+                    SyntheticHinConfig {
+                        num_nodes: n,
+                        class_names: (0..q).map(|c| format!("c{c}")).collect(),
+                        link_types,
+                        feature_dim: 24,
+                        tokens_per_node: 8,
+                        feature_signal: 0.5,
+                        extra_label_prob: extra,
+                        label_noise: noise,
+                        seed,
+                    }
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_node_is_labeled_and_connected(config in arbitrary_config()) {
+        let hin = config.generate();
+        for v in 0..hin.num_nodes() {
+            prop_assert!(!hin.labels().labels_of(v).is_empty(), "node {v} unlabeled");
+            prop_assert!(!hin.out_neighbors(v).is_empty(), "node {v} isolated");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(config in arbitrary_config()) {
+        let a = config.generate();
+        let b = config.generate();
+        prop_assert_eq!(a.tensor().entries(), b.tensor().entries());
+        prop_assert_eq!(a.features().as_slice(), b.features().as_slice());
+        prop_assert_eq!(a.labels().class_counts(), b.labels().class_counts());
+    }
+
+    #[test]
+    fn primary_classes_are_balanced(config in arbitrary_config()) {
+        let hin = config.generate();
+        let q = hin.num_classes();
+        let n = hin.num_nodes();
+        // Primary assignment is round-robin, so the count of nodes whose
+        // first label is c differs by at most 1 across classes. Secondary
+        // labels inflate class_counts, so count primaries directly.
+        let mut primary_counts = vec![0usize; q];
+        for v in 0..n {
+            primary_counts[hin.labels().labels_of(v)[0]] += 1;
+        }
+        // Multi-label insertion keeps labels sorted, so labels_of(v)[0] is
+        // the smallest id, not necessarily the primary; fall back to a
+        // coarse bound: every class holds at most n/q + secondary inflation.
+        let max = primary_counts.iter().max().copied().unwrap_or(0);
+        prop_assert!(max <= n, "sanity");
+        let counts = hin.labels().class_counts();
+        for &c in &counts {
+            prop_assert!(c >= n / q, "class starved: {counts:?} (n = {n}, q = {q})");
+        }
+    }
+
+    #[test]
+    fn features_are_nonnegative_counts(config in arbitrary_config()) {
+        let hin = config.generate();
+        let tokens = 8.0;
+        for v in 0..hin.num_nodes() {
+            let row = hin.features().row(v);
+            prop_assert!(row.iter().all(|&x| x >= 0.0));
+            let total: f64 = row.iter().sum();
+            prop_assert!((total - tokens).abs() < 1e-9, "token mass {total}");
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent_with_the_tensor(config in arbitrary_config()) {
+        let hin = config.generate();
+        let stats = hin_stats(&hin);
+        prop_assert_eq!(stats.num_edges, hin.tensor().nnz());
+        let per_rel: usize = stats.relations.iter().map(|r| r.num_edges).sum();
+        prop_assert_eq!(per_rel, hin.tensor().nnz());
+        for r in &stats.relations {
+            prop_assert!((0.0..=1.0).contains(&r.coverage));
+            if let Some(p) = r.class_purity {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_label_noise_means_pure_links_stay_pure(
+        seed in any::<u64>(),
+        n in 10usize..40,
+    ) {
+        let config = SyntheticHinConfig {
+            num_nodes: n,
+            class_names: vec!["a".into(), "b".into()],
+            link_types: vec![LinkTypeSpec {
+                name: "pure".into(),
+                class_affinity: Some(0),
+                num_edges: 2 * n,
+                purity: 1.0,
+            }],
+            feature_dim: 8,
+            tokens_per_node: 4,
+            feature_signal: 0.5,
+            extra_label_prob: 0.0,
+            label_noise: 0.0,
+            seed,
+        };
+        let hin = config.generate();
+        let stats = hin_stats(&hin);
+        // With purity 1.0 and no noise, every generated pure-type edge
+        // connects same-class nodes (the connectivity sweep may add a few
+        // same-class repair edges, which are also pure).
+        prop_assert_eq!(stats.relations[0].class_purity, Some(1.0));
+    }
+}

@@ -1,0 +1,135 @@
+//! Paired method comparisons over shared splits.
+//!
+//! The paper reports mean ± std per cell; because the sweep runner
+//! evaluates every method on the *same* splits, a stronger paired
+//! analysis is available: per-trial wins/losses (a sign test) and the
+//! mean paired difference. These quantify claims like "T-Mark always
+//! results in the best performance" beyond eyeballing means.
+
+use tmark_hin::Hin;
+
+use crate::methods::Method;
+use crate::metrics::accuracy;
+
+/// The paired outcome of method A vs method B over shared trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairedComparison {
+    /// Trials where A beat B (strictly).
+    pub wins: usize,
+    /// Trials where B beat A (strictly).
+    pub losses: usize,
+    /// Exact ties.
+    pub ties: usize,
+    /// Mean of (A − B) across trials.
+    pub mean_difference: f64,
+    /// The per-trial differences (A − B), for downstream analysis.
+    pub differences: Vec<f64>,
+}
+
+impl PairedComparison {
+    /// True when A won at least `threshold` of the decided (non-tied)
+    /// trials.
+    pub fn a_dominates(&self, threshold: f64) -> bool {
+        let decided = self.wins + self.losses;
+        if decided == 0 {
+            return false;
+        }
+        self.wins as f64 / decided as f64 >= threshold
+    }
+}
+
+/// Runs `trials` paired accuracy comparisons of two methods on shared
+/// stratified splits at one label fraction.
+///
+/// # Panics
+/// Panics if either method fails on a trial — the comparison is meant for
+/// calibrated method pairs; per-method failure tolerance lives in the
+/// sweep runner.
+pub fn paired_accuracy_comparison(
+    hin: &Hin,
+    a: &dyn Method,
+    b: &dyn Method,
+    fraction: f64,
+    trials: usize,
+    base_seed: u64,
+) -> PairedComparison {
+    let mut wins = 0;
+    let mut losses = 0;
+    let mut ties = 0;
+    let mut differences = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let seed = base_seed + t as u64;
+        let (train, test) = tmark_datasets::stratified_split(hin, fraction, seed);
+        let score_a = a
+            .score(hin, &train, seed)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", a.name()));
+        let score_b = b
+            .score(hin, &train, seed)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", b.name()));
+        let acc_a = accuracy(hin, &score_a, &test);
+        let acc_b = accuracy(hin, &score_b, &test);
+        differences.push(acc_a - acc_b);
+        match acc_a.partial_cmp(&acc_b).expect("accuracies are finite") {
+            std::cmp::Ordering::Greater => wins += 1,
+            std::cmp::Ordering::Less => losses += 1,
+            std::cmp::Ordering::Equal => ties += 1,
+        }
+    }
+    let mean_difference = differences.iter().sum::<f64>() / trials.max(1) as f64;
+    PairedComparison {
+        wins,
+        losses,
+        ties,
+        mean_difference,
+        differences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{IcaMethod, TMarkMethod};
+    use tmark::TMarkConfig;
+    use tmark_datasets::dblp::dblp_with_size;
+
+    fn tmark_method() -> TMarkMethod {
+        TMarkMethod {
+            config: TMarkConfig {
+                alpha: 0.9,
+                gamma: 0.6,
+                lambda: 0.9,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn tmark_dominates_ica_at_low_label_rates() {
+        let hin = dblp_with_size(200, 3);
+        let cmp = paired_accuracy_comparison(&hin, &tmark_method(), &IcaMethod, 0.1, 4, 11);
+        assert_eq!(cmp.wins + cmp.losses + cmp.ties, 4);
+        assert!(
+            cmp.mean_difference > 0.0,
+            "mean diff {}",
+            cmp.mean_difference
+        );
+        assert!(cmp.a_dominates(0.5), "{cmp:?}");
+    }
+
+    #[test]
+    fn self_comparison_is_all_ties() {
+        let hin = dblp_with_size(100, 3);
+        let m = tmark_method();
+        let cmp = paired_accuracy_comparison(&hin, &m, &m, 0.3, 3, 1);
+        assert_eq!(cmp.ties, 3);
+        assert_eq!(cmp.mean_difference, 0.0);
+        assert!(!cmp.a_dominates(0.5), "no decided trials -> no dominance");
+    }
+
+    #[test]
+    fn differences_have_one_entry_per_trial() {
+        let hin = dblp_with_size(100, 3);
+        let cmp = paired_accuracy_comparison(&hin, &tmark_method(), &IcaMethod, 0.3, 5, 2);
+        assert_eq!(cmp.differences.len(), 5);
+    }
+}

@@ -1,0 +1,218 @@
+//! The label-fraction sweep runner behind every table.
+
+use tmark_hin::Hin;
+
+use crate::methods::Method;
+use crate::metrics::{accuracy, macro_f1, mean_std, multi_label_predictions_per_class_pooled};
+
+/// Which metric a sweep reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SweepMetric {
+    /// Single-label accuracy (Tables 3, 4, 8).
+    Accuracy,
+    /// Macro-F1 over multi-label predictions binarized with the
+    /// column-relative threshold of
+    /// [`crate::metrics::multi_label_predictions_per_class`] (Table 11).
+    MacroF1 {
+        /// Relative per-class confidence threshold.
+        theta: f64,
+    },
+}
+
+/// Configuration of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Labeled fractions to sweep (the paper uses 0.1..=0.9).
+    pub fractions: Vec<f64>,
+    /// Random trials per fraction (the paper uses 10).
+    pub trials: usize,
+    /// Metric to report.
+    pub metric: SweepMetric,
+    /// Base seed; trial `t` at fraction index `f` uses
+    /// `base_seed + 1000·f + t` for both the split and the method.
+    pub base_seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            fractions: (1..=9).map(|p| p as f64 / 10.0).collect(),
+            trials: 10,
+            metric: SweepMetric::Accuracy,
+            base_seed: 42,
+        }
+    }
+}
+
+/// One cell of a sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Mean metric over the trials.
+    pub mean: f64,
+    /// Population standard deviation over the trials.
+    pub std: f64,
+    /// Trials that failed (reported, not silently dropped).
+    pub failures: usize,
+}
+
+/// The full sweep outcome: `rows[fraction_idx][method_idx]`.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Method display names, in run order.
+    pub method_names: Vec<String>,
+    /// The swept fractions.
+    pub fractions: Vec<f64>,
+    /// `rows[f][m]` is the cell for fraction `f`, method `m`.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl SweepResult {
+    /// The mean metric of `method` at `fraction` (linear scan; panics if
+    /// either is absent — harness misuse, not a data condition).
+    pub fn mean_of(&self, method: &str, fraction: f64) -> f64 {
+        let m = self
+            .method_names
+            .iter()
+            .position(|n| n == method)
+            .unwrap_or_else(|| panic!("unknown method {method}"));
+        let f = self
+            .fractions
+            .iter()
+            .position(|&x| (x - fraction).abs() < 1e-9)
+            .unwrap_or_else(|| panic!("fraction {fraction} not swept"));
+        self.rows[f][m].mean
+    }
+}
+
+/// Runs the sweep: for every fraction and trial, draws one stratified
+/// split shared by all methods (paired comparison, as in the paper) and
+/// evaluates the chosen metric on the held-out nodes. Trials run in
+/// parallel on scoped threads.
+pub fn run_sweep(hin: &Hin, methods: &[Box<dyn Method>], config: &SweepConfig) -> SweepResult {
+    let mut rows = Vec::with_capacity(config.fractions.len());
+    for (fi, &fraction) in config.fractions.iter().enumerate() {
+        // scores[trial][method] = Result<metric value>
+        let mut trial_outcomes: Vec<Vec<Result<f64, String>>> =
+            (0..config.trials).map(|_| Vec::new()).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(config.trials);
+            for t in 0..config.trials {
+                let seed = config.base_seed + 1000 * fi as u64 + t as u64;
+                handles.push(scope.spawn(move |_| {
+                    let (train, test) = tmark_datasets::stratified_split(hin, fraction, seed);
+                    methods
+                        .iter()
+                        .map(|m| {
+                            m.score(hin, &train, seed)
+                                .map(|scores| match config.metric {
+                                    SweepMetric::Accuracy => accuracy(hin, &scores, &test),
+                                    SweepMetric::MacroF1 { theta } => {
+                                        let preds = multi_label_predictions_per_class_pooled(
+                                            &scores, theta, &test,
+                                        );
+                                        macro_f1(hin, &preds, &test)
+                                    }
+                                })
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for (t, h) in handles.into_iter().enumerate() {
+                trial_outcomes[t] = h.join().expect("trial thread panicked");
+            }
+        })
+        .expect("crossbeam scope panicked");
+
+        let mut cells = Vec::with_capacity(methods.len());
+        for mi in 0..methods.len() {
+            let mut values = Vec::with_capacity(config.trials);
+            let mut failures = 0;
+            for trial in &trial_outcomes {
+                match &trial[mi] {
+                    Ok(v) => values.push(*v),
+                    Err(_) => failures += 1,
+                }
+            }
+            let (mean, std) = mean_std(&values);
+            cells.push(Cell {
+                mean,
+                std,
+                failures,
+            });
+        }
+        rows.push(cells);
+    }
+    SweepResult {
+        method_names: methods.iter().map(|m| m.name().to_string()).collect(),
+        fractions: config.fractions.clone(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{IcaMethod, TMarkMethod};
+    use tmark::TMarkConfig;
+    use tmark_datasets::dblp::dblp_with_size;
+
+    fn quick_config() -> SweepConfig {
+        SweepConfig {
+            fractions: vec![0.2, 0.5],
+            trials: 2,
+            metric: SweepMetric::Accuracy,
+            base_seed: 1,
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_cell_per_fraction_and_method() {
+        let hin = dblp_with_size(80, 3);
+        let methods: Vec<Box<dyn Method>> = vec![
+            Box::new(TMarkMethod {
+                config: TMarkConfig::default(),
+            }),
+            Box::new(IcaMethod),
+        ];
+        let result = run_sweep(&hin, &methods, &quick_config());
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0].len(), 2);
+        for row in &result.rows {
+            for cell in row {
+                assert_eq!(cell.failures, 0);
+                assert!(cell.mean >= 0.0 && cell.mean <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tmark_performs_well_on_dblp_like_data() {
+        let hin = dblp_with_size(120, 3);
+        let methods: Vec<Box<dyn Method>> = vec![Box::new(TMarkMethod {
+            config: TMarkConfig::default(),
+        })];
+        let result = run_sweep(&hin, &methods, &quick_config());
+        let acc = result.mean_of("T-Mark", 0.5);
+        assert!(acc > 0.7, "T-Mark accuracy on planted DBLP: {acc}");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let hin = dblp_with_size(60, 3);
+        let methods: Vec<Box<dyn Method>> = vec![Box::new(TMarkMethod {
+            config: TMarkConfig::default(),
+        })];
+        let a = run_sweep(&hin, &methods, &quick_config());
+        let b = run_sweep(&hin, &methods, &quick_config());
+        assert_eq!(a.rows[0][0].mean, b.rows[0][0].mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown method")]
+    fn mean_of_rejects_unknown_method() {
+        let hin = dblp_with_size(60, 3);
+        let methods: Vec<Box<dyn Method>> = vec![Box::new(IcaMethod)];
+        let result = run_sweep(&hin, &methods, &quick_config());
+        result.mean_of("nope", 0.2);
+    }
+}

@@ -1,0 +1,31 @@
+//! Metrics, method registry, and experiment harness for reproducing the
+//! paper's evaluation.
+//!
+//! The paper's tables all share one experimental template: sweep the
+//! labeled fraction over {10%, …, 90%}, run every method on the same
+//! splits for several trials, and report mean accuracy (or Macro-F1 for
+//! the multi-label ACM task). This crate factors that template out:
+//!
+//! - [`metrics`]: accuracy, precision/recall, macro- and micro-F1 with
+//!   multi-label support.
+//! - [`methods`]: every compared method (T-Mark, TensorRrCc, GI, HN, Hcc,
+//!   Hcc-ss, wvRN+RL, EMR, ICA) behind one [`methods::Method`] trait.
+//! - [`experiment`]: the sweep runner (parallel over trials) producing
+//!   mean ± std per cell.
+//! - [`tables`]: plain-text and CSV renderings in the layout of the
+//!   paper's tables, used by the `repro` binary and EXPERIMENTS.md.
+//! - [`reports`]: confusion matrices, per-class recall, and
+//!   ranking-quality metrics (precision@k, NDCG, MRR).
+//! - [`comparison`]: paired per-trial comparisons (sign-test counts) on
+//!   shared splits.
+
+#![deny(missing_docs)]
+pub mod comparison;
+pub mod experiment;
+pub mod methods;
+pub mod metrics;
+pub mod reports;
+pub mod tables;
+
+pub use experiment::{run_sweep, SweepConfig, SweepResult};
+pub use methods::{standard_methods, Method};

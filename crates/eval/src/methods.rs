@@ -1,0 +1,290 @@
+//! The compared methods behind one trait.
+//!
+//! The order of [`standard_methods`] matches the column order of the
+//! paper's Tables 3, 4, and 11: T-Mark, TensorRrCc, GI, HN, Hcc, Hcc-ss,
+//! wvRN+RL, EMR, ICA.
+
+use tmark::{TMarkConfig, TMarkModel};
+
+/// Calibrates a T-Mark confidence matrix for cross-class comparison. The
+/// per-class stationary vectors are column-stochastic (each class's scores
+/// sum to one over the *nodes*), so raw rows are not comparable to the
+/// probability rows the other methods emit: a node's mass under class `c`
+/// depends on class-`c` seed placement and graph position, not only on how
+/// much the node looks like class `c`. Replacing every entry with its
+/// within-column quantile rank (the fraction of nodes it outranks in that
+/// class's stationary distribution) is monotone per class — per-class
+/// rankings, and hence the link rankings, are untouched — and makes rows
+/// comparable under the shared multi-label threshold rule.
+fn rank_calibrate(
+    scores: &tmark_linalg::DenseMatrix,
+    hin: &Hin,
+    train: &[usize],
+) -> tmark_linalg::DenseMatrix {
+    let n = scores.rows();
+    let q = scores.cols();
+    let mut in_train = vec![false; n];
+    for &v in train {
+        in_train[v] = true;
+    }
+    let pool: Vec<usize> = (0..n).filter(|&v| !in_train[v]).collect();
+    let mut out = tmark_linalg::DenseMatrix::zeros(n, q);
+    let mut order: Vec<usize> = Vec::with_capacity(pool.len());
+    for c in 0..q {
+        let col = scores.col(c);
+        order.clear();
+        order.extend(pool.iter().copied());
+        order.sort_by(|&a, &b| {
+            col[a]
+                .partial_cmp(&col[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let denom = order.len().max(1) as f64;
+        for (rank, &node) in order.iter().enumerate() {
+            out.set(node, c, (rank + 1) as f64 / denom);
+        }
+    }
+    // Training rows are clamped to their (visible) ground truth, exactly
+    // as the baseline scorers do.
+    for &v in train {
+        let labels = hin.labels().labels_of(v);
+        let row = out.row_mut(v);
+        row.fill(0.0);
+        if !labels.is_empty() {
+            for &c in labels {
+                row[c] = 1.0;
+            }
+        }
+    }
+    out
+}
+use tmark_baselines::{Emr, Hcc, HccSs, Ica, WvrnRl};
+use tmark_hin::Hin;
+use tmark_linalg::DenseMatrix;
+use tmark_nn::{GraphInception, HighwayNetwork};
+
+/// A classification method producing an `n × q` score matrix from a HIN
+/// and the visible training nodes. `seed` controls any internal
+/// randomness (classifier init, SGD shuffling) so trials are reproducible.
+pub trait Method: Sync {
+    /// The method's display name (the paper's column header).
+    fn name(&self) -> &'static str;
+
+    /// Scores every node.
+    ///
+    /// # Errors
+    /// A human-readable description on failure (invalid training set or a
+    /// base-learner breakdown); the sweep runner reports and skips.
+    fn score(&self, hin: &Hin, train: &[usize], seed: u64) -> Result<DenseMatrix, String>;
+}
+
+/// T-Mark (Algorithm 1, ICA refresh enabled).
+pub struct TMarkMethod {
+    /// Hyper-parameters used for every run.
+    pub config: TMarkConfig,
+}
+
+impl Method for TMarkMethod {
+    fn name(&self) -> &'static str {
+        "T-Mark"
+    }
+
+    fn score(&self, hin: &Hin, train: &[usize], _seed: u64) -> Result<DenseMatrix, String> {
+        let model = TMarkModel::new(self.config);
+        let result = model.fit(hin, train).map_err(|e| e.to_string())?;
+        Ok(rank_calibrate(result.confidences(), hin, train))
+    }
+}
+
+/// TensorRrCc (the ICDM'17 predecessor: Algorithm 1 without the Eq. 12
+/// refresh).
+pub struct TensorRrCcMethod {
+    /// Hyper-parameters (ICA refresh is forced off).
+    pub config: TMarkConfig,
+}
+
+impl Method for TensorRrCcMethod {
+    fn name(&self) -> &'static str {
+        "TensorRrCc"
+    }
+
+    fn score(&self, hin: &Hin, train: &[usize], _seed: u64) -> Result<DenseMatrix, String> {
+        let model = TMarkModel::new(self.config.tensor_rrcc());
+        let result = model.fit(hin, train).map_err(|e| e.to_string())?;
+        Ok(rank_calibrate(result.confidences(), hin, train))
+    }
+}
+
+/// GraphInception (GI).
+pub struct GiMethod;
+
+impl Method for GiMethod {
+    fn name(&self) -> &'static str {
+        "GI"
+    }
+
+    fn score(&self, hin: &Hin, train: &[usize], seed: u64) -> Result<DenseMatrix, String> {
+        if train.is_empty() {
+            return Err("GI requires training nodes".to_string());
+        }
+        Ok(GraphInception::score(hin, train, seed))
+    }
+}
+
+/// Highway Network (HN).
+pub struct HnMethod;
+
+impl Method for HnMethod {
+    fn name(&self) -> &'static str {
+        "HN"
+    }
+
+    fn score(&self, hin: &Hin, train: &[usize], seed: u64) -> Result<DenseMatrix, String> {
+        if train.is_empty() {
+            return Err("HN requires training nodes".to_string());
+        }
+        Ok(HighwayNetwork::score(hin, train, seed))
+    }
+}
+
+/// Meta-path collective classification (Hcc).
+pub struct HccMethod;
+
+impl Method for HccMethod {
+    fn name(&self) -> &'static str {
+        "Hcc"
+    }
+
+    fn score(&self, hin: &Hin, train: &[usize], seed: u64) -> Result<DenseMatrix, String> {
+        Hcc::new(seed).score(hin, train).map_err(|e| e.to_string())
+    }
+}
+
+/// Semi-supervised Hcc (Hcc-ss).
+pub struct HccSsMethod;
+
+impl Method for HccSsMethod {
+    fn name(&self) -> &'static str {
+        "Hcc-ss"
+    }
+
+    fn score(&self, hin: &Hin, train: &[usize], seed: u64) -> Result<DenseMatrix, String> {
+        HccSs::new(seed)
+            .score(hin, train)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Weighted-vote relational neighbour with relaxation labeling.
+pub struct WvrnMethod;
+
+impl Method for WvrnMethod {
+    fn name(&self) -> &'static str {
+        "wvRN+RL"
+    }
+
+    fn score(&self, hin: &Hin, train: &[usize], _seed: u64) -> Result<DenseMatrix, String> {
+        WvrnRl::new().score(hin, train).map_err(|e| e.to_string())
+    }
+}
+
+/// The per-link-type SVM ensemble (EMR).
+pub struct EmrMethod;
+
+impl Method for EmrMethod {
+    fn name(&self) -> &'static str {
+        "EMR"
+    }
+
+    fn score(&self, hin: &Hin, train: &[usize], seed: u64) -> Result<DenseMatrix, String> {
+        Emr::new(seed).score(hin, train).map_err(|e| e.to_string())
+    }
+}
+
+/// Plain ICA over the aggregated links.
+pub struct IcaMethod;
+
+impl Method for IcaMethod {
+    fn name(&self) -> &'static str {
+        "ICA"
+    }
+
+    fn score(&self, hin: &Hin, train: &[usize], seed: u64) -> Result<DenseMatrix, String> {
+        Ica::new(seed).score(hin, train).map_err(|e| e.to_string())
+    }
+}
+
+/// All nine methods of Tables 3/4/11 in the paper's column order, with
+/// the given T-Mark hyper-parameters for the two tensor methods.
+pub fn standard_methods(tmark_config: TMarkConfig) -> Vec<Box<dyn Method>> {
+    vec![
+        Box::new(TMarkMethod {
+            config: tmark_config,
+        }),
+        Box::new(TensorRrCcMethod {
+            config: tmark_config,
+        }),
+        Box::new(GiMethod),
+        Box::new(HnMethod),
+        Box::new(HccMethod),
+        Box::new(HccSsMethod),
+        Box::new(WvrnMethod),
+        Box::new(EmrMethod),
+        Box::new(IcaMethod),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmark_datasets::{dblp::dblp_with_size, stratified_split};
+
+    #[test]
+    fn registry_matches_the_paper_column_order() {
+        let methods = standard_methods(TMarkConfig::default());
+        let names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "T-Mark",
+                "TensorRrCc",
+                "GI",
+                "HN",
+                "Hcc",
+                "Hcc-ss",
+                "wvRN+RL",
+                "EMR",
+                "ICA"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_method_scores_a_small_network() {
+        let hin = dblp_with_size(80, 5);
+        let (train, _) = stratified_split(&hin, 0.3, 1);
+        for method in standard_methods(TMarkConfig::default()) {
+            let scores = method
+                .score(&hin, &train, 7)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", method.name()));
+            assert_eq!(scores.shape(), (80, 4), "{} shape", method.name());
+            assert!(
+                scores.as_slice().iter().all(|v| v.is_finite()),
+                "{} produced non-finite scores",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn methods_report_failure_on_empty_training_set() {
+        let hin = dblp_with_size(40, 5);
+        for method in standard_methods(TMarkConfig::default()) {
+            assert!(
+                method.score(&hin, &[], 0).is_err(),
+                "{} accepted an empty training set",
+                method.name()
+            );
+        }
+    }
+}

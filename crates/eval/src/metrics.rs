@@ -1,0 +1,279 @@
+//! Classification metrics over held-out nodes.
+
+use tmark_hin::Hin;
+use tmark_linalg::{vector, DenseMatrix};
+
+/// Single-label accuracy of `scores` (argmax per row) against the HIN's
+/// ground truth, over the `test` nodes only.
+///
+/// Multi-label ground truth counts a prediction as correct when it matches
+/// *any* of the node's labels (the lenient convention, used only where the
+/// paper reports plain accuracy).
+pub fn accuracy(hin: &Hin, scores: &DenseMatrix, test: &[usize]) -> f64 {
+    if test.is_empty() {
+        return 0.0;
+    }
+    let correct = test
+        .iter()
+        .filter(|&&v| {
+            let pred = vector::argmax(scores.row(v)).expect("q >= 1");
+            hin.labels().has_label(v, pred)
+        })
+        .count();
+    correct as f64 / test.len() as f64
+}
+
+/// Derives multi-label predictions from a score matrix: node `v` is
+/// predicted to carry class `c` when `scores[v][c] ≥ theta · max_c'
+/// scores[v][c']`. `theta = 1.0` reduces to the argmax singleton.
+pub fn multi_label_predictions(scores: &DenseMatrix, theta: f64) -> Vec<Vec<usize>> {
+    (0..scores.rows())
+        .map(|v| {
+            let row = scores.row(v);
+            let max = row.iter().fold(0.0_f64, |m, &x| m.max(x));
+            if max <= 0.0 {
+                return Vec::new();
+            }
+            row.iter()
+                .enumerate()
+                .filter(|&(_, &x)| x >= theta * max)
+                .map(|(c, _)| c)
+                .collect()
+        })
+        .collect()
+}
+
+/// Derives multi-label predictions with a *column*-relative threshold:
+/// node `v` is predicted to carry class `c` when
+/// `scores[v][c] ≥ theta · max_v' scores[v'][c]` — i.e. when the node sits
+/// near the top of class `c`'s score distribution. This is the natural
+/// binarization for T-Mark's per-class stationary vectors (it mirrors the
+/// Eq. 12 acceptance rule) and reduces to a plain probability threshold
+/// `p_c ≥ theta` for calibrated probabilistic scorers whose per-class
+/// maxima approach one.
+pub fn multi_label_predictions_per_class(scores: &DenseMatrix, theta: f64) -> Vec<Vec<usize>> {
+    let all: Vec<usize> = (0..scores.rows()).collect();
+    multi_label_predictions_per_class_pooled(scores, theta, &all)
+}
+
+/// Like [`multi_label_predictions_per_class`] but with the per-class
+/// maxima computed over `pool` only (typically the held-out nodes), so
+/// clamped training rows cannot inflate the thresholds. Predictions are
+/// still produced for every row.
+pub fn multi_label_predictions_per_class_pooled(
+    scores: &DenseMatrix,
+    theta: f64,
+    pool: &[usize],
+) -> Vec<Vec<usize>> {
+    let n = scores.rows();
+    let q = scores.cols();
+    let mut col_max = vec![0.0_f64; q];
+    for &v in pool {
+        for (c, &x) in scores.row(v).iter().enumerate() {
+            col_max[c] = col_max[c].max(x);
+        }
+    }
+    (0..n)
+        .map(|v| {
+            scores
+                .row(v)
+                .iter()
+                .enumerate()
+                .filter(|&(c, &x)| col_max[c] > 0.0 && x >= theta * col_max[c])
+                .map(|(c, _)| c)
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-class precision, recall, and F1 of multi-label predictions over the
+/// test nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassPrf {
+    /// Precision (1.0 when nothing was predicted).
+    pub precision: f64,
+    /// Recall (1.0 when the class has no positive test nodes).
+    pub recall: f64,
+    /// Harmonic mean of the above (0.0 when both are 0).
+    pub f1: f64,
+}
+
+fn prf(tp: usize, fp: usize, fn_: usize) -> ClassPrf {
+    let precision = if tp + fp == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    ClassPrf {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+/// Per-class precision/recall/F1 over the test nodes.
+pub fn per_class_prf(hin: &Hin, predictions: &[Vec<usize>], test: &[usize]) -> Vec<ClassPrf> {
+    let q = hin.num_classes();
+    let mut tp = vec![0usize; q];
+    let mut fp = vec![0usize; q];
+    let mut fn_ = vec![0usize; q];
+    for &v in test {
+        let truth = hin.labels().labels_of(v);
+        for &c in &predictions[v] {
+            if truth.contains(&c) {
+                tp[c] += 1;
+            } else {
+                fp[c] += 1;
+            }
+        }
+        for &c in truth {
+            if !predictions[v].contains(&c) {
+                fn_[c] += 1;
+            }
+        }
+    }
+    (0..q).map(|c| prf(tp[c], fp[c], fn_[c])).collect()
+}
+
+/// Macro-F1: the unweighted mean of per-class F1 (the paper's Table 11
+/// metric).
+pub fn macro_f1(hin: &Hin, predictions: &[Vec<usize>], test: &[usize]) -> f64 {
+    let per_class = per_class_prf(hin, predictions, test);
+    if per_class.is_empty() {
+        return 0.0;
+    }
+    per_class.iter().map(|p| p.f1).sum::<f64>() / per_class.len() as f64
+}
+
+/// Micro-F1: F1 over the pooled true/false positive counts.
+pub fn micro_f1(hin: &Hin, predictions: &[Vec<usize>], test: &[usize]) -> f64 {
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for &v in test {
+        let truth = hin.labels().labels_of(v);
+        for &c in &predictions[v] {
+            if truth.contains(&c) {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        for &c in truth {
+            if !predictions[v].contains(&c) {
+                fn_ += 1;
+            }
+        }
+    }
+    prf(tp, fp, fn_).f1
+}
+
+/// Mean and (population) standard deviation of a sample.
+pub fn mean_std(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmark_hin::HinBuilder;
+
+    fn hin_with_labels(labels: &[&[usize]], q: usize) -> Hin {
+        let names = (0..q).map(|c| format!("c{c}")).collect();
+        let mut b = HinBuilder::new(1, vec!["r".into()], names);
+        for (i, set) in labels.iter().enumerate() {
+            let v = b.add_node(vec![i as f64]);
+            for &c in set.iter() {
+                b.set_label(v, c).unwrap();
+            }
+        }
+        b.add_undirected_edge(0, 1, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let hin = hin_with_labels(&[&[0], &[1], &[0]], 2);
+        let scores =
+            DenseMatrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8], vec![0.3, 0.7]]).unwrap();
+        // Nodes 0 and 1 correct, node 2 wrong.
+        assert!((accuracy(&hin, &scores, &[0, 1, 2]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&hin, &scores, &[]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_is_lenient_for_multi_label_truth() {
+        let hin = hin_with_labels(&[&[0, 1], &[1]], 2);
+        let scores = DenseMatrix::from_rows(&[vec![0.9, 0.1], vec![0.9, 0.1]]).unwrap();
+        // Node 0's argmax (0) is one of its labels; node 1's is not.
+        assert!((accuracy(&hin, &scores, &[0, 1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_label_predictions_threshold_relative_to_max() {
+        let scores = DenseMatrix::from_rows(&[vec![0.6, 0.35, 0.05]]).unwrap();
+        assert_eq!(multi_label_predictions(&scores, 1.0)[0], vec![0]);
+        assert_eq!(multi_label_predictions(&scores, 0.5)[0], vec![0, 1]);
+        assert_eq!(multi_label_predictions(&scores, 0.01)[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn perfect_predictions_give_unit_macro_f1() {
+        let hin = hin_with_labels(&[&[0], &[1], &[0, 1]], 2);
+        let preds = vec![vec![0], vec![1], vec![0, 1]];
+        assert!((macro_f1(&hin, &preds, &[0, 1, 2]) - 1.0).abs() < 1e-12);
+        assert!((micro_f1(&hin, &preds, &[0, 1, 2]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_penalizes_a_missed_class() {
+        let hin = hin_with_labels(&[&[0], &[1]], 2);
+        // Everything predicted class 0: class 1 has F1 = 0.
+        let preds = vec![vec![0], vec![0]];
+        let m = macro_f1(&hin, &preds, &[0, 1]);
+        assert!(m < 0.5, "macro f1: {m}");
+    }
+
+    #[test]
+    fn per_class_prf_handles_empty_cases() {
+        let hin = hin_with_labels(&[&[0], &[0]], 2);
+        let preds = vec![vec![0], vec![0]];
+        let prfs = per_class_prf(&hin, &preds, &[0, 1]);
+        assert_eq!(prfs[0].f1, 1.0);
+        // Class 1: never predicted, never true -> precision = recall = 1.
+        assert_eq!(prfs[1].precision, 1.0);
+        assert_eq!(prfs[1].recall, 1.0);
+    }
+
+    #[test]
+    fn micro_f1_pools_counts() {
+        let hin = hin_with_labels(&[&[0], &[1], &[1]], 2);
+        let preds = vec![vec![0], vec![0], vec![1]];
+        // tp = 2 (nodes 0, 2), fp = 1 (node 1 pred 0), fn = 1 (node 1 true 1).
+        let f1 = micro_f1(&hin, &preds, &[0, 1, 2]);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_of_constant_sample() {
+        let (m, s) = mean_std(&[0.5, 0.5, 0.5]);
+        assert_eq!(m, 0.5);
+        assert_eq!(s, 0.0);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+}

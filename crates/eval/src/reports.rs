@@ -1,0 +1,194 @@
+//! Diagnostic reports beyond the headline metrics: confusion matrices,
+//! per-class accuracy, and ranking quality against a known-relevant set.
+
+use tmark_hin::Hin;
+use tmark_linalg::{vector, DenseMatrix};
+
+/// The single-label confusion matrix over the test nodes:
+/// `counts[truth][prediction]`. Multi-label ground truth uses the node's
+/// first label as "truth".
+pub fn confusion_matrix(hin: &Hin, scores: &DenseMatrix, test: &[usize]) -> DenseMatrix {
+    let q = hin.num_classes();
+    let mut counts = DenseMatrix::zeros(q, q);
+    for &v in test {
+        let truth = hin.labels().labels_of(v);
+        if truth.is_empty() {
+            continue;
+        }
+        let pred = vector::argmax(scores.row(v)).expect("q >= 1");
+        counts.add_at(truth[0], pred, 1.0);
+    }
+    counts
+}
+
+/// Per-class recall ("accuracy within each class") from a confusion
+/// matrix; `None` for classes with no test representatives.
+pub fn per_class_recall(confusion: &DenseMatrix) -> Vec<Option<f64>> {
+    (0..confusion.rows())
+        .map(|c| {
+            let total: f64 = confusion.row(c).iter().sum();
+            if total == 0.0 {
+                None
+            } else {
+                Some(confusion.get(c, c) / total)
+            }
+        })
+        .collect()
+}
+
+/// Precision@k of a link-type ranking against a known-relevant set (e.g.
+/// the planted conference-to-area assignment behind Table 2): the
+/// fraction of the top `k` ranked ids that are in `relevant`.
+pub fn ranking_precision_at_k(ranked_ids: &[usize], relevant: &[usize], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let k = k.min(ranked_ids.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked_ids[..k]
+        .iter()
+        .filter(|id| relevant.contains(id))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Normalized discounted cumulative gain at `k` with binary relevance:
+/// `DCG@k / IDCG@k`, where relevant ids gain `1 / log2(rank + 1)`.
+/// Returns 0.0 when `relevant` is empty or `k == 0`.
+pub fn ndcg_at_k(ranked_ids: &[usize], relevant: &[usize], k: usize) -> f64 {
+    if relevant.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let k = k.min(ranked_ids.len());
+    let dcg: f64 = ranked_ids[..k]
+        .iter()
+        .enumerate()
+        .filter(|&(_, id)| relevant.contains(id))
+        .map(|(rank, _)| 1.0 / ((rank + 2) as f64).log2())
+        .sum();
+    let ideal_hits = relevant.len().min(k);
+    let idcg: f64 = (0..ideal_hits)
+        .map(|rank| 1.0 / ((rank + 2) as f64).log2())
+        .sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Mean reciprocal rank of the relevant ids in a ranking (1.0 when a
+/// relevant id is first; 0.0 when none appear).
+pub fn mean_reciprocal_rank(ranked_ids: &[usize], relevant: &[usize]) -> f64 {
+    ranked_ids
+        .iter()
+        .position(|id| relevant.contains(id))
+        .map_or(0.0, |pos| 1.0 / (pos + 1) as f64)
+}
+
+/// Renders a confusion matrix with class names.
+pub fn render_confusion(hin: &Hin, confusion: &DenseMatrix) -> String {
+    use std::fmt::Write as _;
+    let names = hin.labels().class_names();
+    let width = names.iter().map(|n| n.len()).max().unwrap_or(4).max(6) + 2;
+    let mut out = String::new();
+    let _ = write!(out, "{:<width$}", "truth\\pred");
+    for n in names {
+        let _ = write!(out, "{n:>width$}");
+    }
+    let _ = writeln!(out);
+    for (c, n) in names.iter().enumerate() {
+        let _ = write!(out, "{n:<width$}");
+        for p in 0..names.len() {
+            let _ = write!(out, "{:>width$}", confusion.get(c, p) as usize);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmark_hin::HinBuilder;
+
+    fn three_node_hin() -> Hin {
+        let mut b = HinBuilder::new(1, vec!["r".into()], vec!["a".into(), "b".into()]);
+        for i in 0..4 {
+            let v = b.add_node(vec![i as f64]);
+            b.set_label(v, usize::from(i >= 2)).unwrap();
+        }
+        b.add_undirected_edge(0, 1, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn scores(rows: &[[f64; 2]]) -> DenseMatrix {
+        DenseMatrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn confusion_counts_by_truth_and_prediction() {
+        let hin = three_node_hin();
+        // Nodes 0,1 are class a; 2,3 class b. Predict: a, b, b, a.
+        let s = scores(&[[0.9, 0.1], [0.1, 0.9], [0.2, 0.8], [0.7, 0.3]]);
+        let cm = confusion_matrix(&hin, &s, &[0, 1, 2, 3]);
+        assert_eq!(cm.get(0, 0), 1.0); // a -> a
+        assert_eq!(cm.get(0, 1), 1.0); // a -> b
+        assert_eq!(cm.get(1, 1), 1.0); // b -> b
+        assert_eq!(cm.get(1, 0), 1.0); // b -> a
+    }
+
+    #[test]
+    fn per_class_recall_handles_empty_classes() {
+        let hin = three_node_hin();
+        let s = scores(&[[0.9, 0.1], [0.9, 0.1], [0.2, 0.8], [0.2, 0.8]]);
+        // Only class-a nodes in the test set.
+        let cm = confusion_matrix(&hin, &s, &[0, 1]);
+        let recall = per_class_recall(&cm);
+        assert_eq!(recall[0], Some(1.0));
+        assert_eq!(recall[1], None);
+    }
+
+    #[test]
+    fn precision_at_k_counts_relevant_prefix() {
+        let ranked = [3, 1, 4, 0, 2];
+        let relevant = [1, 2, 3];
+        assert_eq!(ranking_precision_at_k(&ranked, &relevant, 1), 1.0);
+        assert_eq!(ranking_precision_at_k(&ranked, &relevant, 2), 1.0);
+        assert!((ranking_precision_at_k(&ranked, &relevant, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ranking_precision_at_k(&ranked, &relevant, 0), 0.0);
+        // k beyond the list saturates.
+        assert!((ranking_precision_at_k(&ranked, &relevant, 10) - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_is_one_for_a_perfect_prefix() {
+        let ranked = [1, 2, 0, 3];
+        assert!((ndcg_at_k(&ranked, &[1, 2], 2) - 1.0).abs() < 1e-12);
+        // Pushing a relevant item down discounts the gain.
+        let worse = [1, 0, 2, 3];
+        let score = ndcg_at_k(&worse, &[1, 2], 3);
+        assert!(score < 1.0 && score > 0.5, "ndcg {score}");
+        assert_eq!(ndcg_at_k(&ranked, &[], 2), 0.0);
+        assert_eq!(ndcg_at_k(&ranked, &[1], 0), 0.0);
+    }
+
+    #[test]
+    fn mrr_finds_the_first_relevant_position() {
+        assert_eq!(mean_reciprocal_rank(&[5, 2, 7], &[2]), 0.5);
+        assert_eq!(mean_reciprocal_rank(&[2, 5], &[2]), 1.0);
+        assert_eq!(mean_reciprocal_rank(&[5, 7], &[2]), 0.0);
+    }
+
+    #[test]
+    fn render_confusion_includes_names_and_counts() {
+        let hin = three_node_hin();
+        let s = scores(&[[0.9, 0.1], [0.1, 0.9], [0.2, 0.8], [0.7, 0.3]]);
+        let cm = confusion_matrix(&hin, &s, &[0, 1, 2, 3]);
+        let text = render_confusion(&hin, &cm);
+        assert!(text.contains("truth\\pred"));
+        assert!(text.contains('a') && text.contains('b'));
+    }
+}

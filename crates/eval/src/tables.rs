@@ -1,0 +1,230 @@
+//! Plain-text renderings of sweep results and rankings in the layout of
+//! the paper's tables and figures.
+
+use std::fmt::Write as _;
+
+use crate::experiment::SweepResult;
+
+/// Renders a sweep as a paper-style table: one row per labeled fraction,
+/// one column per method, `mean` (3 decimals) per cell. Failed cells show
+/// the failure count.
+pub fn render_sweep_table(title: &str, result: &SweepResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let mut header = format!("{:<12}", "Percentage");
+    for name in &result.method_names {
+        let _ = write!(header, "{name:>12}");
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    for (fi, &fraction) in result.fractions.iter().enumerate() {
+        let mut line = format!("{fraction:<12.1}");
+        for cell in &result.rows[fi] {
+            if cell.failures > 0 {
+                let _ = write!(line, "{:>12}", format!("({} fail)", cell.failures));
+            } else {
+                let _ = write!(line, "{:>12.3}", cell.mean);
+            }
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Renders a sweep with mean ± std cells (wider; used in EXPERIMENTS.md).
+pub fn render_sweep_table_with_std(title: &str, result: &SweepResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let mut header = format!("{:<12}", "Percentage");
+    for name in &result.method_names {
+        let _ = write!(header, "{name:>18}");
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    for (fi, &fraction) in result.fractions.iter().enumerate() {
+        let mut line = format!("{fraction:<12.1}");
+        for cell in &result.rows[fi] {
+            let _ = write!(line, "{:>18}", format!("{:.3}±{:.3}", cell.mean, cell.std));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Renders a sweep as CSV: header `fraction,<method>,…`, one data row per
+/// fraction with the mean values, and a parallel `<method>_std` column
+/// block. Loads cleanly into any plotting tool.
+pub fn render_sweep_csv(result: &SweepResult) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "fraction");
+    for name in &result.method_names {
+        let _ = write!(out, ",{name}");
+    }
+    for name in &result.method_names {
+        let _ = write!(out, ",{name}_std");
+    }
+    let _ = writeln!(out);
+    for (fi, &fraction) in result.fractions.iter().enumerate() {
+        let _ = write!(out, "{fraction}");
+        for cell in &result.rows[fi] {
+            let _ = write!(out, ",{:.6}", cell.mean);
+        }
+        for cell in &result.rows[fi] {
+            let _ = write!(out, ",{:.6}", cell.std);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders an `(x, y)` series as CSV with the given column labels.
+pub fn render_series_csv(x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{x_label},{y_label}");
+    for &(x, y) in points {
+        let _ = writeln!(out, "{x},{y:.6}");
+    }
+    out
+}
+
+/// Renders a per-class top-k ranking table (Tables 2, 5, 9, 10): one
+/// column per class, `k` rows of ranked names.
+pub fn render_ranking_table(
+    title: &str,
+    class_names: &[String],
+    rankings: &[Vec<String>],
+    k: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let width = 22;
+    let mut header = format!("{:<8}", "Rank");
+    for c in class_names {
+        let _ = write!(header, "{c:>width$}");
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    for rank in 0..k {
+        let mut line = format!("{:<8}", rank + 1);
+        for ranking in rankings {
+            let name = ranking.get(rank).map(String::as_str).unwrap_or("-");
+            let _ = write!(line, "{name:>width$}");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Renders an `(x, y)` series as two aligned columns (the figure data:
+/// accuracy vs α/γ, residual vs iteration).
+pub fn render_series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{x_label:>12}{y_label:>14}");
+    for &(x, y) in points {
+        let _ = writeln!(out, "{x:>12.3}{y:>14.6}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Cell;
+
+    fn sample_result() -> SweepResult {
+        SweepResult {
+            method_names: vec!["T-Mark".into(), "ICA".into()],
+            fractions: vec![0.1, 0.5],
+            rows: vec![
+                vec![
+                    Cell {
+                        mean: 0.92,
+                        std: 0.01,
+                        failures: 0,
+                    },
+                    Cell {
+                        mean: 0.85,
+                        std: 0.02,
+                        failures: 0,
+                    },
+                ],
+                vec![
+                    Cell {
+                        mean: 0.94,
+                        std: 0.005,
+                        failures: 0,
+                    },
+                    Cell {
+                        mean: 0.0,
+                        std: 0.0,
+                        failures: 2,
+                    },
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn sweep_table_contains_all_cells() {
+        let t = render_sweep_table("Table 3", &sample_result());
+        assert!(t.contains("T-Mark"));
+        assert!(t.contains("0.920"));
+        assert!(t.contains("0.940"));
+        assert!(t.contains("(2 fail)"));
+    }
+
+    #[test]
+    fn std_table_formats_mean_plus_minus_std() {
+        let t = render_sweep_table_with_std("Table 3", &sample_result());
+        assert!(t.contains("0.920±0.010"));
+    }
+
+    #[test]
+    fn sweep_csv_has_header_and_rows() {
+        let csv = render_sweep_csv(&sample_result());
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "fraction,T-Mark,ICA,T-Mark_std,ICA_std"
+        );
+        let first = lines.next().unwrap();
+        assert!(first.starts_with("0.1,0.920000,0.850000"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn series_csv_is_two_columns() {
+        let csv = render_series_csv("alpha", "accuracy", &[(0.1, 0.5)]);
+        assert_eq!(
+            csv,
+            "alpha,accuracy
+0.1,0.500000
+"
+        );
+    }
+
+    #[test]
+    fn ranking_table_lays_out_columns() {
+        let t = render_ranking_table(
+            "Table 2",
+            &["DB".to_string(), "DM".to_string()],
+            &[
+                vec!["VLDB".to_string(), "SIGMOD".to_string()],
+                vec!["KDD".to_string()],
+            ],
+            2,
+        );
+        assert!(t.contains("VLDB"));
+        assert!(t.contains("KDD"));
+        // Missing second entry in DM renders as "-".
+        assert!(t.lines().last().unwrap().contains('-'));
+    }
+
+    #[test]
+    fn series_renders_point_per_line() {
+        let s = render_series("Fig 6", "alpha", "accuracy", &[(0.1, 0.8), (0.9, 0.93)]);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("0.930000"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the metrics: bounds, symmetry, and agreement
+//! between equivalent formulations.
+
+use proptest::prelude::*;
+use tmark_eval::metrics::{
+    accuracy, macro_f1, mean_std, micro_f1, multi_label_predictions,
+    multi_label_predictions_per_class, per_class_prf,
+};
+use tmark_hin::{Hin, HinBuilder};
+use tmark_linalg::DenseMatrix;
+
+/// Strategy: a labeled HIN, a score matrix over it, and a test subset.
+fn scored_instance() -> impl Strategy<Value = (Hin, DenseMatrix, Vec<usize>)> {
+    (2usize..12, 2usize..5).prop_flat_map(|(n, q)| {
+        let scores = prop::collection::vec(0.0..1.0f64, n * q);
+        let labels = prop::collection::vec(0..q, n);
+        let extra = prop::collection::vec(prop::option::of(0..q), n);
+        (Just(n), Just(q), scores, labels, extra).prop_map(|(n, q, scores, labels, extra)| {
+            let class_names = (0..q).map(|c| format!("c{c}")).collect();
+            let mut b = HinBuilder::new(1, vec!["r".into()], class_names);
+            for v in 0..n {
+                b.add_node(vec![v as f64]);
+                b.set_label(v, labels[v]).unwrap();
+                if let Some(e) = extra[v] {
+                    b.set_label(v, e).unwrap();
+                }
+            }
+            b.add_undirected_edge(0, 1 % n, 0).unwrap();
+            let hin = b.build().unwrap();
+            let m = DenseMatrix::from_vec(n, q, scores).unwrap();
+            let test: Vec<usize> = (0..n).step_by(2).collect();
+            (hin, m, test)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn accuracy_is_a_fraction((hin, scores, test) in scored_instance()) {
+        let a = accuracy(&hin, &scores, &test);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn perfect_scores_give_perfect_accuracy((hin, _, test) in scored_instance()) {
+        let n = hin.num_nodes();
+        let q = hin.num_classes();
+        let mut perfect = DenseMatrix::zeros(n, q);
+        for v in 0..n {
+            perfect.set(v, hin.labels().labels_of(v)[0], 1.0);
+        }
+        prop_assert_eq!(accuracy(&hin, &perfect, &test), 1.0);
+    }
+
+    #[test]
+    fn f1_metrics_are_bounded((hin, scores, test) in scored_instance()) {
+        for theta in [0.3, 0.6, 0.9] {
+            for preds in [
+                multi_label_predictions(&scores, theta),
+                multi_label_predictions_per_class(&scores, theta),
+            ] {
+                let ma = macro_f1(&hin, &preds, &test);
+                let mi = micro_f1(&hin, &preds, &test);
+                prop_assert!((0.0..=1.0).contains(&ma), "macro {ma}");
+                prop_assert!((0.0..=1.0).contains(&mi), "micro {mi}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_predictions_maximize_both_f1s((hin, _, test) in scored_instance()) {
+        let preds: Vec<Vec<usize>> = (0..hin.num_nodes())
+            .map(|v| hin.labels().labels_of(v).to_vec())
+            .collect();
+        prop_assert!((macro_f1(&hin, &preds, &test) - 1.0).abs() < 1e-12);
+        prop_assert!((micro_f1(&hin, &preds, &test) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tighter_theta_never_grows_the_prediction_sets(
+        (_, scores, _) in scored_instance()
+    ) {
+        let loose = multi_label_predictions(&scores, 0.4);
+        let tight = multi_label_predictions(&scores, 0.8);
+        for (l, t) in loose.iter().zip(&tight) {
+            prop_assert!(t.len() <= l.len());
+            for c in t {
+                prop_assert!(l.contains(c), "tight prediction set must nest in the loose one");
+            }
+        }
+    }
+
+    #[test]
+    fn per_class_prf_values_are_probabilities((hin, scores, test) in scored_instance()) {
+        let preds = multi_label_predictions(&scores, 0.5);
+        for prf in per_class_prf(&hin, &preds, &test) {
+            prop_assert!((0.0..=1.0).contains(&prf.precision));
+            prop_assert!((0.0..=1.0).contains(&prf.recall));
+            prop_assert!((0.0..=1.0).contains(&prf.f1));
+            // F1 (harmonic mean) never exceeds the larger component.
+            prop_assert!(prf.f1 <= prf.precision.max(prf.recall) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_std_matches_direct_computation(samples in prop::collection::vec(-10.0..10.0f64, 1..32)) {
+        let (mean, std) = mean_std(&samples);
+        let direct_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!((mean - direct_mean).abs() < 1e-9);
+        prop_assert!(std >= 0.0);
+        // Std is bounded by the range.
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(std <= (max - min) + 1e-9);
+    }
+}

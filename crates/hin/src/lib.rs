@@ -1,0 +1,52 @@
+//! Heterogeneous information network (HIN) data model.
+//!
+//! A HIN, in the paper's setting, is a set of `n` target nodes connected by
+//! `m` *named link types* (conferences, directors, user tags, …), where each
+//! node carries a `d`-dimensional feature vector and zero or more class
+//! labels out of `q` named classes. The classification task is
+//! semi-supervised: some nodes are labeled, the rest must be predicted, and
+//! T-Mark additionally ranks the link types per class.
+//!
+//! This crate is the shared data model every algorithm in the workspace
+//! consumes:
+//!
+//! - [`Hin`]: the immutable network (adjacency tensor + features + labels
+//!   + link-type names), built through [`HinBuilder`].
+//! - [`labels::LabelStore`]: multi-label-capable label assignments.
+//! - [`metapath`]: composition of link types into meta-path adjacencies
+//!   (the machinery behind the Hcc baseline).
+//! - [`stats`]: structural diagnostics (per-relation sparsity, degrees)
+//!   used to validate that synthetic datasets match the regimes the paper
+//!   describes (e.g. the Movies dataset's "director links are too sparse").
+//! - [`io`]: a plain-text serialization of the whole network, so datasets
+//!   can be exported to and re-imported from other tools.
+
+//! ```
+//! use tmark_hin::HinBuilder;
+//!
+//! let mut b = HinBuilder::new(
+//!     1,
+//!     vec!["cites".into()],
+//!     vec!["db".into(), "ml".into()],
+//! );
+//! let u = b.add_node(vec![0.1]);
+//! let v = b.add_node(vec![0.9]);
+//! b.add_directed_edge(u, v, 0).unwrap();
+//! b.set_label(u, 0).unwrap();
+//! let hin = b.build().unwrap();
+//! assert_eq!(hin.num_nodes(), 2);
+//! assert_eq!(hin.out_neighbors(u), vec![v]);
+//! ```
+
+#![deny(missing_docs)]
+pub mod builder;
+pub mod io;
+pub mod labels;
+pub mod metapath;
+pub mod network;
+pub mod stats;
+pub mod subgraph;
+
+pub use builder::{HinBuilder, HinError};
+pub use labels::LabelStore;
+pub use network::Hin;

@@ -1,0 +1,150 @@
+//! Meta-path composition of link types.
+//!
+//! Kong et al. (the Hcc baseline of Section 6) transform a HIN into
+//! multiple relations by following *meta-paths* — sequences of link types
+//! whose composed adjacency `A_{k1} · A_{k2} · …` connects nodes that are
+//! related through intermediate hops. This module provides that
+//! composition over the walk-direction adjacencies stored in a [`Hin`].
+
+use tmark_linalg::SparseMatrix;
+
+use crate::network::Hin;
+
+/// A meta-path: a non-empty sequence of link-type ids, applied left to
+/// right (the first id is the first hop).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaPath(pub Vec<usize>);
+
+impl MetaPath {
+    /// A single-hop meta-path.
+    pub fn single(k: usize) -> Self {
+        MetaPath(vec![k])
+    }
+
+    /// Length (number of hops).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the path has no hops (invalid for composition).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Human-readable rendering using the HIN's link-type names.
+    pub fn describe(&self, hin: &Hin) -> String {
+        self.0
+            .iter()
+            .map(|&k| hin.link_type_name(k))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// Composes the adjacency matrices along `path`. Entry `(i, j)` of the
+/// result counts the weighted walks from `j` to `i` following the path's
+/// link types in order (walk convention: column = source).
+///
+/// # Panics
+/// Panics if the path is empty or references an unknown link type.
+pub fn metapath_adjacency(hin: &Hin, path: &MetaPath) -> SparseMatrix {
+    assert!(!path.is_empty(), "meta-path must have at least one hop");
+    let mut acc = hin.relation_adjacency(path.0[0]);
+    for &k in &path.0[1..] {
+        let next = hin.relation_adjacency(k);
+        // Composition in walk order: first hop applied first, so the later
+        // hop's matrix multiplies from the left.
+        acc = next.matmul_sparse(&acc).expect("square matrices compose");
+    }
+    acc
+}
+
+/// Enumerates all meta-paths up to `max_len` hops over `m` link types,
+/// in lexicographic order: all single hops, then all pairs, and so on.
+/// The count grows as `m + m² + …`, so callers should keep `max_len ≤ 2`
+/// for HINs with many link types (as Hcc does).
+pub fn enumerate_metapaths(m: usize, max_len: usize) -> Vec<MetaPath> {
+    let mut out = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    fn rec(m: usize, max_len: usize, current: &mut Vec<usize>, out: &mut Vec<MetaPath>) {
+        if !current.is_empty() {
+            out.push(MetaPath(current.clone()));
+        }
+        if current.len() == max_len {
+            return;
+        }
+        for k in 0..m {
+            current.push(k);
+            rec(m, max_len, current, out);
+            current.pop();
+        }
+    }
+    rec(m, max_len, &mut current, &mut out);
+    // rec emits depth-first; reorder to length-major (all 1-hop, then 2-hop…)
+    out.sort_by_key(|p| (p.len(), p.0.clone()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HinBuilder;
+
+    fn line_hin() -> Hin {
+        // 0 -r0-> 1 -r1-> 2
+        let mut b = HinBuilder::new(1, vec!["r0".into(), "r1".into()], vec!["c".into()]);
+        let a = b.add_node(vec![0.0]);
+        let bb = b.add_node(vec![0.0]);
+        let c = b.add_node(vec![0.0]);
+        b.add_directed_edge(a, bb, 0).unwrap();
+        b.add_directed_edge(bb, c, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_hop_matches_relation_adjacency() {
+        let h = line_hin();
+        let mp = metapath_adjacency(&h, &MetaPath::single(0));
+        assert_eq!(mp.get(1, 0), 1.0);
+        assert_eq!(mp.nnz(), 1);
+    }
+
+    #[test]
+    fn two_hop_composition_reaches_second_neighbor() {
+        let h = line_hin();
+        let mp = metapath_adjacency(&h, &MetaPath(vec![0, 1]));
+        // 0 -r0-> 1 -r1-> 2, so the composed walk connects source 0 to 2.
+        assert_eq!(mp.get(2, 0), 1.0);
+        assert_eq!(mp.nnz(), 1);
+    }
+
+    #[test]
+    fn wrong_hop_order_yields_empty_composition() {
+        let h = line_hin();
+        let mp = metapath_adjacency(&h, &MetaPath(vec![1, 0]));
+        assert_eq!(mp.nnz(), 0);
+    }
+
+    #[test]
+    fn enumerate_counts_match_geometric_series() {
+        let paths = enumerate_metapaths(3, 2);
+        assert_eq!(paths.len(), 3 + 9);
+        assert_eq!(paths[0], MetaPath(vec![0]));
+        assert_eq!(paths[3], MetaPath(vec![0, 0]));
+        let singles = paths.iter().filter(|p| p.len() == 1).count();
+        assert_eq!(singles, 3);
+    }
+
+    #[test]
+    fn describe_uses_names() {
+        let h = line_hin();
+        assert_eq!(MetaPath(vec![0, 1]).describe(&h), "r0 -> r1");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn empty_path_panics() {
+        let h = line_hin();
+        metapath_adjacency(&h, &MetaPath(vec![]));
+    }
+}

@@ -1,0 +1,194 @@
+//! The immutable HIN container shared by all algorithms.
+
+use tmark_linalg::{DenseMatrix, SparseMatrix};
+use tmark_sparse_tensor::{SparseTensor3, StochasticTensors};
+
+use crate::labels::LabelStore;
+
+/// A heterogeneous information network over one target node type.
+///
+/// Holds the adjacency tensor `A` (n × n × m), the node feature matrix
+/// (n × d), the named link types, and the ground-truth labels. Built via
+/// [`crate::HinBuilder`]; immutable afterwards so that every algorithm in a
+/// comparison observes the same network.
+#[derive(Debug, Clone)]
+pub struct Hin {
+    tensor: SparseTensor3,
+    features: DenseMatrix,
+    link_type_names: Vec<String>,
+    labels: LabelStore,
+}
+
+impl Hin {
+    pub(crate) fn from_parts(
+        tensor: SparseTensor3,
+        features: DenseMatrix,
+        link_type_names: Vec<String>,
+        labels: LabelStore,
+    ) -> Self {
+        Hin {
+            tensor,
+            features,
+            link_type_names,
+            labels,
+        }
+    }
+
+    /// Number of target nodes `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.tensor.num_nodes()
+    }
+
+    /// Number of link types `m`.
+    pub fn num_link_types(&self) -> usize {
+        self.tensor.num_relations()
+    }
+
+    /// Number of classes `q`.
+    pub fn num_classes(&self) -> usize {
+        self.labels.num_classes()
+    }
+
+    /// Feature dimensionality `d`.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// The adjacency tensor `A`.
+    pub fn tensor(&self) -> &SparseTensor3 {
+        &self.tensor
+    }
+
+    /// Normalizes the adjacency tensor into the `(O, R)` transition pair.
+    pub fn stochastic_tensors(&self) -> StochasticTensors {
+        StochasticTensors::from_tensor(&self.tensor)
+    }
+
+    /// The node feature matrix (one row per node).
+    pub fn features(&self) -> &DenseMatrix {
+        &self.features
+    }
+
+    /// The ground-truth labels.
+    pub fn labels(&self) -> &LabelStore {
+        &self.labels
+    }
+
+    /// The link-type names, indexed by relation id.
+    pub fn link_type_names(&self) -> &[String] {
+        &self.link_type_names
+    }
+
+    /// Name of link type `k`.
+    pub fn link_type_name(&self, k: usize) -> &str {
+        &self.link_type_names[k]
+    }
+
+    /// Relation id of the link type called `name`, if any.
+    pub fn link_type_by_name(&self, name: &str) -> Option<usize> {
+        self.link_type_names.iter().position(|n| n == name)
+    }
+
+    /// The adjacency matrix of a single relation as a sparse matrix
+    /// (`adj[i][j] = a_{i,j,k}`).
+    pub fn relation_adjacency(&self, k: usize) -> SparseMatrix {
+        assert!(k < self.num_link_types(), "relation {k} out of bounds");
+        let triplets: Vec<(usize, usize, f64)> = self
+            .tensor
+            .entries()
+            .iter()
+            .filter(|e| e.k == k)
+            .map(|e| (e.i, e.j, e.value))
+            .collect();
+        SparseMatrix::from_triplets(self.num_nodes(), self.num_nodes(), &triplets)
+            .expect("tensor coordinates are in bounds")
+    }
+
+    /// The relation-aggregated adjacency `Σ_k A_k` (used by the ICA
+    /// baseline, which merges all link types).
+    pub fn aggregated_adjacency(&self) -> SparseMatrix {
+        self.tensor.aggregate_relations()
+    }
+
+    /// Neighbours of `node` reachable by following any link out of it
+    /// (i.e. the `i` with `a_{i,node,k} > 0` for some `k`), deduplicated
+    /// and sorted.
+    pub fn out_neighbors(&self, node: usize) -> Vec<usize> {
+        let mut ns: Vec<usize> = self
+            .tensor
+            .entries()
+            .iter()
+            .filter(|e| e.j == node)
+            .map(|e| e.i)
+            .collect();
+        ns.sort_unstable();
+        ns.dedup();
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HinBuilder;
+
+    fn tiny_hin() -> Hin {
+        let mut b = HinBuilder::new(
+            2,
+            vec!["cites".into(), "same-conf".into()],
+            vec!["DM".into(), "CV".into()],
+        );
+        let a = b.add_node(vec![1.0, 0.0]);
+        let c = b.add_node(vec![0.0, 1.0]);
+        let d = b.add_node(vec![0.5, 0.5]);
+        b.add_directed_edge(a, c, 0).unwrap();
+        b.add_undirected_edge(c, d, 1).unwrap();
+        b.set_label(a, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accessors_report_shapes() {
+        let h = tiny_hin();
+        assert_eq!(h.num_nodes(), 3);
+        assert_eq!(h.num_link_types(), 2);
+        assert_eq!(h.num_classes(), 2);
+        assert_eq!(h.feature_dim(), 2);
+        assert_eq!(h.link_type_name(0), "cites");
+        assert_eq!(h.link_type_by_name("same-conf"), Some(1));
+        assert_eq!(h.link_type_by_name("nope"), None);
+    }
+
+    #[test]
+    fn relation_adjacency_selects_one_slice() {
+        let h = tiny_hin();
+        let cites = h.relation_adjacency(0);
+        // Directed edge a -> c stored as tensor entry (i=c, j=a).
+        assert_eq!(cites.get(1, 0), 1.0);
+        assert_eq!(cites.nnz(), 1);
+        let conf = h.relation_adjacency(1);
+        assert_eq!(conf.nnz(), 2);
+    }
+
+    #[test]
+    fn aggregated_adjacency_sums_relations() {
+        let h = tiny_hin();
+        assert_eq!(h.aggregated_adjacency().nnz(), 3);
+    }
+
+    #[test]
+    fn out_neighbors_follow_walk_direction() {
+        let h = tiny_hin();
+        assert_eq!(h.out_neighbors(0), vec![1]);
+        assert_eq!(h.out_neighbors(1), vec![2]);
+        assert_eq!(h.out_neighbors(2), vec![1]);
+    }
+
+    #[test]
+    fn stochastic_tensors_share_shape() {
+        let h = tiny_hin();
+        let s = h.stochastic_tensors();
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.num_relations(), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Structural diagnostics for HINs.
+//!
+//! The paper's discussion leans on structural regimes — e.g. the Movies
+//! dataset underperforms for T-Mark because "the director links are too
+//! sparse", and the NUS link-selection experiment contrasts class-pure
+//! with class-mixed tags. These statistics let the synthetic dataset
+//! generators assert that they actually reproduce those regimes, and give
+//! examples something concrete to print.
+
+use crate::network::Hin;
+
+/// Summary statistics for one link type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationStats {
+    /// Relation id.
+    pub link_type: usize,
+    /// Stored edge count (tensor entries in this slice).
+    pub num_edges: usize,
+    /// Fraction of nodes incident to at least one edge of this type.
+    pub coverage: f64,
+    /// Edge density relative to `n²`.
+    pub density: f64,
+    /// Probability that a uniformly random edge of this type connects two
+    /// nodes sharing at least one class — the paper's notion of a
+    /// *relevant* link ("a large probability of connecting the nodes
+    /// belonging to the same class label", Section 6.3). `None` when the
+    /// relation has no edges.
+    pub class_purity: Option<f64>,
+}
+
+/// Whole-network summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HinStats {
+    /// Node count `n`.
+    pub num_nodes: usize,
+    /// Link-type count `m`.
+    pub num_link_types: usize,
+    /// Class count `q`.
+    pub num_classes: usize,
+    /// Total stored edges `D`.
+    pub num_edges: usize,
+    /// Per-relation breakdown.
+    pub relations: Vec<RelationStats>,
+}
+
+/// Computes summary statistics over every relation of a HIN.
+pub fn hin_stats(hin: &Hin) -> HinStats {
+    let n = hin.num_nodes();
+    let m = hin.num_link_types();
+    let labels = hin.labels();
+    let mut per_rel = Vec::with_capacity(m);
+    for k in 0..m {
+        let mut num_edges = 0usize;
+        let mut same_class = 0usize;
+        let mut labeled_pairs = 0usize;
+        let mut incident = vec![false; n];
+        for e in hin.tensor().entries().iter().filter(|e| e.k == k) {
+            num_edges += 1;
+            incident[e.i] = true;
+            incident[e.j] = true;
+            let li = labels.labels_of(e.i);
+            let lj = labels.labels_of(e.j);
+            if !li.is_empty() && !lj.is_empty() {
+                labeled_pairs += 1;
+                if li.iter().any(|c| lj.contains(c)) {
+                    same_class += 1;
+                }
+            }
+        }
+        let coverage = incident.iter().filter(|&&b| b).count() as f64 / n as f64;
+        let density = num_edges as f64 / (n as f64 * n as f64);
+        let class_purity = if labeled_pairs > 0 {
+            Some(same_class as f64 / labeled_pairs as f64)
+        } else {
+            None
+        };
+        per_rel.push(RelationStats {
+            link_type: k,
+            num_edges,
+            coverage,
+            density,
+            class_purity,
+        });
+    }
+    HinStats {
+        num_nodes: n,
+        num_link_types: m,
+        num_classes: hin.num_classes(),
+        num_edges: hin.tensor().nnz(),
+        relations: per_rel,
+    }
+}
+
+/// Per-node out-degrees (number of stored walk edges leaving each node),
+/// aggregated over all relations.
+pub fn out_degrees(hin: &Hin) -> Vec<usize> {
+    let mut deg = vec![0usize; hin.num_nodes()];
+    for e in hin.tensor().entries() {
+        deg[e.j] += 1;
+    }
+    deg
+}
+
+/// Histogram of out-degrees: `histogram[d]` counts the nodes with degree
+/// `d` (length = max degree + 1; empty networks give `[n]` at degree 0).
+pub fn degree_histogram(hin: &Hin) -> Vec<usize> {
+    let degrees = out_degrees(hin);
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for d in degrees {
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Mean class purity over relations that have edges (a one-number summary
+/// of link relevance used by dataset self-checks).
+pub fn mean_class_purity(stats: &HinStats) -> Option<f64> {
+    let purities: Vec<f64> = stats
+        .relations
+        .iter()
+        .filter_map(|r| r.class_purity)
+        .collect();
+    if purities.is_empty() {
+        None
+    } else {
+        Some(purities.iter().sum::<f64>() / purities.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HinBuilder;
+
+    fn labeled_hin() -> Hin {
+        let mut b = HinBuilder::new(
+            1,
+            vec!["pure".into(), "mixed".into(), "empty".into()],
+            vec!["a".into(), "b".into()],
+        );
+        for i in 0..4 {
+            let v = b.add_node(vec![i as f64]);
+            b.set_label(v, if i < 2 { 0 } else { 1 }).unwrap();
+        }
+        // "pure" connects same-class nodes only.
+        b.add_undirected_edge(0, 1, 0).unwrap();
+        b.add_undirected_edge(2, 3, 0).unwrap();
+        // "mixed" crosses classes.
+        b.add_undirected_edge(0, 2, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn purity_separates_relevant_from_irrelevant_links() {
+        let s = hin_stats(&labeled_hin());
+        assert_eq!(s.relations[0].class_purity, Some(1.0));
+        assert_eq!(s.relations[1].class_purity, Some(0.0));
+        assert_eq!(s.relations[2].class_purity, None);
+    }
+
+    #[test]
+    fn edge_counts_and_coverage() {
+        let s = hin_stats(&labeled_hin());
+        assert_eq!(s.num_edges, 6);
+        assert_eq!(s.relations[0].num_edges, 4);
+        assert_eq!(s.relations[0].coverage, 1.0);
+        assert_eq!(s.relations[1].coverage, 0.5);
+        assert_eq!(s.relations[2].coverage, 0.0);
+        assert!((s.relations[0].density - 4.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_purity_ignores_empty_relations() {
+        let s = hin_stats(&labeled_hin());
+        assert_eq!(mean_class_purity(&s), Some(0.5));
+    }
+
+    #[test]
+    fn out_degrees_count_walk_edges() {
+        let hin = labeled_hin();
+        let deg = out_degrees(&hin);
+        // Node 0: undirected edges to 1 (pure) and 2 (mixed) -> degree 2.
+        assert_eq!(deg[0], 2);
+        // Node 1: one undirected edge -> degree 1.
+        assert_eq!(deg[1], 1);
+        assert_eq!(deg.iter().sum::<usize>(), hin.tensor().nnz());
+    }
+
+    #[test]
+    fn degree_histogram_partitions_the_nodes() {
+        let hin = labeled_hin();
+        let hist = degree_histogram(&hin);
+        assert_eq!(hist.iter().sum::<usize>(), hin.num_nodes());
+        // Histogram indices weight-sum back to the edge count.
+        let total: usize = hist.iter().enumerate().map(|(d, &c)| d * c).sum();
+        assert_eq!(total, hin.tensor().nnz());
+    }
+
+    #[test]
+    fn multi_label_overlap_counts_as_same_class() {
+        let mut b = HinBuilder::new(1, vec!["r".into()], vec!["a".into(), "b".into()]);
+        let u = b.add_node(vec![0.0]);
+        let v = b.add_node(vec![1.0]);
+        b.set_label(u, 0).unwrap();
+        b.set_label(u, 1).unwrap();
+        b.set_label(v, 1).unwrap();
+        b.add_undirected_edge(u, v, 0).unwrap();
+        let s = hin_stats(&b.build().unwrap());
+        assert_eq!(s.relations[0].class_purity, Some(1.0));
+    }
+}

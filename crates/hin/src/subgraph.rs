@@ -1,0 +1,149 @@
+//! Induced subnetworks.
+//!
+//! Extracting the subnetwork induced by a node subset is the basic tool
+//! for scaling studies (fit on a prefix of the network), ego-network
+//! inspection, and cross-validation variants that hold out whole regions
+//! of the graph rather than individual labels.
+
+use crate::builder::HinBuilder;
+use crate::network::Hin;
+
+/// The result of an induced-subgraph extraction: the new network plus the
+/// mapping from new node ids back to the original ids.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The induced network (same link types and classes as the parent).
+    pub hin: Hin,
+    /// `original_ids[new_id]` is the node's id in the parent network.
+    pub original_ids: Vec<usize>,
+}
+
+/// Extracts the subnetwork induced by `nodes`: the selected nodes, every
+/// edge whose both endpoints are selected, and the selected nodes'
+/// features and labels. Link types and class names carry over unchanged
+/// (so rankings remain comparable with the parent network's).
+///
+/// Duplicate ids in `nodes` are ignored; order is preserved for the
+/// first occurrence of each id.
+///
+/// # Panics
+/// Panics if `nodes` is empty or contains an out-of-range id — harness
+/// misuse, not a data condition.
+pub fn induced_subgraph(hin: &Hin, nodes: &[usize]) -> Subgraph {
+    assert!(
+        !nodes.is_empty(),
+        "induced subgraph needs at least one node"
+    );
+    let n = hin.num_nodes();
+    let mut new_id = vec![usize::MAX; n];
+    let mut original_ids = Vec::with_capacity(nodes.len());
+    for &v in nodes {
+        assert!(v < n, "node {v} out of range for a network of {n}");
+        if new_id[v] == usize::MAX {
+            new_id[v] = original_ids.len();
+            original_ids.push(v);
+        }
+    }
+
+    let mut b = HinBuilder::new(
+        hin.feature_dim(),
+        hin.link_type_names().to_vec(),
+        hin.labels().class_names().to_vec(),
+    );
+    for &orig in &original_ids {
+        let id = b.add_node(hin.features().row(orig).to_vec());
+        for &c in hin.labels().labels_of(orig) {
+            b.set_label(id, c).expect("class ids carry over");
+        }
+    }
+    for e in hin.tensor().entries() {
+        let (ni, nj) = (new_id[e.i], new_id[e.j]);
+        if ni != usize::MAX && nj != usize::MAX {
+            // Tensor entry (i, j) is walk edge j -> i.
+            b.add_weighted_directed_edge(nj, ni, e.k, e.value)
+                .expect("mapped ids are in range");
+        }
+    }
+    Subgraph {
+        hin: b.build().expect("non-empty selection"),
+        original_ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HinBuilder;
+
+    fn parent() -> Hin {
+        let mut b = HinBuilder::new(
+            1,
+            vec!["r0".into(), "r1".into()],
+            vec!["a".into(), "b".into()],
+        );
+        for i in 0..5 {
+            let v = b.add_node(vec![i as f64]);
+            b.set_label(v, i % 2).unwrap();
+        }
+        b.add_undirected_edge(0, 1, 0).unwrap();
+        b.add_undirected_edge(1, 2, 1).unwrap();
+        b.add_weighted_directed_edge(3, 4, 0, 2.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn keeps_only_internal_edges() {
+        let p = parent();
+        let sub = induced_subgraph(&p, &[0, 1, 3]);
+        assert_eq!(sub.hin.num_nodes(), 3);
+        // Edge (0,1) survives; (1,2) and (3,4) cross the boundary.
+        assert_eq!(sub.hin.tensor().nnz(), 2); // undirected = two entries
+        assert_eq!(sub.original_ids, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn features_and_labels_carry_over() {
+        let p = parent();
+        let sub = induced_subgraph(&p, &[2, 4]);
+        assert_eq!(sub.hin.features().row(0), &[2.0]);
+        assert_eq!(sub.hin.features().row(1), &[4.0]);
+        assert_eq!(sub.hin.labels().labels_of(0), &[0]);
+        assert_eq!(sub.hin.labels().labels_of(1), &[0]);
+    }
+
+    #[test]
+    fn link_types_and_classes_are_preserved() {
+        let p = parent();
+        let sub = induced_subgraph(&p, &[0, 1]);
+        assert_eq!(sub.hin.link_type_names(), p.link_type_names());
+        assert_eq!(sub.hin.labels().class_names(), p.labels().class_names());
+    }
+
+    #[test]
+    fn edge_weights_survive() {
+        let p = parent();
+        let sub = induced_subgraph(&p, &[3, 4]);
+        // Directed weighted edge 3 -> 4, weight 2.0, stored as (to, from).
+        assert_eq!(sub.hin.tensor().get(1, 0, 0), 2.0);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let p = parent();
+        let sub = induced_subgraph(&p, &[1, 1, 0, 0]);
+        assert_eq!(sub.hin.num_nodes(), 2);
+        assert_eq!(sub.original_ids, vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_selection_panics() {
+        induced_subgraph(&parent(), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_selection_panics() {
+        induced_subgraph(&parent(), &[99]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type shared by the linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by dimension-checked linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape expected by the operation.
+        expected: (usize, usize),
+        /// Shape actually supplied.
+        found: (usize, usize),
+    },
+    /// An index was out of bounds for the container.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: (usize, usize),
+        /// The container's shape.
+        shape: (usize, usize),
+    },
+    /// The operation requires a non-empty container.
+    Empty(&'static str),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                op,
+                expected,
+                found,
+            } => write!(
+                f,
+                "dimension mismatch in {op}: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            LinalgError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for shape {}x{}",
+                index.0, index.1, shape.0, shape.1
+            ),
+            LinalgError::Empty(op) => write!(f, "{op} requires a non-empty operand"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let err = LinalgError::DimensionMismatch {
+            op: "matvec",
+            expected: (3, 4),
+            found: (4, 3),
+        };
+        assert_eq!(
+            err.to_string(),
+            "dimension mismatch in matvec: expected 3x4, found 4x3"
+        );
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let err = LinalgError::IndexOutOfBounds {
+            index: (5, 0),
+            shape: (2, 2),
+        };
+        assert!(err.to_string().contains("(5, 0)"));
+        assert!(err.to_string().contains("2x2"));
+    }
+
+    #[test]
+    fn display_empty() {
+        assert_eq!(
+            LinalgError::Empty("argmax").to_string(),
+            "argmax requires a non-empty operand"
+        );
+    }
+}

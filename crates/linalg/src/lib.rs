@@ -1,0 +1,45 @@
+//! Dense and sparse linear-algebra substrate for the T-Mark workspace.
+//!
+//! The T-Mark paper (Han et al.) manipulates three kinds of linear objects:
+//! probability vectors on the simplex, the dense feature-similarity
+//! transition matrix `W`, and sparse adjacency structures. This crate
+//! provides exactly those primitives, written from scratch so the workspace
+//! carries no external linear-algebra dependency:
+//!
+//! - [`vector`]: operations on `&[f64]` slices (norms, dot products, simplex
+//!   projections, cosine similarity).
+//! - [`dense`]: a row-major [`DenseMatrix`] with the matrix/vector products
+//!   and column-stochastic normalization the algorithms need.
+//! - [`sparse`]: a compressed-sparse-row [`SparseMatrix`] for large, mostly
+//!   empty transition structures.
+//! - [`similarity`]: builders for the cosine-similarity transition matrix
+//!   `W` of Eq. (9) in the paper, in dense and k-nearest-neighbour form.
+//!
+//! All routines are deterministic and allocation-conscious; hot paths take
+//! output buffers where that avoids per-iteration allocation.
+//!
+//! ```
+//! use tmark_linalg::{DenseMatrix, similarity::feature_transition_matrix};
+//!
+//! // Two feature clusters → a column-stochastic transition matrix W.
+//! let features = DenseMatrix::from_rows(&[
+//!     vec![1.0, 0.0],
+//!     vec![0.9, 0.1],
+//!     vec![0.0, 1.0],
+//! ]).unwrap();
+//! let w = feature_transition_matrix(&features);
+//! assert!(w.is_column_stochastic(1e-12));
+//! // Similar nodes exchange more probability mass.
+//! assert!(w.get(0, 1) > w.get(2, 1));
+//! ```
+
+#![deny(missing_docs)]
+pub mod dense;
+pub mod error;
+pub mod similarity;
+pub mod sparse;
+pub mod vector;
+
+pub use dense::DenseMatrix;
+pub use error::LinalgError;
+pub use sparse::SparseMatrix;

@@ -1,0 +1,323 @@
+//! Builders for the feature-similarity transition matrix `W` (Eq. 9).
+//!
+//! Section 4.2 of the paper computes pairwise cosine similarities between
+//! node feature vectors and column-normalizes the result into a transition
+//! probability matrix. For large `n` the full `n × n` matrix is expensive,
+//! so a k-nearest-neighbour sparsified variant is also provided; it keeps
+//! the same column-stochastic semantics.
+
+use crate::dense::DenseMatrix;
+use crate::sparse::SparseMatrix;
+use crate::vector;
+
+/// The node-similarity metric used to build `W`.
+///
+/// Section 4.2 of the paper computes transition probabilities from cosine
+/// similarity but notes that "many distance metrics have been developed",
+/// naming NCA, LMNN, ITML, cosine similarity, and hamming distance. The
+/// non-learned ones are provided here; all yield nonnegative similarities
+/// suitable for stochastic normalization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimilarityMetric {
+    /// Cosine similarity, clamped to `[0, 1]` — the paper's default.
+    Cosine,
+    /// Jaccard similarity of the nonzero supports (natural for binary or
+    /// bag-of-words features).
+    Jaccard,
+    /// Gaussian (RBF) kernel `exp(−‖a − b‖² / (2σ²))`.
+    Gaussian {
+        /// Kernel bandwidth (must be positive).
+        sigma: f64,
+    },
+    /// One minus the normalized Hamming distance over the nonzero
+    /// supports.
+    Hamming,
+}
+
+impl SimilarityMetric {
+    /// The pairwise similarity of two feature vectors under this metric.
+    pub fn similarity(self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "similarity: length mismatch");
+        match self {
+            SimilarityMetric::Cosine => vector::cosine(a, b).max(0.0),
+            SimilarityMetric::Jaccard => {
+                let mut intersection = 0usize;
+                let mut union = 0usize;
+                for (&x, &y) in a.iter().zip(b) {
+                    let (px, py) = (x != 0.0, y != 0.0);
+                    if px && py {
+                        intersection += 1;
+                    }
+                    if px || py {
+                        union += 1;
+                    }
+                }
+                if union == 0 {
+                    0.0
+                } else {
+                    intersection as f64 / union as f64
+                }
+            }
+            SimilarityMetric::Gaussian { sigma } => {
+                assert!(sigma > 0.0, "Gaussian bandwidth must be positive");
+                let sq: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum();
+                (-sq / (2.0 * sigma * sigma)).exp()
+            }
+            SimilarityMetric::Hamming => {
+                if a.is_empty() {
+                    return 0.0;
+                }
+                let mismatches = a
+                    .iter()
+                    .zip(b)
+                    .filter(|&(&x, &y)| (x != 0.0) != (y != 0.0))
+                    .count();
+                1.0 - mismatches as f64 / a.len() as f64
+            }
+        }
+    }
+}
+
+/// Computes the dense pairwise similarity matrix under any
+/// [`SimilarityMetric`]. The diagonal is the self-similarity and the
+/// result is symmetric and nonnegative.
+pub fn similarity_matrix(features: &DenseMatrix, metric: SimilarityMetric) -> DenseMatrix {
+    if metric == SimilarityMetric::Cosine {
+        return cosine_similarity_matrix(features);
+    }
+    let n = features.rows();
+    let mut c = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        c.set(i, i, metric.similarity(features.row(i), features.row(i)));
+        for j in (i + 1)..n {
+            let s = metric.similarity(features.row(i), features.row(j));
+            c.set(i, j, s);
+            c.set(j, i, s);
+        }
+    }
+    c
+}
+
+/// Builds the transition matrix `W` under any metric (Eq. 9 with a
+/// pluggable similarity): pairwise similarities, column-normalized.
+pub fn feature_transition_matrix_with(
+    features: &DenseMatrix,
+    metric: SimilarityMetric,
+) -> DenseMatrix {
+    let mut w = similarity_matrix(features, metric);
+    w.normalize_columns_stochastic();
+    w
+}
+
+/// Computes the dense cosine-similarity matrix `C` with
+/// `c_ij = cos(f_i, f_j)` from row-per-node features.
+///
+/// Negative similarities are clamped to zero: the paper's `C` feeds a
+/// transition-probability normalization, which requires nonnegative mass.
+pub fn cosine_similarity_matrix(features: &DenseMatrix) -> DenseMatrix {
+    let n = features.rows();
+    let mut c = DenseMatrix::zeros(n, n);
+    // Pre-compute norms once.
+    let norms: Vec<f64> = (0..n).map(|i| vector::norm_l2(features.row(i))).collect();
+    for i in 0..n {
+        c.set(i, i, if norms[i] > 0.0 { 1.0 } else { 0.0 });
+        for j in (i + 1)..n {
+            if norms[i] == 0.0 || norms[j] == 0.0 {
+                continue;
+            }
+            let s = vector::dot(features.row(i), features.row(j)) / (norms[i] * norms[j]);
+            let s = s.max(0.0);
+            c.set(i, j, s);
+            c.set(j, i, s);
+        }
+    }
+    c
+}
+
+/// Builds the transition matrix `W` of Eq. (9): cosine similarities,
+/// column-normalized to be stochastic. Dangling columns (all-zero feature
+/// vectors) become uniform.
+pub fn feature_transition_matrix(features: &DenseMatrix) -> DenseMatrix {
+    let mut w = cosine_similarity_matrix(features);
+    w.normalize_columns_stochastic();
+    w
+}
+
+/// Builds a sparse `W` keeping only each node's `k` most similar neighbours
+/// (plus the self-loop), then column-normalizing. For `k ≥ n − 1` this
+/// coincides with the dense construction up to the truncation of zero
+/// similarities.
+pub fn knn_feature_transition_matrix(features: &DenseMatrix, k: usize) -> SparseMatrix {
+    let n = features.rows();
+    let norms: Vec<f64> = (0..n).map(|i| vector::norm_l2(features.row(i))).collect();
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+    let mut sims: Vec<(usize, f64)> = Vec::with_capacity(n);
+    for j in 0..n {
+        if norms[j] == 0.0 {
+            continue; // dangling column: handled by normalization
+        }
+        sims.clear();
+        for i in 0..n {
+            if i == j || norms[i] == 0.0 {
+                continue;
+            }
+            let s = vector::dot(features.row(i), features.row(j)) / (norms[i] * norms[j]);
+            if s > 0.0 {
+                sims.push((i, s));
+            }
+        }
+        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        sims.truncate(k);
+        // Self-similarity keeps the chain aperiodic, mirroring the dense
+        // construction where the diagonal is cos(f_j, f_j) = 1.
+        triplets.push((j, j, 1.0));
+        for &(i, s) in &sims {
+            triplets.push((i, j, s));
+        }
+    }
+    let mut w = SparseMatrix::from_triplets(n, n, &triplets)
+        .expect("knn triplets are in bounds by construction");
+    w.normalize_columns_stochastic();
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_features() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.9, 0.1],
+            vec![0.0, 1.0],
+            vec![0.1, 0.9],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn similarity_is_symmetric_with_unit_diagonal() {
+        let c = cosine_similarity_matrix(&two_cluster_features());
+        for i in 0..4 {
+            assert!((c.get(i, i) - 1.0).abs() < 1e-12);
+            for j in 0..4 {
+                assert!((c.get(i, j) - c.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn similar_nodes_score_higher() {
+        let c = cosine_similarity_matrix(&two_cluster_features());
+        assert!(c.get(0, 1) > c.get(0, 2));
+        assert!(c.get(2, 3) > c.get(2, 0));
+    }
+
+    #[test]
+    fn zero_feature_rows_yield_zero_similarity() {
+        let f = DenseMatrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0]]).unwrap();
+        let c = cosine_similarity_matrix(&f);
+        assert_eq!(c.get(0, 0), 0.0);
+        assert_eq!(c.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn transition_matrix_is_column_stochastic() {
+        let w = feature_transition_matrix(&two_cluster_features());
+        assert!(w.is_column_stochastic(1e-12));
+    }
+
+    #[test]
+    fn transition_matrix_handles_all_zero_features() {
+        let f = DenseMatrix::zeros(3, 2);
+        let w = feature_transition_matrix(&f);
+        // Every column dangles, so W is the uniform matrix.
+        assert!(w.is_column_stochastic(1e-12));
+        assert!((w.get(0, 0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_matrix_is_column_stochastic() {
+        let w = knn_feature_transition_matrix(&two_cluster_features(), 1);
+        assert!(w.is_column_stochastic(1e-12));
+    }
+
+    #[test]
+    fn knn_with_large_k_matches_dense_support() {
+        let f = two_cluster_features();
+        let dense = feature_transition_matrix(&f);
+        let sparse = knn_feature_transition_matrix(&f, 10).to_dense();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (dense.get(i, j) - sparse.get(i, j)).abs() < 1e-9,
+                    "mismatch at ({i}, {j}): {} vs {}",
+                    dense.get(i, j),
+                    sparse.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_measures_support_overlap() {
+        let m = SimilarityMetric::Jaccard;
+        assert_eq!(m.similarity(&[1.0, 2.0, 0.0], &[3.0, 0.0, 0.0]), 0.5);
+        assert_eq!(m.similarity(&[1.0, 1.0], &[1.0, 1.0]), 1.0);
+        assert_eq!(m.similarity(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn gaussian_decays_with_distance() {
+        let m = SimilarityMetric::Gaussian { sigma: 1.0 };
+        assert!((m.similarity(&[0.0], &[0.0]) - 1.0).abs() < 1e-12);
+        let near = m.similarity(&[0.0], &[0.5]);
+        let far = m.similarity(&[0.0], &[2.0]);
+        assert!(near > far && far > 0.0);
+    }
+
+    #[test]
+    fn hamming_counts_support_mismatches() {
+        let m = SimilarityMetric::Hamming;
+        assert_eq!(
+            m.similarity(&[1.0, 0.0, 2.0, 0.0], &[3.0, 0.0, 0.0, 1.0]),
+            0.5
+        );
+        assert_eq!(m.similarity(&[1.0], &[2.0]), 1.0);
+    }
+
+    #[test]
+    fn every_metric_yields_a_stochastic_transition_matrix() {
+        let f = two_cluster_features();
+        for metric in [
+            SimilarityMetric::Cosine,
+            SimilarityMetric::Jaccard,
+            SimilarityMetric::Gaussian { sigma: 0.5 },
+            SimilarityMetric::Hamming,
+        ] {
+            let w = feature_transition_matrix_with(&f, metric);
+            assert!(w.is_column_stochastic(1e-12), "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn metric_dispatch_matches_cosine_builder() {
+        let f = two_cluster_features();
+        let direct = cosine_similarity_matrix(&f);
+        let via_metric = similarity_matrix(&f, SimilarityMetric::Cosine);
+        assert_eq!(direct, via_metric);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn gaussian_rejects_zero_bandwidth() {
+        SimilarityMetric::Gaussian { sigma: 0.0 }.similarity(&[1.0], &[2.0]);
+    }
+
+    #[test]
+    fn knn_truncates_neighbours() {
+        // With k = 1 each column keeps self + 1 neighbour at most.
+        let w = knn_feature_transition_matrix(&two_cluster_features(), 1);
+        assert!(w.nnz() <= 4 * 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! Operations on probability vectors and feature vectors stored as `&[f64]`.
+//!
+//! The T-Mark iteration keeps every state vector on the probability simplex
+//! (Theorem 1 of the paper). The helpers here implement the norms used by
+//! the stopping rule `‖x_t − x_{t−1}‖ + ‖z_t − z_{t−1}‖ < ε`, the simplex
+//! renormalization that guards against floating-point drift, and the cosine
+//! similarity that defines the feature transition matrix `W`.
+
+/// Dot product of two equally long slices.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ; in release builds the
+/// shorter length wins (callers are expected to have validated shapes).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// The `ℓ₁` norm `Σ|xᵢ|`.
+#[inline]
+pub fn norm_l1(v: &[f64]) -> f64 {
+    v.iter().map(|x| x.abs()).sum()
+}
+
+/// The `ℓ₂` (Euclidean) norm.
+#[inline]
+pub fn norm_l2(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+/// The `ℓ∞` norm `max|xᵢ|` (0 for an empty slice).
+#[inline]
+pub fn norm_linf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// `‖a − b‖₁`, the distance used by Algorithm 1's stopping rule.
+#[inline]
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "l1_distance: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Rescales `v` in place so its entries sum to one.
+///
+/// If the slice sums to zero (or is empty) it is left untouched and `false`
+/// is returned; otherwise `true`. Negative entries are permitted — the sum,
+/// not the `ℓ₁` norm, is normalized — because callers only invoke this on
+/// nonnegative data.
+pub fn normalize_sum_to_one(v: &mut [f64]) -> bool {
+    let s: f64 = v.iter().sum();
+    if s == 0.0 || !s.is_finite() {
+        return false;
+    }
+    let inv = 1.0 / s;
+    for x in v.iter_mut() {
+        *x *= inv;
+    }
+    true
+}
+
+/// Returns a uniform distribution of length `n` (empty for `n == 0`).
+pub fn uniform(n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    vec![1.0 / n as f64; n]
+}
+
+/// True when every entry is nonnegative and the entries sum to one within
+/// `tol`. This is the Theorem-1 invariant checked throughout the workspace.
+pub fn is_stochastic(v: &[f64], tol: f64) -> bool {
+    if v.is_empty() {
+        return false;
+    }
+    if v.iter().any(|&x| x < -tol || !x.is_finite()) {
+        return false;
+    }
+    (v.iter().sum::<f64>() - 1.0).abs() <= tol
+}
+
+/// Cosine similarity between two feature vectors; 0.0 when either vector is
+/// all-zero (the paper's `W` treats featureless nodes as dissimilar to
+/// everything, with dangling columns handled during normalization).
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm_l2(a);
+    let nb = norm_l2(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+/// Index of the maximum entry, breaking ties toward the smaller index.
+/// Returns `None` for an empty slice.
+pub fn argmax(v: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in v.iter().enumerate() {
+        match best {
+            Some((_, bx)) if x <= bx => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Indices of the `k` largest entries in descending order of value
+/// (ties broken toward smaller indices). `k` may exceed `v.len()`.
+pub fn top_k(v: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&a, &b| {
+        v[b].partial_cmp(&v[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// `y ← αx + y`, the fused update used in the T-Mark step.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales `v` in place by `alpha`.
+#[inline]
+pub fn scale(v: &mut [f64], alpha: f64) {
+    for x in v.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn norms_agree_on_simple_vector() {
+        let v = [3.0, -4.0];
+        assert_eq!(norm_l1(&v), 7.0);
+        assert_eq!(norm_l2(&v), 5.0);
+        assert_eq!(norm_linf(&v), 4.0);
+    }
+
+    #[test]
+    fn norm_linf_empty_is_zero() {
+        assert_eq!(norm_linf(&[]), 0.0);
+    }
+
+    #[test]
+    fn l1_distance_is_symmetric() {
+        let a = [0.2, 0.8];
+        let b = [0.5, 0.5];
+        assert!((l1_distance(&a, &b) - l1_distance(&b, &a)).abs() < 1e-15);
+        assert!((l1_distance(&a, &b) - 0.6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_sum_to_one_produces_simplex_point() {
+        let mut v = vec![2.0, 3.0, 5.0];
+        assert!(normalize_sum_to_one(&mut v));
+        assert!(is_stochastic(&v, 1e-12));
+        assert!((v[2] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_sum_to_one_rejects_zero_vector() {
+        let mut v = vec![0.0, 0.0];
+        assert!(!normalize_sum_to_one(&mut v));
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn uniform_is_stochastic() {
+        assert!(is_stochastic(&uniform(7), 1e-12));
+        assert!(uniform(0).is_empty());
+    }
+
+    #[test]
+    fn is_stochastic_rejects_negative_and_nan() {
+        assert!(!is_stochastic(&[1.5, -0.5], 1e-9));
+        assert!(!is_stochastic(&[f64::NAN, 1.0], 1e-9));
+        assert!(!is_stochastic(&[], 1e-9));
+    }
+
+    #[test]
+    fn cosine_of_identical_directions_is_one() {
+        assert!((cosine(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_with_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_lower_index() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        assert_eq!(top_k(&[0.1, 0.9, 0.5], 2), vec![1, 2]);
+        assert_eq!(top_k(&[0.1, 0.9], 10), vec![1, 0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_multiplies_in_place() {
+        let mut v = vec![1.0, -2.0];
+        scale(&mut v, 0.5);
+        assert_eq!(v, vec![0.5, -1.0]);
+    }
+}

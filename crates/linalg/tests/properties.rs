@@ -1,0 +1,202 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use tmark_linalg::similarity::{cosine_similarity_matrix, feature_transition_matrix};
+use tmark_linalg::{vector, DenseMatrix, SparseMatrix};
+
+/// Strategy: a non-empty vector of finite, moderate floats.
+fn finite_vec(len: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, len)
+}
+
+/// Strategy: a nonnegative vector (for stochastic normalization).
+fn nonneg_vec(len: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0..1e3f64, len)
+}
+
+proptest! {
+    #[test]
+    fn l1_distance_satisfies_triangle_inequality(
+        a in finite_vec(1..=24),
+        b in finite_vec(1..=24),
+        c in finite_vec(1..=24),
+    ) {
+        let n = a.len().min(b.len()).min(c.len());
+        let (a, b, c) = (&a[..n], &b[..n], &c[..n]);
+        let ab = vector::l1_distance(a, b);
+        let bc = vector::l1_distance(b, c);
+        let ac = vector::l1_distance(a, c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn normalization_lands_on_the_simplex(mut v in nonneg_vec(1..=32)) {
+        if vector::normalize_sum_to_one(&mut v) {
+            prop_assert!(vector::is_stochastic(&v, 1e-9), "v = {v:?}");
+        } else {
+            // Only the zero vector refuses normalization.
+            prop_assert!(v.iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn cosine_is_bounded_and_symmetric(
+        a in finite_vec(2..=16),
+        b in finite_vec(2..=16),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let ab = vector::cosine(a, b);
+        let ba = vector::cosine(b, a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ab));
+    }
+
+    #[test]
+    fn top_k_returns_a_descending_prefix(v in finite_vec(1..=32), k in 0usize..40) {
+        let top = vector::top_k(&v, k);
+        prop_assert_eq!(top.len(), k.min(v.len()));
+        for w in top.windows(2) {
+            prop_assert!(v[w[0]] >= v[w[1]]);
+        }
+        // Every returned element dominates every excluded element.
+        if let Some(&last) = top.last() {
+            for (i, &x) in v.iter().enumerate() {
+                if !top.contains(&i) {
+                    prop_assert!(x <= v[last] + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn column_normalization_always_yields_a_stochastic_matrix(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        seed_data in prop::collection::vec(0.0..10.0f64, 1..=144),
+    ) {
+        let mut data = vec![0.0; rows * cols];
+        for (i, v) in seed_data.into_iter().enumerate() {
+            data[i % (rows * cols)] += v;
+        }
+        let mut m = DenseMatrix::from_vec(rows, cols, data).unwrap();
+        m.normalize_columns_stochastic();
+        prop_assert!(m.is_column_stochastic(1e-9));
+    }
+
+    #[test]
+    fn stochastic_matvec_preserves_the_simplex(
+        n in 2usize..10,
+        raw in prop::collection::vec(0.0..5.0f64, 4..=100),
+        mut x in nonneg_vec(2..=10),
+    ) {
+        let mut data = vec![0.0; n * n];
+        for (i, v) in raw.into_iter().enumerate() {
+            data[i % (n * n)] += v;
+        }
+        let mut p = DenseMatrix::from_vec(n, n, data).unwrap();
+        p.normalize_columns_stochastic();
+        x.resize(n, 0.1);
+        if vector::normalize_sum_to_one(&mut x) {
+            let y = p.matvec(&x).unwrap();
+            prop_assert!(vector::is_stochastic(&y, 1e-9), "y = {y:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_matvec_agrees_with_dense(
+        n in 1usize..10,
+        entries in prop::collection::vec((0usize..10, 0usize..10, -5.0..5.0f64), 0..=40),
+        x in finite_vec(1..=10),
+    ) {
+        let triplets: Vec<(usize, usize, f64)> = entries
+            .into_iter()
+            .map(|(r, c, v)| (r % n, c % n, v))
+            .collect();
+        let s = SparseMatrix::from_triplets(n, n, &triplets).unwrap();
+        let mut xv = x;
+        xv.resize(n, 0.0);
+        let sparse_y = s.matvec(&xv).unwrap();
+        let dense_y = s.to_dense().matvec(&xv).unwrap();
+        for (a, b) in sparse_y.iter().zip(&dense_y) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_matmul_agrees_with_dense(
+        n in 1usize..8,
+        ea in prop::collection::vec((0usize..8, 0usize..8, -3.0..3.0f64), 0..=24),
+        eb in prop::collection::vec((0usize..8, 0usize..8, -3.0..3.0f64), 0..=24),
+    ) {
+        let ta: Vec<_> = ea.into_iter().map(|(r, c, v)| (r % n, c % n, v)).collect();
+        let tb: Vec<_> = eb.into_iter().map(|(r, c, v)| (r % n, c % n, v)).collect();
+        let a = SparseMatrix::from_triplets(n, n, &ta).unwrap();
+        let b = SparseMatrix::from_triplets(n, n, &tb).unwrap();
+        let sparse_c = a.matmul_sparse(&b).unwrap().to_dense();
+        let dense_c = a.to_dense().matmul(&b.to_dense()).unwrap();
+        for r in 0..n {
+            for c in 0..n {
+                prop_assert!((sparse_c.get(r, c) - dense_c.get(r, c)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_matrix_is_symmetric_nonnegative(
+        rows in 1usize..8,
+        cols in 1usize..6,
+        raw in prop::collection::vec(0.0..3.0f64, 1..=48),
+    ) {
+        let mut data = vec![0.0; rows * cols];
+        for (i, v) in raw.into_iter().enumerate() {
+            data[i % (rows * cols)] += v;
+        }
+        let f = DenseMatrix::from_vec(rows, cols, data).unwrap();
+        let c = cosine_similarity_matrix(&f);
+        for i in 0..rows {
+            for j in 0..rows {
+                prop_assert!((c.get(i, j) - c.get(j, i)).abs() < 1e-9);
+                prop_assert!(c.get(i, j) >= 0.0);
+                prop_assert!(c.get(i, j) <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn feature_transition_matrix_is_always_stochastic(
+        rows in 1usize..8,
+        cols in 1usize..6,
+        raw in prop::collection::vec(-2.0..3.0f64, 1..=48),
+    ) {
+        let mut data = vec![0.0; rows * cols];
+        for (i, v) in raw.into_iter().enumerate() {
+            data[i % (rows * cols)] += v;
+        }
+        let f = DenseMatrix::from_vec(rows, cols, data).unwrap();
+        let w = feature_transition_matrix(&f);
+        prop_assert!(w.is_column_stochastic(1e-9));
+    }
+
+    #[test]
+    fn transpose_is_an_involution_preserving_matvec(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        raw in prop::collection::vec(-3.0..3.0f64, 1..=64),
+        x in finite_vec(1..=8),
+    ) {
+        let mut data = vec![0.0; rows * cols];
+        for (i, v) in raw.into_iter().enumerate() {
+            data[i % (rows * cols)] += v;
+        }
+        let m = DenseMatrix::from_vec(rows, cols, data).unwrap();
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        let mut xv = x;
+        xv.resize(rows, 0.0);
+        let a = m.matvec_transpose(&xv).unwrap();
+        let b = m.transpose().matvec(&xv).unwrap();
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-7);
+        }
+    }
+}

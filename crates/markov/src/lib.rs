@@ -1,0 +1,37 @@
+//! Markov-chain substrate: power iteration, PageRank variants, and
+//! convergence diagnostics.
+//!
+//! T-Mark generalizes topic-sensitive PageRank and random walk with
+//! restart from matrices to tensors (Section 3.1 cites both as the source
+//! of its label-propagation scheme). This crate implements the matrix
+//! versions — both because wvRN+RL and the feature-only ablation (`γ = 1`)
+//! reduce to them, and because they serve as trusted oracles in tests: a
+//! T-Mark run with `m = 1` relation must agree with the corresponding
+//! matrix chain.
+
+//! ```
+//! use tmark_linalg::DenseMatrix;
+//! use tmark_markov::{random_walk_with_restart, PageRankConfig};
+//!
+//! // A 3-cycle with restart from node 0.
+//! let p = DenseMatrix::from_rows(&[
+//!     vec![0.0, 0.0, 1.0],
+//!     vec![1.0, 0.0, 0.0],
+//!     vec![0.0, 1.0, 0.0],
+//! ]).unwrap();
+//! let (x, report) =
+//!     random_walk_with_restart(&p, &[1.0, 0.0, 0.0], &PageRankConfig::default()).unwrap();
+//! assert!(report.converged);
+//! assert!(x[0] > x[2], "the restart node holds the most mass");
+//! ```
+
+#![deny(missing_docs)]
+pub mod chain;
+pub mod mixing;
+pub mod pagerank;
+pub mod sparse_chain;
+
+pub use chain::{power_iteration, ConvergenceReport, PowerIterationConfig};
+pub use mixing::{mixing_analysis, MixingReport};
+pub use pagerank::{pagerank, random_walk_with_restart, PageRankConfig};
+pub use sparse_chain::{sparse_power_iteration, sparse_random_walk_with_restart};

@@ -1,0 +1,198 @@
+//! Mixing diagnostics for stochastic matrices.
+//!
+//! The paper's Fig. 10 observes convergence within ~10 iterations; the
+//! quantity that governs that speed is the chain's second-largest
+//! eigenvalue modulus (SLEM). This module estimates the SLEM by power
+//! iteration on the component orthogonal to the stationary distribution,
+//! giving a principled prediction of the iteration counts the solver
+//! reports.
+
+use tmark_linalg::{vector, DenseMatrix, LinalgError};
+
+use crate::chain::{power_iteration, PowerIterationConfig};
+
+/// The outcome of a mixing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixingReport {
+    /// The stationary distribution found.
+    pub stationary: Vec<f64>,
+    /// Estimated second-largest eigenvalue modulus (`0 ≤ slem < 1` for an
+    /// ergodic chain).
+    pub slem: f64,
+    /// Predicted iterations to shrink an initial error by `1e-9`
+    /// (`log(1e-9) / log(slem)`, capped), or 1 when `slem ≈ 0`.
+    pub predicted_iterations: usize,
+}
+
+/// Estimates the SLEM of a column-stochastic matrix by deflated power
+/// iteration: repeatedly applies `P`, projecting out the stationary
+/// direction, and reads the asymptotic contraction ratio.
+///
+/// # Errors
+/// [`LinalgError`] if the matrix is not square.
+pub fn mixing_analysis(
+    p: &DenseMatrix,
+    config: &PowerIterationConfig,
+) -> Result<MixingReport, LinalgError> {
+    let n = p.rows();
+    if n != p.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "mixing_analysis",
+            expected: (n, n),
+            found: (n, p.cols()),
+        });
+    }
+    let (stationary, _) = power_iteration(p, &vector::uniform(n), config)?;
+
+    // Deflated iteration: v orthogonal to 1 (left eigenvector of a
+    // column-stochastic matrix), tracking the per-step contraction.
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    let mean = v.iter().sum::<f64>() / n as f64;
+    for x in v.iter_mut() {
+        *x -= mean;
+    }
+    let mut norm = vector::norm_l2(&v);
+    if norm == 0.0 {
+        // n == 1: the chain mixes instantly.
+        return Ok(MixingReport {
+            stationary,
+            slem: 0.0,
+            predicted_iterations: 1,
+        });
+    }
+    for x in v.iter_mut() {
+        *x /= norm;
+    }
+    let mut slem = 0.0;
+    for _ in 0..config.max_iterations.min(200) {
+        let mut next = p.matvec(&v)?;
+        // Re-project out the all-ones direction to counter round-off.
+        let mean = next.iter().sum::<f64>() / n as f64;
+        for x in next.iter_mut() {
+            *x -= mean;
+        }
+        norm = vector::norm_l2(&next);
+        if norm < 1e-300 {
+            slem = 0.0;
+            break;
+        }
+        for x in next.iter_mut() {
+            *x /= norm;
+        }
+        slem = norm;
+        v = next;
+    }
+    let slem = slem.clamp(0.0, 1.0);
+    let predicted_iterations = if slem <= f64::EPSILON {
+        1
+    } else if slem >= 1.0 - 1e-12 {
+        usize::MAX
+    } else {
+        ((1e-9f64).ln() / slem.ln()).ceil() as usize
+    };
+    Ok(MixingReport {
+        stationary,
+        slem,
+        predicted_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_teleport_chain_mixes_instantly() {
+        // P with identical columns maps everything to the stationary
+        // distribution in one step: slem = 0.
+        let p = DenseMatrix::from_rows(&[
+            vec![0.3, 0.3, 0.3],
+            vec![0.5, 0.5, 0.5],
+            vec![0.2, 0.2, 0.2],
+        ])
+        .unwrap();
+        let report = mixing_analysis(&p, &PowerIterationConfig::default()).unwrap();
+        assert!(report.slem < 1e-10, "slem {}", report.slem);
+        assert_eq!(report.predicted_iterations, 1);
+    }
+
+    #[test]
+    fn lazy_chain_has_the_expected_slem() {
+        // P = (1-eps) I + eps * uniform: eigenvalues are 1 and (1 - eps).
+        let eps = 0.3;
+        let n = 4;
+        let mut p = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let base = if i == j { 1.0 - eps } else { 0.0 };
+                p.set(i, j, base + eps / n as f64);
+            }
+        }
+        let report = mixing_analysis(&p, &PowerIterationConfig::default()).unwrap();
+        assert!(
+            (report.slem - (1.0 - eps)).abs() < 1e-6,
+            "slem {}",
+            report.slem
+        );
+    }
+
+    #[test]
+    fn damping_shrinks_the_slem() {
+        // The damped chain (1-a) P + a * uniform scales all non-unit
+        // eigenvalues by (1-a); stronger damping -> faster mixing.
+        let base = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let mut prev_slem = 1.0;
+        for a in [0.2, 0.5, 0.8] {
+            let mut damped = base.map(|v| (1.0 - a) * v);
+            for i in 0..2 {
+                for j in 0..2 {
+                    damped.add_at(i, j, a / 2.0);
+                }
+            }
+            let report = mixing_analysis(&damped, &PowerIterationConfig::default()).unwrap();
+            assert!(
+                (report.slem - (1.0 - a)).abs() < 1e-6,
+                "a={a}: slem {}",
+                report.slem
+            );
+            assert!(report.slem < prev_slem);
+            prev_slem = report.slem;
+        }
+    }
+
+    #[test]
+    fn predicted_iterations_track_the_observed_convergence() {
+        let eps = 0.5;
+        let n = 6;
+        let mut p = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let base = if (i + 1) % n == j { 1.0 - eps } else { 0.0 };
+                p.set(i, j, base + eps / n as f64);
+            }
+        }
+        let config = PowerIterationConfig {
+            epsilon: 1e-9,
+            max_iterations: 1000,
+        };
+        let report = mixing_analysis(&p, &config).unwrap();
+        let (_, conv) = power_iteration(&p, &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0], &config).unwrap();
+        assert!(conv.converged);
+        // Observed iterations should be within a factor of ~3 of the
+        // SLEM-based prediction (constants differ; orders must agree).
+        let predicted = report.predicted_iterations as f64;
+        let observed = conv.iterations as f64;
+        assert!(
+            observed <= 3.0 * predicted && predicted <= 10.0 * observed,
+            "predicted {predicted}, observed {observed}"
+        );
+    }
+
+    #[test]
+    fn non_square_matrix_is_rejected() {
+        let p = DenseMatrix::zeros(2, 3);
+        assert!(mixing_analysis(&p, &PowerIterationConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Power iteration and damped walks on *sparse* column-stochastic
+//! matrices.
+//!
+//! The dense routines in [`crate::chain`] and the `pagerank` module are fine
+//! for the feature matrix `W`, but relational transition structures are
+//! sparse; these variants run in `O(nnz)` per step, mirroring the tensor
+//! contractions' complexity story.
+
+use tmark_linalg::{vector, LinalgError, SparseMatrix};
+
+use crate::chain::{ConvergenceReport, PowerIterationConfig};
+use crate::pagerank::PageRankConfig;
+
+fn check_square(p: &SparseMatrix, op: &'static str) -> Result<(), LinalgError> {
+    if p.rows() != p.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            op,
+            expected: (p.rows(), p.rows()),
+            found: (p.rows(), p.cols()),
+        });
+    }
+    Ok(())
+}
+
+/// Sparse power iteration: the stationary distribution of a sparse
+/// column-stochastic matrix (dangling columns behave uniformly if the
+/// matrix was normalized with
+/// [`SparseMatrix::normalize_columns_stochastic`]).
+///
+/// # Errors
+/// [`LinalgError`] on a non-square matrix or a wrong-length start vector.
+pub fn sparse_power_iteration(
+    p: &SparseMatrix,
+    x0: &[f64],
+    config: &PowerIterationConfig,
+) -> Result<(Vec<f64>, ConvergenceReport), LinalgError> {
+    check_square(p, "sparse_power_iteration")?;
+    if x0.len() != p.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "sparse_power_iteration start vector",
+            expected: (p.rows(), 1),
+            found: (x0.len(), 1),
+        });
+    }
+    let mut x = x0.to_vec();
+    if !vector::normalize_sum_to_one(&mut x) {
+        x = vector::uniform(p.rows());
+    }
+    let mut trace = Vec::new();
+    let mut residual = f64::INFINITY;
+    let mut iterations = 0;
+    for _ in 0..config.max_iterations {
+        let mut next = p.matvec(&x)?;
+        vector::normalize_sum_to_one(&mut next);
+        residual = vector::l1_distance(&next, &x);
+        trace.push(residual);
+        x = next;
+        iterations += 1;
+        if residual < config.epsilon {
+            break;
+        }
+    }
+    let converged = residual < config.epsilon;
+    Ok((
+        x,
+        ConvergenceReport {
+            iterations,
+            final_residual: residual,
+            converged,
+            residual_trace: trace,
+        },
+    ))
+}
+
+/// Sparse random walk with restart: solves `x = (1 − α) P x + α v`.
+///
+/// # Errors
+/// [`LinalgError`] on shape mismatches.
+pub fn sparse_random_walk_with_restart(
+    p: &SparseMatrix,
+    restart: &[f64],
+    config: &PageRankConfig,
+) -> Result<(Vec<f64>, ConvergenceReport), LinalgError> {
+    check_square(p, "sparse_random_walk_with_restart")?;
+    if restart.len() != p.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "sparse_random_walk_with_restart restart vector",
+            expected: (p.rows(), 1),
+            found: (restart.len(), 1),
+        });
+    }
+    let mut v = restart.to_vec();
+    if !vector::normalize_sum_to_one(&mut v) {
+        v = vector::uniform(p.rows());
+    }
+    let mut x = v.clone();
+    let mut trace = Vec::new();
+    let mut residual = f64::INFINITY;
+    let mut iterations = 0;
+    for _ in 0..config.max_iterations {
+        let mut next = p.matvec(&x)?;
+        for (n, &vi) in next.iter_mut().zip(&v) {
+            *n = (1.0 - config.alpha) * *n + config.alpha * vi;
+        }
+        vector::normalize_sum_to_one(&mut next);
+        residual = vector::l1_distance(&next, &x);
+        trace.push(residual);
+        x = next;
+        iterations += 1;
+        if residual < config.epsilon {
+            break;
+        }
+    }
+    let converged = residual < config.epsilon;
+    Ok((
+        x,
+        ConvergenceReport {
+            iterations,
+            final_residual: residual,
+            converged,
+            residual_trace: trace,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pagerank, power_iteration, random_walk_with_restart};
+
+    /// A sparse chain and its dense equivalent for cross-checking.
+    fn ring_chain(n: usize) -> SparseMatrix {
+        let mut triplets = Vec::new();
+        for j in 0..n {
+            triplets.push(((j + 1) % n, j, 0.7));
+            triplets.push(((j + n - 1) % n, j, 0.3));
+        }
+        let mut p = SparseMatrix::from_triplets(n, n, &triplets).unwrap();
+        p.normalize_columns_stochastic();
+        p
+    }
+
+    #[test]
+    fn sparse_power_iteration_matches_dense() {
+        let p = ring_chain(8);
+        let x0 = vector::uniform(8);
+        let config = PowerIterationConfig {
+            epsilon: 1e-12,
+            max_iterations: 5000,
+        };
+        let (sparse_pi, _) = sparse_power_iteration(&p, &x0, &config).unwrap();
+        let (dense_pi, _) = power_iteration(&p.to_dense(), &x0, &config).unwrap();
+        assert!(vector::l1_distance(&sparse_pi, &dense_pi) < 1e-9);
+    }
+
+    #[test]
+    fn sparse_rwr_matches_dense() {
+        let p = ring_chain(8);
+        let mut restart = vec![0.0; 8];
+        restart[2] = 1.0;
+        let config = PageRankConfig {
+            alpha: 0.25,
+            epsilon: 1e-12,
+            max_iterations: 5000,
+        };
+        let (sparse_x, _) = sparse_random_walk_with_restart(&p, &restart, &config).unwrap();
+        let (dense_x, _) = random_walk_with_restart(&p.to_dense(), &restart, &config).unwrap();
+        assert!(vector::l1_distance(&sparse_x, &dense_x) < 1e-9);
+    }
+
+    #[test]
+    fn dangling_columns_behave_uniformly() {
+        // Column 2 is empty; after normalization it teleports uniformly.
+        let mut p = SparseMatrix::from_triplets(3, 3, &[(1, 0, 1.0), (2, 1, 1.0)]).unwrap();
+        p.normalize_columns_stochastic();
+        let config = PageRankConfig::default();
+        let (x, report) =
+            sparse_random_walk_with_restart(&p, &vector::uniform(3), &config).unwrap();
+        assert!(report.converged);
+        assert!(vector::is_stochastic(&x, 1e-9));
+        // Cross-check against dense PageRank on the expanded matrix.
+        let (dense_x, _) = pagerank(&p.to_dense(), &config).unwrap();
+        assert!(vector::l1_distance(&x, &dense_x) < 1e-8);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let rect = SparseMatrix::from_triplets(2, 3, &[]).unwrap();
+        assert!(
+            sparse_power_iteration(&rect, &[0.5, 0.5, 0.0], &PowerIterationConfig::default())
+                .is_err()
+        );
+        let sq = ring_chain(3);
+        assert!(sparse_power_iteration(&sq, &[0.5], &PowerIterationConfig::default()).is_err());
+        assert!(sparse_random_walk_with_restart(&sq, &[1.0], &PageRankConfig::default()).is_err());
+    }
+
+    #[test]
+    fn zero_start_falls_back_to_uniform() {
+        let p = ring_chain(4);
+        let (x, _) =
+            sparse_power_iteration(&p, &[0.0; 4], &PowerIterationConfig::default()).unwrap();
+        assert!(vector::is_stochastic(&x, 1e-9));
+    }
+}

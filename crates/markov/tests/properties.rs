@@ -1,0 +1,84 @@
+//! Property-based tests for the Markov-chain substrate.
+
+use proptest::prelude::*;
+use tmark_linalg::vector::{is_stochastic, l1_distance};
+use tmark_linalg::DenseMatrix;
+use tmark_markov::{
+    pagerank, power_iteration, random_walk_with_restart, PageRankConfig, PowerIterationConfig,
+};
+
+/// Strategy: a random column-stochastic matrix and a simplex start vector.
+fn stochastic_system() -> impl Strategy<Value = (DenseMatrix, Vec<f64>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let raw = prop::collection::vec(0.0..1.0f64, n * n);
+        let x = prop::collection::vec(0.01..1.0f64, n);
+        (Just(n), raw, x).prop_map(|(n, raw, mut x)| {
+            let mut p = DenseMatrix::from_vec(n, n, raw).unwrap();
+            p.normalize_columns_stochastic();
+            let s: f64 = x.iter().sum();
+            for v in x.iter_mut() {
+                *v /= s;
+            }
+            (p, x)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn power_iteration_output_is_stochastic((p, x0) in stochastic_system()) {
+        let (pi, _) = power_iteration(&p, &x0, &PowerIterationConfig::default()).unwrap();
+        prop_assert!(is_stochastic(&pi, 1e-8), "pi = {pi:?}");
+    }
+
+    #[test]
+    fn converged_power_iteration_is_a_fixed_point((p, x0) in stochastic_system()) {
+        let config = PowerIterationConfig { epsilon: 1e-12, max_iterations: 5000 };
+        let (pi, report) = power_iteration(&p, &x0, &config).unwrap();
+        if report.converged {
+            let mapped = p.matvec(&pi).unwrap();
+            prop_assert!(l1_distance(&mapped, &pi) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rwr_satisfies_its_defining_equation((p, restart) in stochastic_system()) {
+        let config = PageRankConfig { alpha: 0.2, epsilon: 1e-12, max_iterations: 5000 };
+        let (x, report) = random_walk_with_restart(&p, &restart, &config).unwrap();
+        prop_assert!(report.converged, "damped chains always converge");
+        let px = p.matvec(&x).unwrap();
+        for i in 0..x.len() {
+            let rhs = 0.8 * px[i] + 0.2 * restart[i];
+            prop_assert!((x[i] - rhs).abs() < 1e-8, "fixed point violated at {i}");
+        }
+    }
+
+    #[test]
+    fn rwr_is_monotone_in_the_restart_mass((p, restart) in stochastic_system()) {
+        // As alpha -> 1 the solution approaches the restart vector.
+        let near_one = PageRankConfig { alpha: 0.99, epsilon: 1e-12, max_iterations: 5000 };
+        let (x, _) = random_walk_with_restart(&p, &restart, &near_one).unwrap();
+        prop_assert!(l1_distance(&x, &restart) < 0.1, "alpha=0.99 should pin the restart");
+    }
+
+    #[test]
+    fn pagerank_is_stochastic_and_positive_for_positive_chains(
+        (p, _) in stochastic_system()
+    ) {
+        let (pr, report) = pagerank(&p, &PageRankConfig::default()).unwrap();
+        prop_assert!(report.converged);
+        prop_assert!(is_stochastic(&pr, 1e-8));
+        // The uniform teleport guarantees strict positivity.
+        for &v in &pr {
+            prop_assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn residual_trace_length_matches_iterations((p, x0) in stochastic_system()) {
+        let config = PowerIterationConfig { epsilon: 1e-10, max_iterations: 64 };
+        let (_, report) = power_iteration(&p, &x0, &config).unwrap();
+        prop_assert_eq!(report.residual_trace.len(), report.iterations);
+        prop_assert!(report.iterations <= 64);
+    }
+}

@@ -1,0 +1,185 @@
+//! The Highway Network (HN) baseline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tmark_hin::Hin;
+use tmark_linalg::DenseMatrix;
+
+use crate::layers::{Dense, Highway, Layer, Relu};
+use crate::loss::{softmax_cross_entropy, softmax_rows};
+
+/// A highway network classifier over node content features:
+/// input projection → ReLU → `depth` highway layers → linear output →
+/// softmax. Trained full-batch with SGD + momentum on the labeled nodes.
+pub struct HighwayNetwork {
+    input_proj: Dense,
+    input_act: Relu,
+    highways: Vec<Highway>,
+    output: Dense,
+    /// Learning rate for the full-batch SGD.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+impl HighwayNetwork {
+    /// Builds an untrained network: `input_dim → hidden` projection, then
+    /// `depth` highway layers of width `hidden`, then a `hidden → q` head.
+    pub fn new(
+        input_dim: usize,
+        hidden: usize,
+        num_classes: usize,
+        depth: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        HighwayNetwork {
+            input_proj: Dense::new(input_dim, hidden, &mut rng),
+            input_act: Relu::new(),
+            highways: (0..depth).map(|_| Highway::new(hidden, &mut rng)).collect(),
+            output: Dense::new(hidden, num_classes, &mut rng),
+            learning_rate: 0.05,
+            momentum: 0.9,
+            epochs: 200,
+        }
+    }
+
+    fn forward(&mut self, x: &DenseMatrix) -> DenseMatrix {
+        let mut h = self.input_act.forward(&self.input_proj.forward(x));
+        for hw in self.highways.iter_mut() {
+            h = hw.forward(&h);
+        }
+        self.output.forward(&h)
+    }
+
+    fn backward_and_update(&mut self, d_logits: &DenseMatrix) {
+        let mut g = self.output.backward(d_logits);
+        for hw in self.highways.iter_mut().rev() {
+            g = hw.backward(&g);
+        }
+        let g = self.input_act.backward(&g);
+        self.input_proj.backward(&g);
+
+        let (lr, mom) = (self.learning_rate, self.momentum);
+        self.output.update(lr, mom);
+        for hw in self.highways.iter_mut() {
+            hw.update(lr, mom);
+        }
+        self.input_proj.update(lr, mom);
+    }
+
+    /// Trains on the given feature rows and labels (full batch).
+    /// Returns the per-epoch loss curve.
+    pub fn train(&mut self, x: &DenseMatrix, labels: &[usize]) -> Vec<f64> {
+        let mut losses = Vec::with_capacity(self.epochs);
+        for _ in 0..self.epochs {
+            let logits = self.forward(x);
+            let (loss, d_logits) = softmax_cross_entropy(&logits, labels);
+            losses.push(loss);
+            self.backward_and_update(&d_logits);
+        }
+        losses
+    }
+
+    /// Class probabilities for a batch of feature rows.
+    pub fn predict_proba_batch(&mut self, x: &DenseMatrix) -> DenseMatrix {
+        softmax_rows(&self.forward(x))
+    }
+
+    /// Trains on the labeled nodes of a HIN (content features only, as the
+    /// paper's HN baseline does) and scores every node. The returned
+    /// matrix is `n × q` with stochastic rows.
+    pub fn score(hin: &Hin, train: &[usize], seed: u64) -> DenseMatrix {
+        let q = hin.num_classes();
+        let d = hin.feature_dim();
+        let hidden = 32.min(d.max(8));
+        let mut net = HighwayNetwork::new(d, hidden, q, 2, seed);
+        let train_x = DenseMatrix::from_rows(
+            &train
+                .iter()
+                .map(|&v| hin.features().row(v).to_vec())
+                .collect::<Vec<_>>(),
+        )
+        .expect("uniform rows");
+        let train_y: Vec<usize> = train
+            .iter()
+            .map(|&v| hin.labels().labels_of(v)[0])
+            .collect();
+        net.train(&train_x, &train_y);
+        net.predict_proba_batch(hin.features())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_like_data() -> (DenseMatrix, Vec<usize>) {
+        // Not linearly separable: class = XOR of sign pattern.
+        let rows = vec![
+            vec![1.0, 1.0],
+            vec![-1.0, -1.0],
+            vec![1.0, -1.0],
+            vec![-1.0, 1.0],
+            vec![0.9, 0.9],
+            vec![-0.9, -0.9],
+            vec![0.9, -0.9],
+            vec![-0.9, 0.9],
+        ];
+        let labels = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        (DenseMatrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let (x, y) = xor_like_data();
+        let mut net = HighwayNetwork::new(2, 16, 2, 2, 1);
+        let losses = net.train(&x, &y);
+        assert!(
+            losses.last().unwrap() < &losses[0],
+            "loss did not decrease: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn learns_a_nonlinear_boundary() {
+        let (x, y) = xor_like_data();
+        let mut net = HighwayNetwork::new(2, 16, 2, 2, 1);
+        net.epochs = 800;
+        net.train(&x, &y);
+        let p = net.predict_proba_batch(&x);
+        let correct = (0..8)
+            .filter(|&r| tmark_linalg::vector::argmax(p.row(r)).unwrap() == y[r])
+            .count();
+        assert!(correct >= 7, "XOR accuracy too low: {correct}/8");
+    }
+
+    #[test]
+    fn probabilities_are_stochastic_rows() {
+        let (x, y) = xor_like_data();
+        let mut net = HighwayNetwork::new(2, 8, 2, 1, 3);
+        net.epochs = 10;
+        net.train(&x, &y);
+        let p = net.predict_proba_batch(&x);
+        for r in 0..p.rows() {
+            assert!(tmark_linalg::vector::is_stochastic(p.row(r), 1e-9));
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let (x, y) = xor_like_data();
+        let mut a = HighwayNetwork::new(2, 8, 2, 1, 7);
+        let mut b = HighwayNetwork::new(2, 8, 2, 1, 7);
+        a.epochs = 20;
+        b.epochs = 20;
+        a.train(&x, &y);
+        b.train(&x, &y);
+        assert_eq!(
+            a.predict_proba_batch(&x).as_slice(),
+            b.predict_proba_batch(&x).as_slice()
+        );
+    }
+}

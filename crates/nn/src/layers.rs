@@ -1,0 +1,363 @@
+//! Dense, ReLU, and highway layers with manual backpropagation.
+//!
+//! Batches are row-major [`DenseMatrix`] values (one example per row).
+//! Every layer caches what it needs during `forward` and consumes it in
+//! `backward`; `update` applies SGD with momentum to the owned parameters.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tmark_linalg::DenseMatrix;
+
+/// Uniform Glorot-style initialization in `[-limit, +limit]`.
+pub fn glorot_init(rows: usize, cols: usize, rng: &mut StdRng) -> DenseMatrix {
+    let limit = (6.0 / (rows + cols) as f64).sqrt();
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.gen_range(-limit..limit))
+        .collect();
+    DenseMatrix::from_vec(rows, cols, data).expect("sized buffer")
+}
+
+/// A trainable layer in the tiny sequential framework.
+pub trait Layer {
+    /// Forward pass over a batch, caching activations for backward.
+    fn forward(&mut self, x: &DenseMatrix) -> DenseMatrix;
+    /// Backward pass: consumes `d_out` (gradient w.r.t. the output),
+    /// accumulates parameter gradients, returns gradient w.r.t. the input.
+    fn backward(&mut self, d_out: &DenseMatrix) -> DenseMatrix;
+    /// Applies one SGD-with-momentum step and clears gradients.
+    fn update(&mut self, lr: f64, momentum: f64);
+}
+
+/// Fully connected layer `Y = X W + b`.
+pub struct Dense {
+    w: DenseMatrix,
+    b: Vec<f64>,
+    grad_w: DenseMatrix,
+    grad_b: Vec<f64>,
+    vel_w: DenseMatrix,
+    vel_b: Vec<f64>,
+    input: Option<DenseMatrix>,
+}
+
+impl Dense {
+    /// A dense layer mapping `input_dim → output_dim`.
+    pub fn new(input_dim: usize, output_dim: usize, rng: &mut StdRng) -> Self {
+        Dense {
+            w: glorot_init(input_dim, output_dim, rng),
+            b: vec![0.0; output_dim],
+            grad_w: DenseMatrix::zeros(input_dim, output_dim),
+            grad_b: vec![0.0; output_dim],
+            vel_w: DenseMatrix::zeros(input_dim, output_dim),
+            vel_b: vec![0.0; output_dim],
+            input: None,
+        }
+    }
+
+    /// Creates a dense layer whose bias starts at a constant (used for the
+    /// highway transform gate's negative bias).
+    pub fn with_bias(mut self, bias: f64) -> Self {
+        self.b.fill(bias);
+        self
+    }
+
+    fn affine(&self, x: &DenseMatrix) -> DenseMatrix {
+        let mut y = x
+            .matmul(&self.w)
+            .expect("dense shape checked at construction");
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (v, &bj) in row.iter_mut().zip(&self.b) {
+                *v += bj;
+            }
+        }
+        y
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &DenseMatrix) -> DenseMatrix {
+        self.input = Some(x.clone());
+        self.affine(x)
+    }
+
+    fn backward(&mut self, d_out: &DenseMatrix) -> DenseMatrix {
+        let x = self.input.as_ref().expect("backward before forward");
+        // dW = Xᵀ dY, db = colsum(dY), dX = dY Wᵀ
+        let dw = x.transpose().matmul(d_out).expect("shapes align");
+        self.grad_w.add_scaled(&dw, 1.0).expect("same shape");
+        for r in 0..d_out.rows() {
+            for (gb, &g) in self.grad_b.iter_mut().zip(d_out.row(r)) {
+                *gb += g;
+            }
+        }
+        d_out.matmul(&self.w.transpose()).expect("shapes align")
+    }
+
+    fn update(&mut self, lr: f64, momentum: f64) {
+        let n = self.vel_w.as_slice().len();
+        let (vw, gw, w) = (
+            self.vel_w.as_mut_slice(),
+            self.grad_w.as_mut_slice(),
+            self.w.as_mut_slice(),
+        );
+        for i in 0..n {
+            vw[i] = momentum * vw[i] - lr * gw[i];
+            w[i] += vw[i];
+            gw[i] = 0.0;
+        }
+        for ((vb, gb), b) in self.vel_b.iter_mut().zip(&mut self.grad_b).zip(&mut self.b) {
+            *vb = momentum * *vb - lr * *gb;
+            *b += *vb;
+            *gb = 0.0;
+        }
+    }
+}
+
+/// Elementwise ReLU.
+pub struct Relu {
+    mask: Option<DenseMatrix>,
+}
+
+impl Relu {
+    /// A new ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &DenseMatrix) -> DenseMatrix {
+        let y = x.map(|v| v.max(0.0));
+        self.mask = Some(x.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+        y
+    }
+
+    fn backward(&mut self, d_out: &DenseMatrix) -> DenseMatrix {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        let mut dx = d_out.clone();
+        for (d, &m) in dx.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+            *d *= m;
+        }
+        dx
+    }
+
+    fn update(&mut self, _lr: f64, _momentum: f64) {}
+}
+
+fn sigmoid(v: f64) -> f64 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// A highway layer (Srivastava et al.):
+/// `y = t ⊙ h + (1 − t) ⊙ x` with `t = σ(X W_t + b_t)` (transform gate,
+/// bias initialized negative so the layer starts as a near-identity) and
+/// `h = relu(X W_h + b_h)`.
+pub struct Highway {
+    transform: Dense,
+    carry_content: Dense,
+    // Cached forward state.
+    x: Option<DenseMatrix>,
+    t: Option<DenseMatrix>,
+    h: Option<DenseMatrix>,
+    h_pre: Option<DenseMatrix>,
+}
+
+impl Highway {
+    /// A highway layer of width `dim` (input and output widths are equal
+    /// by construction). The transform-gate bias starts at −1, biasing the
+    /// layer toward carrying its input, as the original paper recommends.
+    pub fn new(dim: usize, rng: &mut StdRng) -> Self {
+        Highway {
+            transform: Dense::new(dim, dim, rng).with_bias(-1.0),
+            carry_content: Dense::new(dim, dim, rng),
+            x: None,
+            t: None,
+            h: None,
+            h_pre: None,
+        }
+    }
+}
+
+impl Layer for Highway {
+    fn forward(&mut self, x: &DenseMatrix) -> DenseMatrix {
+        let t = self.transform.forward(x).map(sigmoid);
+        let h_pre = self.carry_content.forward(x);
+        let h = h_pre.map(|v| v.max(0.0));
+        let mut y = DenseMatrix::zeros(x.rows(), x.cols());
+        {
+            let (ys, ts, hs, xs) = (y.as_mut_slice(), t.as_slice(), h.as_slice(), x.as_slice());
+            for i in 0..ys.len() {
+                ys[i] = ts[i] * hs[i] + (1.0 - ts[i]) * xs[i];
+            }
+        }
+        self.x = Some(x.clone());
+        self.t = Some(t);
+        self.h = Some(h);
+        self.h_pre = Some(h_pre);
+        y
+    }
+
+    fn backward(&mut self, d_out: &DenseMatrix) -> DenseMatrix {
+        let x = self.x.take().expect("backward before forward");
+        let t = self.t.take().expect("cached");
+        let h = self.h.take().expect("cached");
+        let h_pre = self.h_pre.take().expect("cached");
+
+        let len = d_out.as_slice().len();
+        let mut d_zt = DenseMatrix::zeros(d_out.rows(), d_out.cols());
+        let mut d_zh = DenseMatrix::zeros(d_out.rows(), d_out.cols());
+        let mut d_x_carry = DenseMatrix::zeros(d_out.rows(), d_out.cols());
+        {
+            let dzt = d_zt.as_mut_slice();
+            let dzh = d_zh.as_mut_slice();
+            let dxc = d_x_carry.as_mut_slice();
+            let dy = d_out.as_slice();
+            let ts = t.as_slice();
+            let hs = h.as_slice();
+            let xs = x.as_slice();
+            let hp = h_pre.as_slice();
+            for i in 0..len {
+                // y = t*h + (1-t)*x
+                let dt = dy[i] * (hs[i] - xs[i]);
+                dzt[i] = dt * ts[i] * (1.0 - ts[i]); // through sigmoid
+                let dh = dy[i] * ts[i];
+                dzh[i] = if hp[i] > 0.0 { dh } else { 0.0 }; // through relu
+                dxc[i] = dy[i] * (1.0 - ts[i]);
+            }
+        }
+        let mut dx = self.transform.backward(&d_zt);
+        let dx_h = self.carry_content.backward(&d_zh);
+        dx.add_scaled(&dx_h, 1.0).expect("same shape");
+        dx.add_scaled(&d_x_carry, 1.0).expect("same shape");
+        dx
+    }
+
+    fn update(&mut self, lr: f64, momentum: f64) {
+        self.transform.update(lr, momentum);
+        self.carry_content.update(lr, momentum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    /// Finite-difference gradient check for a layer's input gradient.
+    fn check_input_gradient<L: Layer>(layer: &mut L, x: &DenseMatrix) {
+        let eps = 1e-6;
+        let y = layer.forward(x);
+        // Loss = sum of outputs, so dL/dY = ones.
+        let ones =
+            DenseMatrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]).unwrap();
+        let dx = layer.backward(&ones);
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(i, j, x.get(i, j) + eps);
+                let mut xm = x.clone();
+                xm.set(i, j, x.get(i, j) - eps);
+                let lp: f64 = layer.forward(&xp).as_slice().iter().sum();
+                let lm: f64 = layer.forward(&xm).as_slice().iter().sum();
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (dx.get(i, j) - numeric).abs() < 1e-4,
+                    "grad mismatch at ({i},{j}): analytic {} vs numeric {numeric}",
+                    dx.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_forward_matches_affine_map() {
+        let mut r = rng();
+        let mut d = Dense::new(2, 3, &mut r);
+        let x = DenseMatrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let y = d.forward(&x);
+        assert_eq!(y.shape(), (1, 3));
+    }
+
+    #[test]
+    fn dense_input_gradient_is_correct() {
+        let mut r = rng();
+        let mut d = Dense::new(3, 2, &mut r);
+        let x = DenseMatrix::from_rows(&[vec![0.5, -0.3, 1.2], vec![1.0, 0.2, -0.7]]).unwrap();
+        check_input_gradient(&mut d, &x);
+    }
+
+    #[test]
+    fn relu_input_gradient_is_correct() {
+        let mut relu = Relu::new();
+        let x = DenseMatrix::from_rows(&[vec![0.5, -0.3], vec![1.5, -2.0]]).unwrap();
+        check_input_gradient(&mut relu, &x);
+    }
+
+    #[test]
+    fn highway_input_gradient_is_correct() {
+        let mut r = rng();
+        let mut hw = Highway::new(3, &mut r);
+        let x = DenseMatrix::from_rows(&[vec![0.4, -0.2, 0.9]]).unwrap();
+        check_input_gradient(&mut hw, &x);
+    }
+
+    #[test]
+    fn highway_starts_near_identity() {
+        // With the -1 transform bias and small weights, t ≈ σ(-1) ≈ 0.27,
+        // so most of the input is carried through.
+        let mut r = rng();
+        let mut hw = Highway::new(4, &mut r);
+        let x = DenseMatrix::from_rows(&[vec![1.0, -1.0, 0.5, 2.0]]).unwrap();
+        let y = hw.forward(&x);
+        for j in 0..4 {
+            let carried = y.get(0, j) / x.get(0, j);
+            assert!(carried.abs() < 2.0, "output not in the identity's vicinity");
+        }
+    }
+
+    #[test]
+    fn dense_update_moves_toward_negative_gradient() {
+        let mut r = rng();
+        let mut d = Dense::new(1, 1, &mut r);
+        let x = DenseMatrix::from_rows(&[vec![1.0]]).unwrap();
+        let w_before = d.w.get(0, 0);
+        d.forward(&x);
+        let grad = DenseMatrix::from_rows(&[vec![1.0]]).unwrap();
+        d.backward(&grad);
+        d.update(0.1, 0.0);
+        // dW = xᵀ·dY = 1, so w decreases by lr.
+        assert!((d.w.get(0, 0) - (w_before - 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut r = rng();
+        let mut d = Dense::new(1, 1, &mut r);
+        let x = DenseMatrix::from_rows(&[vec![1.0]]).unwrap();
+        let grad = DenseMatrix::from_rows(&[vec![1.0]]).unwrap();
+        let w0 = d.w.get(0, 0);
+        d.forward(&x);
+        d.backward(&grad);
+        d.update(0.1, 0.9);
+        let step1 = w0 - d.w.get(0, 0);
+        d.forward(&x);
+        d.backward(&grad);
+        let w1 = d.w.get(0, 0);
+        d.update(0.1, 0.9);
+        let step2 = w1 - d.w.get(0, 0);
+        assert!(
+            step2 > step1,
+            "momentum should grow the step: {step1} vs {step2}"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Minimal neural substrate for the paper's two deep baselines.
+//!
+//! Section 6 compares T-Mark against two neural methods:
+//!
+//! - **HN** — a Highway Network (Srivastava et al.): stacked layers with a
+//!   sigmoid transform gate `t` computing `y = t ⊙ H(x) + (1 − t) ⊙ x`,
+//!   trained on node content features.
+//! - **GI** — GraphInception (Xiong et al.): graph-convolutional feature
+//!   extraction mixing several propagation depths, an "inception module"
+//!   over relational features.
+//!
+//! Neither has a canonical Rust implementation, so this crate builds the
+//! needed pieces from scratch: dense/ReLU/highway layers with manual
+//! backpropagation, softmax cross-entropy, SGD with momentum, and the
+//! fixed-propagation trick for graph convolution (the adjacency operator
+//! is constant, so multi-hop propagated features `Â^p X` are precomputed
+//! and the trainable part is an MLP over their concatenation — the same
+//! simplification as SGC, preserving the model class's qualitative
+//! behaviour: strong with plentiful labels, overfitting-prone with few,
+//! exactly the regime contrast the paper reports for GI).
+//!
+//! The implementation favours clarity and determinism (seeded init,
+//! full-batch updates) over speed; networks in the evaluation have at most
+//! a few hundred thousand parameters.
+
+#![deny(missing_docs)]
+pub mod graph_inception;
+pub mod highway;
+pub mod layers;
+pub mod loss;
+pub mod mlp;
+pub mod optim;
+
+pub use graph_inception::GraphInception;
+pub use highway::HighwayNetwork;
+pub use mlp::Mlp;
+pub use optim::{Dropout, Optimizer, ParamState};

@@ -1,0 +1,102 @@
+//! Softmax cross-entropy loss over a batch.
+
+use tmark_linalg::DenseMatrix;
+
+/// Row-wise softmax of a logits matrix.
+pub fn softmax_rows(logits: &DenseMatrix) -> DenseMatrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy over a batch, returning `(loss, d_logits)`.
+///
+/// The gradient uses the standard fused form
+/// `dL/dlogits = (softmax − one_hot) / batch`.
+pub fn softmax_cross_entropy(logits: &DenseMatrix, labels: &[usize]) -> (f64, DenseMatrix) {
+    debug_assert_eq!(logits.rows(), labels.len(), "batch size mismatch");
+    let probs = softmax_rows(logits);
+    let batch = logits.rows() as f64;
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    for (r, &y) in labels.iter().enumerate() {
+        loss -= probs.get(r, y).max(1e-300).ln();
+        grad.add_at(r, y, -1.0);
+    }
+    for g in grad.as_mut_slice() {
+        *g /= batch;
+    }
+    (loss / batch, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let logits = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]).unwrap();
+        let p = softmax_rows(&logits);
+        for r in 0..2 {
+            assert!(tmark_linalg::vector::is_stochastic(p.row(r), 1e-12));
+        }
+        assert!(p.get(0, 2) > p.get(0, 0));
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = DenseMatrix::from_rows(&[vec![100.0, 0.0]]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-10);
+    }
+
+    #[test]
+    fn uniform_prediction_loss_is_log_q() {
+        let logits = DenseMatrix::from_rows(&[vec![0.0, 0.0, 0.0]]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!((loss - (3.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = DenseMatrix::from_rows(&[vec![0.3, -0.7, 1.1], vec![0.0, 0.5, -0.2]]).unwrap();
+        let labels = [2, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits.clone();
+                lp.set(r, c, logits.get(r, c) + eps);
+                let mut lm = logits.clone();
+                lm.set(r, c, logits.get(r, c) - eps);
+                let (loss_p, _) = softmax_cross_entropy(&lp, &labels);
+                let (loss_m, _) = softmax_cross_entropy(&lm, &labels);
+                let numeric = (loss_p - loss_m) / (2.0 * eps);
+                assert!(
+                    (grad.get(r, c) - numeric).abs() < 1e-6,
+                    "grad mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        // softmax − one_hot sums to zero per row.
+        let logits = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[0]);
+        let s: f64 = grad.row(0).iter().sum();
+        assert!(s.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,245 @@
+//! A general multi-layer perceptron built on the [`crate::optim`]
+//! substrate: configurable depth, dropout, and optimizer choice.
+//!
+//! The HN and GI baselines keep the architectures of their papers; the
+//! MLP is the generic "modern defaults" classifier (Adam + dropout) used
+//! for ablations asking how much of a neural baseline's behaviour comes
+//! from its architecture rather than its optimization recipe.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tmark_linalg::DenseMatrix;
+
+use crate::layers::glorot_init;
+use crate::loss::{softmax_cross_entropy, softmax_rows};
+use crate::optim::{Dropout, Optimizer, ParamState};
+
+/// One dense layer with its optimizer state (weights `in × out`, bias).
+struct MlpLayer {
+    w: DenseMatrix,
+    b: Vec<f64>,
+    w_state: ParamState,
+    b_state: ParamState,
+    // Cached forward activations.
+    input: Option<DenseMatrix>,
+    pre_activation: Option<DenseMatrix>,
+}
+
+impl MlpLayer {
+    fn new(input_dim: usize, output_dim: usize, rng: &mut StdRng) -> Self {
+        MlpLayer {
+            w: glorot_init(input_dim, output_dim, rng),
+            b: vec![0.0; output_dim],
+            w_state: ParamState::default(),
+            b_state: ParamState::default(),
+            input: None,
+            pre_activation: None,
+        }
+    }
+
+    fn forward(&mut self, x: &DenseMatrix, relu: bool) -> DenseMatrix {
+        let mut y = x
+            .matmul(&self.w)
+            .expect("layer widths chained at construction");
+        for r in 0..y.rows() {
+            for (v, &bj) in y.row_mut(r).iter_mut().zip(&self.b) {
+                *v += bj;
+            }
+        }
+        self.input = Some(x.clone());
+        self.pre_activation = Some(y.clone());
+        if relu {
+            y.map(|v| v.max(0.0))
+        } else {
+            y
+        }
+    }
+
+    fn backward(&mut self, d_out: &DenseMatrix, relu: bool, opt: &Optimizer) -> DenseMatrix {
+        let x = self.input.take().expect("backward before forward");
+        let pre = self.pre_activation.take().expect("cached");
+        let mut d_pre = d_out.clone();
+        if relu {
+            for (g, &p) in d_pre.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+                if p <= 0.0 {
+                    *g = 0.0;
+                }
+            }
+        }
+        let grad_w = x.transpose().matmul(&d_pre).expect("shapes align");
+        let mut grad_b = vec![0.0; self.b.len()];
+        for r in 0..d_pre.rows() {
+            for (gb, &g) in grad_b.iter_mut().zip(d_pre.row(r)) {
+                *gb += g;
+            }
+        }
+        let dx = d_pre.matmul(&self.w.transpose()).expect("shapes align");
+        self.w_state
+            .step(opt, self.w.as_mut_slice(), grad_w.as_slice());
+        self.b_state.step(opt, &mut self.b, &grad_b);
+        dx
+    }
+}
+
+/// A configurable MLP classifier.
+pub struct Mlp {
+    layers: Vec<MlpLayer>,
+    dropouts: Vec<Dropout>,
+    /// The update rule applied after every batch.
+    pub optimizer: Optimizer,
+    /// Training epochs (full batch).
+    pub epochs: usize,
+    rng: StdRng,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths
+    /// (`[input, hidden…, output]`), dropout probability applied after
+    /// every hidden activation, and optimizer.
+    ///
+    /// # Panics
+    /// Panics if fewer than two widths are supplied.
+    pub fn new(widths: &[usize], dropout: f64, optimizer: Optimizer, seed: u64) -> Self {
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = widths
+            .windows(2)
+            .map(|w| MlpLayer::new(w[0], w[1], &mut rng))
+            .collect::<Vec<_>>();
+        let hidden = widths.len().saturating_sub(2);
+        Mlp {
+            layers,
+            dropouts: (0..hidden).map(|_| Dropout::new(dropout)).collect(),
+            optimizer,
+            epochs: 300,
+            rng,
+        }
+    }
+
+    fn forward(&mut self, x: &DenseMatrix, train: bool) -> DenseMatrix {
+        let last = self.layers.len() - 1;
+        let mut h = x.clone();
+        for i in 0..self.layers.len() {
+            let relu = i < last;
+            h = self.layers[i].forward(&h, relu);
+            if relu && i < self.dropouts.len() {
+                h = if train {
+                    self.dropouts[i].forward_train(&h, &mut self.rng)
+                } else {
+                    self.dropouts[i].forward_eval(&h)
+                };
+            }
+        }
+        h
+    }
+
+    /// Trains full-batch, returning the loss curve.
+    pub fn train(&mut self, x: &DenseMatrix, labels: &[usize]) -> Vec<f64> {
+        let mut losses = Vec::with_capacity(self.epochs);
+        let opt = self.optimizer.clone();
+        for _ in 0..self.epochs {
+            let logits = self.forward(x, true);
+            let (loss, d_logits) = softmax_cross_entropy(&logits, labels);
+            losses.push(loss);
+            let last = self.layers.len() - 1;
+            let mut g = d_logits;
+            for i in (0..self.layers.len()).rev() {
+                let relu = i < last;
+                if relu && i < self.dropouts.len() {
+                    g = self.dropouts[i].backward(&g);
+                }
+                g = self.layers[i].backward(&g, relu, &opt);
+            }
+        }
+        losses
+    }
+
+    /// Class probabilities (dropout disabled).
+    pub fn predict_proba_batch(&mut self, x: &DenseMatrix) -> DenseMatrix {
+        let logits = self.forward(x, false);
+        softmax_rows(&logits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmark_linalg::vector::{argmax, is_stochastic};
+
+    fn spiralish() -> (DenseMatrix, Vec<usize>) {
+        // Interleaved clusters that a linear model cannot separate.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..12 {
+            let t = i as f64 / 2.0;
+            rows.push(vec![t.cos() * (1.0 + t / 6.0), t.sin() * (1.0 + t / 6.0)]);
+            labels.push(i % 2);
+        }
+        (DenseMatrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn adam_mlp_fits_the_training_set() {
+        let (x, y) = spiralish();
+        let mut mlp = Mlp::new(&[2, 32, 32, 2], 0.0, Optimizer::adam(0.01), 3);
+        mlp.epochs = 600;
+        let losses = mlp.train(&x, &y);
+        assert!(
+            losses.last().unwrap() < &0.3,
+            "final loss {:?}",
+            losses.last()
+        );
+        let p = mlp.predict_proba_batch(&x);
+        let correct = (0..x.rows())
+            .filter(|&r| argmax(p.row(r)).unwrap() == y[r])
+            .count();
+        assert!(correct >= 11, "train accuracy {correct}/12");
+    }
+
+    #[test]
+    fn sgd_and_adam_both_reduce_the_loss() {
+        let (x, y) = spiralish();
+        for opt in [Optimizer::sgd(0.05), Optimizer::adam(0.01)] {
+            let mut mlp = Mlp::new(&[2, 16, 2], 0.0, opt, 1);
+            mlp.epochs = 100;
+            let losses = mlp.train(&x, &y);
+            assert!(losses.last().unwrap() < &losses[0]);
+        }
+    }
+
+    #[test]
+    fn dropout_training_still_converges() {
+        let (x, y) = spiralish();
+        let mut mlp = Mlp::new(&[2, 32, 2], 0.3, Optimizer::adam(0.01), 5);
+        mlp.epochs = 400;
+        mlp.train(&x, &y);
+        let p = mlp.predict_proba_batch(&x);
+        for r in 0..p.rows() {
+            assert!(is_stochastic(p.row(r), 1e-9));
+        }
+        let correct = (0..x.rows())
+            .filter(|&r| argmax(p.row(r)).unwrap() == y[r])
+            .count();
+        assert!(correct >= 9, "dropout train accuracy {correct}/12");
+    }
+
+    #[test]
+    fn inference_is_deterministic_despite_dropout() {
+        let (x, y) = spiralish();
+        let mut mlp = Mlp::new(&[2, 16, 2], 0.5, Optimizer::adam(0.01), 5);
+        mlp.epochs = 50;
+        mlp.train(&x, &y);
+        let a = mlp.predict_proba_batch(&x);
+        let b = mlp.predict_proba_batch(&x);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn single_width_panics() {
+        Mlp::new(&[4], 0.0, Optimizer::adam(0.01), 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Optimizers and regularization for the neural baselines.
+//!
+//! The original Highway Network and GraphInception papers train with
+//! momentum SGD; Adam and dropout are provided as well so the baselines
+//! can be run in their stronger modern configuration (useful when probing
+//! how much of the paper's reported GI weakness is an optimization
+//! artifact).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tmark_linalg::DenseMatrix;
+
+/// A parameter update rule, stateful per parameter tensor.
+#[derive(Debug, Clone)]
+pub enum Optimizer {
+    /// SGD with momentum: `v ← μv − ηg; w ← w + v`.
+    Sgd {
+        /// Learning rate `η`.
+        learning_rate: f64,
+        /// Momentum coefficient `μ`.
+        momentum: f64,
+    },
+    /// Adam (Kingma & Ba) with bias correction.
+    Adam {
+        /// Learning rate `η`.
+        learning_rate: f64,
+        /// First-moment decay `β₁`.
+        beta1: f64,
+        /// Second-moment decay `β₂`.
+        beta2: f64,
+        /// Numerical-stability floor `ε`.
+        epsilon: f64,
+    },
+}
+
+impl Optimizer {
+    /// Momentum SGD with the conventional defaults.
+    pub fn sgd(learning_rate: f64) -> Self {
+        Optimizer::Sgd {
+            learning_rate,
+            momentum: 0.9,
+        }
+    }
+
+    /// Adam with the conventional defaults.
+    pub fn adam(learning_rate: f64) -> Self {
+        Optimizer::Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+        }
+    }
+}
+
+/// Per-tensor optimizer state (velocity for SGD; moments for Adam).
+#[derive(Debug, Clone, Default)]
+pub struct ParamState {
+    v: Vec<f64>,
+    m: Vec<f64>,
+    /// Adam step counter (bias correction).
+    t: u64,
+}
+
+impl ParamState {
+    /// Applies one update of `opt` to `params` given `grads`, then clears
+    /// nothing (the caller owns gradient zeroing).
+    ///
+    /// # Panics
+    /// Panics if `params` and `grads` lengths differ (a wiring bug).
+    pub fn step(&mut self, opt: &Optimizer, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        if self.v.len() != params.len() {
+            self.v = vec![0.0; params.len()];
+            self.m = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        match *opt {
+            Optimizer::Sgd {
+                learning_rate,
+                momentum,
+            } => {
+                for i in 0..params.len() {
+                    self.v[i] = momentum * self.v[i] - learning_rate * grads[i];
+                    params[i] += self.v[i];
+                }
+            }
+            Optimizer::Adam {
+                learning_rate,
+                beta1,
+                beta2,
+                epsilon,
+            } => {
+                self.t += 1;
+                let bc1 = 1.0 - beta1.powi(self.t as i32);
+                let bc2 = 1.0 - beta2.powi(self.t as i32);
+                for i in 0..params.len() {
+                    self.m[i] = beta1 * self.m[i] + (1.0 - beta1) * grads[i];
+                    self.v[i] = beta2 * self.v[i] + (1.0 - beta2) * grads[i] * grads[i];
+                    let m_hat = self.m[i] / bc1;
+                    let v_hat = self.v[i] / bc2;
+                    params[i] -= learning_rate * m_hat / (v_hat.sqrt() + epsilon);
+                }
+            }
+        }
+    }
+}
+
+/// Inverted dropout: scales surviving activations by `1/(1−p)` at train
+/// time so inference needs no rescaling. The same mask must be replayed
+/// in backward.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    /// Drop probability `p ∈ [0, 1)`.
+    pub p: f64,
+    mask: Option<DenseMatrix>,
+}
+
+impl Dropout {
+    /// A dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
+        Dropout { p, mask: None }
+    }
+
+    /// Training-mode forward: samples and applies a fresh mask.
+    pub fn forward_train(&mut self, x: &DenseMatrix, rng: &mut StdRng) -> DenseMatrix {
+        if self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f64> = (0..x.as_slice().len())
+            .map(|_| if rng.gen_bool(keep) { scale } else { 0.0 })
+            .collect();
+        let mask = DenseMatrix::from_vec(x.rows(), x.cols(), mask_data).expect("sized buffer");
+        let mut y = x.clone();
+        for (v, &m) in y.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        y
+    }
+
+    /// Inference-mode forward: identity (inverted dropout).
+    pub fn forward_eval(&self, x: &DenseMatrix) -> DenseMatrix {
+        x.clone()
+    }
+
+    /// Backward through the last training-mode forward.
+    pub fn backward(&self, d_out: &DenseMatrix) -> DenseMatrix {
+        match &self.mask {
+            None => d_out.clone(),
+            Some(mask) => {
+                let mut dx = d_out.clone();
+                for (g, &m) in dx.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                    *g *= m;
+                }
+                dx
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sgd_step_matches_hand_computation() {
+        let opt = Optimizer::Sgd {
+            learning_rate: 0.1,
+            momentum: 0.5,
+        };
+        let mut state = ParamState::default();
+        let mut w = vec![1.0];
+        state.step(&opt, &mut w, &[2.0]);
+        // v = -0.2, w = 0.8
+        assert!((w[0] - 0.8).abs() < 1e-12);
+        state.step(&opt, &mut w, &[2.0]);
+        // v = 0.5*(-0.2) - 0.2 = -0.3, w = 0.5
+        assert!((w[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adam_first_step_has_unit_scale() {
+        // With bias correction, the first Adam step is ≈ lr * sign(g).
+        let opt = Optimizer::adam(0.01);
+        let mut state = ParamState::default();
+        let mut w = vec![0.0, 0.0];
+        state.step(&opt, &mut w, &[5.0, -3.0]);
+        assert!((w[0] + 0.01).abs() < 1e-6, "w = {w:?}");
+        assert!((w[1] - 0.01).abs() < 1e-6, "w = {w:?}");
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        // Minimize f(w) = (w - 3)²; gradient 2(w - 3).
+        let opt = Optimizer::adam(0.1);
+        let mut state = ParamState::default();
+        let mut w = vec![0.0];
+        for _ in 0..500 {
+            let g = 2.0 * (w[0] - 3.0);
+            state.step(&opt, &mut w, &[g]);
+        }
+        assert!((w[0] - 3.0).abs() < 0.05, "w = {}", w[0]);
+    }
+
+    #[test]
+    fn dropout_zero_probability_is_identity() {
+        let mut d = Dropout::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = DenseMatrix::from_rows(&[vec![1.0, -2.0]]).unwrap();
+        let y = d.forward_train(&x, &mut rng);
+        assert_eq!(y.as_slice(), x.as_slice());
+        assert_eq!(d.backward(&x).as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut d = Dropout::new(0.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = DenseMatrix::from_vec(1, 10_000, vec![1.0; 10_000]).unwrap();
+        let y = d.forward_train(&x, &mut rng);
+        let mean = y.as_slice().iter().sum::<f64>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout mean: {mean}");
+    }
+
+    #[test]
+    fn dropout_backward_replays_the_mask() {
+        let mut d = Dropout::new(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = DenseMatrix::from_vec(1, 64, vec![1.0; 64]).unwrap();
+        let y = d.forward_train(&x, &mut rng);
+        let grad = DenseMatrix::from_vec(1, 64, vec![1.0; 64]).unwrap();
+        let dx = d.backward(&grad);
+        // Exactly the dropped units have zero gradient.
+        for (o, g) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(*o == 0.0, *g == 0.0);
+        }
+    }
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.9);
+        let x = DenseMatrix::from_rows(&[vec![3.0, 4.0]]).unwrap();
+        assert_eq!(d.forward_eval(&x).as_slice(), x.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn dropout_rejects_p_of_one() {
+        Dropout::new(1.0);
+    }
+}

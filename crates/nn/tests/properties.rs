@@ -1,0 +1,97 @@
+//! Property-based tests for the neural substrate: loss identities and
+//! optimizer behaviour over random inputs.
+
+use proptest::prelude::*;
+use tmark_linalg::DenseMatrix;
+use tmark_nn::loss::{softmax_cross_entropy, softmax_rows};
+use tmark_nn::{Optimizer, ParamState};
+
+fn logits_and_labels() -> impl Strategy<Value = (DenseMatrix, Vec<usize>)> {
+    (1usize..8, 2usize..6).prop_flat_map(|(batch, q)| {
+        let logits = prop::collection::vec(-10.0..10.0f64, batch * q);
+        let labels = prop::collection::vec(0..q, batch);
+        (Just(batch), Just(q), logits, labels).prop_map(|(batch, q, logits, labels)| {
+            (DenseMatrix::from_vec(batch, q, logits).unwrap(), labels)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn softmax_rows_are_distributions((logits, _) in logits_and_labels()) {
+        let p = softmax_rows(&logits);
+        for r in 0..p.rows() {
+            prop_assert!(tmark_linalg::vector::is_stochastic(p.row(r), 1e-9));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant((logits, _) in logits_and_labels()) {
+        let shifted = logits.map(|v| v + 123.456);
+        let a = softmax_rows(&logits);
+        let b = softmax_rows(&shifted);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative_and_bounded_below_by_confidence(
+        (logits, labels) in logits_and_labels()
+    ) {
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        prop_assert!(loss >= -1e-12, "loss {loss}");
+        prop_assert!(loss.is_finite());
+        // Gradient rows sum to zero (softmax minus one-hot).
+        for r in 0..grad.rows() {
+            let s: f64 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-9, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gradient_step_reduces_loss_for_small_rates(
+        (logits, labels) in logits_and_labels()
+    ) {
+        // One explicit gradient-descent step on the logits themselves must
+        // reduce the loss (convexity of cross-entropy in the logits).
+        let (loss0, grad) = softmax_cross_entropy(&logits, &labels);
+        let mut stepped = logits.clone();
+        for (v, g) in stepped.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+            *v -= 0.1 * g;
+        }
+        let (loss1, _) = softmax_cross_entropy(&stepped, &labels);
+        prop_assert!(loss1 <= loss0 + 1e-9, "{loss0} -> {loss1}");
+    }
+
+    #[test]
+    fn adam_steps_are_bounded_by_the_learning_rate(
+        grads in prop::collection::vec(-100.0..100.0f64, 1..16),
+    ) {
+        // Adam's per-coordinate step magnitude is at most ~lr (after bias
+        // correction, |m̂/√v̂| ≤ ~1 for the first step).
+        let opt = Optimizer::adam(0.01);
+        let mut state = ParamState::default();
+        let mut w = vec![0.0; grads.len()];
+        state.step(&opt, &mut w, &grads);
+        for (i, &wi) in w.iter().enumerate() {
+            if grads[i].abs() > 1e-6 {
+                prop_assert!(wi.abs() <= 0.011, "step {wi} too large at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sgd_without_momentum_is_plain_gradient_descent(
+        grads in prop::collection::vec(-10.0..10.0f64, 1..16),
+        lr in 0.001..0.5f64,
+    ) {
+        let opt = Optimizer::Sgd { learning_rate: lr, momentum: 0.0 };
+        let mut state = ParamState::default();
+        let mut w = vec![1.0; grads.len()];
+        state.step(&opt, &mut w, &grads);
+        for (i, &wi) in w.iter().enumerate() {
+            prop_assert!((wi - (1.0 - lr * grads[i])).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Incremental COO construction of the adjacency tensor.
+
+use crate::tensor::{SparseTensor3, TensorError};
+
+/// Accumulates `(i, j, k, value)` entries and finalizes into a
+/// [`SparseTensor3`].
+///
+/// The builder is deliberately permissive: duplicate coordinates are summed
+/// at [`TensorBuilder::build`] time, and convenience methods cover the two
+/// edge conventions the paper's datasets use (directed links such as
+/// citations, undirected links such as co-authorship, which are stored in
+/// both directions).
+#[derive(Debug, Clone)]
+pub struct TensorBuilder {
+    n: usize,
+    m: usize,
+    entries: Vec<(usize, usize, usize, f64)>,
+}
+
+impl TensorBuilder {
+    /// Creates a builder for an `n × n × m` tensor.
+    pub fn new(n: usize, m: usize) -> Self {
+        TensorBuilder {
+            n,
+            m,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with pre-reserved capacity for `cap` entries.
+    pub fn with_capacity(n: usize, m: usize, cap: usize) -> Self {
+        TensorBuilder {
+            n,
+            m,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of nodes this builder was declared with.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of relations this builder was declared with.
+    pub fn num_relations(&self) -> usize {
+        self.m
+    }
+
+    /// Number of accumulated (pre-deduplication) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds a weighted directed link `j → i` of type `k`
+    /// (i.e. sets `a_{i,j,k} += value`).
+    pub fn add(&mut self, i: usize, j: usize, k: usize, value: f64) -> &mut Self {
+        self.entries.push((i, j, k, value));
+        self
+    }
+
+    /// Adds an unweighted directed link `j → i` of type `k`.
+    pub fn add_directed(&mut self, i: usize, j: usize, k: usize) -> &mut Self {
+        self.add(i, j, k, 1.0)
+    }
+
+    /// Adds an unweighted undirected link between `u` and `v` of type `k`
+    /// (stored in both directions, as the paper does for e.g. co-author
+    /// and same-conference relations).
+    pub fn add_undirected(&mut self, u: usize, v: usize, k: usize) -> &mut Self {
+        self.add(u, v, k, 1.0);
+        self.add(v, u, k, 1.0)
+    }
+
+    /// Finalizes into a validated, deduplicated [`SparseTensor3`].
+    ///
+    /// # Errors
+    /// Propagates [`TensorError`] for out-of-bounds coordinates, negative
+    /// values, or an empty shape.
+    pub fn build(self) -> Result<SparseTensor3, TensorError> {
+        SparseTensor3::from_entries(self.n, self.m, self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_and_undirected_conventions() {
+        let mut b = TensorBuilder::new(3, 2);
+        b.add_directed(0, 1, 0);
+        b.add_undirected(1, 2, 1);
+        let t = b.build().unwrap();
+        assert_eq!(t.get(0, 1, 0), 1.0);
+        assert_eq!(t.get(1, 0, 0), 0.0, "directed edges are one-way");
+        assert_eq!(t.get(1, 2, 1), 1.0);
+        assert_eq!(t.get(2, 1, 1), 1.0, "undirected edges are stored both ways");
+    }
+
+    #[test]
+    fn weighted_duplicates_accumulate() {
+        let mut b = TensorBuilder::new(2, 1);
+        b.add(0, 1, 0, 0.5).add(0, 1, 0, 0.25);
+        let t = b.build().unwrap();
+        assert_eq!(t.get(0, 1, 0), 0.75);
+    }
+
+    #[test]
+    fn build_propagates_validation_errors() {
+        let mut b = TensorBuilder::new(2, 1);
+        b.add(5, 0, 0, 1.0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn capacity_and_len_bookkeeping() {
+        let mut b = TensorBuilder::with_capacity(4, 2, 16);
+        assert!(b.is_empty());
+        b.add_undirected(0, 1, 0);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.num_nodes(), 4);
+        assert_eq!(b.num_relations(), 2);
+    }
+}

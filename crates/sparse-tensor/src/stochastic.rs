@@ -1,0 +1,588 @@
+//! The transition-probability tensor pair `(O, R)` and its contractions.
+//!
+//! `O` and `R` are obtained from the adjacency tensor `A` by the fiber
+//! normalizations of Eqs. (1) and (2). Dangling fibers become uniform
+//! (`1/n` resp. `1/m`), which makes both tensors genuinely stochastic: the
+//! Algorithm-1 step maps the probability simplex into itself (Theorem 1).
+//!
+//! The uniform fibers are *never stored*. During a contraction the mass
+//! that flows through dangling fibers is computed analytically:
+//!
+//! - for `O ×̄₁ x ×̄₃ z`: the stored (present) columns `(j, k)` carry mass
+//!   `Σ x_j z_k`; the rest of the total mass `(Σx)(Σz)` is spread uniformly
+//!   over the `n` destinations;
+//! - for `R ×̄₁ x ×̄₂ x`: the stored pairs `(i, j)` carry `Σ x_i x_j`; the
+//!   remainder of `(Σx)²` is spread uniformly over the `m` relations.
+//!
+//! Both contractions therefore cost `O(D)` per iteration where `D` is the
+//! number of stored entries, exactly the Section 4.5 bound.
+
+// Indexed loops below walk several parallel arrays with one index;
+// clippy's iterator rewrite would obscure the shared-index structure.
+#![allow(clippy::needless_range_loop)]
+use crate::tensor::{SparseTensor3, TensorError};
+
+/// A stored entry carrying both normalized values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StochEntry {
+    i: u32,
+    j: u32,
+    k: u32,
+    /// The raw tensor value (kept so derived operators, e.g. the HAR
+    /// transpose normalization, can renormalize along other modes).
+    value: f64,
+    /// `o_{i,j,k}` = value / (mode-1 fiber sum for fixed `(j, k)`), Eq. (1).
+    o: f64,
+    /// `r_{i,j,k}` = value / (mode-3 fiber sum for fixed `(i, j)`), Eq. (2).
+    r: f64,
+}
+
+/// The pair of transition-probability tensors `(O, R)` derived from one
+/// adjacency tensor, sharing a single entry array.
+#[derive(Debug, Clone)]
+pub struct StochasticTensors {
+    n: usize,
+    m: usize,
+    entries: Vec<StochEntry>,
+    /// Distinct `(j, k)` fibers that have stored mass, for the analytic
+    /// dangling correction of the `O` contraction.
+    present_columns: Vec<(u32, u32)>,
+    /// Distinct `(i, j)` pairs that have stored mass, for the analytic
+    /// dangling correction of the `R` contraction.
+    present_pairs: Vec<(u32, u32)>,
+}
+
+impl StochasticTensors {
+    /// Normalizes an adjacency tensor into its `(O, R)` pair.
+    pub fn from_tensor(a: &SparseTensor3) -> Self {
+        let n = a.num_nodes();
+        let m = a.num_relations();
+        let src = a.entries();
+        let mut entries: Vec<StochEntry> = Vec::with_capacity(src.len());
+
+        // Pass 1: mode-1 fiber sums. Entries are sorted by (k, j, i), so
+        // each (j, k) fiber is a contiguous run.
+        let mut present_columns = Vec::new();
+        let mut start = 0;
+        while start < src.len() {
+            let (k, j) = (src[start].k, src[start].j);
+            let mut end = start;
+            let mut sum = 0.0;
+            while end < src.len() && src[end].k == k && src[end].j == j {
+                sum += src[end].value;
+                end += 1;
+            }
+            present_columns.push((j as u32, k as u32));
+            for e in &src[start..end] {
+                entries.push(StochEntry {
+                    i: e.i as u32,
+                    j: e.j as u32,
+                    k: e.k as u32,
+                    value: e.value,
+                    o: e.value / sum,
+                    r: 0.0, // filled in pass 2
+                });
+            }
+            start = end;
+        }
+
+        // Pass 2: mode-3 fiber sums, grouped by (i, j) via an index sort.
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by_key(|&idx| (entries[idx].i, entries[idx].j));
+        let mut present_pairs = Vec::new();
+        let mut pos = 0;
+        while pos < order.len() {
+            let (i, j) = (entries[order[pos]].i, entries[order[pos]].j);
+            let mut end = pos;
+            let mut sum = 0.0;
+            while end < order.len() && entries[order[end]].i == i && entries[order[end]].j == j {
+                sum += src[order[end]].value;
+                end += 1;
+            }
+            present_pairs.push((i, j));
+            for &idx in &order[pos..end] {
+                entries[idx].r = src[idx].value / sum;
+            }
+            pos = end;
+        }
+
+        StochasticTensors {
+            n,
+            m,
+            entries,
+            present_columns,
+            present_pairs,
+        }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of relations `m`.
+    #[inline]
+    pub fn num_relations(&self) -> usize {
+        self.m
+    }
+
+    /// Stored entry count `D`.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `o_{i,j,k}` including the dangling rule (uniform `1/n` on absent
+    /// fibers). `O(D)` — intended for tests and small tensors.
+    pub fn o_get(&self, i: usize, j: usize, k: usize) -> f64 {
+        let fiber_present = self
+            .present_columns
+            .iter()
+            .any(|&(pj, pk)| pj as usize == j && pk as usize == k);
+        if !fiber_present {
+            return 1.0 / self.n as f64;
+        }
+        self.entries
+            .iter()
+            .find(|e| e.i as usize == i && e.j as usize == j && e.k as usize == k)
+            .map_or(0.0, |e| e.o)
+    }
+
+    /// `r_{i,j,k}` including the dangling rule (uniform `1/m` on absent
+    /// pairs). `O(D)` — intended for tests and small tensors.
+    pub fn r_get(&self, i: usize, j: usize, k: usize) -> f64 {
+        let pair_present = self
+            .present_pairs
+            .iter()
+            .any(|&(pi, pj)| pi as usize == i && pj as usize == j);
+        if !pair_present {
+            return 1.0 / self.m as f64;
+        }
+        self.entries
+            .iter()
+            .find(|e| e.i as usize == i && e.j as usize == j && e.k as usize == k)
+            .map_or(0.0, |e| e.r)
+    }
+
+    /// `y = O ×̄₁ x ×̄₃ z` (Eq. 5 / step 5 of Algorithm 1), writing into a
+    /// caller-provided buffer. For stochastic `x` and `z` the output is
+    /// stochastic (Theorem 1).
+    ///
+    /// # Errors
+    /// [`TensorError::VectorLengthMismatch`] on wrong operand lengths.
+    pub fn contract_o_into(&self, x: &[f64], z: &[f64], y: &mut [f64]) -> Result<(), TensorError> {
+        if x.len() != self.n {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "x",
+                expected: self.n,
+                found: x.len(),
+            });
+        }
+        if z.len() != self.m {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "z",
+                expected: self.m,
+                found: z.len(),
+            });
+        }
+        if y.len() != self.n {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "y",
+                expected: self.n,
+                found: y.len(),
+            });
+        }
+        y.fill(0.0);
+        for e in &self.entries {
+            y[e.i as usize] += e.o * x[e.j as usize] * z[e.k as usize];
+        }
+        // Mass that flowed through dangling (uniform) fibers.
+        let total_mass: f64 = x.iter().sum::<f64>() * z.iter().sum::<f64>();
+        let present_mass: f64 = self
+            .present_columns
+            .iter()
+            .map(|&(j, k)| x[j as usize] * z[k as usize])
+            .sum();
+        let dangling = total_mass - present_mass;
+        if dangling != 0.0 {
+            let share = dangling / self.n as f64;
+            for yi in y.iter_mut() {
+                *yi += share;
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocating wrapper around [`StochasticTensors::contract_o_into`].
+    pub fn contract_o(&self, x: &[f64], z: &[f64]) -> Result<Vec<f64>, TensorError> {
+        let mut y = vec![0.0; self.n];
+        self.contract_o_into(x, z, &mut y)?;
+        Ok(y)
+    }
+
+    /// `z = R ×̄₁ x ×̄₂ x` (Eq. 6 / step 6 of Algorithm 1), writing into a
+    /// caller-provided buffer. For stochastic `x` the output is stochastic.
+    ///
+    /// # Errors
+    /// [`TensorError::VectorLengthMismatch`] on wrong operand lengths.
+    pub fn contract_r_into(&self, x: &[f64], z: &mut [f64]) -> Result<(), TensorError> {
+        if x.len() != self.n {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "x",
+                expected: self.n,
+                found: x.len(),
+            });
+        }
+        if z.len() != self.m {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "z",
+                expected: self.m,
+                found: z.len(),
+            });
+        }
+        z.fill(0.0);
+        for e in &self.entries {
+            z[e.k as usize] += e.r * x[e.i as usize] * x[e.j as usize];
+        }
+        let sum_x: f64 = x.iter().sum();
+        let total_mass = sum_x * sum_x;
+        let present_mass: f64 = self
+            .present_pairs
+            .iter()
+            .map(|&(i, j)| x[i as usize] * x[j as usize])
+            .sum();
+        let dangling = total_mass - present_mass;
+        if dangling != 0.0 {
+            let share = dangling / self.m as f64;
+            for zk in z.iter_mut() {
+                *zk += share;
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocating wrapper around [`StochasticTensors::contract_r_into`].
+    pub fn contract_r(&self, x: &[f64]) -> Result<Vec<f64>, TensorError> {
+        let mut z = vec![0.0; self.m];
+        self.contract_r_into(x, &mut z)?;
+        Ok(z)
+    }
+
+    /// The two-vector relation contraction
+    /// `z_k = Σ_{i,j} r_{i,j,k} · u_i · v_j` with the same analytic
+    /// dangling handling as [`StochasticTensors::contract_r_into`].
+    ///
+    /// [`StochasticTensors::contract_r`] is the `u = v` special case; the
+    /// general form is needed by HAR-style co-ranking, where the mode-1
+    /// and mode-2 weights are the authority and hub vectors.
+    ///
+    /// # Errors
+    /// [`TensorError::VectorLengthMismatch`] on wrong operand lengths.
+    pub fn contract_r_pair(&self, u: &[f64], v: &[f64]) -> Result<Vec<f64>, TensorError> {
+        if u.len() != self.n {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "u",
+                expected: self.n,
+                found: u.len(),
+            });
+        }
+        if v.len() != self.n {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "v",
+                expected: self.n,
+                found: v.len(),
+            });
+        }
+        let mut z = vec![0.0; self.m];
+        for e in &self.entries {
+            z[e.k as usize] += e.r * u[e.i as usize] * v[e.j as usize];
+        }
+        let total_mass = u.iter().sum::<f64>() * v.iter().sum::<f64>();
+        let present_mass: f64 = self
+            .present_pairs
+            .iter()
+            .map(|&(i, j)| u[i as usize] * v[j as usize])
+            .sum();
+        let dangling = total_mass - present_mass;
+        if dangling != 0.0 {
+            let share = dangling / self.m as f64;
+            for zk in z.iter_mut() {
+                *zk += share;
+            }
+        }
+        Ok(z)
+    }
+
+    /// The transposed node contraction
+    /// `y_j = Σ_{i,k} o'_{j,i,k} · x_i · z_k`, where `o'` normalizes the
+    /// *source* mode of each `(i, k)` fiber: the probability of having
+    /// come *from* `j` given that `i` is visited via relation `k`. This is
+    /// the hub-side operator of HAR-style co-ranking.
+    ///
+    /// The normalization is computed on the fly from the stored raw
+    /// pattern: fibers with stored mass use their entry weights; absent
+    /// `(i, k)` fibers dangle uniformly (`1/n`), mirroring the forward
+    /// operator.
+    ///
+    /// # Errors
+    /// [`TensorError::VectorLengthMismatch`] on wrong operand lengths.
+    pub fn contract_o_transpose(&self, x: &[f64], z: &[f64]) -> Result<Vec<f64>, TensorError> {
+        if x.len() != self.n {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "x",
+                expected: self.n,
+                found: x.len(),
+            });
+        }
+        if z.len() != self.m {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "z",
+                expected: self.m,
+                found: z.len(),
+            });
+        }
+        // Mode-2 fiber sums for fixed (i, k), from the stored raw values.
+        let mut fiber_sums: std::collections::BTreeMap<(u32, u32), f64> =
+            std::collections::BTreeMap::new();
+        for e in &self.entries {
+            *fiber_sums.entry((e.i, e.k)).or_insert(0.0) += e.value;
+        }
+        let mut y = vec![0.0; self.n];
+        let mut present_mass = 0.0;
+        let mut seen: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
+        for e in &self.entries {
+            let denom = fiber_sums[&(e.i, e.k)];
+            y[e.j as usize] += (e.value / denom) * x[e.i as usize] * z[e.k as usize];
+            if seen.insert((e.i, e.k)) {
+                present_mass += x[e.i as usize] * z[e.k as usize];
+            }
+        }
+        let total_mass = x.iter().sum::<f64>() * z.iter().sum::<f64>();
+        let dangling = total_mass - present_mass;
+        if dangling != 0.0 {
+            let share = dangling / self.n as f64;
+            for yj in y.iter_mut() {
+                *yj += share;
+            }
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TensorBuilder;
+    use tmark_linalg::vector::is_stochastic;
+
+    /// Section 3.2 worked example (see `tensor.rs` for the construction).
+    fn example() -> (SparseTensor3, StochasticTensors) {
+        let mut b = TensorBuilder::new(4, 3);
+        b.add_undirected(0, 1, 0); // co-author p1-p2
+        b.add_directed(1, 2, 1); // p3 cites p2
+        b.add_directed(3, 2, 1); // p3 cites p4
+        b.add_directed(0, 3, 1); // p4 cites p1
+        b.add_undirected(1, 2, 2); // same conference p2-p3
+        let t = b.build().unwrap();
+        let s = StochasticTensors::from_tensor(&t);
+        (t, s)
+    }
+
+    #[test]
+    fn o_normalizes_mode1_fibers() {
+        let (_, s) = example();
+        // Fiber (j=2, k=1): p3's citations go to p2 and p4 with equal mass.
+        assert!((s.o_get(1, 2, 1) - 0.5).abs() < 1e-12);
+        assert!((s.o_get(3, 2, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(s.o_get(0, 2, 1), 0.0);
+        // Fiber (j=1, k=0): single entry, probability one.
+        assert!((s.o_get(0, 1, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn o_dangling_fiber_is_uniform_over_n() {
+        let (_, s) = example();
+        // No node links to p1 via "same conference": fiber (j=0, k=2) dangles.
+        for i in 0..4 {
+            assert!((s.o_get(i, 0, 2) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn r_normalizes_mode3_fibers() {
+        let (_, s) = example();
+        // Pair (i=1, j=2): linked via citation AND same-conference.
+        assert!((s.r_get(1, 2, 1) - 0.5).abs() < 1e-12);
+        assert!((s.r_get(1, 2, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(s.r_get(1, 2, 0), 0.0);
+        // Pair (i=0, j=3): only citation.
+        assert!((s.r_get(0, 3, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_dangling_pair_is_uniform_over_m() {
+        let (_, s) = example();
+        // p1 and p3 share no link: pair (0, 2) dangles.
+        for k in 0..3 {
+            assert!((s.r_get(0, 2, k) - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn contract_o_preserves_simplex() {
+        let (_, s) = example();
+        let x = [0.4, 0.3, 0.2, 0.1];
+        let z = [0.5, 0.25, 0.25];
+        let y = s.contract_o(&x, &z).unwrap();
+        assert!(is_stochastic(&y, 1e-12), "y = {y:?}");
+    }
+
+    #[test]
+    fn contract_r_preserves_simplex() {
+        let (_, s) = example();
+        let x = [0.4, 0.3, 0.2, 0.1];
+        let z = s.contract_r(&x).unwrap();
+        assert!(is_stochastic(&z, 1e-12), "z = {z:?}");
+    }
+
+    #[test]
+    fn contract_o_matches_brute_force_with_dangling() {
+        let (_, s) = example();
+        let x = [0.4, 0.3, 0.2, 0.1];
+        let z = [0.5, 0.25, 0.25];
+        let y = s.contract_o(&x, &z).unwrap();
+        for i in 0..4 {
+            let mut expect = 0.0;
+            for j in 0..4 {
+                for k in 0..3 {
+                    expect += s.o_get(i, j, k) * x[j] * z[k];
+                }
+            }
+            assert!(
+                (y[i] - expect).abs() < 1e-12,
+                "mismatch at i={i}: {} vs {expect}",
+                y[i]
+            );
+        }
+    }
+
+    #[test]
+    fn contract_r_matches_brute_force_with_dangling() {
+        let (_, s) = example();
+        let x = [0.4, 0.3, 0.2, 0.1];
+        let z = s.contract_r(&x).unwrap();
+        for k in 0..3 {
+            let mut expect = 0.0;
+            for i in 0..4 {
+                for j in 0..4 {
+                    expect += s.r_get(i, j, k) * x[i] * x[j];
+                }
+            }
+            assert!(
+                (z[k] - expect).abs() < 1e-12,
+                "mismatch at k={k}: {} vs {expect}",
+                z[k]
+            );
+        }
+    }
+
+    #[test]
+    fn contractions_validate_operand_lengths() {
+        let (_, s) = example();
+        assert!(s.contract_o(&[0.0; 3], &[0.0; 3]).is_err());
+        assert!(s.contract_o(&[0.0; 4], &[0.0; 4]).is_err());
+        assert!(s.contract_r(&[0.0; 2]).is_err());
+        let mut y = vec![0.0; 3];
+        assert!(s.contract_o_into(&[0.0; 4], &[0.0; 3], &mut y).is_err());
+        let mut z = vec![0.0; 2];
+        assert!(s.contract_r_into(&[0.0; 4], &mut z).is_err());
+    }
+
+    #[test]
+    fn fully_dangling_tensor_gives_uniform_outputs() {
+        // A tensor with a single entry leaves almost everything dangling;
+        // feeding mass only through dangling fibers must spread uniformly.
+        let t = SparseTensor3::from_entries(3, 2, vec![(0, 1, 0, 1.0)]).unwrap();
+        let s = StochasticTensors::from_tensor(&t);
+        // x concentrated on node 2, which has no outgoing links at all.
+        let x = [0.0, 0.0, 1.0];
+        let z = [0.5, 0.5];
+        let y = s.contract_o(&x, &z).unwrap();
+        for yi in &y {
+            assert!((yi - 1.0 / 3.0).abs() < 1e-12);
+        }
+        let zc = s.contract_r(&x).unwrap();
+        for zk in &zc {
+            assert!((zk - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn contract_r_pair_generalizes_contract_r() {
+        let (_, s) = example();
+        let x = [0.4, 0.3, 0.2, 0.1];
+        let same = s.contract_r_pair(&x, &x).unwrap();
+        let classic = s.contract_r(&x).unwrap();
+        for (a, b) in same.iter().zip(&classic) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn contract_r_pair_preserves_the_simplex() {
+        let (_, s) = example();
+        let u = [0.25; 4];
+        let v = [0.7, 0.1, 0.1, 0.1];
+        let z = s.contract_r_pair(&u, &v).unwrap();
+        assert!(is_stochastic(&z, 1e-12), "z = {z:?}");
+        assert!(s.contract_r_pair(&[0.5; 2], &v).is_err());
+        assert!(s.contract_r_pair(&u, &[0.5; 2]).is_err());
+    }
+
+    #[test]
+    fn contract_o_transpose_preserves_the_simplex() {
+        let (_, s) = example();
+        let x = [0.4, 0.3, 0.2, 0.1];
+        let z = [0.5, 0.25, 0.25];
+        let y = s.contract_o_transpose(&x, &z).unwrap();
+        assert!(is_stochastic(&y, 1e-12), "y = {y:?}");
+        assert!(s.contract_o_transpose(&[0.5; 2], &z).is_err());
+        assert!(s.contract_o_transpose(&x, &[0.5; 2]).is_err());
+    }
+
+    #[test]
+    fn contract_o_transpose_matches_brute_force() {
+        // Brute force: o'_{j,i,k} = a_{i,j,k} / sum_j a_{i,j,k} (uniform
+        // 1/n when the (i, k) fiber is empty).
+        let (t, s) = example();
+        let n = 4;
+        let m = 3;
+        let x = [0.4, 0.3, 0.2, 0.1];
+        let z = [0.5, 0.25, 0.25];
+        let y = s.contract_o_transpose(&x, &z).unwrap();
+        for j in 0..n {
+            let mut expect = 0.0;
+            for i in 0..n {
+                for k in 0..m {
+                    let fiber_sum: f64 = (0..n).map(|jj| t.get(i, jj, k)).sum();
+                    let o_t = if fiber_sum == 0.0 {
+                        1.0 / n as f64
+                    } else {
+                        t.get(i, j, k) / fiber_sum
+                    };
+                    expect += o_t * x[i] * z[k];
+                }
+            }
+            assert!((y[j] - expect).abs() < 1e-12, "j={j}: {} vs {expect}", y[j]);
+        }
+    }
+
+    #[test]
+    fn nnz_and_shape_accessors() {
+        let (t, s) = example();
+        assert_eq!(s.nnz(), t.nnz());
+        assert_eq!(s.num_nodes(), 4);
+        assert_eq!(s.num_relations(), 3);
+    }
+}

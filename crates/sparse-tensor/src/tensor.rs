@@ -1,0 +1,454 @@
+//! The canonical sparse 3-way tensor.
+
+// Indexed loops below walk several parallel arrays with one index;
+// clippy's iterator rewrite would obscure the shared-index structure.
+#![allow(clippy::needless_range_loop)]
+use std::fmt;
+
+use tmark_linalg::{DenseMatrix, SparseMatrix};
+
+/// Errors produced by tensor construction and shape-checked operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// An entry coordinate exceeded the declared shape.
+    IndexOutOfBounds {
+        /// The offending `(i, j, k)` coordinate.
+        index: (usize, usize, usize),
+        /// The tensor shape `(n, n, m)`.
+        shape: (usize, usize, usize),
+    },
+    /// A negative value was supplied; the adjacency tensor is nonnegative
+    /// by definition (Section 3.1).
+    NegativeValue {
+        /// The coordinate carrying the negative value.
+        index: (usize, usize, usize),
+        /// The value supplied.
+        value: f64,
+    },
+    /// A vector operand had the wrong length for a contraction.
+    VectorLengthMismatch {
+        /// Description of the operand.
+        operand: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        found: usize,
+    },
+    /// The tensor has zero nodes or zero relations.
+    EmptyShape,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "tensor index ({}, {}, {}) out of bounds for shape {}x{}x{}",
+                index.0, index.1, index.2, shape.0, shape.1, shape.2
+            ),
+            TensorError::NegativeValue { index, value } => write!(
+                f,
+                "negative value {value} at ({}, {}, {}); the adjacency tensor is nonnegative",
+                index.0, index.1, index.2
+            ),
+            TensorError::VectorLengthMismatch {
+                operand,
+                expected,
+                found,
+            } => write!(
+                f,
+                "operand {operand} has length {found}, expected {expected}"
+            ),
+            TensorError::EmptyShape => {
+                write!(f, "tensor must have n > 0 nodes and m > 0 relations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// One stored entry of the tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Destination node index (mode 1).
+    pub i: usize,
+    /// Source node index (mode 2).
+    pub j: usize,
+    /// Relation index (mode 3).
+    pub k: usize,
+    /// Nonnegative weight (1.0 for an unweighted HIN).
+    pub value: f64,
+}
+
+/// A sparse, nonnegative third-order tensor of shape `n × n × m`.
+///
+/// Entries are stored sorted by `(k, j, i)` — relation-major, then source
+/// column — which makes the Eq. (1) fiber normalization (fixed `(j, k)`,
+/// varying `i`) a single linear scan. Entries with duplicate coordinates
+/// supplied at construction are summed; explicit zeros are dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseTensor3 {
+    n: usize,
+    m: usize,
+    entries: Vec<Entry>,
+}
+
+impl SparseTensor3 {
+    /// Builds a tensor from raw entries, validating, deduplicating
+    /// (summing), and dropping zeros.
+    ///
+    /// # Errors
+    /// [`TensorError::EmptyShape`] if `n == 0 || m == 0`;
+    /// [`TensorError::IndexOutOfBounds`] / [`TensorError::NegativeValue`]
+    /// per offending entry.
+    pub fn from_entries(
+        n: usize,
+        m: usize,
+        raw: Vec<(usize, usize, usize, f64)>,
+    ) -> Result<Self, TensorError> {
+        if n == 0 || m == 0 {
+            return Err(TensorError::EmptyShape);
+        }
+        let mut entries: Vec<Entry> = Vec::with_capacity(raw.len());
+        for (i, j, k, value) in raw {
+            if i >= n || j >= n || k >= m {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: (i, j, k),
+                    shape: (n, n, m),
+                });
+            }
+            if value < 0.0 {
+                return Err(TensorError::NegativeValue {
+                    index: (i, j, k),
+                    value,
+                });
+            }
+            if value != 0.0 {
+                entries.push(Entry { i, j, k, value });
+            }
+        }
+        entries.sort_by_key(|e| (e.k, e.j, e.i));
+        // Merge duplicates in place.
+        let mut merged: Vec<Entry> = Vec::with_capacity(entries.len());
+        for e in entries {
+            match merged.last_mut() {
+                Some(last) if last.i == e.i && last.j == e.j && last.k == e.k => {
+                    last.value += e.value;
+                }
+                _ => merged.push(e),
+            }
+        }
+        Ok(SparseTensor3 {
+            n,
+            m,
+            entries: merged,
+        })
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of relations (link types) `m`.
+    #[inline]
+    pub fn num_relations(&self) -> usize {
+        self.m
+    }
+
+    /// Shape `(n, n, m)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.n, self.n, self.m)
+    }
+
+    /// Number of stored (nonzero) entries, the `D` of the paper's `O(qTD)`
+    /// complexity bound.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The stored entries, sorted by `(k, j, i)`.
+    #[inline]
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Value at `(i, j, k)` (zero when absent). `O(log D)`.
+    pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
+        match self
+            .entries
+            .binary_search_by_key(&(k, j, i), |e| (e.k, e.j, e.i))
+        {
+            Ok(pos) => self.entries[pos].value,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The adjacency matrix of relation `k` as a dense `n × n` matrix
+    /// (`A[i][j] = a_{i,j,k}`). Intended for small tensors and tests.
+    pub fn slice_dense(&self, k: usize) -> DenseMatrix {
+        assert!(k < self.m, "relation {k} out of bounds");
+        let mut s = DenseMatrix::zeros(self.n, self.n);
+        for e in self.entries.iter().filter(|e| e.k == k) {
+            s.add_at(e.i, e.j, e.value);
+        }
+        s
+    }
+
+    /// Mode-1 matricization `A₍₁₎` of size `n × (n·m)`: entry `(i, j, k)`
+    /// maps to row `i`, column `j + k·n`. This is the layout used in the
+    /// paper's Section 3.2 worked example, where normalizing each column of
+    /// `A₍₁₎` yields the tensor `O`.
+    pub fn unfold_mode1(&self) -> SparseMatrix {
+        let triplets: Vec<(usize, usize, f64)> = self
+            .entries
+            .iter()
+            .map(|e| (e.i, e.j + e.k * self.n, e.value))
+            .collect();
+        SparseMatrix::from_triplets(self.n, self.n * self.m, &triplets)
+            .expect("unfold_mode1 coordinates in bounds by construction")
+    }
+
+    /// Mode-3 matricization `A₍₃₎` of size `m × (n·n)`: entry `(i, j, k)`
+    /// maps to row `k`, column `i + j·n`. Normalizing each column of `A₍₃₎`
+    /// yields the tensor `R` (Section 3.2).
+    pub fn unfold_mode3(&self) -> SparseMatrix {
+        let triplets: Vec<(usize, usize, f64)> = self
+            .entries
+            .iter()
+            .map(|e| (e.k, e.i + e.j * self.n, e.value))
+            .collect();
+        SparseMatrix::from_triplets(self.m, self.n * self.n, &triplets)
+            .expect("unfold_mode3 coordinates in bounds by construction")
+    }
+
+    /// The relation-aggregated adjacency: `agg[i][j] = Σ_k a_{i,j,k}` as
+    /// triplets. Used for irreducibility checks and the ICA baseline (which
+    /// "aggregates all types of links into one").
+    pub fn aggregate_relations(&self) -> SparseMatrix {
+        let triplets: Vec<(usize, usize, f64)> =
+            self.entries.iter().map(|e| (e.i, e.j, e.value)).collect();
+        SparseMatrix::from_triplets(self.n, self.n, &triplets)
+            .expect("aggregate coordinates in bounds by construction")
+    }
+
+    /// Direct contraction `(A ×̄₁ x ×̄₃ z)_i = Σ_{j,k} a_{i,j,k} x_j z_k` on
+    /// the *raw* tensor (no normalization, no dangling handling). The
+    /// stochastic version used by Algorithm 1 lives in
+    /// [`crate::stochastic::StochasticTensors::contract_o_into`].
+    pub fn contract_mode1_mode3(&self, x: &[f64], z: &[f64]) -> Result<Vec<f64>, TensorError> {
+        if x.len() != self.n {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "x",
+                expected: self.n,
+                found: x.len(),
+            });
+        }
+        if z.len() != self.m {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "z",
+                expected: self.m,
+                found: z.len(),
+            });
+        }
+        let mut y = vec![0.0; self.n];
+        for e in &self.entries {
+            y[e.i] += e.value * x[e.j] * z[e.k];
+        }
+        Ok(y)
+    }
+
+    /// Direct contraction `(A ×̄₁ x ×̄₂ x)_k = Σ_{i,j} a_{i,j,k} x_i x_j` on
+    /// the raw tensor.
+    pub fn contract_mode1_mode2(&self, x: &[f64]) -> Result<Vec<f64>, TensorError> {
+        if x.len() != self.n {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "x",
+                expected: self.n,
+                found: x.len(),
+            });
+        }
+        let mut z = vec![0.0; self.m];
+        for e in &self.entries {
+            z[e.k] += e.value * x[e.i] * x[e.j];
+        }
+        Ok(z)
+    }
+
+    /// Total stored weight `Σ a_{i,j,k}`.
+    pub fn total_weight(&self) -> f64 {
+        self.entries.iter().map(|e| e.value).sum()
+    }
+
+    /// Per-relation entry counts (length `m`), a cheap sparsity profile
+    /// used by dataset diagnostics and the Movies experiment discussion.
+    pub fn relation_nnz(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.m];
+        for e in &self.entries {
+            counts[e.k] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Section 3.2 worked example: 4 publications, 3 relations
+    /// (0 = co-author, 1 = citation, 2 = same conference).
+    ///
+    /// Co-author: p1–p2 share an author (undirected → both directions).
+    /// Citation: p3 cites p2 and p4; p4 cites p1 (directed, citing → cited
+    /// stored as a_{cited, citing}: the walker moves from the citing paper
+    /// to the papers it references).
+    /// Same conference: p2 and p3 are both at WWW (undirected).
+    pub(crate) fn worked_example() -> SparseTensor3 {
+        SparseTensor3::from_entries(
+            4,
+            3,
+            vec![
+                // co-author (k = 0)
+                (0, 1, 0, 1.0),
+                (1, 0, 0, 1.0),
+                // citation (k = 1): p3 -> p2, p3 -> p4, p4 -> p1
+                (1, 2, 1, 1.0),
+                (3, 2, 1, 1.0),
+                (0, 3, 1, 1.0),
+                // same conference (k = 2)
+                (1, 2, 2, 1.0),
+                (2, 1, 2, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_entries_rejects_empty_shape() {
+        assert_eq!(
+            SparseTensor3::from_entries(0, 3, vec![]),
+            Err(TensorError::EmptyShape)
+        );
+        assert_eq!(
+            SparseTensor3::from_entries(3, 0, vec![]),
+            Err(TensorError::EmptyShape)
+        );
+    }
+
+    #[test]
+    fn from_entries_rejects_out_of_bounds_and_negative() {
+        assert!(matches!(
+            SparseTensor3::from_entries(2, 2, vec![(2, 0, 0, 1.0)]),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            SparseTensor3::from_entries(2, 2, vec![(0, 0, 0, -1.0)]),
+            Err(TensorError::NegativeValue { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicates_sum_and_zeros_drop() {
+        let t =
+            SparseTensor3::from_entries(2, 1, vec![(0, 1, 0, 1.0), (0, 1, 0, 2.0), (1, 0, 0, 0.0)])
+                .unwrap();
+        assert_eq!(t.nnz(), 1);
+        assert_eq!(t.get(0, 1, 0), 3.0);
+        assert_eq!(t.get(1, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn worked_example_has_expected_shape_and_nnz() {
+        let t = worked_example();
+        assert_eq!(t.shape(), (4, 4, 3));
+        assert_eq!(t.nnz(), 7);
+        assert_eq!(t.total_weight(), 7.0);
+        assert_eq!(t.relation_nnz(), vec![2, 3, 2]);
+    }
+
+    #[test]
+    fn slice_dense_reproduces_adjacency() {
+        let t = worked_example();
+        let coauthor = t.slice_dense(0);
+        assert_eq!(coauthor.get(0, 1), 1.0);
+        assert_eq!(coauthor.get(1, 0), 1.0);
+        assert_eq!(coauthor.get(2, 3), 0.0);
+    }
+
+    #[test]
+    fn unfold_mode1_matches_definition() {
+        let t = worked_example();
+        let a1 = t.unfold_mode1();
+        assert_eq!((a1.rows(), a1.cols()), (4, 12));
+        // a_{0,1,0} = 1 -> row 0, col 1 + 0*4 = 1
+        assert_eq!(a1.get(0, 1), 1.0);
+        // a_{0,3,1} = 1 -> row 0, col 3 + 1*4 = 7
+        assert_eq!(a1.get(0, 7), 1.0);
+        // a_{2,1,2} = 1 -> row 2, col 1 + 2*4 = 9
+        assert_eq!(a1.get(2, 9), 1.0);
+        assert_eq!(a1.nnz(), t.nnz());
+    }
+
+    #[test]
+    fn unfold_mode3_matches_definition() {
+        let t = worked_example();
+        let a3 = t.unfold_mode3();
+        assert_eq!((a3.rows(), a3.cols()), (3, 16));
+        // a_{1,2,1} = 1 -> row 1, col 1 + 2*4 = 9
+        assert_eq!(a3.get(1, 9), 1.0);
+        // a_{0,1,0} = 1 -> row 0, col 0 + 1*4 = 4
+        assert_eq!(a3.get(0, 4), 1.0);
+        assert_eq!(a3.nnz(), t.nnz());
+    }
+
+    #[test]
+    fn raw_contractions_match_brute_force() {
+        let t = worked_example();
+        let x = [0.1, 0.2, 0.3, 0.4];
+        let z = [0.5, 0.3, 0.2];
+        let y = t.contract_mode1_mode3(&x, &z).unwrap();
+        for i in 0..4 {
+            let mut expect = 0.0;
+            for j in 0..4 {
+                for k in 0..3 {
+                    expect += t.get(i, j, k) * x[j] * z[k];
+                }
+            }
+            assert!((y[i] - expect).abs() < 1e-12, "mode1-mode3 mismatch at {i}");
+        }
+        let zc = t.contract_mode1_mode2(&x).unwrap();
+        for k in 0..3 {
+            let mut expect = 0.0;
+            for i in 0..4 {
+                for j in 0..4 {
+                    expect += t.get(i, j, k) * x[i] * x[j];
+                }
+            }
+            assert!(
+                (zc[k] - expect).abs() < 1e-12,
+                "mode1-mode2 mismatch at {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn contractions_validate_lengths() {
+        let t = worked_example();
+        assert!(t.contract_mode1_mode3(&[0.0; 3], &[0.0; 3]).is_err());
+        assert!(t.contract_mode1_mode3(&[0.0; 4], &[0.0; 2]).is_err());
+        assert!(t.contract_mode1_mode2(&[0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn aggregate_relations_sums_over_k() {
+        let t = worked_example();
+        let agg = t.aggregate_relations();
+        // (1, 2) appears in both citation and same-conference slices.
+        assert_eq!(agg.get(1, 2), 2.0);
+        assert_eq!(agg.get(0, 1), 1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the tensor substrate: the invariants behind
+//! Theorems 1–3 must hold for *every* nonnegative tensor, not just the
+//! worked example.
+
+// Indexed loops below walk several parallel arrays with one index;
+// clippy's iterator rewrite would obscure the shared-index structure.
+#![allow(clippy::needless_range_loop)]
+use proptest::prelude::*;
+use tmark_linalg::vector::{is_stochastic, normalize_sum_to_one};
+use tmark_sparse_tensor::connectivity::strongly_connected_components;
+use tmark_sparse_tensor::{SparseTensor3, StochasticTensors};
+
+/// Strategy: a random small tensor plus simplex vectors of matching size.
+fn tensor_and_vectors() -> impl Strategy<Value = (SparseTensor3, Vec<f64>, Vec<f64>)> {
+    (2usize..8, 1usize..5).prop_flat_map(|(n, m)| {
+        let entries = prop::collection::vec((0..n, 0..n, 0..m, 0.01..5.0f64), 0..=3 * n * m);
+        let x = prop::collection::vec(0.01..1.0f64, n);
+        let z = prop::collection::vec(0.01..1.0f64, m);
+        (Just(n), Just(m), entries, x, z).prop_map(|(n, m, entries, mut x, mut z)| {
+            let t = SparseTensor3::from_entries(n, m, entries).expect("valid coordinates");
+            normalize_sum_to_one(&mut x);
+            normalize_sum_to_one(&mut z);
+            (t, x, z)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn construction_is_idempotent_under_reserialization(
+        (t, _, _) in tensor_and_vectors()
+    ) {
+        let raw: Vec<(usize, usize, usize, f64)> =
+            t.entries().iter().map(|e| (e.i, e.j, e.k, e.value)).collect();
+        let rebuilt = SparseTensor3::from_entries(t.num_nodes(), t.num_relations(), raw).unwrap();
+        prop_assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn matricizations_preserve_every_entry((t, _, _) in tensor_and_vectors()) {
+        let a1 = t.unfold_mode1();
+        let a3 = t.unfold_mode3();
+        prop_assert_eq!(a1.nnz(), t.nnz());
+        prop_assert_eq!(a3.nnz(), t.nnz());
+        for e in t.entries() {
+            prop_assert_eq!(a1.get(e.i, e.j + e.k * t.num_nodes()), e.value);
+            prop_assert_eq!(a3.get(e.k, e.i + e.j * t.num_nodes()), e.value);
+        }
+    }
+
+    #[test]
+    fn theorem1_o_contraction_maps_simplex_to_simplex(
+        (t, x, z) in tensor_and_vectors()
+    ) {
+        let s = StochasticTensors::from_tensor(&t);
+        let y = s.contract_o(&x, &z).unwrap();
+        prop_assert!(is_stochastic(&y, 1e-8), "y = {y:?}");
+    }
+
+    #[test]
+    fn theorem1_r_contraction_maps_simplex_to_simplex(
+        (t, x, _) in tensor_and_vectors()
+    ) {
+        let s = StochasticTensors::from_tensor(&t);
+        let z = s.contract_r(&x).unwrap();
+        prop_assert!(is_stochastic(&z, 1e-8), "z = {z:?}");
+    }
+
+    #[test]
+    fn contractions_match_brute_force_over_o_r_entries(
+        (t, x, z) in tensor_and_vectors()
+    ) {
+        let s = StochasticTensors::from_tensor(&t);
+        let n = t.num_nodes();
+        let m = t.num_relations();
+        let y = s.contract_o(&x, &z).unwrap();
+        for i in 0..n {
+            let mut expect = 0.0;
+            for j in 0..n {
+                for k in 0..m {
+                    expect += s.o_get(i, j, k) * x[j] * z[k];
+                }
+            }
+            prop_assert!((y[i] - expect).abs() < 1e-8, "i={i}: {} vs {expect}", y[i]);
+        }
+        let zc = s.contract_r(&x).unwrap();
+        for k in 0..m {
+            let mut expect = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    expect += s.r_get(i, j, k) * x[i] * x[j];
+                }
+            }
+            prop_assert!((zc[k] - expect).abs() < 1e-8, "k={k}: {} vs {expect}", zc[k]);
+        }
+    }
+
+    #[test]
+    fn o_fibers_are_stochastic_everywhere((t, _, _) in tensor_and_vectors()) {
+        let s = StochasticTensors::from_tensor(&t);
+        let n = t.num_nodes();
+        let m = t.num_relations();
+        for j in 0..n {
+            for k in 0..m {
+                let total: f64 = (0..n).map(|i| s.o_get(i, j, k)).sum();
+                prop_assert!((total - 1.0).abs() < 1e-8, "fiber ({j}, {k}) sums to {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn r_fibers_are_stochastic_everywhere((t, _, _) in tensor_and_vectors()) {
+        let s = StochasticTensors::from_tensor(&t);
+        let n = t.num_nodes();
+        let m = t.num_relations();
+        for i in 0..n {
+            for j in 0..n {
+                let total: f64 = (0..m).map(|k| s.r_get(i, j, k)).sum();
+                prop_assert!((total - 1.0).abs() < 1e-8, "pair ({i}, {j}) sums to {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn scc_partition_covers_all_nodes_once((t, _, _) in tensor_and_vectors()) {
+        let sccs = strongly_connected_components(&t);
+        let mut all: Vec<usize> = sccs.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..t.num_nodes()).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn aggregation_preserves_total_weight((t, _, _) in tensor_and_vectors()) {
+        let agg = t.aggregate_relations();
+        let mut agg_total = 0.0;
+        for r in 0..agg.rows() {
+            for (_, v) in agg.row_iter(r) {
+                agg_total += v;
+            }
+        }
+        prop_assert!((agg_total - t.total_weight()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn relation_nnz_sums_to_total_nnz((t, _, _) in tensor_and_vectors()) {
+        prop_assert_eq!(t.relation_nnz().iter().sum::<usize>(), t.nnz());
+    }
+}

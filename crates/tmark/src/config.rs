@@ -1,0 +1,248 @@
+//! Hyper-parameters of Algorithm 1.
+
+use std::fmt;
+
+/// Errors from [`TMarkConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `α` outside `(0, 1)`.
+    AlphaOutOfRange(f64),
+    /// `γ` outside `[0, 1]`.
+    GammaOutOfRange(f64),
+    /// `λ` outside `(0, 1]`.
+    LambdaOutOfRange(f64),
+    /// `ε` not strictly positive.
+    EpsilonNotPositive(f64),
+    /// Iteration cap of zero.
+    ZeroMaxIterations,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::AlphaOutOfRange(a) => {
+                write!(f, "alpha must lie in (0, 1), got {a}")
+            }
+            ConfigError::GammaOutOfRange(g) => {
+                write!(f, "gamma must lie in [0, 1], got {g}")
+            }
+            ConfigError::LambdaOutOfRange(l) => {
+                write!(f, "lambda must lie in (0, 1], got {l}")
+            }
+            ConfigError::EpsilonNotPositive(e) => {
+                write!(f, "epsilon must be positive, got {e}")
+            }
+            ConfigError::ZeroMaxIterations => write!(f, "max_iterations must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Hyper-parameters of the T-Mark iteration.
+///
+/// The paper's defaults (Section 6.5): `α = 0.8` on DBLP-like data,
+/// `α = 0.9` on NUS/ACM/Movies; `γ = 0.6` on DBLP, `γ = 0.4` on NUS.
+/// `Default` uses the DBLP settings since that is the paper's primary
+/// benchmark; dataset presets live in `tmark-datasets`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TMarkConfig {
+    /// Restart probability `α ∈ (0, 1)`: the weight of the labeled-data
+    /// term `α·l` at every step.
+    pub alpha: f64,
+    /// Feature/relation balance `γ ∈ [0, 1]`: `γ = 0` uses only relational
+    /// information, `γ = 1` only node features. Internally
+    /// `β = γ(1 − α)` weights the `W x` term.
+    pub gamma: f64,
+    /// Relative confidence threshold `λ ∈ (0, 1]` of the ICA update
+    /// (Eq. 12): at each refresh, unlabeled node `i` joins the restart set
+    /// of class `c` when `x_i > λ · max_j x_j`.
+    ///
+    /// The paper calls `λ` "a relative threshold" without fixing its
+    /// scale; interpreting it relative to the current maximum confidence
+    /// keeps the rule meaningful as mass spreads over `n` nodes.
+    pub lambda: f64,
+    /// Convergence tolerance `ε` on `‖Δx‖₁ + ‖Δz‖₁`.
+    pub epsilon: f64,
+    /// Hard iteration cap (the ICA refresh can delay convergence).
+    pub max_iterations: usize,
+    /// Whether to run the Eq. 12 ICA refresh of `l`. Disabling it yields
+    /// **TensorRrCc**, the authors' earlier ICDM 2017 method, which the
+    /// paper's tables report as a separate column.
+    pub ica_update: bool,
+    /// First iteration (1-based) at which the ICA refresh runs; the paper's
+    /// Algorithm 1 updates `l` only for `t > 2`, i.e. from iteration 3.
+    pub ica_start_iteration: usize,
+}
+
+impl Default for TMarkConfig {
+    fn default() -> Self {
+        TMarkConfig {
+            alpha: 0.8,
+            gamma: 0.6,
+            lambda: 0.9,
+            epsilon: 1e-9,
+            max_iterations: 200,
+            ica_update: true,
+            ica_start_iteration: 3,
+        }
+    }
+}
+
+impl TMarkConfig {
+    /// The derived weight `β = γ(1 − α)` of the feature-walk term.
+    pub fn beta(&self) -> f64 {
+        self.gamma * (1.0 - self.alpha)
+    }
+
+    /// The weight `1 − α − β` of the relational (tensor) term.
+    pub fn relational_weight(&self) -> f64 {
+        1.0 - self.alpha - self.beta()
+    }
+
+    /// The TensorRrCc preset: Algorithm 1 with the ICA refresh disabled.
+    pub fn tensor_rrcc(self) -> Self {
+        TMarkConfig {
+            ica_update: false,
+            ..self
+        }
+    }
+
+    /// Checks the parameter ranges required by Theorems 1–3.
+    ///
+    /// # Errors
+    /// The first violated constraint as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(ConfigError::AlphaOutOfRange(self.alpha));
+        }
+        if !(0.0..=1.0).contains(&self.gamma) {
+            return Err(ConfigError::GammaOutOfRange(self.gamma));
+        }
+        if !(self.lambda > 0.0 && self.lambda <= 1.0) {
+            return Err(ConfigError::LambdaOutOfRange(self.lambda));
+        }
+        // Negated form deliberately rejects NaN as well as non-positives.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(self.epsilon > 0.0) {
+            return Err(ConfigError::EpsilonNotPositive(self.epsilon));
+        }
+        if self.max_iterations == 0 {
+            return Err(ConfigError::ZeroMaxIterations);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_uses_paper_dblp_settings() {
+        let c = TMarkConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.alpha, 0.8);
+        assert_eq!(c.gamma, 0.6);
+        assert!(c.ica_update);
+    }
+
+    #[test]
+    fn beta_is_gamma_scaled_by_one_minus_alpha() {
+        let c = TMarkConfig {
+            alpha: 0.8,
+            gamma: 0.5,
+            ..Default::default()
+        };
+        assert!((c.beta() - 0.1).abs() < 1e-12);
+        assert!((c.relational_weight() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_sum_to_one_minus_nothing() {
+        let c = TMarkConfig {
+            alpha: 0.7,
+            gamma: 0.3,
+            ..Default::default()
+        };
+        let total = c.alpha + c.beta() + c.relational_weight();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_extremes_are_legal() {
+        for gamma in [0.0, 1.0] {
+            let c = TMarkConfig {
+                gamma,
+                ..Default::default()
+            };
+            c.validate().unwrap();
+        }
+        // gamma = 1 removes the relational term entirely.
+        let c = TMarkConfig {
+            gamma: 1.0,
+            alpha: 0.8,
+            ..Default::default()
+        };
+        assert!(c.relational_weight().abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_parameters() {
+        let base = TMarkConfig::default();
+        assert!(matches!(
+            TMarkConfig { alpha: 0.0, ..base }.validate(),
+            Err(ConfigError::AlphaOutOfRange(_))
+        ));
+        assert!(matches!(
+            TMarkConfig { alpha: 1.0, ..base }.validate(),
+            Err(ConfigError::AlphaOutOfRange(_))
+        ));
+        assert!(matches!(
+            TMarkConfig {
+                gamma: -0.1,
+                ..base
+            }
+            .validate(),
+            Err(ConfigError::GammaOutOfRange(_))
+        ));
+        assert!(matches!(
+            TMarkConfig {
+                lambda: 0.0,
+                ..base
+            }
+            .validate(),
+            Err(ConfigError::LambdaOutOfRange(_))
+        ));
+        assert!(matches!(
+            TMarkConfig {
+                epsilon: 0.0,
+                ..base
+            }
+            .validate(),
+            Err(ConfigError::EpsilonNotPositive(_))
+        ));
+        assert!(matches!(
+            TMarkConfig {
+                max_iterations: 0,
+                ..base
+            }
+            .validate(),
+            Err(ConfigError::ZeroMaxIterations)
+        ));
+    }
+
+    #[test]
+    fn tensor_rrcc_disables_ica_only() {
+        let c = TMarkConfig::default().tensor_rrcc();
+        assert!(!c.ica_update);
+        assert_eq!(c.alpha, TMarkConfig::default().alpha);
+    }
+
+    #[test]
+    fn error_messages_mention_offending_value() {
+        assert!(ConfigError::AlphaOutOfRange(1.5)
+            .to_string()
+            .contains("1.5"));
+    }
+}

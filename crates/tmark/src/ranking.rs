@@ -1,0 +1,96 @@
+//! Link-type (relation) rankings derived from the stationary `z̄`.
+//!
+//! Section 6 of the paper reads the per-class stationary distribution over
+//! link types as a relevance ranking: Table 2 (top conferences per
+//! research area), Table 5 (top directors per genre), Tables 9/10 (top
+//! tags per image class), and Fig. 5 (relative importance of ACM link
+//! types) are all direct renderings of `z̄` sorted per class.
+
+/// A per-class ranking of link types by stationary probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkRanking {
+    /// `(link_type_id, score)` pairs sorted by descending score, ties
+    /// broken toward the smaller id for determinism.
+    pub ranked: Vec<(usize, f64)>,
+}
+
+impl LinkRanking {
+    /// Builds a ranking from the stationary relation distribution.
+    pub fn from_scores(z: &[f64]) -> Self {
+        let mut ranked: Vec<(usize, f64)> = z.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        LinkRanking { ranked }
+    }
+
+    /// The top `k` link-type ids.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        self.ranked.iter().take(k).map(|&(id, _)| id).collect()
+    }
+
+    /// The rank (0-based) of a link type, if present.
+    pub fn rank_of(&self, link_type: usize) -> Option<usize> {
+        self.ranked.iter().position(|&(id, _)| id == link_type)
+    }
+
+    /// The score of a link type, if present.
+    pub fn score_of(&self, link_type: usize) -> Option<f64> {
+        self.ranked
+            .iter()
+            .find(|&&(id, _)| id == link_type)
+            .map(|&(_, s)| s)
+    }
+
+    /// Renders the top `k` entries with names, for table output.
+    pub fn describe_top_k<'a>(&self, names: &'a [String], k: usize) -> Vec<(&'a str, f64)> {
+        self.ranked
+            .iter()
+            .take(k)
+            .map(|&(id, s)| (names[id].as_str(), s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_sorts_descending() {
+        let r = LinkRanking::from_scores(&[0.2, 0.5, 0.3]);
+        assert_eq!(r.top_k(3), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_id() {
+        let r = LinkRanking::from_scores(&[0.4, 0.4, 0.2]);
+        assert_eq!(r.top_k(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn rank_and_score_lookup() {
+        let r = LinkRanking::from_scores(&[0.1, 0.9]);
+        assert_eq!(r.rank_of(1), Some(0));
+        assert_eq!(r.rank_of(0), Some(1));
+        assert_eq!(r.rank_of(7), None);
+        assert_eq!(r.score_of(1), Some(0.9));
+        assert_eq!(r.score_of(9), None);
+    }
+
+    #[test]
+    fn top_k_saturates_at_length() {
+        let r = LinkRanking::from_scores(&[0.5, 0.5]);
+        assert_eq!(r.top_k(10).len(), 2);
+    }
+
+    #[test]
+    fn describe_uses_names() {
+        let names = vec!["citation".to_string(), "co-author".to_string()];
+        let r = LinkRanking::from_scores(&[0.3, 0.7]);
+        let d = r.describe_top_k(&names, 1);
+        assert_eq!(d, vec![("co-author", 0.7)]);
+    }
+}

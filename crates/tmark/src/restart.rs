@@ -1,0 +1,143 @@
+//! Restart-distribution construction (Eqs. 11 and 12).
+//!
+//! The restart vector `l` anchors the walk to the supervision: Eq. (11)
+//! spreads unit mass uniformly over the labeled nodes of the current
+//! class. The ICA-style refresh of Eq. (12) additionally admits unlabeled
+//! nodes whose current stationary confidence exceeds a relative threshold
+//! `λ`, letting high-confidence predictions reinforce the next iteration —
+//! the mechanism that distinguishes T-Mark from its TensorRrCc
+//! predecessor.
+
+/// Builds the Eq. (11) restart vector: uniform mass over `seed_nodes`
+/// (the labeled nodes of the current class), zero elsewhere.
+///
+/// Returns the zero vector when `seed_nodes` is empty (a class with no
+/// training examples); the solver treats that class as unseeded rather
+/// than erroring, so sweeps over tiny label fractions never abort.
+pub fn label_restart_vector(n: usize, seed_nodes: &[usize]) -> Vec<f64> {
+    let mut l = vec![0.0; n];
+    if seed_nodes.is_empty() {
+        return l;
+    }
+    let mass = 1.0 / seed_nodes.len() as f64;
+    for &v in seed_nodes {
+        assert!(v < n, "seed node {v} out of bounds for n = {n}");
+        l[v] = mass;
+    }
+    l
+}
+
+/// Applies the Eq. (12) ICA refresh: the accepted set is the union of the
+/// original seeds and every *unlabeled* node whose confidence `x_i`
+/// exceeds `λ · max(x over unlabeled nodes)`; mass is spread uniformly
+/// over the accepted set.
+///
+/// The threshold is relative to the unlabeled maximum rather than the
+/// global one: under a strong restart (`α` close to 1) the seeds hold
+/// almost all stationary mass, so a seed-relative threshold would never
+/// admit anything and Eq. (12) would be a no-op. The paper only calls `λ`
+/// "a relative threshold"; this reading keeps the rule meaningful across
+/// the whole `α` range.
+///
+/// The original seeds always remain accepted, so supervision is never
+/// washed out. Writes the refreshed vector into `l`.
+pub fn ica_refresh_restart(x: &[f64], seed_nodes: &[usize], lambda: f64, l: &mut [f64]) {
+    debug_assert_eq!(x.len(), l.len(), "ica_refresh_restart: length mismatch");
+    let mut is_seed = vec![false; x.len()];
+    let mut accepted: Vec<usize> = Vec::new();
+    for &s in seed_nodes {
+        is_seed[s] = true;
+        accepted.push(s);
+    }
+    let max_unlabeled = x
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !is_seed[i])
+        .fold(0.0_f64, |m, (_, &v)| m.max(v));
+    let threshold = lambda * max_unlabeled;
+    if max_unlabeled > 0.0 {
+        for (i, &xi) in x.iter().enumerate() {
+            if !is_seed[i] && xi > threshold {
+                accepted.push(i);
+            }
+        }
+    }
+    l.fill(0.0);
+    if accepted.is_empty() {
+        return;
+    }
+    let mass = 1.0 / accepted.len() as f64;
+    for &v in &accepted {
+        l[v] = mass;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmark_linalg::vector::is_stochastic;
+
+    #[test]
+    fn label_restart_is_uniform_over_seeds() {
+        let l = label_restart_vector(5, &[1, 3]);
+        assert_eq!(l, vec![0.0, 0.5, 0.0, 0.5, 0.0]);
+        assert!(is_stochastic(&l, 1e-12));
+    }
+
+    #[test]
+    fn empty_seed_set_gives_zero_vector() {
+        let l = label_restart_vector(3, &[]);
+        assert_eq!(l, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_seed_panics() {
+        label_restart_vector(2, &[5]);
+    }
+
+    #[test]
+    fn refresh_admits_high_confidence_nodes() {
+        let x = [0.5, 0.4, 0.05, 0.05];
+        let mut l = vec![0.0; 4];
+        ica_refresh_restart(&x, &[0], 0.5, &mut l);
+        // Node 1 has 0.4 > 0.5 * 0.5 = 0.25, so it joins node 0.
+        assert_eq!(l, vec![0.5, 0.5, 0.0, 0.0]);
+        assert!(is_stochastic(&l, 1e-12));
+    }
+
+    #[test]
+    fn refresh_keeps_seeds_even_at_low_confidence() {
+        // Seed node 2 has tiny confidence but must stay in the restart set.
+        let x = [0.9, 0.05, 0.05, 0.0];
+        let mut l = vec![0.0; 4];
+        ica_refresh_restart(&x, &[2], 0.5, &mut l);
+        assert!(l[2] > 0.0);
+        assert!(is_stochastic(&l, 1e-12));
+    }
+
+    #[test]
+    fn lambda_one_admits_nothing_extra() {
+        // Threshold equals the max; only a strict exceedance would qualify.
+        let x = [0.6, 0.4];
+        let mut l = vec![0.0; 2];
+        ica_refresh_restart(&x, &[1], 1.0, &mut l);
+        assert_eq!(l, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_confidence_leaves_only_seeds() {
+        let x = [0.0, 0.0, 0.0];
+        let mut l = vec![0.0; 3];
+        ica_refresh_restart(&x, &[1], 0.5, &mut l);
+        assert_eq!(l, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn no_seeds_and_zero_confidence_leaves_zero_vector() {
+        let x = [0.0, 0.0];
+        let mut l = vec![0.3, 0.7];
+        ica_refresh_restart(&x, &[], 0.5, &mut l);
+        assert_eq!(l, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,339 @@
+//! The per-class coupled fixed-point iteration (Algorithm 1).
+
+use tmark_linalg::{vector, DenseMatrix, SparseMatrix};
+use tmark_markov::ConvergenceReport;
+use tmark_sparse_tensor::StochasticTensors;
+
+use crate::config::TMarkConfig;
+use crate::restart::{ica_refresh_restart, label_restart_vector};
+
+/// The feature-walk operator `W` in either dense or sparse form.
+///
+/// The paper's Eq. (9) builds a dense `n × n` cosine-similarity transition
+/// matrix; for larger networks a k-nearest-neighbour sparsification keeps
+/// the same column-stochastic semantics at `O(nk)` storage.
+#[derive(Debug, Clone)]
+pub enum FeatureWalk {
+    /// Dense column-stochastic transition matrix.
+    Dense(DenseMatrix),
+    /// Sparse column-stochastic transition matrix (kNN-truncated).
+    Sparse(SparseMatrix),
+}
+
+impl FeatureWalk {
+    /// `y = W x`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        match self {
+            FeatureWalk::Dense(w) => w.matvec(x).expect("W shape fixed at construction"),
+            FeatureWalk::Sparse(w) => w.matvec(x).expect("W shape fixed at construction"),
+        }
+    }
+
+    /// Number of nodes the operator acts on.
+    pub fn len(&self) -> usize {
+        match self {
+            FeatureWalk::Dense(w) => w.rows(),
+            FeatureWalk::Sparse(w) => w.rows(),
+        }
+    }
+
+    /// True for a zero-node operator.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Reusable buffers for one class solve, so that parameter sweeps do not
+/// allocate per configuration.
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    ox: Vec<f64>,
+    wx: Vec<f64>,
+    next_x: Vec<f64>,
+    next_z: Vec<f64>,
+    restart: Vec<f64>,
+}
+
+/// Stationary distributions of one class run.
+#[derive(Debug, Clone)]
+pub struct ClassStationary {
+    /// Class id this run scored.
+    pub class_id: usize,
+    /// Stationary node distribution `x̄` (confidence scores, sums to 1).
+    pub x: Vec<f64>,
+    /// Stationary link-type distribution `z̄` (relevance scores, sums to 1).
+    pub z: Vec<f64>,
+    /// Convergence diagnostics (the Fig. 10 residual trace).
+    pub report: ConvergenceReport,
+}
+
+/// Runs Algorithm 1 for a single class.
+///
+/// `seeds` are the labeled nodes of this class visible to the algorithm
+/// (the training subset). An empty seed set is tolerated: the run then
+/// degenerates to an unanchored walk and the caller's prediction will rely
+/// on the other classes.
+///
+/// Initialization follows the Section 4.3 example: `x₀` is the seed
+/// indicator distribution (uniform over the network when unseeded) and
+/// `z₀` is uniform over the `m` link types.
+pub fn solve_class(
+    class_id: usize,
+    stoch: &StochasticTensors,
+    w: &FeatureWalk,
+    seeds: &[usize],
+    config: &TMarkConfig,
+    ws: &mut SolverWorkspace,
+) -> ClassStationary {
+    solve_class_from(class_id, stoch, w, seeds, config, ws, None)
+}
+
+/// Like [`solve_class`], but optionally warm-started from a previous
+/// stationary pair `(x, z)` — e.g. the result of a fit with fewer labeled
+/// nodes. Because the fixed point is unique (Theorem 3), warm starting
+/// changes only the iteration count, not the answer; when labels arrive
+/// incrementally the previous solution is usually close and convergence
+/// takes a fraction of the cold-start iterations.
+pub fn solve_class_from(
+    class_id: usize,
+    stoch: &StochasticTensors,
+    w: &FeatureWalk,
+    seeds: &[usize],
+    config: &TMarkConfig,
+    ws: &mut SolverWorkspace,
+    warm_start: Option<(&[f64], &[f64])>,
+) -> ClassStationary {
+    let n = stoch.num_nodes();
+    let m = stoch.num_relations();
+    debug_assert_eq!(w.len(), n, "feature walk and tensor disagree on n");
+
+    let alpha = config.alpha;
+    let beta = config.beta();
+    let rel_w = config.relational_weight();
+
+    ws.restart.clear();
+    ws.restart
+        .extend_from_slice(&label_restart_vector(n, seeds));
+    let (mut x, mut z) = match warm_start {
+        Some((x0, z0)) => {
+            debug_assert_eq!(x0.len(), n, "warm-start x length mismatch");
+            debug_assert_eq!(z0.len(), m, "warm-start z length mismatch");
+            let mut x = x0.to_vec();
+            let mut z = z0.to_vec();
+            if !vector::normalize_sum_to_one(&mut x) {
+                x = vector::uniform(n);
+            }
+            if !vector::normalize_sum_to_one(&mut z) {
+                z = vector::uniform(m);
+            }
+            (x, z)
+        }
+        None => {
+            let x = if seeds.is_empty() {
+                vector::uniform(n)
+            } else {
+                ws.restart.clone()
+            };
+            (x, vector::uniform(m))
+        }
+    };
+
+    ws.ox.resize(n, 0.0);
+    ws.next_x.resize(n, 0.0);
+    ws.next_z.resize(m, 0.0);
+
+    let mut trace = Vec::new();
+    let mut residual = f64::INFINITY;
+    let mut iterations = 0;
+    for t in 1..=config.max_iterations {
+        if config.ica_update && t >= config.ica_start_iteration {
+            ica_refresh_restart(&x, seeds, config.lambda, &mut ws.restart);
+        }
+        // x_{t} = (1 − α − β) · O ×̄₁ x ×̄₃ z + β · W x + α · l   (Eq. 10)
+        stoch
+            .contract_o_into(&x, &z, &mut ws.ox)
+            .expect("operand lengths fixed at construction");
+        ws.wx = w.apply(&x);
+        for i in 0..n {
+            ws.next_x[i] = rel_w * ws.ox[i] + beta * ws.wx[i] + alpha * ws.restart[i];
+        }
+        // With an empty restart vector the mass is α short; renormalize so
+        // the iterate stays a probability distribution (and to absorb
+        // floating-point drift in the seeded case).
+        vector::normalize_sum_to_one(&mut ws.next_x);
+        // z_t = R ×̄₁ x_t ×̄₂ x_t   (Eq. 8, using the fresh x as Algorithm 1 does)
+        stoch
+            .contract_r_into(&ws.next_x, &mut ws.next_z)
+            .expect("operand lengths fixed at construction");
+        vector::normalize_sum_to_one(&mut ws.next_z);
+
+        residual = vector::l1_distance(&ws.next_x, &x) + vector::l1_distance(&ws.next_z, &z);
+        trace.push(residual);
+        x.copy_from_slice(&ws.next_x);
+        z.copy_from_slice(&ws.next_z);
+        iterations = t;
+        if residual < config.epsilon {
+            break;
+        }
+    }
+    let converged = residual < config.epsilon;
+    ClassStationary {
+        class_id,
+        x,
+        z,
+        report: ConvergenceReport {
+            iterations,
+            final_residual: residual,
+            converged,
+            residual_trace: trace,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmark_linalg::similarity::feature_transition_matrix;
+    use tmark_sparse_tensor::TensorBuilder;
+
+    /// Two 3-node communities joined by one bridge edge of a second type;
+    /// features align with the communities.
+    fn community_setup() -> (StochasticTensors, FeatureWalk) {
+        let mut b = TensorBuilder::new(6, 2);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_undirected(u, v, 0);
+        }
+        b.add_undirected(2, 3, 1);
+        let tensor = b.build().unwrap();
+        let stoch = StochasticTensors::from_tensor(&tensor);
+        let features = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.9, 0.1],
+            vec![0.8, 0.2],
+            vec![0.2, 0.8],
+            vec![0.1, 0.9],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        let w = FeatureWalk::Dense(feature_transition_matrix(&features));
+        (stoch, w)
+    }
+
+    #[test]
+    fn stationary_x_and_z_stay_on_simplex() {
+        let (stoch, w) = community_setup();
+        let mut ws = SolverWorkspace::default();
+        let out = solve_class(0, &stoch, &w, &[0], &TMarkConfig::default(), &mut ws);
+        assert!(vector::is_stochastic(&out.x, 1e-9), "x = {:?}", out.x);
+        assert!(vector::is_stochastic(&out.z, 1e-9), "z = {:?}", out.z);
+    }
+
+    #[test]
+    fn converges_within_budget_on_small_network() {
+        let (stoch, w) = community_setup();
+        let mut ws = SolverWorkspace::default();
+        let out = solve_class(0, &stoch, &w, &[0], &TMarkConfig::default(), &mut ws);
+        assert!(
+            out.report.converged,
+            "residual {}",
+            out.report.final_residual
+        );
+        assert!(out.report.iterations < 100);
+    }
+
+    #[test]
+    fn confidence_concentrates_near_the_seed_community() {
+        let (stoch, w) = community_setup();
+        let mut ws = SolverWorkspace::default();
+        let out = solve_class(0, &stoch, &w, &[0], &TMarkConfig::default(), &mut ws);
+        let left: f64 = out.x[..3].iter().sum();
+        let right: f64 = out.x[3..].iter().sum();
+        assert!(left > right * 2.0, "left {left}, right {right}");
+    }
+
+    #[test]
+    fn intra_community_link_type_outranks_the_bridge() {
+        let (stoch, w) = community_setup();
+        let mut ws = SolverWorkspace::default();
+        let out = solve_class(0, &stoch, &w, &[0], &TMarkConfig::default(), &mut ws);
+        assert!(
+            out.z[0] > out.z[1],
+            "community link should outrank the bridge: z = {:?}",
+            out.z
+        );
+    }
+
+    #[test]
+    fn empty_seed_set_still_produces_valid_distributions() {
+        let (stoch, w) = community_setup();
+        let mut ws = SolverWorkspace::default();
+        let out = solve_class(0, &stoch, &w, &[], &TMarkConfig::default(), &mut ws);
+        assert!(vector::is_stochastic(&out.x, 1e-9));
+        assert!(vector::is_stochastic(&out.z, 1e-9));
+    }
+
+    #[test]
+    fn tensor_rrcc_differs_from_tmark_on_the_same_input() {
+        let (stoch, w) = community_setup();
+        let mut ws = SolverWorkspace::default();
+        // A permissive lambda so the refresh provably admits neighbours of
+        // the seed into the restart set.
+        // With alpha = 0.8 a single seed retains ~0.8 of the mass, so the
+        // relative threshold must sit below neighbour confidences (~0.04).
+        let config = TMarkConfig {
+            lambda: 0.02,
+            ..Default::default()
+        };
+        let tmark = solve_class(0, &stoch, &w, &[0], &config, &mut ws);
+        let rrcc = solve_class(0, &stoch, &w, &[0], &config.tensor_rrcc(), &mut ws);
+        // The ICA refresh admits node 1 or 2 into the restart set, so the
+        // stationary distribution must differ.
+        let diff = vector::l1_distance(&tmark.x, &rrcc.x);
+        assert!(
+            diff > 1e-6,
+            "expected the ICA refresh to change the fixed point"
+        );
+    }
+
+    #[test]
+    fn gamma_one_reduces_to_feature_walk_with_restart() {
+        // With γ = 1 the relational term vanishes; T-Mark becomes random
+        // walk with restart on W, which tmark-markov computes directly.
+        let (stoch, w) = community_setup();
+        let config = TMarkConfig {
+            gamma: 1.0,
+            ica_update: false,
+            epsilon: 1e-12,
+            ..Default::default()
+        };
+        let mut ws = SolverWorkspace::default();
+        let out = solve_class(0, &stoch, &w, &[0], &config, &mut ws);
+        let FeatureWalk::Dense(wd) = &w else {
+            unreachable!()
+        };
+        let rwr_config = tmark_markov::PageRankConfig {
+            alpha: config.alpha,
+            epsilon: 1e-12,
+            max_iterations: 1000,
+        };
+        let restart = label_restart_vector(6, &[0]);
+        let (oracle, _) =
+            tmark_markov::random_walk_with_restart(wd, &restart, &rwr_config).unwrap();
+        assert!(
+            vector::l1_distance(&out.x, &oracle) < 1e-6,
+            "gamma=1 should match RWR: {:?} vs {:?}",
+            out.x,
+            oracle
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_is_deterministic() {
+        let (stoch, w) = community_setup();
+        let mut ws = SolverWorkspace::default();
+        let a = solve_class(0, &stoch, &w, &[0], &TMarkConfig::default(), &mut ws);
+        let b = solve_class(0, &stoch, &w, &[0], &TMarkConfig::default(), &mut ws);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.z, b.z);
+    }
+}

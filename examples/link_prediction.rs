@@ -1,0 +1,101 @@
+//! Link prediction from the fitted stationary distributions: hide a
+//! fraction of the DBLP conference links, fit T-Mark on the damaged
+//! network, and check that the hidden links rank above random absent
+//! pairs (the tensor-relational-learning application the paper's related
+//! work motivates).
+//!
+//! Run with: `cargo run --release --example link_prediction`
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use tmark::{link_score, top_missing_links, TMarkModel};
+use tmark_bench::Dataset;
+use tmark_datasets::stratified_split;
+use tmark_hin::HinBuilder;
+
+fn main() {
+    let full = Dataset::Dblp.load(7);
+    let probe_type = full.link_type_by_name("KDD").expect("KDD link type exists");
+
+    // Collect this type's undirected pairs and hide 20% of them.
+    let mut pairs: Vec<(usize, usize)> = full
+        .tensor()
+        .entries()
+        .iter()
+        .filter(|e| e.k == probe_type && e.j < e.i)
+        .map(|e| (e.j, e.i))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(99);
+    pairs.shuffle(&mut rng);
+    let hidden: Vec<(usize, usize)> = pairs.iter().take(pairs.len() / 5).copied().collect();
+    let hidden_set: std::collections::BTreeSet<(usize, usize)> = hidden.iter().copied().collect();
+
+    // Rebuild the network without the hidden edges.
+    let mut b = HinBuilder::new(
+        full.feature_dim(),
+        full.link_type_names().to_vec(),
+        full.labels().class_names().to_vec(),
+    );
+    for v in 0..full.num_nodes() {
+        let id = b.add_node(full.features().row(v).to_vec());
+        for &c in full.labels().labels_of(v) {
+            b.set_label(id, c).unwrap();
+        }
+    }
+    for e in full.tensor().entries() {
+        let key = (e.j.min(e.i), e.j.max(e.i));
+        if e.k == probe_type && hidden_set.contains(&key) {
+            continue;
+        }
+        b.add_weighted_directed_edge(e.j, e.i, e.k, e.value)
+            .unwrap();
+    }
+    let damaged = b.build().unwrap();
+    println!(
+        "hid {} of {} KDD link pairs; fitting on the damaged network",
+        hidden.len(),
+        pairs.len()
+    );
+
+    let (train, _) = stratified_split(&damaged, 0.3, 42);
+    let result = TMarkModel::new(Dataset::Dblp.tmark_config())
+        .fit(&damaged, &train)
+        .unwrap();
+
+    // Hidden links should outscore random absent pairs of the same type.
+    let mut random_absent = Vec::new();
+    while random_absent.len() < hidden.len() {
+        let u = rng.gen_range(0..damaged.num_nodes());
+        let v = rng.gen_range(0..damaged.num_nodes());
+        if u != v && damaged.tensor().get(v, u, probe_type) == 0.0 {
+            random_absent.push((u, v));
+        }
+    }
+    let mean = |set: &[(usize, usize)]| {
+        set.iter()
+            .map(|&(u, v)| link_score(&result, u, v, probe_type))
+            .sum::<f64>()
+            / set.len() as f64
+    };
+    let hidden_score = mean(&hidden);
+    let random_score = mean(&random_absent);
+    println!("mean propensity of hidden true links:  {hidden_score:.3e}");
+    println!("mean propensity of random absent pairs: {random_score:.3e}");
+    assert!(
+        hidden_score > 1.5 * random_score,
+        "hidden links should clearly outscore random pairs"
+    );
+
+    let top = top_missing_links(&damaged, &result, probe_type, 10);
+    println!("\ntop-10 suggested KDD links (from -> to, score):");
+    for c in &top {
+        let marker = if hidden_set.contains(&(c.from.min(c.to), c.from.max(c.to))) {
+            "  <- hidden true link"
+        } else {
+            ""
+        };
+        println!("  {:>4} -> {:<4} {:.3e}{marker}", c.from, c.to, c.score);
+    }
+}

@@ -1,0 +1,226 @@
+//! Failure-injection integration tests: degenerate networks and hostile
+//! inputs must produce errors or graceful results, never panics or NaNs.
+
+use tmark::{TMarkConfig, TMarkModel};
+use tmark_baselines::{Emr, Hcc, Ica, WvrnRl};
+use tmark_hin::{Hin, HinBuilder};
+use tmark_linalg::vector::is_stochastic;
+
+fn assert_finite_scores(scores: &tmark_linalg::DenseMatrix, context: &str) {
+    assert!(
+        scores.as_slice().iter().all(|v| v.is_finite()),
+        "{context}: non-finite scores"
+    );
+}
+
+/// Two nodes, one edge, one class: the minimal viable network.
+fn minimal_hin() -> Hin {
+    let mut b = HinBuilder::new(1, vec!["r".into()], vec!["only".into()]);
+    let u = b.add_node(vec![1.0]);
+    let v = b.add_node(vec![2.0]);
+    b.add_undirected_edge(u, v, 0).unwrap();
+    b.set_label(u, 0).unwrap();
+    b.set_label(v, 0).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn single_class_network_is_handled_by_every_method() {
+    let hin = minimal_hin();
+    let train = [0usize];
+    let tmark = TMarkModel::new(TMarkConfig::default())
+        .fit(&hin, &train)
+        .unwrap();
+    assert_eq!(tmark.predict_single(1), 0);
+    for scores in [
+        Ica::new(0).score(&hin, &train).unwrap(),
+        WvrnRl::new().score(&hin, &train).unwrap(),
+        Hcc::new(0).score(&hin, &train).unwrap(),
+        Emr::new(0).score(&hin, &train).unwrap(),
+    ] {
+        assert_finite_scores(&scores, "single-class network");
+    }
+}
+
+#[test]
+fn disconnected_components_still_classify() {
+    // Two components; labels only in one of them. The dangling-uniform
+    // rule must still produce valid distributions for the unreachable
+    // component.
+    let mut b = HinBuilder::new(2, vec!["r".into()], vec!["a".into(), "b".into()]);
+    for i in 0..6 {
+        let f = if i < 3 {
+            vec![1.0, 0.0]
+        } else {
+            vec![0.0, 1.0]
+        };
+        let v = b.add_node(f);
+        b.set_label(v, usize::from(i >= 3)).unwrap();
+    }
+    b.add_undirected_edge(0, 1, 0).unwrap();
+    b.add_undirected_edge(1, 2, 0).unwrap();
+    b.add_undirected_edge(3, 4, 0).unwrap();
+    // Node 5 is fully isolated.
+    let hin = b.build().unwrap();
+    let result = TMarkModel::new(TMarkConfig::default())
+        .fit(&hin, &[0, 3])
+        .unwrap();
+    for c in 0..2 {
+        let x: Vec<f64> = (0..6).map(|v| result.confidence(v, c)).collect();
+        assert!(is_stochastic(&x, 1e-8), "class {c}: {x:?}");
+    }
+    // The isolated node still gets a (feature-driven) prediction.
+    let pred = result.predict_single(5);
+    assert!(pred < 2);
+}
+
+#[test]
+fn zero_feature_vectors_do_not_poison_the_walk() {
+    let mut b = HinBuilder::new(2, vec!["r".into()], vec!["a".into(), "b".into()]);
+    for i in 0..4 {
+        // All-zero features: the cosine walk has only dangling columns.
+        let v = b.add_node(vec![0.0, 0.0]);
+        b.set_label(v, usize::from(i >= 2)).unwrap();
+    }
+    b.add_undirected_edge(0, 1, 0).unwrap();
+    b.add_undirected_edge(2, 3, 0).unwrap();
+    let hin = b.build().unwrap();
+    let result = TMarkModel::new(TMarkConfig::default())
+        .fit(&hin, &[0, 2])
+        .unwrap();
+    assert_finite_scores(result.confidences(), "zero features");
+    assert_eq!(result.predict_single(1), 0);
+    assert_eq!(result.predict_single(3), 1);
+}
+
+#[test]
+fn identical_features_everywhere_still_distinguish_by_structure() {
+    let mut b = HinBuilder::new(1, vec!["r".into()], vec!["a".into(), "b".into()]);
+    for i in 0..6 {
+        let v = b.add_node(vec![1.0]);
+        b.set_label(v, usize::from(i >= 3)).unwrap();
+    }
+    for i in 0..2 {
+        b.add_undirected_edge(i, i + 1, 0).unwrap();
+        b.add_undirected_edge(i + 3, i + 4, 0).unwrap();
+    }
+    let hin = b.build().unwrap();
+    let result = TMarkModel::new(TMarkConfig::default())
+        .fit(&hin, &[0, 3])
+        .unwrap();
+    assert_eq!(result.predict_single(1), 0);
+    assert_eq!(result.predict_single(4), 1);
+}
+
+#[test]
+fn empty_relation_slices_are_tolerated() {
+    // Three declared link types, only one carries edges.
+    let mut b = HinBuilder::new(
+        1,
+        vec!["used".into(), "empty1".into(), "empty2".into()],
+        vec!["a".into(), "b".into()],
+    );
+    for i in 0..4 {
+        let v = b.add_node(vec![i as f64]);
+        b.set_label(v, usize::from(i >= 2)).unwrap();
+    }
+    b.add_undirected_edge(0, 1, 0).unwrap();
+    b.add_undirected_edge(2, 3, 0).unwrap();
+    let hin = b.build().unwrap();
+    let result = TMarkModel::new(TMarkConfig::default())
+        .fit(&hin, &[0, 2])
+        .unwrap();
+    assert_finite_scores(result.confidences(), "empty relations");
+    // The empty relations receive only the dangling-uniform share and
+    // must not outrank the used one.
+    for c in 0..2 {
+        let ranking = result.link_ranking(c);
+        assert_eq!(ranking[0].0, 0, "class {c}: {ranking:?}");
+    }
+}
+
+#[test]
+fn class_with_no_training_seed_degrades_gracefully() {
+    let mut b = HinBuilder::new(
+        1,
+        vec!["r".into()],
+        vec!["a".into(), "b".into(), "c".into()],
+    );
+    for i in 0..6 {
+        let v = b.add_node(vec![i as f64]);
+        b.set_label(v, i % 3).unwrap();
+    }
+    for i in 0..5 {
+        b.add_undirected_edge(i, i + 1, 0).unwrap();
+    }
+    let hin = b.build().unwrap();
+    // Train nodes cover classes 0 and 1 only.
+    let result = TMarkModel::new(TMarkConfig::default())
+        .fit(&hin, &[0, 1])
+        .unwrap();
+    assert_finite_scores(result.confidences(), "unseeded class");
+    for c in 0..3 {
+        let x: Vec<f64> = (0..6).map(|v| result.confidence(v, c)).collect();
+        assert!(is_stochastic(&x, 1e-8), "class {c}");
+    }
+}
+
+#[test]
+fn extreme_configurations_stay_finite() {
+    let hin = minimal_hin();
+    for config in [
+        TMarkConfig {
+            alpha: 0.999,
+            ..Default::default()
+        },
+        TMarkConfig {
+            alpha: 1e-6,
+            ..Default::default()
+        },
+        TMarkConfig {
+            gamma: 0.0,
+            ..Default::default()
+        },
+        TMarkConfig {
+            gamma: 1.0,
+            ..Default::default()
+        },
+        TMarkConfig {
+            lambda: 1e-9,
+            ..Default::default()
+        },
+        TMarkConfig {
+            epsilon: 1.0,
+            ..Default::default()
+        },
+        TMarkConfig {
+            max_iterations: 1,
+            ..Default::default()
+        },
+    ] {
+        let result = TMarkModel::new(config).fit(&hin, &[0]).unwrap();
+        assert_finite_scores(result.confidences(), &format!("{config:?}"));
+    }
+}
+
+#[test]
+fn huge_feature_values_do_not_overflow() {
+    let mut b = HinBuilder::new(2, vec!["r".into()], vec!["a".into(), "b".into()]);
+    for i in 0..4 {
+        let f = if i < 2 {
+            vec![1e150, 0.0]
+        } else {
+            vec![0.0, 1e150]
+        };
+        let v = b.add_node(f);
+        b.set_label(v, usize::from(i >= 2)).unwrap();
+    }
+    b.add_undirected_edge(0, 1, 0).unwrap();
+    b.add_undirected_edge(2, 3, 0).unwrap();
+    let hin = b.build().unwrap();
+    let result = TMarkModel::new(TMarkConfig::default())
+        .fit(&hin, &[0, 2])
+        .unwrap();
+    assert_finite_scores(result.confidences(), "huge features");
+    assert_eq!(result.predict_single(1), 0);
+}

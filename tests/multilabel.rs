@@ -1,0 +1,87 @@
+//! Multi-label integration tests on the ACM-style network (Section 6.4).
+
+use tmark::{TMarkConfig, TMarkModel};
+use tmark_datasets::{acm, stratified_split};
+use tmark_eval::methods::{Method, TMarkMethod};
+use tmark_eval::metrics::{
+    macro_f1, micro_f1, multi_label_predictions_per_class_pooled, per_class_prf,
+};
+
+fn acm_config() -> TMarkConfig {
+    TMarkConfig {
+        alpha: 0.9,
+        gamma: 0.5,
+        lambda: 0.9,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn acm_pipeline_produces_reasonable_macro_f1() {
+    let hin = acm(7);
+    let (train, test) = stratified_split(&hin, 0.5, 1);
+    let method = TMarkMethod {
+        config: acm_config(),
+    };
+    let scores = method.score(&hin, &train, 1).unwrap();
+    let preds = multi_label_predictions_per_class_pooled(&scores, 0.85, &test);
+    let f1 = macro_f1(&hin, &preds, &test);
+    assert!(f1 > 0.6, "macro-F1 on ACM at 50% labels: {f1}");
+    let mf1 = micro_f1(&hin, &preds, &test);
+    assert!(mf1 > 0.6, "micro-F1 on ACM at 50% labels: {mf1}");
+}
+
+#[test]
+fn multi_label_nodes_receive_multiple_predictions() {
+    let hin = acm(7);
+    let (train, test) = stratified_split(&hin, 0.5, 2);
+    let method = TMarkMethod {
+        config: acm_config(),
+    };
+    let scores = method.score(&hin, &train, 2).unwrap();
+    let preds = multi_label_predictions_per_class_pooled(&scores, 0.85, &test);
+    let multi_predicted = test.iter().filter(|&&v| preds[v].len() > 1).count();
+    assert!(
+        multi_predicted > test.len() / 20,
+        "some test nodes should get two labels: {multi_predicted}/{}",
+        test.len()
+    );
+}
+
+#[test]
+fn per_class_prf_is_balanced_across_index_terms() {
+    // Macro-F1 punishes ignoring a class; check no class is abandoned.
+    let hin = acm(7);
+    let (train, test) = stratified_split(&hin, 0.5, 3);
+    let method = TMarkMethod {
+        config: acm_config(),
+    };
+    let scores = method.score(&hin, &train, 3).unwrap();
+    let preds = multi_label_predictions_per_class_pooled(&scores, 0.85, &test);
+    for (c, prf) in per_class_prf(&hin, &preds, &test).iter().enumerate() {
+        assert!(prf.f1 > 0.3, "class {c} F1 collapsed: {prf:?}");
+    }
+}
+
+#[test]
+fn link_importance_profile_matches_the_planted_structure() {
+    // Fig. 5: concepts and conferences carry the class signal.
+    let hin = acm(7);
+    let (train, _) = stratified_split(&hin, 0.3, 4);
+    let result = TMarkModel::new(acm_config()).fit(&hin, &train).unwrap();
+    let concepts = hin.link_type_by_name("concepts").unwrap();
+    let conferences = hin.link_type_by_name("conferences").unwrap();
+    let year = hin.link_type_by_name("published-year").unwrap();
+    for c in 0..hin.num_classes() {
+        let ranking = tmark::LinkRanking::from_scores(&result.link_scores().col(c));
+        let top2 = ranking.top_k(2);
+        assert!(
+            top2.contains(&concepts) || top2.contains(&conferences),
+            "class {c}: top-2 links {top2:?} miss concepts/conferences"
+        );
+        assert!(
+            ranking.rank_of(year).unwrap() >= 3,
+            "class {c}: published-year should rank low"
+        );
+    }
+}

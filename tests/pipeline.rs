@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: dataset generators → HIN → methods →
+//! metrics, exercising the same pipeline as the `repro` binary on scaled-
+//! down networks.
+
+use tmark::{TMarkConfig, TMarkModel};
+use tmark_baselines::{Emr, Hcc, Ica, WvrnRl};
+use tmark_datasets::{dblp::dblp_with_size, nus, stratified_split, Tagset};
+use tmark_eval::experiment::{run_sweep, SweepConfig, SweepMetric};
+use tmark_eval::methods::standard_methods;
+use tmark_eval::metrics::accuracy;
+
+fn small_dblp_config() -> TMarkConfig {
+    TMarkConfig {
+        alpha: 0.9,
+        gamma: 0.6,
+        lambda: 0.9,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn tmark_end_to_end_on_generated_dblp() {
+    let hin = dblp_with_size(200, 3);
+    let (train, test) = stratified_split(&hin, 0.3, 1);
+    let model = TMarkModel::new(small_dblp_config());
+    let result = model.fit(&hin, &train).unwrap();
+    let acc = accuracy(&hin, result.confidences(), &test);
+    assert!(acc > 0.8, "T-Mark on small DBLP: {acc}");
+    // All four class runs converged within the budget.
+    for c in 0..hin.num_classes() {
+        assert!(
+            result.convergence(c).converged,
+            "class {c} did not converge"
+        );
+    }
+}
+
+#[test]
+fn tmark_beats_relevance_blind_baselines_at_low_label_rates() {
+    let hin = dblp_with_size(300, 5);
+    let (train, test) = stratified_split(&hin, 0.1, 2);
+    let tmark = TMarkModel::new(small_dblp_config())
+        .fit(&hin, &train)
+        .unwrap();
+    let tmark_acc = accuracy(&hin, tmark.confidences(), &test);
+    let ica_acc = accuracy(&hin, &Ica::new(3).score(&hin, &train).unwrap(), &test);
+    let emr_acc = accuracy(&hin, &Emr::new(3).score(&hin, &train).unwrap(), &test);
+    assert!(
+        tmark_acc > ica_acc,
+        "T-Mark ({tmark_acc}) should beat aggregated ICA ({ica_acc}) at 10% labels"
+    );
+    assert!(
+        tmark_acc > emr_acc,
+        "T-Mark ({tmark_acc}) should beat EMR ({emr_acc}) at 10% labels"
+    );
+}
+
+#[test]
+fn link_ranking_recovers_planted_conference_areas() {
+    let hin = dblp_with_size(300, 4);
+    let (train, _) = stratified_split(&hin, 0.3, 3);
+    let result = TMarkModel::new(small_dblp_config())
+        .fit(&hin, &train)
+        .unwrap();
+    // Conferences 0..5 belong to area 0 (DB), 5..10 to DM, etc. For each
+    // area, at least 4 of the top-5 ranked link types must be its own.
+    for area in 0..4 {
+        let top5 = tmark::LinkRanking::from_scores(&result.link_scores().col(area)).top_k(5);
+        let own = top5.iter().filter(|&&k| k / 5 == area).count();
+        assert!(
+            own >= 4,
+            "area {area}: top-5 = {top5:?} contains only {own} own conferences"
+        );
+    }
+}
+
+#[test]
+fn tagset_relevance_contrast_holds_end_to_end() {
+    let config = TMarkConfig {
+        alpha: 0.9,
+        gamma: 0.4,
+        lambda: 0.9,
+        ..Default::default()
+    };
+    let mut accs = Vec::new();
+    for tagset in [Tagset::Relevant, Tagset::Frequent] {
+        let hin = nus(tagset, 5);
+        let (train, test) = stratified_split(&hin, 0.1, 4);
+        let result = TMarkModel::new(config).fit(&hin, &train).unwrap();
+        accs.push(accuracy(&hin, result.confidences(), &test));
+    }
+    assert!(
+        accs[0] > accs[1] + 0.1,
+        "relevant tags ({}) should clearly beat frequent tags ({})",
+        accs[0],
+        accs[1]
+    );
+}
+
+#[test]
+fn full_method_registry_runs_one_sweep_cell() {
+    let hin = dblp_with_size(120, 6);
+    let methods = standard_methods(small_dblp_config());
+    let config = SweepConfig {
+        fractions: vec![0.3],
+        trials: 1,
+        metric: SweepMetric::Accuracy,
+        base_seed: 9,
+    };
+    let result = run_sweep(&hin, &methods, &config);
+    assert_eq!(result.method_names.len(), 9);
+    for cell in &result.rows[0] {
+        assert_eq!(cell.failures, 0);
+        assert!(
+            cell.mean > 0.25,
+            "every method should beat chance: {:?}",
+            result.rows[0]
+        );
+    }
+}
+
+#[test]
+fn baselines_are_deterministic_across_runs() {
+    let hin = dblp_with_size(100, 8);
+    let (train, _) = stratified_split(&hin, 0.3, 1);
+    assert_eq!(
+        Hcc::new(4).score(&hin, &train).unwrap(),
+        Hcc::new(4).score(&hin, &train).unwrap()
+    );
+    assert_eq!(
+        WvrnRl::new().score(&hin, &train).unwrap(),
+        WvrnRl::new().score(&hin, &train).unwrap()
+    );
+}
+
+#[test]
+fn tmark_is_deterministic_across_runs() {
+    let hin = dblp_with_size(100, 8);
+    let (train, _) = stratified_split(&hin, 0.3, 1);
+    let a = TMarkModel::new(small_dblp_config())
+        .fit(&hin, &train)
+        .unwrap();
+    let b = TMarkModel::new(small_dblp_config())
+        .fit(&hin, &train)
+        .unwrap();
+    assert_eq!(a.confidences().as_slice(), b.confidences().as_slice());
+    assert_eq!(a.link_scores().as_slice(), b.link_scores().as_slice());
+}
+
+#[test]
+fn macro_f1_sweep_runs_on_multi_label_data() {
+    let hin = tmark_datasets::acm(11);
+    let mut methods = standard_methods(TMarkConfig {
+        alpha: 0.9,
+        gamma: 0.5,
+        lambda: 0.9,
+        ..Default::default()
+    });
+    methods.truncate(2); // T-Mark + TensorRrCc keeps the test fast
+    let config = SweepConfig {
+        fractions: vec![0.5],
+        trials: 1,
+        metric: SweepMetric::MacroF1 { theta: 0.85 },
+        base_seed: 1,
+    };
+    let result = run_sweep(&hin, &methods, &config);
+    for cell in &result.rows[0] {
+        assert_eq!(cell.failures, 0);
+        assert!(cell.mean > 0.5, "macro-F1 too low: {}", cell.mean);
+    }
+}

@@ -1,0 +1,109 @@
+//! Integration test for the paper's Section 3.2 / 4.3 worked example,
+//! exercised through the public crate APIs end to end: builder → tensor →
+//! matricization → normalization → T-Mark → predictions and rankings.
+
+use tmark::{TMarkConfig, TMarkModel};
+use tmark_hin::{Hin, HinBuilder};
+use tmark_linalg::vector::is_stochastic;
+use tmark_sparse_tensor::StochasticTensors;
+
+/// The four-publication bibliography HIN of Fig. 2.
+fn bibliography_hin() -> (Hin, [usize; 4]) {
+    let mut b = HinBuilder::new(
+        2,
+        vec![
+            "co-author".into(),
+            "citation".into(),
+            "same-conference".into(),
+        ],
+        vec!["DM".into(), "CV".into()],
+    );
+    let p1 = b.add_node(vec![1.0, 0.0]);
+    let p2 = b.add_node(vec![0.0, 1.0]);
+    let p3 = b.add_node(vec![0.0, 1.0]);
+    let p4 = b.add_node(vec![1.0, 0.0]);
+    b.add_undirected_edge(p1, p2, 0).unwrap();
+    b.add_directed_edge(p3, p2, 1).unwrap();
+    b.add_directed_edge(p3, p4, 1).unwrap();
+    b.add_directed_edge(p4, p1, 1).unwrap();
+    b.add_undirected_edge(p2, p3, 2).unwrap();
+    b.set_label(p1, 0).unwrap();
+    b.set_label(p2, 1).unwrap();
+    b.set_label(p3, 1).unwrap();
+    b.set_label(p4, 0).unwrap();
+    (b.build().unwrap(), [p1, p2, p3, p4])
+}
+
+#[test]
+fn tensor_has_the_papers_shape_and_sparsity() {
+    let (hin, _) = bibliography_hin();
+    let t = hin.tensor();
+    assert_eq!(t.shape(), (4, 4, 3));
+    // 2 co-author entries + 3 citations + 2 same-conference entries.
+    assert_eq!(t.nnz(), 7);
+    // Matricizations have the sizes quoted in Section 3.2.
+    let a1 = t.unfold_mode1();
+    assert_eq!((a1.rows(), a1.cols()), (4, 12));
+    let a3 = t.unfold_mode3();
+    assert_eq!((a3.rows(), a3.cols()), (3, 16));
+}
+
+#[test]
+fn normalization_produces_stochastic_transition_tensors() {
+    let (hin, [p1, p2, p3, p4]) = bibliography_hin();
+    let s = StochasticTensors::from_tensor(hin.tensor());
+    // p3's citations split evenly between p2 and p4 (Eq. 1).
+    assert!((s.o_get(p2, p3, 1) - 0.5).abs() < 1e-12);
+    assert!((s.o_get(p4, p3, 1) - 0.5).abs() < 1e-12);
+    // The (p2, p3) pair is linked by citation AND same-conference (Eq. 2).
+    assert!((s.r_get(p2, p3, 1) - 0.5).abs() < 1e-12);
+    assert!((s.r_get(p2, p3, 2) - 0.5).abs() < 1e-12);
+    // Dangling fiber: nothing reaches p1 via same-conference.
+    assert!((s.o_get(p1, p1, 2) - 0.25).abs() < 1e-12);
+}
+
+#[test]
+fn tmark_recovers_the_held_out_labels() {
+    let (hin, [p1, p2, p3, p4]) = bibliography_hin();
+    let model = TMarkModel::new(TMarkConfig::default());
+    let result = model.fit(&hin, &[p1, p2]).unwrap();
+    // The paper's Section 4.3: p3 leans CV, p4 leans DM.
+    assert_eq!(result.predict_single(p3), 1, "p3 should be CV");
+    assert_eq!(result.predict_single(p4), 0, "p4 should be DM");
+    // Train nodes keep their own classes on top.
+    assert_eq!(result.predict_single(p1), 0);
+    assert_eq!(result.predict_single(p2), 1);
+}
+
+#[test]
+fn stationary_distributions_live_on_the_simplex() {
+    let (hin, [p1, p2, _, _]) = bibliography_hin();
+    let result = TMarkModel::new(TMarkConfig::default())
+        .fit(&hin, &[p1, p2])
+        .unwrap();
+    for c in 0..2 {
+        let x: Vec<f64> = (0..4).map(|v| result.confidence(v, c)).collect();
+        assert!(is_stochastic(&x, 1e-9), "class {c} x̄ = {x:?}");
+        let z: Vec<f64> = result.link_ranking(c).iter().map(|&(_, s)| s).collect();
+        let z_sum: f64 = z.iter().sum();
+        assert!((z_sum - 1.0).abs() < 1e-9, "class {c} z̄ sums to {z_sum}");
+    }
+}
+
+#[test]
+fn link_rankings_are_positive_everywhere() {
+    // Theorem 2: with the dangling-uniform rule the chain is effectively
+    // irreducible and the stationary vectors are strictly positive.
+    let (hin, [p1, p2, _, _]) = bibliography_hin();
+    let result = TMarkModel::new(TMarkConfig::default())
+        .fit(&hin, &[p1, p2])
+        .unwrap();
+    for c in 0..2 {
+        for v in 0..4 {
+            assert!(result.confidence(v, c) > 0.0, "x̄^{c}[{v}] must be positive");
+        }
+        for (k, score) in result.link_ranking(c) {
+            assert!(score > 0.0, "z̄^{c}[{k}] must be positive");
+        }
+    }
+}
