@@ -208,11 +208,7 @@ impl<C: Classifier + Clone> HccSs<C> {
                     (v, row[c], c)
                 })
                 .collect();
-            candidates.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.0.cmp(&b.0))
-            });
+            candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             let promote = ((n - work_train.len()) as f64 * self.promote_fraction) as usize;
             for &(v, _, c) in candidates.iter().take(promote) {
                 in_train[v] = true;

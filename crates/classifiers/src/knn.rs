@@ -56,11 +56,7 @@ impl Classifier for KnnClassifier {
         let mut sims: Vec<(usize, f64)> = (0..n)
             .map(|r| (r, vector::cosine(train_x.row(r), features).max(0.0)))
             .collect();
-        sims.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        sims.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         sims.truncate(self.k.min(n));
         let mut votes = vec![0.0; self.num_classes];
         let mut total = 0.0;

@@ -98,7 +98,11 @@ mod tests {
             .filter_map(|r| r.class_purity)
             .collect();
         let mean = purities.iter().sum::<f64>() / purities.len() as f64;
-        assert!(mean > 0.4 && mean < 0.85, "mean purity: {mean}");
+        // The 0.65 behavioural purity is measured through label_noise
+        // = 0.33 on *both* endpoints, which caps expected label-level
+        // purity near 0.65·0.47 + 0.35·0.2 ≈ 0.38; the band checks
+        // "moderate, not strong" on that observable scale.
+        assert!(mean > 0.28 && mean < 0.6, "mean purity: {mean}");
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub fn paired_accuracy_comparison(
         let acc_a = accuracy(hin, &score_a, &test);
         let acc_b = accuracy(hin, &score_b, &test);
         differences.push(acc_a - acc_b);
-        match acc_a.partial_cmp(&acc_b).expect("accuracies are finite") {
+        match acc_a.total_cmp(&acc_b) {
             std::cmp::Ordering::Greater => wins += 1,
             std::cmp::Ordering::Less => losses += 1,
             std::cmp::Ordering::Equal => ties += 1,

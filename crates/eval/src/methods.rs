@@ -34,11 +34,7 @@ fn rank_calibrate(
         let col = scores.col(c);
         order.clear();
         order.extend(pool.iter().copied());
-        order.sort_by(|&a, &b| {
-            col[a]
-                .partial_cmp(&col[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| col[a].total_cmp(&col[b]));
         let denom = order.len().max(1) as f64;
         for (rank, &node) in order.iter().enumerate() {
             out.set(node, c, (rank + 1) as f64 / denom);

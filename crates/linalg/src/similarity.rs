@@ -166,7 +166,7 @@ pub fn knn_feature_transition_matrix(features: &DenseMatrix, k: usize) -> Sparse
                 sims.push((i, s));
             }
         }
-        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        sims.sort_by(|a, b| b.1.total_cmp(&a.1));
         sims.truncate(k);
         // Self-similarity keeps the chain aperiodic, mirroring the dense
         // construction where the diagonal is cos(f_j, f_j) = 1.

@@ -109,11 +109,7 @@ pub fn argmax(v: &[f64]) -> Option<usize> {
 /// (ties broken toward smaller indices). `k` may exceed `v.len()`.
 pub fn top_k(v: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..v.len()).collect();
-    idx.sort_by(|&a, &b| {
-        v[b].partial_cmp(&v[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| v[b].total_cmp(&v[a]).then(a.cmp(&b)));
     idx.truncate(k);
     idx
 }

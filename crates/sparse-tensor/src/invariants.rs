@@ -1,0 +1,183 @@
+//! Runtime verification of the stochastic invariants behind Theorems 1–3.
+//!
+//! The type system cannot see that `O`, `R`, and `W` are column-stochastic
+//! or that the Algorithm-1 step maps the probability simplex into itself
+//! (Eqs. 1–2, 10, 13–14); one NaN or a missed renormalization silently
+//! corrupts every downstream ranking. The checks here make those
+//! invariants executable: the `debug_assert_*` macros verify them in debug
+//! builds (so `cargo test` exercises them on every contraction and solver
+//! iteration) and compile to nothing in release builds, keeping the hot
+//! paths at the paper's `O(D)` per-iteration bound.
+//!
+//! Conventions:
+//! - Violation checkers return `Option<String>` — `None` when the
+//!   invariant holds, `Some(diagnosis)` otherwise — so the macros can
+//!   panic with a precise message and callers can also use them directly.
+//! - Tolerances are absolute. [`SIMPLEX_TOL`] absorbs the `O(D)`
+//!   floating-point accumulation of one contraction; pass a tighter or
+//!   looser bound where a path warrants it.
+
+/// Default absolute tolerance for simplex / column-sum checks.
+pub const SIMPLEX_TOL: f64 = 1e-8;
+
+/// Checks every entry is finite; returns a diagnosis of the first offender.
+pub fn finite_violation(v: &[f64]) -> Option<String> {
+    v.iter()
+        .enumerate()
+        .find(|(_, x)| !x.is_finite())
+        .map(|(i, x)| format!("entry {i} is not finite: {x}"))
+}
+
+/// Checks every entry is finite and `>= -tol`; returns the first offender.
+pub fn nonnegative_violation(v: &[f64], tol: f64) -> Option<String> {
+    if let Some(msg) = finite_violation(v) {
+        return Some(msg);
+    }
+    v.iter()
+        .enumerate()
+        .find(|(_, &x)| x < -tol)
+        .map(|(i, x)| format!("entry {i} is negative: {x}"))
+}
+
+/// Checks `v` lies on the probability simplex: finite, nonnegative (within
+/// `tol`), and summing to one (within `tol` scaled by length for the
+/// accumulation error of long vectors).
+pub fn simplex_violation(v: &[f64], tol: f64) -> Option<String> {
+    if let Some(msg) = nonnegative_violation(v, tol) {
+        return Some(msg);
+    }
+    if v.is_empty() {
+        return Some("empty vector cannot be a distribution".to_owned());
+    }
+    let sum: f64 = v.iter().sum();
+    let sum_tol = tol * (v.len() as f64).max(1.0);
+    if (sum - 1.0).abs() > sum_tol {
+        return Some(format!(
+            "mass is {sum} (|sum - 1| = {:e} > {sum_tol:e})",
+            (sum - 1.0).abs()
+        ));
+    }
+    None
+}
+
+/// Checks a slice of per-column (or per-fiber) sums is uniformly one
+/// within `tol`: the defining property of a column-stochastic operator.
+pub fn stochastic_violation(column_sums: &[f64], tol: f64) -> Option<String> {
+    if let Some(msg) = finite_violation(column_sums) {
+        return Some(msg);
+    }
+    column_sums
+        .iter()
+        .enumerate()
+        .find(|(_, &s)| (s - 1.0).abs() > tol)
+        .map(|(c, s)| format!("column/fiber {c} sums to {s}, not 1"))
+}
+
+/// Debug-asserts that a slice is a probability distribution (finite,
+/// nonnegative, unit mass). Compiled out in release builds.
+///
+/// Forms: `debug_assert_simplex!(v)`, `debug_assert_simplex!(v, tol)`,
+/// `debug_assert_simplex!(v, tol, "context")`.
+#[macro_export]
+macro_rules! debug_assert_simplex {
+    ($v:expr) => {
+        $crate::debug_assert_simplex!($v, $crate::invariants::SIMPLEX_TOL, "simplex invariant")
+    };
+    ($v:expr, $tol:expr) => {
+        $crate::debug_assert_simplex!($v, $tol, "simplex invariant")
+    };
+    ($v:expr, $tol:expr, $what:expr) => {
+        if cfg!(debug_assertions) {
+            if let Some(msg) = $crate::invariants::simplex_violation($v, $tol) {
+                panic!("{} violated: {}", $what, msg);
+            }
+        }
+    };
+}
+
+/// Debug-asserts that per-column (or per-fiber) sums describe a
+/// column-stochastic operator. Compiled out in release builds.
+///
+/// Forms: `debug_assert_stochastic!(sums)`,
+/// `debug_assert_stochastic!(sums, tol)`,
+/// `debug_assert_stochastic!(sums, tol, "context")`.
+#[macro_export]
+macro_rules! debug_assert_stochastic {
+    ($sums:expr) => {
+        $crate::debug_assert_stochastic!(
+            $sums,
+            $crate::invariants::SIMPLEX_TOL,
+            "column-stochastic invariant"
+        )
+    };
+    ($sums:expr, $tol:expr) => {
+        $crate::debug_assert_stochastic!($sums, $tol, "column-stochastic invariant")
+    };
+    ($sums:expr, $tol:expr, $what:expr) => {
+        if cfg!(debug_assertions) {
+            if let Some(msg) = $crate::invariants::stochastic_violation($sums, $tol) {
+                panic!("{} violated: {}", $what, msg);
+            }
+        }
+    };
+}
+
+/// Debug-asserts that every entry of a slice is finite and nonnegative.
+/// Compiled out in release builds.
+#[macro_export]
+macro_rules! debug_assert_finite_nonnegative {
+    ($v:expr) => {
+        $crate::debug_assert_finite_nonnegative!($v, "finite/nonnegative invariant")
+    };
+    ($v:expr, $what:expr) => {
+        if cfg!(debug_assertions) {
+            if let Some(msg) = $crate::invariants::nonnegative_violation($v, 0.0) {
+                panic!("{} violated: {}", $what, msg);
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violations_diagnose_the_failure_mode() {
+        assert!(finite_violation(&[0.0, f64::NAN]).is_some());
+        assert!(finite_violation(&[0.0, f64::INFINITY]).is_some());
+        assert!(finite_violation(&[0.5, 0.5]).is_none());
+
+        assert!(nonnegative_violation(&[-0.1, 1.1], 1e-9).is_some());
+        assert!(nonnegative_violation(&[-1e-12, 1.0], 1e-9).is_none());
+
+        assert!(simplex_violation(&[0.4, 0.6], 1e-9).is_none());
+        assert!(simplex_violation(&[0.4, 0.7], 1e-9).is_some());
+        assert!(simplex_violation(&[], 1e-9).is_some());
+        assert!(simplex_violation(&[1.2, -0.2], 1e-9).is_some());
+
+        assert!(stochastic_violation(&[1.0, 1.0 + 1e-12], 1e-9).is_none());
+        assert!(stochastic_violation(&[1.0, 0.9], 1e-9).is_some());
+    }
+
+    #[test]
+    fn macros_pass_on_valid_inputs() {
+        crate::debug_assert_simplex!(&[0.25; 4]);
+        crate::debug_assert_stochastic!(&[1.0, 1.0]);
+        crate::debug_assert_finite_nonnegative!(&[0.0, 2.0]);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug-only assertion")]
+    #[should_panic(expected = "simplex invariant violated")]
+    fn simplex_macro_panics_in_debug() {
+        crate::debug_assert_simplex!(&[0.9, 0.9]);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug-only assertion")]
+    #[should_panic(expected = "column-stochastic invariant violated")]
+    fn stochastic_macro_panics_in_debug() {
+        crate::debug_assert_stochastic!(&[1.0, 2.0]);
+    }
+}

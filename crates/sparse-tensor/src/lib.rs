@@ -47,6 +47,7 @@
 #![deny(missing_docs)]
 pub mod builder;
 pub mod connectivity;
+pub mod invariants;
 pub mod stochastic;
 pub mod tensor;
 

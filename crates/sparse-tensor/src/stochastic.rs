@@ -106,13 +106,59 @@ impl StochasticTensors {
             pos = end;
         }
 
-        StochasticTensors {
+        let built = StochasticTensors {
             n,
             m,
             entries,
             present_columns,
             present_pairs,
+        };
+        built.debug_verify_normalization();
+        built
+    }
+
+    /// Debug-build verification that the fiber normalizations of Eqs. (1)
+    /// and (2) produced genuinely stochastic operators: every stored `o`
+    /// fiber (fixed `(j, k)`) and `r` fiber (fixed `(i, j)`) sums to one,
+    /// and all probabilities are finite and nonnegative. No-op in release.
+    fn debug_verify_normalization(&self) {
+        if !cfg!(debug_assertions) {
+            return;
         }
+        let mut o_sums: std::collections::BTreeMap<(u32, u32), f64> =
+            std::collections::BTreeMap::new();
+        let mut r_sums: std::collections::BTreeMap<(u32, u32), f64> =
+            std::collections::BTreeMap::new();
+        for e in &self.entries {
+            crate::debug_assert_finite_nonnegative!(
+                &[e.value, e.o, e.r],
+                "StochasticTensors entry probabilities"
+            );
+            *o_sums.entry((e.j, e.k)).or_insert(0.0) += e.o;
+            *r_sums.entry((e.i, e.j)).or_insert(0.0) += e.r;
+        }
+        let o_sums: Vec<f64> = o_sums.into_values().collect();
+        let r_sums: Vec<f64> = r_sums.into_values().collect();
+        crate::debug_assert_stochastic!(
+            &o_sums,
+            crate::invariants::SIMPLEX_TOL,
+            "O mode-1 fiber normalization (Eq. 1)"
+        );
+        crate::debug_assert_stochastic!(
+            &r_sums,
+            crate::invariants::SIMPLEX_TOL,
+            "R mode-3 fiber normalization (Eq. 2)"
+        );
+        debug_assert_eq!(
+            o_sums.len(),
+            self.present_columns.len(),
+            "present_columns disagrees with stored fibers"
+        );
+        debug_assert_eq!(
+            r_sums.len(),
+            self.present_pairs.len(),
+            "present_pairs disagrees with stored fibers"
+        );
     }
 
     /// Number of nodes `n`.
@@ -211,7 +257,25 @@ impl StochasticTensors {
                 *yi += share;
             }
         }
+        self.debug_verify_simplex_preserved(&[x, z], y, "O ×̄₁ x ×̄₃ z (Theorem 1)");
         Ok(())
+    }
+
+    /// Debug-build Theorem-1 check: when every input lies on the
+    /// probability simplex, the contraction output must too. Skipped when
+    /// an input is off-simplex (callers may legitimately contract raw
+    /// score vectors); no-op in release builds.
+    fn debug_verify_simplex_preserved(&self, inputs: &[&[f64]], output: &[f64], what: &str) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let tol = crate::invariants::SIMPLEX_TOL;
+        if inputs
+            .iter()
+            .all(|v| crate::invariants::simplex_violation(v, tol).is_none())
+        {
+            crate::debug_assert_simplex!(output, tol, what);
+        }
     }
 
     /// Allocating wrapper around [`StochasticTensors::contract_o_into`].
@@ -259,6 +323,7 @@ impl StochasticTensors {
                 *zk += share;
             }
         }
+        self.debug_verify_simplex_preserved(&[x], z, "R ×̄₁ x ×̄₂ x (Theorem 1)");
         Ok(())
     }
 
@@ -311,6 +376,7 @@ impl StochasticTensors {
                 *zk += share;
             }
         }
+        self.debug_verify_simplex_preserved(&[u, v], &z, "R ×̄₁ u ×̄₂ v (HAR co-ranking)");
         Ok(z)
     }
 
@@ -366,6 +432,7 @@ impl StochasticTensors {
                 *yj += share;
             }
         }
+        self.debug_verify_simplex_preserved(&[x, z], &y, "O' ×̄₁ x ×̄₃ z (hub operator)");
         Ok(y)
     }
 }

@@ -100,7 +100,7 @@ pub fn explain_class(
 
     let stoch = hin.stochastic_tensors();
     let ox = stoch.contract_o(&x, &z).expect("shapes fixed by fit");
-    let w = FeatureWalk::Dense(tmark_linalg::similarity::feature_transition_matrix(
+    let w = FeatureWalk::from_dense(tmark_linalg::similarity::feature_transition_matrix(
         hin.features(),
     ));
     let wx = w.apply(&x);

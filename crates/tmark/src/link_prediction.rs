@@ -81,8 +81,7 @@ pub fn top_missing_links(
     }
     candidates.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.score)
             .then((a.from, a.to).cmp(&(b.from, b.to)))
     });
     candidates.truncate(k);

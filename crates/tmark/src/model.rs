@@ -143,11 +143,7 @@ impl TMarkResult {
         let mut ranked: Vec<(usize, f64)> = (0..self.num_nodes())
             .map(|v| (v, self.confidence(v, class)))
             .collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked
     }
 
@@ -223,16 +219,17 @@ impl TMarkModel {
     fn build_feature_walk(&self, hin: &Hin) -> FeatureWalk {
         const AUTO_DENSE_LIMIT: usize = 2048;
         const AUTO_KNN: usize = 64;
-        let dense =
-            |metric| FeatureWalk::Dense(feature_transition_matrix_with(hin.features(), metric));
+        let dense = |metric| {
+            FeatureWalk::from_dense(feature_transition_matrix_with(hin.features(), metric))
+        };
         match (self.feature_walk_mode, self.similarity) {
             (FeatureWalkMode::Knn(k), SimilarityMetric::Cosine) => {
-                FeatureWalk::Sparse(knn_feature_transition_matrix(hin.features(), k))
+                FeatureWalk::from_sparse(knn_feature_transition_matrix(hin.features(), k))
             }
             (FeatureWalkMode::Auto, SimilarityMetric::Cosine)
                 if hin.num_nodes() > AUTO_DENSE_LIMIT =>
             {
-                FeatureWalk::Sparse(knn_feature_transition_matrix(hin.features(), AUTO_KNN))
+                FeatureWalk::from_sparse(knn_feature_transition_matrix(hin.features(), AUTO_KNN))
             }
             (_, metric) => dense(metric),
         }

@@ -18,11 +18,7 @@ impl LinkRanking {
     /// Builds a ranking from the stationary relation distribution.
     pub fn from_scores(z: &[f64]) -> Self {
         let mut ranked: Vec<(usize, f64)> = z.iter().copied().enumerate().collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         LinkRanking { ranked }
     }
 

@@ -12,28 +12,102 @@ use crate::restart::{ica_refresh_restart, label_restart_vector};
 /// The paper's Eq. (9) builds a dense `n × n` cosine-similarity transition
 /// matrix; for larger networks a k-nearest-neighbour sparsification keeps
 /// the same column-stochastic semantics at `O(nk)` storage.
+///
+/// The representation is private so that every `FeatureWalk` flows through
+/// a constructor that (in debug builds) verifies the column-stochastic
+/// invariant Theorem 1 relies on. Use [`FeatureWalk::from_dense`] /
+/// [`FeatureWalk::from_sparse`]; [`FeatureWalk::from_dense_unchecked`]
+/// exists only for deliberately malformed operators in tests.
 #[derive(Debug, Clone)]
-pub enum FeatureWalk {
-    /// Dense column-stochastic transition matrix.
+pub struct FeatureWalk {
+    repr: WalkRepr,
+}
+
+#[derive(Debug, Clone)]
+enum WalkRepr {
     Dense(DenseMatrix),
-    /// Sparse column-stochastic transition matrix (kNN-truncated).
     Sparse(SparseMatrix),
 }
 
+/// Tolerance for the column-stochastic checks on `W`; looser than the
+/// contraction tolerance because Eq. (9) normalizes `n`-term column sums.
+const WALK_TOL: f64 = 1e-6;
+
 impl FeatureWalk {
-    /// `y = W x`.
-    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
-        match self {
-            FeatureWalk::Dense(w) => w.matvec(x).expect("W shape fixed at construction"),
-            FeatureWalk::Sparse(w) => w.matvec(x).expect("W shape fixed at construction"),
+    /// Wraps a dense column-stochastic `W` (Eq. 9), debug-asserting the
+    /// invariant.
+    pub fn from_dense(w: DenseMatrix) -> Self {
+        if cfg!(debug_assertions) {
+            debug_assert_eq!(w.rows(), w.cols(), "W must be square");
+            debug_assert!(
+                w.rows() == 0 || w.is_column_stochastic(WALK_TOL),
+                "feature walk W must be column-stochastic (Eq. 9)"
+            );
         }
+        FeatureWalk {
+            repr: WalkRepr::Dense(w),
+        }
+    }
+
+    /// Wraps a sparse (kNN-truncated) column-stochastic `W`,
+    /// debug-asserting the invariant.
+    pub fn from_sparse(w: SparseMatrix) -> Self {
+        if cfg!(debug_assertions) {
+            debug_assert_eq!(w.rows(), w.cols(), "W must be square");
+            debug_assert!(
+                w.rows() == 0 || w.is_column_stochastic(WALK_TOL),
+                "feature walk W must be column-stochastic (Eq. 9)"
+            );
+        }
+        FeatureWalk {
+            repr: WalkRepr::Sparse(w),
+        }
+    }
+
+    /// Wraps a dense `W` without the construction-time check. The
+    /// invariant is still enforced at [`FeatureWalk::apply`] time in debug
+    /// builds; this exists so tests can prove that enforcement fires.
+    pub fn from_dense_unchecked(w: DenseMatrix) -> Self {
+        FeatureWalk {
+            repr: WalkRepr::Dense(w),
+        }
+    }
+
+    /// The dense matrix, when this walk is densely materialized.
+    pub fn as_dense(&self) -> Option<&DenseMatrix> {
+        match &self.repr {
+            WalkRepr::Dense(w) => Some(w),
+            WalkRepr::Sparse(_) => None,
+        }
+    }
+
+    /// `y = W x`.
+    ///
+    /// In debug builds, when `x` lies on the probability simplex the output
+    /// is verified to stay there — the `W`-leg of Theorem 1. A
+    /// non-stochastic `W` smuggled past the constructors is caught here.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let y = match &self.repr {
+            WalkRepr::Dense(w) => w.matvec(x).expect("W shape fixed at construction"),
+            WalkRepr::Sparse(w) => w.matvec(x).expect("W shape fixed at construction"),
+        };
+        if cfg!(debug_assertions)
+            && tmark_sparse_tensor::invariants::simplex_violation(x, WALK_TOL).is_none()
+        {
+            tmark_sparse_tensor::debug_assert_simplex!(
+                &y,
+                WALK_TOL,
+                "feature walk application W x (Eq. 9)"
+            );
+        }
+        y
     }
 
     /// Number of nodes the operator acts on.
     pub fn len(&self) -> usize {
-        match self {
-            FeatureWalk::Dense(w) => w.rows(),
-            FeatureWalk::Sparse(w) => w.rows(),
+        match &self.repr {
+            WalkRepr::Dense(w) => w.rows(),
+            WalkRepr::Sparse(w) => w.rows(),
         }
     }
 
@@ -167,6 +241,18 @@ pub fn solve_class_from(
             .expect("operand lengths fixed at construction");
         vector::normalize_sum_to_one(&mut ws.next_z);
 
+        // Theorem 1: every iterate of Algorithm 1 stays on the simplex.
+        tmark_sparse_tensor::debug_assert_simplex!(
+            &ws.next_x,
+            tmark_sparse_tensor::invariants::SIMPLEX_TOL,
+            "Algorithm 1 node iterate x_t"
+        );
+        tmark_sparse_tensor::debug_assert_simplex!(
+            &ws.next_z,
+            tmark_sparse_tensor::invariants::SIMPLEX_TOL,
+            "Algorithm 1 link-type iterate z_t"
+        );
+
         residual = vector::l1_distance(&ws.next_x, &x) + vector::l1_distance(&ws.next_z, &z);
         trace.push(residual);
         x.copy_from_slice(&ws.next_x);
@@ -215,7 +301,7 @@ mod tests {
             vec![0.0, 1.0],
         ])
         .unwrap();
-        let w = FeatureWalk::Dense(feature_transition_matrix(&features));
+        let w = FeatureWalk::from_dense(feature_transition_matrix(&features));
         (stoch, w)
     }
 
@@ -308,9 +394,7 @@ mod tests {
         };
         let mut ws = SolverWorkspace::default();
         let out = solve_class(0, &stoch, &w, &[0], &config, &mut ws);
-        let FeatureWalk::Dense(wd) = &w else {
-            unreachable!()
-        };
+        let wd = w.as_dense().expect("community_setup builds a dense walk");
         let rwr_config = tmark_markov::PageRankConfig {
             alpha: config.alpha,
             epsilon: 1e-12,
@@ -325,6 +409,16 @@ mod tests {
             out.x,
             oracle
         );
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug-only assertion")]
+    #[should_panic(expected = "feature walk application W x (Eq. 9) violated")]
+    fn non_stochastic_walk_is_caught_at_apply_time() {
+        // Columns sum to 2, not 1 — smuggled past the constructor check.
+        let bad = DenseMatrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let w = FeatureWalk::from_dense_unchecked(bad);
+        let _ = w.apply(&[0.5, 0.5]);
     }
 
     #[test]

@@ -107,7 +107,7 @@ proptest! {
             ..Default::default()
         };
         let stoch = hin.stochastic_tensors();
-        let w = FeatureWalk::Dense(feature_transition_matrix(hin.features()));
+        let w = FeatureWalk::from_dense(feature_transition_matrix(hin.features()));
         let mut ws = SolverWorkspace::default();
         let out = solve_class(0, &stoch, &w, &train, &config, &mut ws);
         // The cap binds unless the iterate converged *exactly* (bitwise),

@@ -1,0 +1,101 @@
+//! The checked-in ratchet baseline (`xtask/lint-baseline.toml`).
+//!
+//! The baseline is a minimal TOML document — one `[panic-surface]` table
+//! mapping crate paths to their allowed number of panic sites. Only the
+//! subset of TOML this file uses is parsed (section headers, quoted-key
+//! integer assignments, `#` comments), keeping xtask dependency-free.
+
+use std::collections::BTreeMap;
+
+/// Per-crate allowed panic-site counts.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// `crates/<name>` → allowed count. Missing crates are allowed 0,
+    /// so new crates start (and stay) panic-free.
+    pub panic_surface: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parses the baseline document.
+    ///
+    /// # Errors
+    /// Returns a line-numbered description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut baseline = Baseline::default();
+        let mut section = String::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_owned();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", lineno + 1));
+            };
+            let key = key.trim().trim_matches('"').to_owned();
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad count: {e}", lineno + 1))?;
+            match section.as_str() {
+                "panic-surface" => {
+                    baseline.panic_surface.insert(key, count);
+                }
+                other => {
+                    return Err(format!("line {}: unknown section [{other}]", lineno + 1));
+                }
+            }
+        }
+        Ok(baseline)
+    }
+
+    /// Renders the document, sorted for stable diffs.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Ratchet baseline for `cargo xtask lint`.\n\
+             #\n\
+             # Allowed `.unwrap()` / `.expect()` / `panic!` sites per library\n\
+             # crate (test code excluded). Counts may only go DOWN: shrink an\n\
+             # entry by removing panic sites and running\n\
+             # `cargo xtask lint --update-baseline`. Raising a count by hand\n\
+             # defeats the ratchet and will be rejected in review.\n\
+             \n\
+             [panic-surface]\n",
+        );
+        for (krate, count) in &self.panic_surface {
+            out.push_str(&format!("\"{krate}\" = {count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_round_trips() {
+        let mut b = Baseline::default();
+        b.panic_surface.insert("crates/tmark".to_owned(), 12);
+        b.panic_surface.insert("crates/linalg".to_owned(), 3);
+        let reparsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(reparsed, b);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_numbers() {
+        let err = Baseline::parse("[panic-surface]\nnot a pair\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = Baseline::parse("[mystery]\n\"a\" = 1\n").unwrap_err();
+        assert!(err.contains("mystery"), "{err}");
+    }
+
+    #[test]
+    fn missing_crates_default_to_zero() {
+        let b = Baseline::parse("[panic-surface]\n").unwrap();
+        assert_eq!(b.panic_surface.get("crates/new").copied().unwrap_or(0), 0);
+    }
+}

@@ -1,0 +1,300 @@
+//! The three T-Mark lints, operating on scrubbed source text.
+//!
+//! Each lint is a token-level pass over text produced by
+//! [`crate::scrub::scrub`] (and, for library-only lints,
+//! [`crate::scrub::blank_test_regions`]). Token matching on scrubbed text
+//! is deliberate: the toolchain here has no `syn`, and these rules only
+//! need identifier/punctuation adjacency, which a lexer-level view gets
+//! right without a full parse.
+
+/// One lint hit, positioned for `file:line` reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// 1-based line in the original file.
+    pub line: usize,
+    /// Human-readable diagnosis with the suggested fix.
+    pub message: String,
+}
+
+/// 1-based line number of byte offset `pos`.
+fn line_of(s: &str, pos: usize) -> usize {
+    s.as_bytes()
+        .iter()
+        .take(pos)
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// All identifier tokens as `(start, end)` byte ranges.
+fn idents(s: &str) -> Vec<(usize, usize)> {
+    let b = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if is_ident_start(b[i]) && (i == 0 || !is_ident_continue(b[i - 1])) {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.push((start, i));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn next_nonspace(b: &[u8], mut i: usize) -> Option<(usize, u8)> {
+    while i < b.len() {
+        if !b[i].is_ascii_whitespace() {
+            return Some((i, b[i]));
+        }
+        i += 1;
+    }
+    None
+}
+
+fn prev_nonspace(b: &[u8], i: usize) -> Option<(usize, u8)> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !b[j].is_ascii_whitespace() {
+            return Some((j, b[j]));
+        }
+    }
+    None
+}
+
+/// The identifier ending at byte `end` (exclusive), if any.
+fn ident_ending_at(b: &[u8], end: usize) -> Option<&[u8]> {
+    if end == 0 || !is_ident_continue(b[end - 1]) {
+        return None;
+    }
+    let mut start = end;
+    while start > 0 && is_ident_continue(b[start - 1]) {
+        start -= 1;
+    }
+    Some(&b[start..end])
+}
+
+/// Byte position just past the `(`-balanced group starting at `open`.
+fn skip_paren_group(b: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Panic-surface lint: `.unwrap()`, `.expect(…)`, and `panic!` sites.
+///
+/// Returns byte offsets; the caller ratchets the *count* per crate against
+/// the checked-in baseline rather than failing on every existing site.
+pub fn panic_sites(scrubbed: &str) -> Vec<usize> {
+    let b = scrubbed.as_bytes();
+    let mut out = Vec::new();
+    for (start, end) in idents(scrubbed) {
+        let word = &b[start..end];
+        let hit = match word {
+            b"unwrap" | b"expect" => {
+                prev_nonspace(b, start).map(|(_, c)| c) == Some(b'.')
+                    && next_nonspace(b, end).map(|(_, c)| c) == Some(b'(')
+            }
+            b"panic" => next_nonspace(b, end).map(|(_, c)| c) == Some(b'!'),
+            _ => false,
+        };
+        if hit {
+            out.push(start);
+        }
+    }
+    out
+}
+
+/// NaN-unsafe comparison lint: `partial_cmp(..)` immediately unwrapped
+/// (`.unwrap()`, `.unwrap_or(Ordering::Equal)`, `.unwrap_or_else(..)`).
+/// On floats every one of these mis-sorts or panics on NaN; `f64::total_cmp`
+/// is total and needs no fallback.
+pub fn nan_compare_sites(scrubbed: &str) -> Vec<Finding> {
+    let b = scrubbed.as_bytes();
+    let mut out = Vec::new();
+    for (start, end) in idents(scrubbed) {
+        if &b[start..end] != b"partial_cmp" {
+            continue;
+        }
+        let Some((open, b'(')) = next_nonspace(b, end) else {
+            continue;
+        };
+        let after_args = skip_paren_group(b, open);
+        let Some((dot, b'.')) = next_nonspace(b, after_args) else {
+            continue;
+        };
+        let Some((wstart, c)) = next_nonspace(b, dot + 1) else {
+            continue;
+        };
+        if !is_ident_start(c) {
+            continue;
+        }
+        let mut wend = wstart;
+        while wend < b.len() && is_ident_continue(b[wend]) {
+            wend += 1;
+        }
+        let follow = &b[wstart..wend];
+        if follow == b"unwrap" || follow == b"unwrap_or" || follow == b"unwrap_or_else" {
+            let called = String::from_utf8_lossy(follow).into_owned();
+            out.push(Finding {
+                line: line_of(scrubbed, start),
+                message: format!(
+                    "NaN-unsafe comparison: `partial_cmp(..).{called}(..)` \
+                     mis-sorts or panics on NaN — use `f64::total_cmp`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Keywords that legitimately precede `Name {` without constructing a value.
+const NON_CONSTRUCTION_PREV: &[&[u8]] = &[
+    b"struct", b"enum", b"union", b"trait", b"impl", b"for", b"mod", b"dyn", b"fn",
+];
+
+/// Stochastic-construction lint: struct-literal construction of
+/// `FeatureWalk` / `StochasticTensors`, or calls to the `_unchecked`
+/// escape hatch, outside the defining modules and test code. Both types
+/// carry a column-stochastic invariant that only their normalizing
+/// constructors establish.
+pub fn stochastic_construction_sites(scrubbed: &str) -> Vec<Finding> {
+    let b = scrubbed.as_bytes();
+    let mut out = Vec::new();
+    for (start, end) in idents(scrubbed) {
+        let word = &b[start..end];
+        match word {
+            b"FeatureWalk" | b"StochasticTensors" => {
+                if next_nonspace(b, end).map(|(_, c)| c) != Some(b'{') {
+                    continue;
+                }
+                let name = String::from_utf8_lossy(word).into_owned();
+                if let Some((p, c)) = prev_nonspace(b, start) {
+                    // `-> FeatureWalk {` is a return type before a body.
+                    if c == b'>' {
+                        continue;
+                    }
+                    if let Some(prev) = ident_ending_at(b, p + 1) {
+                        if NON_CONSTRUCTION_PREV.contains(&prev) {
+                            continue;
+                        }
+                    }
+                }
+                out.push(Finding {
+                    line: line_of(scrubbed, start),
+                    message: format!(
+                        "direct construction of `{name}` bypasses the normalizing \
+                         constructor that establishes its stochastic invariant — \
+                         use the `from_*` constructors"
+                    ),
+                });
+            }
+            b"from_dense_unchecked" => {
+                if next_nonspace(b, end).map(|(_, c)| c) != Some(b'(') {
+                    continue;
+                }
+                if let Some((p, _)) = prev_nonspace(b, start) {
+                    if ident_ending_at(b, p + 1) == Some(b"fn") {
+                        continue;
+                    }
+                }
+                out.push(Finding {
+                    line: line_of(scrubbed, start),
+                    message: "`from_dense_unchecked` skips the column-stochastic check; \
+                              it is reserved for tests that prove the apply-time guard fires"
+                        .to_owned(),
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Line numbers for a list of byte offsets (for panic-site reporting).
+pub fn lines_for(scrubbed: &str, offsets: &[usize]) -> Vec<usize> {
+    offsets.iter().map(|&o| line_of(scrubbed, o)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+
+    #[test]
+    fn panic_sites_match_calls_not_lookalikes() {
+        let src = "fn f() { x.unwrap(); y.expect(msg); panic!(oops); \
+                   z.unwrap_or(0); w.expect_err(e); std::panic::catch_unwind(g); }";
+        assert_eq!(panic_sites(&scrub(src)).len(), 3);
+    }
+
+    #[test]
+    fn nan_lint_flags_all_unwrap_flavours() {
+        let src = "a.partial_cmp(&b).unwrap();\n\
+                   a.partial_cmp(&b).unwrap_or(Ordering::Equal);\n\
+                   a.partial_cmp(&b).unwrap_or_else(|| Ordering::Equal);\n\
+                   a.partial_cmp(&b).map(|o| o);\n";
+        let findings = nan_compare_sites(&scrub(src));
+        assert_eq!(findings.len(), 3);
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[2].line, 3);
+    }
+
+    #[test]
+    fn construction_lint_flags_literals_but_not_declarations() {
+        let flagged = "let s = StochasticTensors { n, m, entries };";
+        assert_eq!(stochastic_construction_sites(&scrub(flagged)).len(), 1);
+        for ok in [
+            "pub struct FeatureWalk { repr: WalkRepr }",
+            "impl FeatureWalk { }",
+            "impl Walk for FeatureWalk { }",
+            "fn build(&self) -> FeatureWalk { self.clone() }",
+            "let w = FeatureWalk::from_dense(m);",
+        ] {
+            assert!(
+                stochastic_construction_sites(&scrub(ok)).is_empty(),
+                "false positive on: {ok}"
+            );
+        }
+    }
+
+    #[test]
+    fn construction_lint_flags_the_unchecked_escape_hatch() {
+        let src = "let w = FeatureWalk::from_dense_unchecked(m);";
+        assert_eq!(stochastic_construction_sites(&scrub(src)).len(), 1);
+        let def = "pub fn from_dense_unchecked(w: DenseMatrix) -> Self {";
+        assert!(stochastic_construction_sites(&scrub(def)).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_never_trip_lints() {
+        let src = "// a.partial_cmp(&b).unwrap()\nlet s = \"panic!\"; /* x.unwrap() */";
+        assert!(panic_sites(&scrub(src)).is_empty());
+        assert!(nan_compare_sites(&scrub(src)).is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! `cargo xtask lint` — the workspace lint gate.
+//!
+//! Three T-Mark-specific rules, run over every crate under `crates/`:
+//!
+//! 1. **panic-surface** (ratcheted): `.unwrap()` / `.expect()` / `panic!`
+//!    in library code, counted per crate against the checked-in baseline
+//!    `xtask/lint-baseline.toml`. Counts may only go down; a new panic
+//!    site fails the build. Test code (`#[cfg(test)]` items, `tests/`,
+//!    `benches/`) is exempt.
+//! 2. **nan-compare** (hard error): `partial_cmp(..).unwrap*()` — on
+//!    floats this mis-sorts or panics on NaN; use `f64::total_cmp`.
+//! 3. **stochastic-construction** (hard error): struct-literal
+//!    construction of `FeatureWalk` / `StochasticTensors` (or calling the
+//!    `_unchecked` escape hatch) outside their defining modules, which
+//!    would bypass the normalizing constructors behind Theorem 1.
+//!
+//! The analysis is lexical (see [`scrub`]) rather than `syn`-based: this
+//! workspace builds offline with no external dependencies, and the rules
+//! above only need token adjacency, not a full AST.
+//!
+//! Usage: `cargo xtask lint [--update-baseline]`.
+
+mod baseline;
+mod lints;
+mod scrub;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use baseline::Baseline;
+
+/// Files whose modules own the stochastic types and may construct them.
+const CONSTRUCTION_ALLOWED: &[&str] = &[
+    "crates/tmark/src/solver.rs",
+    "crates/sparse-tensor/src/stochastic.rs",
+];
+
+const BASELINE_PATH: &str = "xtask/lint-baseline.toml";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let update = args.iter().any(|a| a == "--update-baseline");
+            if let Some(unknown) = args[1..].iter().find(|a| a.as_str() != "--update-baseline") {
+                eprintln!("xtask: unknown argument `{unknown}`");
+                return ExitCode::FAILURE;
+            }
+            match run_lint(update) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("xtask: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [--update-baseline]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root, two levels above this crate's manifest.
+fn workspace_root() -> Result<PathBuf, String> {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .ok_or_else(|| "cannot locate workspace root".to_owned())
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative display path.
+fn rel<'a>(root: &Path, path: &'a Path) -> std::borrow::Cow<'a, str> {
+    path.strip_prefix(root).unwrap_or(path).to_string_lossy()
+}
+
+fn run_lint(update_baseline: bool) -> Result<bool, String> {
+    let root = workspace_root()?;
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .collect();
+    crate_dirs.sort();
+
+    let mut errors = 0usize;
+    let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+    let mut panic_locations: Vec<(String, Vec<(String, usize)>)> = Vec::new();
+
+    for crate_dir in &crate_dirs {
+        let crate_key = rel(&root, crate_dir).into_owned();
+        let mut lib_files = Vec::new();
+        rust_files(&crate_dir.join("src"), &mut lib_files)?;
+        let mut test_files = Vec::new();
+        for sub in ["tests", "benches", "examples"] {
+            rust_files(&crate_dir.join(sub), &mut test_files)?;
+        }
+
+        let mut crate_panics: Vec<(String, usize)> = Vec::new();
+        for file in &lib_files {
+            let display = rel(&root, file).into_owned();
+            let scrubbed = scrub::scrub(&read(file)?);
+            let library_only = scrub::blank_test_regions(&scrubbed);
+
+            let sites = lints::panic_sites(&library_only);
+            for line in lints::lines_for(&library_only, &sites) {
+                crate_panics.push((display.clone(), line));
+            }
+
+            for f in lints::nan_compare_sites(&scrubbed) {
+                eprintln!("error[nan-compare]: {display}:{}: {}", f.line, f.message);
+                errors += 1;
+            }
+
+            if !CONSTRUCTION_ALLOWED.contains(&display.as_str()) {
+                for f in lints::stochastic_construction_sites(&library_only) {
+                    eprintln!(
+                        "error[stochastic-construction]: {display}:{}: {}",
+                        f.line, f.message
+                    );
+                    errors += 1;
+                }
+            }
+        }
+        for file in &test_files {
+            let display = rel(&root, file).into_owned();
+            let scrubbed = scrub::scrub(&read(file)?);
+            for f in lints::nan_compare_sites(&scrubbed) {
+                eprintln!("error[nan-compare]: {display}:{}: {}", f.line, f.message);
+                errors += 1;
+            }
+        }
+        counts.insert(crate_key.clone(), crate_panics.len());
+        panic_locations.push((crate_key, crate_panics));
+    }
+
+    let baseline_path = root.join(BASELINE_PATH);
+    if update_baseline {
+        let updated = Baseline {
+            panic_surface: counts.clone(),
+        };
+        if let Some(dir) = baseline_path.parent() {
+            fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        fs::write(&baseline_path, updated.render())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!("xtask: baseline updated at {BASELINE_PATH}");
+    }
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text)?,
+        Err(_) => {
+            return Err(format!(
+                "no baseline at {BASELINE_PATH}; run `cargo xtask lint --update-baseline` \
+                 once and commit the result"
+            ));
+        }
+    };
+
+    for (crate_key, sites) in &panic_locations {
+        let allowed = baseline.panic_surface.get(crate_key).copied().unwrap_or(0);
+        let found = sites.len();
+        if found > allowed {
+            eprintln!(
+                "error[panic-surface]: {crate_key}: {found} panic sites \
+                 (`unwrap`/`expect`/`panic!`), baseline allows {allowed} — \
+                 handle the error instead of panicking:"
+            );
+            for (file, line) in sites {
+                eprintln!("    {file}:{line}");
+            }
+            errors += 1;
+        } else if found < allowed {
+            println!(
+                "note[panic-surface]: {crate_key}: {found} < baseline {allowed} — \
+                 run `cargo xtask lint --update-baseline` to ratchet down"
+            );
+        }
+    }
+
+    if errors > 0 {
+        eprintln!(
+            "xtask lint: {errors} error(s) across {} crates",
+            crate_dirs.len()
+        );
+        Ok(false)
+    } else {
+        println!("xtask lint: clean ({} crates)", crate_dirs.len());
+        Ok(true)
+    }
+}

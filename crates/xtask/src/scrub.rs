@@ -1,0 +1,319 @@
+//! Source scrubbing: the lexical half of the lint engine.
+//!
+//! The lints match tokens, so everything that *looks* like code but is not
+//! — comments, doc comments, string/char literals — must be neutralized
+//! first. [`scrub`] replaces the interior of every comment and literal
+//! with spaces while preserving newlines and byte offsets, so token
+//! searches on the scrubbed text report correct line numbers and are never
+//! fooled by `"call .unwrap() here"` appearing in a docstring.
+//!
+//! [`blank_test_regions`] additionally erases `#[cfg(test)]` items (by
+//! brace matching), because the panic-surface and construction lints
+//! target library code: tests may use `unwrap()` and the `_unchecked`
+//! escape hatches freely.
+
+/// Replaces comments, string literals, and char literals with spaces,
+/// preserving newlines so byte offsets map to the original lines.
+pub fn scrub(src: &str) -> String {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out: Vec<u8> = Vec::with_capacity(n);
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            while i < n && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+        } else if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            i = scrub_block_comment(b, i, &mut out);
+        } else if c == b'"' {
+            i = scrub_string(b, i, &mut out);
+        } else if (c == b'r' || c == b'b') && !prev_is_ident(b, i) {
+            match try_scrub_prefixed_string(b, i, &mut out) {
+                Some(next) => i = next,
+                None => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        } else if c == b'\'' {
+            i = scrub_char_or_lifetime(b, i, &mut out);
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    // Only whole literals/comments were blanked, so the bytes stay valid
+    // UTF-8; the lossy conversion is a no-copy formality.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Blanks every `#[cfg(test)]` item (attribute through matching close
+/// brace) in already-scrubbed text. Operates textually: after [`scrub`],
+/// `cfg(test)` can only appear in a real attribute.
+pub fn blank_test_regions(scrubbed: &str) -> String {
+    let mut b = scrubbed.as_bytes().to_vec();
+    let mut from = 0;
+    while let Some(at) = find_bytes(&b, b"cfg(test)", from) {
+        let mut i = at + b"cfg(test)".len();
+        // Scan to the start of the guarded item's body (or a `;` for
+        // `#[cfg(test)] mod tests;` / guarded use statements).
+        while i < b.len() && b[i] != b'{' && b[i] != b';' {
+            i += 1;
+        }
+        if i < b.len() && b[i] == b'{' {
+            let close = matching_brace(&b, i);
+            for byte in b.iter_mut().take(close + 1).skip(at) {
+                if *byte != b'\n' {
+                    *byte = b' ';
+                }
+            }
+            from = close + 1;
+        } else {
+            from = i + 1;
+        }
+    }
+    String::from_utf8_lossy(&b).into_owned()
+}
+
+/// Index of the brace matching the `{` at `open` (or end of input when
+/// unbalanced — scrubbed text has no braces inside literals).
+fn matching_brace(b: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len().saturating_sub(1)
+}
+
+fn find_bytes(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    (from..=haystack.len() - needle.len()).find(|&i| &haystack[i..i + needle.len()] == needle)
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+fn push_blank(out: &mut Vec<u8>, byte: u8) {
+    out.push(if byte == b'\n' { b'\n' } else { b' ' });
+}
+
+fn scrub_block_comment(b: &[u8], mut i: usize, out: &mut Vec<u8>) -> usize {
+    let n = b.len();
+    let mut depth = 1usize;
+    out.push(b' ');
+    out.push(b' ');
+    i += 2;
+    while i < n && depth > 0 {
+        if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            depth += 1;
+            out.push(b' ');
+            out.push(b' ');
+            i += 2;
+        } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+            depth -= 1;
+            out.push(b' ');
+            out.push(b' ');
+            i += 2;
+        } else {
+            push_blank(out, b[i]);
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Scrubs an ordinary (escaping) string literal starting at the `"`.
+fn scrub_string(b: &[u8], mut i: usize, out: &mut Vec<u8>) -> usize {
+    let n = b.len();
+    out.push(b' ');
+    i += 1;
+    while i < n {
+        match b[i] {
+            b'\\' => {
+                out.push(b' ');
+                i += 1;
+                if i < n {
+                    push_blank(out, b[i]);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                break;
+            }
+            c => {
+                push_blank(out, c);
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Scrubs `r"…"`, `r#"…"#`, `b"…"`, and `br#"…"#` literals starting at the
+/// prefix; returns `None` when the bytes at `i` are not such a literal.
+fn try_scrub_prefixed_string(b: &[u8], i: usize, out: &mut Vec<u8>) -> Option<usize> {
+    let n = b.len();
+    let mut j = i;
+    if j < n && b[j] == b'b' {
+        j += 1;
+    }
+    let raw = j < n && b[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < n && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || b[j] != b'"' || (!raw && hashes > 0) {
+        return None;
+    }
+    if !raw {
+        // `b"…"` follows ordinary escaping rules; blank the prefix and
+        // reuse the plain scrubber from the quote.
+        for _ in i..j {
+            out.push(b' ');
+        }
+        return Some(scrub_string(b, j, out));
+    }
+    // Raw string: blank through the opening quote, then scan for `"`
+    // followed by the same number of hashes.
+    for _ in i..=j {
+        out.push(b' ');
+    }
+    j += 1;
+    while j < n {
+        if b[j] == b'"'
+            && j + hashes < n + 1
+            && b[j + 1..].iter().take(hashes).all(|&c| c == b'#')
+            && b[j + 1..].len() >= hashes
+        {
+            for _ in 0..=hashes {
+                out.push(b' ');
+            }
+            return Some(j + 1 + hashes);
+        }
+        push_blank(out, b[j]);
+        j += 1;
+    }
+    Some(j)
+}
+
+fn utf8_width(lead: u8) -> usize {
+    if lead < 0x80 {
+        1
+    } else if lead < 0xE0 {
+        2
+    } else if lead < 0xF0 {
+        3
+    } else {
+        4
+    }
+}
+
+/// Scrubs a char literal, or passes a lifetime tick through unchanged.
+fn scrub_char_or_lifetime(b: &[u8], i: usize, out: &mut Vec<u8>) -> usize {
+    let n = b.len();
+    if i + 1 < n && b[i + 1] == b'\\' {
+        // Escaped char literal: blank the opening quote, the backslash,
+        // the escaped byte, then scan to the closing quote.
+        out.push(b' ');
+        out.push(b' ');
+        let mut j = i + 2;
+        if j < n {
+            push_blank(out, b[j]);
+            j += 1;
+        }
+        while j < n && b[j] != b'\'' {
+            push_blank(out, b[j]);
+            j += 1;
+        }
+        if j < n {
+            out.push(b' ');
+            j += 1;
+        }
+        return j;
+    }
+    if i + 1 < n {
+        let close = i + 1 + utf8_width(b[i + 1]);
+        if close < n && b[close] == b'\'' {
+            for _ in i..=close {
+                out.push(b' ');
+            }
+            return close + 1;
+        }
+    }
+    // A lifetime (or stray tick): keep it, token matching is unaffected.
+    out.push(b'\'');
+    i + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_preserves_length_and_newlines() {
+        let src = "let x = 1; // .unwrap() in a comment\nlet s = \".expect(\";\n";
+        let scrubbed = scrub(src);
+        assert_eq!(scrubbed.len(), src.len());
+        assert_eq!(
+            scrubbed.matches('\n').count(),
+            src.matches('\n').count(),
+            "newlines must survive for line numbering"
+        );
+        assert!(!scrubbed.contains("unwrap"));
+        assert!(!scrubbed.contains("expect"));
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings_and_chars() {
+        let src = r####"let r = r#"panic!("inner")"#; let c = '\''; let q = '"'; x.unwrap();"####;
+        let scrubbed = scrub(src);
+        assert!(!scrubbed.contains("panic"));
+        assert!(scrubbed.contains("unwrap"), "{scrubbed}");
+    }
+
+    #[test]
+    fn scrub_handles_nested_block_comments_and_lifetimes() {
+        let src = "/* outer /* .unwrap() */ still comment */ fn f<'a>(x: &'a str) {}";
+        let scrubbed = scrub(src);
+        assert!(!scrubbed.contains("unwrap"));
+        assert!(scrubbed.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn blank_test_regions_erases_cfg_test_mods() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); }\n}\nfn tail() {}\n";
+        let blanked = blank_test_regions(&scrub(src));
+        assert_eq!(blanked.matches("unwrap").count(), 1);
+        assert!(blanked.contains("fn tail"));
+    }
+
+    #[test]
+    fn blank_test_regions_skips_mod_declarations() {
+        let src = "#[cfg(test)]\nmod tests;\nfn lib() { x.unwrap(); }\n";
+        let blanked = blank_test_regions(&scrub(src));
+        assert!(blanked.contains("unwrap"));
+    }
+}

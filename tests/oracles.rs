@@ -62,7 +62,7 @@ fn gamma_zero_single_relation_tmark_is_rwr_on_the_chain() {
         max_iterations: 2000,
         ..TMarkConfig::default().tensor_rrcc()
     };
-    let w = FeatureWalk::Dense(feature_transition_matrix(hin.features()));
+    let w = FeatureWalk::from_dense(feature_transition_matrix(hin.features()));
     let mut ws = SolverWorkspace::default();
     let out = solve_class(0, &stoch, &w, &[0], &config, &mut ws);
 

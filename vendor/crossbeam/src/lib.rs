@@ -1,0 +1,87 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn` +
+//! `ScopedJoinHandle::join`. Since Rust 1.63 the standard library provides
+//! scoped threads, so this shim forwards to [`std::thread::scope`] while
+//! keeping crossbeam's call shapes: the scope closure and each spawned
+//! closure receive a `&Scope` argument, `scope` returns a
+//! [`std::thread::Result`], and `join` reports child panics as `Err`.
+
+#![deny(missing_docs)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Handle for spawning threads tied to a scope, mirroring
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result; `Err` if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, like
+        /// crossbeam's `spawn` (callers typically ignore it with `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing from `'env` can be
+    /// spawned; all are joined before `scope` returns.
+    ///
+    /// Crossbeam returns `Err` when a child panic went unjoined; the std
+    /// backend instead resumes such panics on the scope thread, so the
+    /// returned result is always `Ok` — `.expect(..)` at existing call
+    /// sites stays correct.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn spawn_join_and_borrow_from_env() {
+            let data = [1u64, 2, 3, 4];
+            let total = super::scope(|scope| {
+                let handles: Vec<_> = data.iter().map(|&v| scope.spawn(move |_| v * 10)).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panic"))
+                    .sum::<u64>()
+            })
+            .expect("scope completes");
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn child_panic_surfaces_through_join() {
+            let caught = super::scope(|scope| {
+                let h = scope.spawn(|_| panic!("boom"));
+                h.join().is_err()
+            })
+            .expect("scope completes");
+            assert!(caught);
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of the proptest API its test suites use: the [`proptest!`]
+//! macro (including `#![proptest_config(..)]`), [`Strategy`] with
+//! `prop_map` / `prop_flat_map`, [`Just`], numeric range strategies,
+//! `prop::collection::vec`, `prop::bool::ANY`, [`any`], and the
+//! `prop_assert*` macros.
+//!
+//! Semantics differ from upstream in two deliberate ways:
+//!
+//! - **No shrinking.** A failing case panics with the assertion message
+//!   (tests here format the offending values into their messages); the
+//!   deterministic per-test seed makes every failure reproducible.
+//! - **Deterministic seeding.** Cases are generated from a fixed seed
+//!   derived from the test name, so runs are stable across machines.
+
+#![deny(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (subset: case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-case generator: FNV-1a over the test name, mixed with
+/// the case index. Used by the [`proptest!`] expansion.
+#[doc(hidden)]
+pub fn test_rng(test_name: &str, case: u32) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash ^ (u64::from(case) << 32) ^ u64::from(case))
+}
+
+/// A generator of values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Keeps only values satisfying `f`, panicking after too many rejects.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            source: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.source.new_value(rng)).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.source.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.whence
+        );
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+}
+
+/// Types with a canonical full-range strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u32, u64, usize, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        rng.gen_range(-1.0e6..1.0e6)
+    }
+}
+
+/// Strategy for an [`Arbitrary`] type; see [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies (subset: [`collection::vec`]).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Inclusive size bounds for a generated collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Option strategies (subset: [`option::of`]).
+pub mod option {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Option<S::Value> {
+            // Upstream defaults to ~75% `Some`; keep both arms well covered.
+            if rng.gen_bool(0.75) {
+                Some(self.inner.new_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Option<T>` values drawn from `inner` when `Some`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Boolean strategies (subset: [`bool::ANY`]).
+pub mod bool {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy yielding unbiased booleans; see [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    /// The unbiased boolean strategy.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+/// Failure raised by the `prop_assert*` macros; properties (and their
+/// helpers) can return `Result<(), TestCaseError>` and use `?`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed-assertion error with the given reason.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of the upstream `prop` re-export: `prop::collection::vec`,
+    /// `prop::bool::ANY`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Asserts a condition inside a property; on failure, returns a
+/// [`TestCaseError`] from the enclosing function (like upstream proptest).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), left, right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Asserts inequality inside a property; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), left
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}\n  both: {:?}",
+            format!($($fmt)+), left
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over generated cases. An optional
+/// leading `#![proptest_config(expr)]` overrides the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __strategy = ($($strat,)+);
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_rng(stringify!($name), __case);
+                // The closure is what gives `?` inside $body a place to
+                // return to; it is not redundant.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    let ($($pat,)+) = $crate::Strategy::new_value(&__strategy, &mut __rng);
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name), __case + 1, __config.cases, e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_per_test_seed() {
+        let mut a = crate::test_rng("alpha", 3);
+        let mut b = crate::test_rng("alpha", 3);
+        let mut c = crate::test_rng("beta", 3);
+        use rand::Rng;
+        let (x, y, z) = (
+            a.gen_range(0u64..1 << 60),
+            b.gen_range(0u64..1 << 60),
+            c.gen_range(0u64..1 << 60),
+        );
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples_compose((n, f) in (1usize..10, 0.5..2.0f64)) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn flat_map_vec_and_just_compose(
+            (n, v) in (2usize..6).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec(0.0..1.0f64, n))
+            })
+        ) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn any_and_bool_strategies_run(seed in any::<u64>(), flip in prop::bool::ANY) {
+            let _ = seed.wrapping_add(u64::from(flip));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_override_applies(x in 0usize..100) {
+            prop_assert!(x < 100);
+        }
+    }
+}

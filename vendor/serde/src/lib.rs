@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Exposes `Serialize` / `Deserialize` as marker traits (implemented for
+//! every type, since no code in this workspace serializes yet) and
+//! re-exports the no-op derive macros so `#[derive(Serialize, Deserialize)]`
+//! keeps compiling. Swap back to the real `serde` once the build
+//! environment has registry access.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
