@@ -24,6 +24,7 @@
 //! the neural baselines (Highway Network, Graph Inception) live in
 //! `tmark-nn`; both are adapted into the common harness by `tmark-eval`.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 pub mod emr;
 pub mod error;

@@ -2,6 +2,7 @@
 //! benches: one function per table/figure of the paper, so the benches
 //! measure exactly the code paths the reproduction runs.
 
+#![forbid(unsafe_code)]
 use tmark::{TMarkConfig, TMarkModel, TMarkResult};
 use tmark_datasets::Tagset;
 use tmark_eval::experiment::{run_sweep, SweepConfig, SweepMetric};

@@ -18,6 +18,7 @@
 //!
 //! All training is deterministic given the seed passed at construction.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 pub mod knn;
 pub mod logistic;

@@ -160,6 +160,22 @@ mod tests {
     }
 
     #[test]
+    fn learning_rate_override_changes_the_fit() {
+        let (x, y) = separable_data();
+        let mut slow = LogisticRegression::new(7).with_learning_rate(0.001);
+        let mut fast = LogisticRegression::new(7).with_learning_rate(0.5);
+        slow.fit(&x, &y, 2).unwrap();
+        fast.fit(&x, &y, 2).unwrap();
+        let ps = slow.predict_proba(&[1.0, 0.0]);
+        let pf = fast.predict_proba(&[1.0, 0.0]);
+        assert!(
+            pf[0] > ps[0],
+            "a larger step size should be more confident after the same \
+             epochs: {pf:?} vs {ps:?}"
+        );
+    }
+
+    #[test]
     fn probabilities_are_a_distribution() {
         let (x, y) = separable_data();
         let mut clf = LogisticRegression::new(7).with_epochs(300);

@@ -25,6 +25,7 @@
 //! assert_eq!(train.len() + test.len(), 80);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 pub mod acm;
 pub mod dblp;

@@ -19,6 +19,7 @@
 //! - [`comparison`]: paired per-trial comparisons (sign-test counts) on
 //!   shared splits.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 pub mod comparison;
 pub mod experiment;

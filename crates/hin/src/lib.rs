@@ -38,6 +38,7 @@
 //! assert_eq!(hin.out_neighbors(u), vec![v]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 pub mod builder;
 pub mod io;

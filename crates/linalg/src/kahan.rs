@@ -1,0 +1,136 @@
+//! Fixed-order compensated (Kahan) summation.
+//!
+//! The T-Mark iteration compares float sums against tolerances in three
+//! places — column normalization (Eq. 2), the simplex invariant behind
+//! Theorem 1, and the `‖x_t − x_{t−1}‖₁` stopping rule — so the *order*
+//! and *error* of every reduction are part of the observable behavior: a
+//! refactor that reassociates a sum can flip a convergence test and
+//! change the reported iteration count. This module is the workspace's
+//! single summation authority: it always traverses slices front to back
+//! and carries a Neumaier-style compensation term, which makes every
+//! reduction bit-reproducible across refactors and far less
+//! order-sensitive than naive accumulation. The `float-determinism` lint
+//! (`cargo xtask lint --explain float-determinism`) steers registered
+//! normalization/contraction files here; the recurrence below is the one
+//! place in the workspace allowed to spell out a raw scalar
+//! accumulation.
+
+/// Sum of `values` in slice order with Neumaier compensation.
+///
+/// Deterministic for a given slice: the traversal order is fixed, so two
+/// builds (or two refactors that preserve element order) produce the
+/// identical bit pattern. The compensated error is `O(ε)` relative,
+/// independent of length, versus `O(nε)` for naive summation.
+pub fn kahan_sum(values: &[f64]) -> f64 {
+    let mut acc = KahanAccumulator::new();
+    for &v in values {
+        acc.add(v);
+    }
+    acc.total()
+}
+
+/// Compensated `Σ f(vᵢ)` in slice order — the map-reduce companion of
+/// [`kahan_sum`] for reductions like `Σ|xᵢ|` or `Σ xᵢyᵢ` that would
+/// otherwise materialize a temporary.
+pub fn kahan_map_sum<T>(values: &[T], f: impl FnMut(&T) -> f64) -> f64 {
+    let mut f = f;
+    let mut acc = KahanAccumulator::new();
+    for v in values {
+        acc.add(f(v));
+    }
+    acc.total()
+}
+
+/// Compensated `Σ aᵢ·bᵢ` over the common prefix of `a` and `b`, in slice
+/// order (the deterministic dot product).
+pub fn kahan_dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = KahanAccumulator::new();
+    for (x, y) in a.iter().zip(b) {
+        acc.add(x * y);
+    }
+    acc.total()
+}
+
+/// Running compensated sum, for accumulation sites that cannot be
+/// expressed as a single slice traversal (e.g. summing a scattered
+/// subset of tensor entries during normalization).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KahanAccumulator {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanAccumulator {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term (Neumaier's variant: the compensation also absorbs
+    /// the case where the incoming term dominates the running sum).
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        let correction = if self.sum.abs() >= value.abs() {
+            (self.sum - t) + value
+        } else {
+            (value - t) + self.sum
+        };
+        self.compensation += correction;
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    pub fn total(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_exact_sum_on_small_integers() {
+        assert_eq!(kahan_sum(&[1.0, 2.0, 3.0, 4.0]), 10.0);
+        assert_eq!(kahan_sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn recovers_mass_lost_by_naive_summation() {
+        // Classic cancellation case: naive summation loses the small term.
+        let values = [1.0, 1e16, 1.0, -1e16];
+        let naive: f64 = values.iter().fold(0.0, |s, &v| s + v);
+        assert_ne!(naive, 2.0, "test premise: naive summation must fail here");
+        assert_eq!(kahan_sum(&values), 2.0);
+    }
+
+    #[test]
+    fn accumulator_agrees_with_slice_sum() {
+        let values: Vec<f64> = (1..=1000).map(|i| 1.0 / f64::from(i)).collect();
+        let mut acc = KahanAccumulator::new();
+        for &v in &values {
+            acc.add(v);
+        }
+        assert_eq!(acc.total(), kahan_sum(&values));
+    }
+
+    #[test]
+    fn map_sum_and_dot_match_their_definitions() {
+        let a = [1.0, -2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert_eq!(kahan_map_sum(&a, |x: &f64| x.abs()), 6.0);
+        assert_eq!(kahan_dot(&a, &b), 12.0);
+    }
+
+    #[test]
+    fn deterministic_across_repeated_runs() {
+        // Same slice → identical bit pattern, every time.
+        let values: Vec<f64> = (0..4096)
+            .map(|i| (f64::from(i) * 0.1).sin() * 1e-3)
+            .collect();
+        let first = kahan_sum(&values);
+        for _ in 0..10 {
+            assert_eq!(kahan_sum(&values).to_bits(), first.to_bits());
+        }
+    }
+}

@@ -34,8 +34,10 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 pub mod dense;
 pub mod error;
+pub mod kahan;
 pub mod similarity;
 pub mod sparse;
 pub mod vector;

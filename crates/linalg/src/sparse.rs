@@ -167,29 +167,39 @@ impl SparseMatrix {
     /// Matrix–vector product `y = A x`, accounting for uniform dangling
     /// columns when the matrix has been stochastically normalized.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
-        if x.len() != self.cols {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Matrix–vector product into a caller-provided buffer (hot path of the
+    /// T-Mark iteration; avoids a per-iteration allocation). Rows accumulate
+    /// through compensated summation, so the sparse product is bit-identical
+    /// to the dense one on the same operator.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+        if x.len() != self.cols || y.len() != self.rows {
             return Err(LinalgError::DimensionMismatch {
                 op: "sparse matvec",
                 expected: (self.rows, self.cols),
-                found: (0, x.len()),
+                found: (y.len(), x.len()),
             });
         }
-        let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let mut acc = 0.0;
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = crate::kahan::KahanAccumulator::new();
             for (c, v) in self.row_iter(r) {
-                acc += v * x[c];
+                acc.add(v * x[c]);
             }
-            y[r] = acc;
+            *yr = acc.total();
         }
         if self.uniform_dangling && self.rows > 0 {
             // Dangling columns distribute their mass uniformly over rows.
-            let mass: f64 = self
-                .dangling_cols
-                .iter()
-                .zip(x)
-                .filter_map(|(&d, &xc)| if d { Some(xc) } else { None })
-                .sum();
+            let mut dangling_mass = crate::kahan::KahanAccumulator::new();
+            for (&d, &xc) in self.dangling_cols.iter().zip(x) {
+                if d {
+                    dangling_mass.add(xc);
+                }
+            }
+            let mass = dangling_mass.total();
             if mass != 0.0 {
                 let share = mass / self.rows as f64;
                 for yr in y.iter_mut() {
@@ -197,7 +207,7 @@ impl SparseMatrix {
                 }
             }
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Transposed product `y = Aᵀ x` (dangling handling not applied; the
@@ -383,6 +393,27 @@ mod tests {
     fn matvec_checks_dimensions() {
         assert!(sample().matvec(&[1.0]).is_err());
         assert!(sample().matvec_transpose(&[1.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_into_matches_allocating_variant() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![f64::NAN; 2];
+        m.matvec_into(&x, &mut y).unwrap();
+        assert_eq!(y, m.matvec(&x).unwrap());
+        // Wrong output length is a dimension error, not a panic.
+        assert!(m.matvec_into(&x, &mut [0.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_into_applies_dangling_mass() {
+        let mut m = SparseMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 0, 2.0)]).unwrap();
+        m.normalize_columns_stochastic();
+        let mut y = vec![0.0; 2];
+        m.matvec_into(&[0.5, 0.5], &mut y).unwrap();
+        assert_eq!(y, m.matvec(&[0.5, 0.5]).unwrap());
+        assert!((y[0] - 0.5).abs() < 1e-12);
     }
 
     #[test]

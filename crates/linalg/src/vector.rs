@@ -5,6 +5,12 @@
 //! the stopping rule `‖x_t − x_{t−1}‖ + ‖z_t − z_{t−1}‖ < ε`, the simplex
 //! renormalization that guards against floating-point drift, and the cosine
 //! similarity that defines the feature transition matrix `W`.
+//!
+//! Every scalar reduction here goes through [`crate::kahan`], so the
+//! summation order (and therefore every convergence decision downstream)
+//! is fixed and compensated rather than left to iterator internals.
+
+use crate::kahan::{kahan_dot, kahan_map_sum, kahan_sum};
 
 /// Dot product of two equally long slices.
 ///
@@ -14,13 +20,13 @@
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    kahan_dot(a, b)
 }
 
 /// The `ℓ₁` norm `Σ|xᵢ|`.
 #[inline]
 pub fn norm_l1(v: &[f64]) -> f64 {
-    v.iter().map(|x| x.abs()).sum()
+    kahan_map_sum(v, |x| x.abs())
 }
 
 /// The `ℓ₂` (Euclidean) norm.
@@ -39,7 +45,11 @@ pub fn norm_linf(v: &[f64]) -> f64 {
 #[inline]
 pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "l1_distance: length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    let mut acc = crate::kahan::KahanAccumulator::new();
+    for (x, y) in a.iter().zip(b) {
+        acc.add((x - y).abs());
+    }
+    acc.total()
 }
 
 /// Rescales `v` in place so its entries sum to one.
@@ -49,7 +59,7 @@ pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
 /// not the `ℓ₁` norm, is normalized — because callers only invoke this on
 /// nonnegative data.
 pub fn normalize_sum_to_one(v: &mut [f64]) -> bool {
-    let s: f64 = v.iter().sum();
+    let s = kahan_sum(v);
     if s == 0.0 || !s.is_finite() {
         return false;
     }
@@ -62,10 +72,19 @@ pub fn normalize_sum_to_one(v: &mut [f64]) -> bool {
 
 /// Returns a uniform distribution of length `n` (empty for `n == 0`).
 pub fn uniform(n: usize) -> Vec<f64> {
-    if n == 0 {
-        return Vec::new();
+    let mut v = vec![0.0; n];
+    fill_uniform(&mut v);
+    v
+}
+
+/// Overwrites `v` with the uniform distribution of its length (no-op for an
+/// empty slice). The in-place companion of [`uniform`] for reusable buffers.
+pub fn fill_uniform(v: &mut [f64]) {
+    if v.is_empty() {
+        return;
     }
-    vec![1.0 / n as f64; n]
+    let mass = 1.0 / v.len() as f64;
+    v.fill(mass);
 }
 
 /// True when every entry is nonnegative and the entries sum to one within
@@ -77,7 +96,7 @@ pub fn is_stochastic(v: &[f64], tol: f64) -> bool {
     if v.iter().any(|&x| x < -tol || !x.is_finite()) {
         return false;
     }
-    (v.iter().sum::<f64>() - 1.0).abs() <= tol
+    (kahan_sum(v) - 1.0).abs() <= tol
 }
 
 /// Cosine similarity between two feature vectors; 0.0 when either vector is
@@ -185,6 +204,14 @@ mod tests {
     fn uniform_is_stochastic() {
         assert!(is_stochastic(&uniform(7), 1e-12));
         assert!(uniform(0).is_empty());
+    }
+
+    #[test]
+    fn fill_uniform_matches_uniform() {
+        let mut v = vec![0.3, 0.7, 0.0];
+        fill_uniform(&mut v);
+        assert_eq!(v, uniform(3));
+        fill_uniform(&mut []);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! assert!(x[0] > x[2], "the restart node holds the most mass");
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 pub mod chain;
 pub mod mixing;

@@ -23,6 +23,7 @@
 //! full-batch updates) over speed; networks in the evaluation have at most
 //! a few hundred thousand parameters.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 pub mod graph_inception;
 pub mod highway;

@@ -49,7 +49,7 @@ pub fn simplex_violation(v: &[f64], tol: f64) -> Option<String> {
     if v.is_empty() {
         return Some("empty vector cannot be a distribution".to_owned());
     }
-    let sum: f64 = v.iter().sum();
+    let sum = tmark_linalg::kahan::kahan_sum(v);
     let sum_tol = tol * (v.len() as f64).max(1.0);
     if (sum - 1.0).abs() > sum_tol {
         return Some(format!(

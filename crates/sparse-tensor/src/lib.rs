@@ -44,6 +44,7 @@
 //! assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 pub mod builder;
 pub mod connectivity;

@@ -21,6 +21,7 @@
 // clippy's iterator rewrite would obscure the shared-index structure.
 #![allow(clippy::needless_range_loop)]
 use crate::tensor::{SparseTensor3, TensorError};
+use tmark_linalg::kahan::{kahan_map_sum, kahan_sum, KahanAccumulator};
 
 /// A stored entry carrying both normalized values.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,11 +68,10 @@ impl StochasticTensors {
         while start < src.len() {
             let (k, j) = (src[start].k, src[start].j);
             let mut end = start;
-            let mut sum = 0.0;
             while end < src.len() && src[end].k == k && src[end].j == j {
-                sum += src[end].value;
                 end += 1;
             }
+            let sum = kahan_map_sum(&src[start..end], |e| e.value);
             present_columns.push((j as u32, k as u32));
             for e in &src[start..end] {
                 entries.push(StochEntry {
@@ -94,11 +94,10 @@ impl StochasticTensors {
         while pos < order.len() {
             let (i, j) = (entries[order[pos]].i, entries[order[pos]].j);
             let mut end = pos;
-            let mut sum = 0.0;
             while end < order.len() && entries[order[end]].i == i && entries[order[end]].j == j {
-                sum += src[order[end]].value;
                 end += 1;
             }
+            let sum = kahan_map_sum(&order[pos..end], |&idx| src[idx].value);
             present_pairs.push((i, j));
             for &idx in &order[pos..end] {
                 entries[idx].r = src[idx].value / sum;
@@ -182,6 +181,12 @@ impl StochasticTensors {
     /// `o_{i,j,k}` including the dangling rule (uniform `1/n` on absent
     /// fibers). `O(D)` — intended for tests and small tensors.
     pub fn o_get(&self, i: usize, j: usize, k: usize) -> f64 {
+        debug_assert!(
+            i < self.n && j < self.n && k < self.m,
+            "o_get({i}, {j}, {k}) out of bounds for n = {}, m = {}",
+            self.n,
+            self.m
+        );
         let fiber_present = self
             .present_columns
             .iter()
@@ -198,6 +203,12 @@ impl StochasticTensors {
     /// `r_{i,j,k}` including the dangling rule (uniform `1/m` on absent
     /// pairs). `O(D)` — intended for tests and small tensors.
     pub fn r_get(&self, i: usize, j: usize, k: usize) -> f64 {
+        debug_assert!(
+            i < self.n && j < self.n && k < self.m,
+            "r_get({i}, {j}, {k}) out of bounds for n = {}, m = {}",
+            self.n,
+            self.m
+        );
         let pair_present = self
             .present_pairs
             .iter()
@@ -244,12 +255,10 @@ impl StochasticTensors {
             y[e.i as usize] += e.o * x[e.j as usize] * z[e.k as usize];
         }
         // Mass that flowed through dangling (uniform) fibers.
-        let total_mass: f64 = x.iter().sum::<f64>() * z.iter().sum::<f64>();
-        let present_mass: f64 = self
-            .present_columns
-            .iter()
-            .map(|&(j, k)| x[j as usize] * z[k as usize])
-            .sum();
+        let total_mass = kahan_sum(x) * kahan_sum(z);
+        let present_mass = kahan_map_sum(&self.present_columns, |&(j, k)| {
+            x[j as usize] * z[k as usize]
+        });
         let dangling = total_mass - present_mass;
         if dangling != 0.0 {
             let share = dangling / self.n as f64;
@@ -309,13 +318,10 @@ impl StochasticTensors {
         for e in &self.entries {
             z[e.k as usize] += e.r * x[e.i as usize] * x[e.j as usize];
         }
-        let sum_x: f64 = x.iter().sum();
+        let sum_x = kahan_sum(x);
         let total_mass = sum_x * sum_x;
-        let present_mass: f64 = self
-            .present_pairs
-            .iter()
-            .map(|&(i, j)| x[i as usize] * x[j as usize])
-            .sum();
+        let present_mass =
+            kahan_map_sum(&self.present_pairs, |&(i, j)| x[i as usize] * x[j as usize]);
         let dangling = total_mass - present_mass;
         if dangling != 0.0 {
             let share = dangling / self.m as f64;
@@ -363,12 +369,9 @@ impl StochasticTensors {
         for e in &self.entries {
             z[e.k as usize] += e.r * u[e.i as usize] * v[e.j as usize];
         }
-        let total_mass = u.iter().sum::<f64>() * v.iter().sum::<f64>();
-        let present_mass: f64 = self
-            .present_pairs
-            .iter()
-            .map(|&(i, j)| u[i as usize] * v[j as usize])
-            .sum();
+        let total_mass = kahan_sum(u) * kahan_sum(v);
+        let present_mass =
+            kahan_map_sum(&self.present_pairs, |&(i, j)| u[i as usize] * v[j as usize]);
         let dangling = total_mass - present_mass;
         if dangling != 0.0 {
             let share = dangling / self.m as f64;
@@ -415,17 +418,17 @@ impl StochasticTensors {
             *fiber_sums.entry((e.i, e.k)).or_insert(0.0) += e.value;
         }
         let mut y = vec![0.0; self.n];
-        let mut present_mass = 0.0;
+        let mut present_mass = KahanAccumulator::new();
         let mut seen: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
         for e in &self.entries {
             let denom = fiber_sums[&(e.i, e.k)];
             y[e.j as usize] += (e.value / denom) * x[e.i as usize] * z[e.k as usize];
             if seen.insert((e.i, e.k)) {
-                present_mass += x[e.i as usize] * z[e.k as usize];
+                present_mass.add(x[e.i as usize] * z[e.k as usize]);
             }
         }
-        let total_mass = x.iter().sum::<f64>() * z.iter().sum::<f64>();
-        let dangling = total_mass - present_mass;
+        let total_mass = kahan_sum(x) * kahan_sum(z);
+        let dangling = total_mass - present_mass.total();
         if dangling != 0.0 {
             let share = dangling / self.n as f64;
             for yj in y.iter_mut() {

@@ -61,6 +61,7 @@
 //! assert_eq!(ranking[0].0, 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 pub mod config;
 pub mod explain;

@@ -70,6 +70,17 @@ pub fn multirank(stoch: &StochasticTensors, config: &MultiRankConfig) -> MultiRa
             .contract_r_into(&next_x, &mut next_z)
             .expect("operand lengths fixed at construction");
         vector::normalize_sum_to_one(&mut next_z);
+        // The MultiRank map shares Theorem 1's simplex-preservation.
+        tmark_sparse_tensor::debug_assert_simplex!(
+            &next_x,
+            tmark_sparse_tensor::invariants::SIMPLEX_TOL,
+            "MultiRank node iterate"
+        );
+        tmark_sparse_tensor::debug_assert_simplex!(
+            &next_z,
+            tmark_sparse_tensor::invariants::SIMPLEX_TOL,
+            "MultiRank relation iterate"
+        );
         residual = vector::l1_distance(&next_x, &x) + vector::l1_distance(&next_z, &z);
         trace.push(residual);
         x.copy_from_slice(&next_x);
@@ -139,6 +150,22 @@ pub fn har(stoch: &StochasticTensors, config: &MultiRankConfig) -> HarResult {
             .contract_r_pair(&next_auth, &next_hub)
             .expect("operand lengths fixed at construction");
         vector::normalize_sum_to_one(&mut next_z);
+        // HAR iterates stay on the simplex for the same Theorem-1 reason.
+        tmark_sparse_tensor::debug_assert_simplex!(
+            &next_auth,
+            tmark_sparse_tensor::invariants::SIMPLEX_TOL,
+            "HAR authority iterate"
+        );
+        tmark_sparse_tensor::debug_assert_simplex!(
+            &next_hub,
+            tmark_sparse_tensor::invariants::SIMPLEX_TOL,
+            "HAR hub iterate"
+        );
+        tmark_sparse_tensor::debug_assert_simplex!(
+            &next_z,
+            tmark_sparse_tensor::invariants::SIMPLEX_TOL,
+            "HAR relevance iterate"
+        );
         residual = vector::l1_distance(&next_auth, &auth)
             + vector::l1_distance(&next_hub, &hub)
             + vector::l1_distance(&next_z, &z);

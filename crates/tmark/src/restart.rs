@@ -16,15 +16,25 @@
 /// than erroring, so sweeps over tiny label fractions never abort.
 pub fn label_restart_vector(n: usize, seed_nodes: &[usize]) -> Vec<f64> {
     let mut l = vec![0.0; n];
+    label_restart_into(seed_nodes, &mut l);
+    l
+}
+
+/// In-place form of [`label_restart_vector`]: overwrites `l` with the
+/// Eq. (11) restart distribution for its length. This is the variant the
+/// solver's reusable workspace calls so that repeated class solves do not
+/// allocate a fresh restart vector each time.
+pub fn label_restart_into(seed_nodes: &[usize], l: &mut [f64]) {
+    let n = l.len();
+    l.fill(0.0);
     if seed_nodes.is_empty() {
-        return l;
+        return;
     }
     let mass = 1.0 / seed_nodes.len() as f64;
     for &v in seed_nodes {
         assert!(v < n, "seed node {v} out of bounds for n = {n}");
         l[v] = mass;
     }
-    l
 }
 
 /// Applies the Eq. (12) ICA refresh: the accepted set is the union of the
@@ -41,10 +51,39 @@ pub fn label_restart_vector(n: usize, seed_nodes: &[usize]) -> Vec<f64> {
 ///
 /// The original seeds always remain accepted, so supervision is never
 /// washed out. Writes the refreshed vector into `l`.
+///
+/// Allocates working buffers internally; the solver loop calls
+/// [`ica_refresh_restart_with`] with a reusable [`RestartScratch`] instead.
 pub fn ica_refresh_restart(x: &[f64], seed_nodes: &[usize], lambda: f64, l: &mut [f64]) {
+    let mut scratch = RestartScratch::default();
+    ica_refresh_restart_with(x, seed_nodes, lambda, l, &mut scratch);
+}
+
+/// Reusable working buffers for [`ica_refresh_restart_with`], so that the
+/// per-iteration Eq. (12) refresh inside the solver loop performs no heap
+/// allocation once the buffers have grown to the network size.
+#[derive(Debug, Default)]
+pub struct RestartScratch {
+    is_seed: Vec<bool>,
+    accepted: Vec<usize>,
+}
+
+/// [`ica_refresh_restart`] with caller-provided scratch buffers — the
+/// allocation-free form used inside the solver's hot loop.
+pub fn ica_refresh_restart_with(
+    x: &[f64],
+    seed_nodes: &[usize],
+    lambda: f64,
+    l: &mut [f64],
+    scratch: &mut RestartScratch,
+) {
     debug_assert_eq!(x.len(), l.len(), "ica_refresh_restart: length mismatch");
-    let mut is_seed = vec![false; x.len()];
-    let mut accepted: Vec<usize> = Vec::new();
+    let is_seed = &mut scratch.is_seed;
+    let accepted = &mut scratch.accepted;
+    is_seed.clear();
+    is_seed.resize(x.len(), false);
+    accepted.clear();
+    accepted.reserve(x.len());
     for &s in seed_nodes {
         is_seed[s] = true;
         accepted.push(s);
@@ -67,7 +106,7 @@ pub fn ica_refresh_restart(x: &[f64], seed_nodes: &[usize], lambda: f64, l: &mut
         return;
     }
     let mass = 1.0 / accepted.len() as f64;
-    for &v in &accepted {
+    for &v in accepted.iter() {
         l[v] = mass;
     }
 }
@@ -139,5 +178,26 @@ mod tests {
         let mut l = vec![0.3, 0.7];
         ica_refresh_restart(&x, &[], 0.5, &mut l);
         assert_eq!(l, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn label_restart_into_overwrites_stale_contents() {
+        let mut l = vec![0.9, 0.1, 0.0];
+        label_restart_into(&[2], &mut l);
+        assert_eq!(l, vec![0.0, 0.0, 1.0]);
+        assert_eq!(l, label_restart_vector(3, &[2]));
+    }
+
+    #[test]
+    fn refresh_with_reused_scratch_matches_allocating_form() {
+        let x = [0.5, 0.4, 0.05, 0.05];
+        let mut scratch = RestartScratch::default();
+        let mut via_scratch = vec![0.0; 4];
+        // Reuse across calls (including a shrink) must not leak state.
+        ica_refresh_restart_with(&[0.2; 5], &[4], 0.5, &mut [0.0; 5], &mut scratch);
+        ica_refresh_restart_with(&x, &[0], 0.5, &mut via_scratch, &mut scratch);
+        let mut via_alloc = vec![0.0; 4];
+        ica_refresh_restart(&x, &[0], 0.5, &mut via_alloc);
+        assert_eq!(via_scratch, via_alloc);
     }
 }

@@ -5,7 +5,7 @@ use tmark_markov::ConvergenceReport;
 use tmark_sparse_tensor::StochasticTensors;
 
 use crate::config::TMarkConfig;
-use crate::restart::{ica_refresh_restart, label_restart_vector};
+use crate::restart::{ica_refresh_restart_with, label_restart_into, RestartScratch};
 
 /// The feature-walk operator `W` in either dense or sparse form.
 ///
@@ -81,25 +81,36 @@ impl FeatureWalk {
         }
     }
 
-    /// `y = W x`.
+    /// `y = W x`, written into a caller-provided buffer (`y.len()` must be
+    /// [`FeatureWalk::len`]). This is the solver's hot-loop form: it
+    /// performs no heap allocation.
     ///
     /// In debug builds, when `x` lies on the probability simplex the output
     /// is verified to stay there — the `W`-leg of Theorem 1. A
     /// non-stochastic `W` smuggled past the constructors is caught here.
-    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
-        let y = match &self.repr {
-            WalkRepr::Dense(w) => w.matvec(x).expect("W shape fixed at construction"),
-            WalkRepr::Sparse(w) => w.matvec(x).expect("W shape fixed at construction"),
-        };
+    pub fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        match &self.repr {
+            WalkRepr::Dense(w) => w.matvec_into(x, y).expect("W shape fixed at construction"),
+            WalkRepr::Sparse(w) => w.matvec_into(x, y).expect("W shape fixed at construction"),
+        }
         if cfg!(debug_assertions)
             && tmark_sparse_tensor::invariants::simplex_violation(x, WALK_TOL).is_none()
         {
             tmark_sparse_tensor::debug_assert_simplex!(
-                &y,
+                &*y,
                 WALK_TOL,
                 "feature walk application W x (Eq. 9)"
             );
         }
+    }
+
+    /// `y = W x` as a freshly allocated vector. Thin wrapper over
+    /// [`FeatureWalk::apply_into`], which carries the invariant check; the
+    /// `hot-loop-alloc` lint registers `apply` as an allocating call, so
+    /// loop bodies must use the `_into` form.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.len()];
+        self.apply_into(x, &mut y);
         y
     }
 
@@ -119,13 +130,21 @@ impl FeatureWalk {
 
 /// Reusable buffers for one class solve, so that parameter sweeps do not
 /// allocate per configuration.
+///
+/// The iterates `x`/`z` and their successors `next_x`/`next_z` are owned
+/// here and double-buffered: each iteration writes the fresh pair and then
+/// `mem::swap`s the buffers, so the per-iteration loop of Algorithm 1
+/// performs no heap allocation and no `O(n)` copy-back.
 #[derive(Debug, Default)]
 pub struct SolverWorkspace {
+    x: Vec<f64>,
+    z: Vec<f64>,
     ox: Vec<f64>,
     wx: Vec<f64>,
     next_x: Vec<f64>,
     next_z: Vec<f64>,
     restart: Vec<f64>,
+    scratch: RestartScratch,
 }
 
 /// Stationary distributions of one class run.
@@ -185,49 +204,59 @@ pub fn solve_class_from(
     let beta = config.beta();
     let rel_w = config.relational_weight();
 
-    ws.restart.clear();
-    ws.restart
-        .extend_from_slice(&label_restart_vector(n, seeds));
-    let (mut x, mut z) = match warm_start {
+    ws.restart.resize(n, 0.0);
+    label_restart_into(seeds, &mut ws.restart);
+    ws.x.resize(n, 0.0);
+    ws.z.resize(m, 0.0);
+    match warm_start {
         Some((x0, z0)) => {
             debug_assert_eq!(x0.len(), n, "warm-start x length mismatch");
             debug_assert_eq!(z0.len(), m, "warm-start z length mismatch");
-            let mut x = x0.to_vec();
-            let mut z = z0.to_vec();
-            if !vector::normalize_sum_to_one(&mut x) {
-                x = vector::uniform(n);
+            ws.x.copy_from_slice(x0);
+            ws.z.copy_from_slice(z0);
+            if !vector::normalize_sum_to_one(&mut ws.x) {
+                vector::fill_uniform(&mut ws.x);
             }
-            if !vector::normalize_sum_to_one(&mut z) {
-                z = vector::uniform(m);
+            if !vector::normalize_sum_to_one(&mut ws.z) {
+                vector::fill_uniform(&mut ws.z);
             }
-            (x, z)
         }
         None => {
-            let x = if seeds.is_empty() {
-                vector::uniform(n)
+            if seeds.is_empty() {
+                vector::fill_uniform(&mut ws.x);
             } else {
-                ws.restart.clone()
-            };
-            (x, vector::uniform(m))
+                ws.x.copy_from_slice(&ws.restart);
+            }
+            vector::fill_uniform(&mut ws.z);
         }
-    };
+    }
 
     ws.ox.resize(n, 0.0);
+    ws.wx.resize(n, 0.0);
     ws.next_x.resize(n, 0.0);
     ws.next_z.resize(m, 0.0);
 
-    let mut trace = Vec::new();
+    // Pre-size the residual trace so `push` never reallocates inside the
+    // loop (capped: an adversarial iteration budget must not pre-reserve
+    // unbounded memory).
+    let mut trace = Vec::with_capacity(config.max_iterations.min(4096));
     let mut residual = f64::INFINITY;
     let mut iterations = 0;
     for t in 1..=config.max_iterations {
         if config.ica_update && t >= config.ica_start_iteration {
-            ica_refresh_restart(&x, seeds, config.lambda, &mut ws.restart);
+            ica_refresh_restart_with(
+                &ws.x,
+                seeds,
+                config.lambda,
+                &mut ws.restart,
+                &mut ws.scratch,
+            );
         }
         // x_{t} = (1 − α − β) · O ×̄₁ x ×̄₃ z + β · W x + α · l   (Eq. 10)
         stoch
-            .contract_o_into(&x, &z, &mut ws.ox)
+            .contract_o_into(&ws.x, &ws.z, &mut ws.ox)
             .expect("operand lengths fixed at construction");
-        ws.wx = w.apply(&x);
+        w.apply_into(&ws.x, &mut ws.wx);
         for i in 0..n {
             ws.next_x[i] = rel_w * ws.ox[i] + beta * ws.wx[i] + alpha * ws.restart[i];
         }
@@ -253,10 +282,12 @@ pub fn solve_class_from(
             "Algorithm 1 link-type iterate z_t"
         );
 
-        residual = vector::l1_distance(&ws.next_x, &x) + vector::l1_distance(&ws.next_z, &z);
+        residual = vector::l1_distance(&ws.next_x, &ws.x) + vector::l1_distance(&ws.next_z, &ws.z);
         trace.push(residual);
-        x.copy_from_slice(&ws.next_x);
-        z.copy_from_slice(&ws.next_z);
+        // Double-buffer flip: the fresh iterate becomes current without a
+        // copy; the stale buffer is overwritten next iteration.
+        std::mem::swap(&mut ws.x, &mut ws.next_x);
+        std::mem::swap(&mut ws.z, &mut ws.next_z);
         iterations = t;
         if residual < config.epsilon {
             break;
@@ -265,8 +296,8 @@ pub fn solve_class_from(
     let converged = residual < config.epsilon;
     ClassStationary {
         class_id,
-        x,
-        z,
+        x: ws.x.clone(),
+        z: ws.z.clone(),
         report: ConvergenceReport {
             iterations,
             final_residual: residual,
@@ -279,6 +310,7 @@ pub fn solve_class_from(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::restart::label_restart_vector;
     use tmark_linalg::similarity::feature_transition_matrix;
     use tmark_sparse_tensor::TensorBuilder;
 
@@ -419,6 +451,15 @@ mod tests {
         let bad = DenseMatrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
         let w = FeatureWalk::from_dense_unchecked(bad);
         let _ = w.apply(&[0.5, 0.5]);
+    }
+
+    #[test]
+    fn apply_into_matches_apply() {
+        let (_, w) = community_setup();
+        let x = vector::uniform(6);
+        let mut y = vec![f64::NAN; 6];
+        w.apply_into(&x, &mut y);
+        assert_eq!(y, w.apply(&x));
     }
 
     #[test]

@@ -1,21 +1,57 @@
 //! The checked-in ratchet baseline (`xtask/lint-baseline.toml`).
 //!
-//! The baseline is a minimal TOML document — one `[panic-surface]` table
-//! mapping crate paths to their allowed number of panic sites. Only the
-//! subset of TOML this file uses is parsed (section headers, quoted-key
-//! integer assignments, `#` comments), keeping xtask dependency-free.
+//! The baseline is a minimal TOML document with one table per ratcheted
+//! rule:
+//!
+//! - `[panic-surface]` — crate path → allowed panic sites;
+//! - `[hot-loop-alloc]` — file path → allowed in-loop allocations in
+//!   registered hot functions;
+//! - `[dead-surface]` — crate path → allowed unused `pub` items plus
+//!   unused `[dependencies]` entries.
+//!
+//! Missing keys are allowed 0, so new crates/files start (and stay)
+//! clean. Counts may only go down; `--update-baseline` refuses to raise
+//! any count unless `--allow-increase` is passed, and always prints a
+//! diff of what changed. Only the subset of TOML this file uses is parsed
+//! (section headers, quoted-key integer assignments, `#` comments),
+//! keeping xtask dependency-free.
 
 use std::collections::BTreeMap;
 
-/// Per-crate allowed panic-site counts.
+/// Per-key allowed finding counts for every ratcheted rule.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Baseline {
-    /// `crates/<name>` → allowed count. Missing crates are allowed 0,
-    /// so new crates start (and stay) panic-free.
+    /// `crates/<name>` → allowed panic sites (test code excluded).
     pub panic_surface: BTreeMap<String, usize>,
+    /// `crates/<name>/src/<file>.rs` → allowed hot-loop allocations.
+    pub hot_loop_alloc: BTreeMap<String, usize>,
+    /// `crates/<name>` → allowed dead public surface entries.
+    pub dead_surface: BTreeMap<String, usize>,
 }
 
+/// The ratcheted rules, in render order.
+const SECTIONS: &[&str] = &["panic-surface", "hot-loop-alloc", "dead-surface"];
+
 impl Baseline {
+    /// The table for a named section.
+    fn table(&self, section: &str) -> &BTreeMap<String, usize> {
+        match section {
+            "panic-surface" => &self.panic_surface,
+            "hot-loop-alloc" => &self.hot_loop_alloc,
+            "dead-surface" => &self.dead_surface,
+            _ => unreachable!("unknown ratchet section {section}"),
+        }
+    }
+
+    fn table_mut(&mut self, section: &str) -> Option<&mut BTreeMap<String, usize>> {
+        match section {
+            "panic-surface" => Some(&mut self.panic_surface),
+            "hot-loop-alloc" => Some(&mut self.hot_loop_alloc),
+            "dead-surface" => Some(&mut self.dead_surface),
+            _ => None,
+        }
+    }
+
     /// Parses the baseline document.
     ///
     /// # Errors
@@ -30,6 +66,9 @@ impl Baseline {
             }
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 section = name.trim().to_owned();
+                if baseline.table_mut(&section).is_none() {
+                    return Err(format!("line {}: unknown section [{section}]", lineno + 1));
+                }
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
@@ -40,35 +79,71 @@ impl Baseline {
                 .trim()
                 .parse()
                 .map_err(|e| format!("line {}: bad count: {e}", lineno + 1))?;
-            match section.as_str() {
-                "panic-surface" => {
-                    baseline.panic_surface.insert(key, count);
+            match baseline.table_mut(&section) {
+                Some(table) => {
+                    table.insert(key, count);
                 }
-                other => {
-                    return Err(format!("line {}: unknown section [{other}]", lineno + 1));
+                None => {
+                    return Err(format!(
+                        "line {}: assignment outside a known section",
+                        lineno + 1
+                    ));
                 }
             }
         }
         Ok(baseline)
     }
 
-    /// Renders the document, sorted for stable diffs.
+    /// Renders the document, sorted for stable diffs. Zero-count entries
+    /// are kept: an explicit `= 0` documents that the key is actively
+    /// checked and must stay clean.
     pub fn render(&self) -> String {
         let mut out = String::from(
             "# Ratchet baseline for `cargo xtask lint`.\n\
              #\n\
-             # Allowed `.unwrap()` / `.expect()` / `panic!` sites per library\n\
-             # crate (test code excluded). Counts may only go DOWN: shrink an\n\
-             # entry by removing panic sites and running\n\
-             # `cargo xtask lint --update-baseline`. Raising a count by hand\n\
-             # defeats the ratchet and will be rejected in review.\n\
-             \n\
-             [panic-surface]\n",
+             # Allowed finding counts per ratcheted rule. Counts may only go\n\
+             # DOWN: shrink an entry by removing findings and running\n\
+             # `cargo xtask lint --update-baseline`. The updater refuses to\n\
+             # raise a count unless `--allow-increase` is passed; raising one\n\
+             # by hand defeats the ratchet and will be rejected in review.\n",
         );
-        for (krate, count) in &self.panic_surface {
-            out.push_str(&format!("\"{krate}\" = {count}\n"));
+        for section in SECTIONS {
+            out.push_str(&format!("\n[{section}]\n"));
+            for (key, count) in self.table(section) {
+                out.push_str(&format!("\"{key}\" = {count}\n"));
+            }
         }
         out
+    }
+
+    /// Human-readable per-key differences between `self` (old) and `new`,
+    /// one line each, in section order. Empty when nothing changed.
+    pub fn diff(&self, new: &Baseline) -> Vec<String> {
+        let mut out = Vec::new();
+        for section in SECTIONS {
+            let old_table = self.table(section);
+            let new_table = new.table(section);
+            let keys: std::collections::BTreeSet<&String> =
+                old_table.keys().chain(new_table.keys()).collect();
+            for key in keys {
+                let before = old_table.get(key).copied().unwrap_or(0);
+                let after = new_table.get(key).copied().unwrap_or(0);
+                if before != after {
+                    let arrow = if after > before { "RAISED" } else { "lowered" };
+                    out.push(format!("[{section}] {key}: {before} -> {after} ({arrow})"));
+                }
+            }
+        }
+        out
+    }
+
+    /// True when any key's count in `new` exceeds its count here.
+    pub fn has_increase(&self, new: &Baseline) -> bool {
+        SECTIONS.iter().any(|section| {
+            new.table(section)
+                .iter()
+                .any(|(key, &after)| after > self.table(section).get(key).copied().unwrap_or(0))
+        })
     }
 }
 
@@ -76,11 +151,19 @@ impl Baseline {
 mod tests {
     use super::*;
 
-    #[test]
-    fn parse_render_round_trips() {
+    fn sample() -> Baseline {
         let mut b = Baseline::default();
         b.panic_surface.insert("crates/tmark".to_owned(), 12);
         b.panic_surface.insert("crates/linalg".to_owned(), 3);
+        b.hot_loop_alloc
+            .insert("crates/tmark/src/solver.rs".to_owned(), 0);
+        b.dead_surface.insert("crates/eval".to_owned(), 2);
+        b
+    }
+
+    #[test]
+    fn parse_render_round_trips() {
+        let b = sample();
         let reparsed = Baseline::parse(&b.render()).unwrap();
         assert_eq!(reparsed, b);
     }
@@ -91,11 +174,42 @@ mod tests {
         assert!(err.contains("line 2"), "{err}");
         let err = Baseline::parse("[mystery]\n\"a\" = 1\n").unwrap_err();
         assert!(err.contains("mystery"), "{err}");
+        let err = Baseline::parse("\"a\" = 1\n").unwrap_err();
+        assert!(err.contains("outside"), "{err}");
     }
 
     #[test]
-    fn missing_crates_default_to_zero() {
+    fn missing_keys_default_to_zero() {
         let b = Baseline::parse("[panic-surface]\n").unwrap();
         assert_eq!(b.panic_surface.get("crates/new").copied().unwrap_or(0), 0);
+        assert!(b.hot_loop_alloc.is_empty());
+    }
+
+    #[test]
+    fn diff_reports_direction_and_increase_detection() {
+        let old = sample();
+        let mut new = sample();
+        new.panic_surface.insert("crates/tmark".to_owned(), 10);
+        new.dead_surface.insert("crates/eval".to_owned(), 3);
+        let diff = old.diff(&new);
+        assert_eq!(diff.len(), 2);
+        assert!(
+            diff[0].contains("crates/tmark: 12 -> 10 (lowered)"),
+            "{diff:?}"
+        );
+        assert!(diff[1].contains("crates/eval: 2 -> 3 (RAISED)"), "{diff:?}");
+        assert!(old.has_increase(&new));
+
+        let mut shrunk = sample();
+        shrunk.panic_surface.insert("crates/tmark".to_owned(), 0);
+        assert!(!old.has_increase(&shrunk));
+    }
+
+    #[test]
+    fn new_key_with_positive_count_counts_as_increase() {
+        let old = Baseline::default();
+        let mut new = Baseline::default();
+        new.hot_loop_alloc.insert("crates/x/src/a.rs".to_owned(), 1);
+        assert!(old.has_increase(&new));
     }
 }

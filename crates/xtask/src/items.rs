@@ -1,0 +1,854 @@
+//! Item-aware view of scrubbed Rust source: the structural half of the
+//! lint engine.
+//!
+//! [`crate::scrub::scrub`] gives a lexical view (no comments, no literal
+//! interiors); this module layers brace-matched structure on top of it:
+//! every `fn`, `impl`, `mod`, type definition, and `use` becomes an
+//! [`Item`] with a byte span, attributes, visibility, and (for containers)
+//! children. The lints use the tree for
+//!
+//! - **span-accurate `#[cfg(test)]` exemption** ([`strip_cfg_test`]):
+//!   a test-gated item is blanked from the attribute through its matching
+//!   close brace, including every child item, replacing the old
+//!   "scan to the next `{`" heuristic;
+//! - **hot-function lookup** ([`find_fns`]): the hot-loop-alloc rule
+//!   resolves the registry entries of `xtask/hot-paths.toml` to exact
+//!   function body spans;
+//! - **public-surface enumeration** ([`collect_fns`], [`collect_pub_items`]):
+//!   the invariant-coverage and dead-surface rules walk functions and
+//!   `pub` items with their enclosing `impl` type attached.
+//!
+//! The parser is intentionally a *recognizer*, not a full grammar: it
+//! understands exactly the item syntax the workspace uses (rustfmt-shaped,
+//! no macro-generated items) and falls back to single-token skips on
+//! anything else, so an exotic construct degrades coverage instead of
+//! panicking.
+
+/// What kind of item a span describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function (free, inherent, or trait-provided).
+    Fn,
+    /// An `impl` block (inherent or trait).
+    Impl,
+    /// A `mod name { … }` or `mod name;` declaration.
+    Mod,
+    /// A `struct`, `enum`, or `union` definition.
+    TypeDef,
+    /// A `trait` definition.
+    Trait,
+    /// A `const` or `static` item.
+    Const,
+    /// A `type` alias.
+    TypeAlias,
+    /// A `use` declaration.
+    Use,
+    /// A `macro_rules!` definition.
+    MacroDef,
+    /// Anything else the recognizer skipped over.
+    Other,
+}
+
+/// One parsed item with its byte span in the scrubbed source.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// The syntactic kind.
+    pub kind: ItemKind,
+    /// Declared name (`""` for `impl` blocks the parser could not name,
+    /// `use` declarations, and skipped constructs).
+    pub name: String,
+    /// `pub` in any form (`pub`, `pub(crate)`, …).
+    pub is_pub: bool,
+    /// Carries a `#[cfg(test)]`-style attribute directly (ancestors are
+    /// accounted for by the recursive walkers).
+    pub cfg_test: bool,
+    /// Span start: first byte of the leading attribute or keyword.
+    pub start: usize,
+    /// Span end: one past the closing `}` or `;`.
+    pub end: usize,
+    /// For `Fn`: one past the signature (the body `{` or the `;`).
+    pub sig_end: usize,
+    /// Byte offsets of the `{` and `}` delimiting the body, when braced.
+    pub body: Option<(usize, usize)>,
+    /// Child items (for `mod`, `impl`, and `trait` bodies).
+    pub children: Vec<Item>,
+    /// For items inside an `impl` block: the implemented type's last path
+    /// segment (e.g. `StochasticTensors`).
+    pub owner: Option<String>,
+}
+
+/// A function reference produced by the recursive walkers, with the
+/// context the rules need.
+#[derive(Debug, Clone)]
+pub struct FnRef<'a> {
+    /// The function item.
+    pub item: &'a Item,
+    /// Enclosing `impl` type, when any.
+    pub owner: Option<&'a str>,
+    /// True when the function or any ancestor is `#[cfg(test)]`-gated.
+    pub in_test: bool,
+    /// True when the function and every enclosing `mod` are `pub`
+    /// (`impl` blocks do not gate visibility).
+    pub effectively_pub: bool,
+}
+
+/// Parses the top-level items of a scrubbed source file.
+pub fn parse(scrubbed: &str) -> Vec<Item> {
+    let b = scrubbed.as_bytes();
+    parse_items(b, 0, b.len(), None)
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn skip_ws(b: &[u8], mut i: usize, hi: usize) -> usize {
+    while i < hi && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Reads the identifier starting at `i`, if any.
+fn ident_at(b: &[u8], i: usize, hi: usize) -> Option<(usize, usize)> {
+    if i >= hi || !(b[i].is_ascii_alphabetic() || b[i] == b'_') {
+        return None;
+    }
+    let mut j = i;
+    while j < hi && is_ident_byte(b[j]) {
+        j += 1;
+    }
+    Some((i, j))
+}
+
+/// One past the `]` matching the `[` at `open` (depth-counted).
+fn matching_bracket(b: &[u8], open: usize, hi: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < hi {
+        match b[i] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    hi
+}
+
+/// Offset of the `}` matching the `{` at `open` (or `hi - 1` when the
+/// input is truncated; scrubbed text has no braces inside literals).
+pub fn matching_brace(b: &[u8], open: usize, hi: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < hi {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    hi.saturating_sub(1)
+}
+
+/// One past the `)` matching the `(` at `open`.
+fn matching_paren(b: &[u8], open: usize, hi: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < hi {
+        match b[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    hi
+}
+
+/// True when the attribute text (scrubbed, brackets included) gates the
+/// item on test builds: it mentions both `cfg`-ish and `test` tokens, as
+/// in `#[cfg(test)]` or `#[cfg(all(test, feature = "slow"))]`.
+fn attr_is_cfg_test(attr: &[u8]) -> bool {
+    let text = String::from_utf8_lossy(attr);
+    let mut has_cfg = false;
+    let mut has_test = false;
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if let Some((s, e)) = ident_at(bytes, i, bytes.len()) {
+            if s == 0 || !is_ident_byte(bytes[s - 1]) {
+                match &bytes[s..e] {
+                    b"cfg" | b"cfg_attr" => has_cfg = true,
+                    b"test" => has_test = true,
+                    _ => {}
+                }
+            }
+            i = e;
+        } else {
+            i += 1;
+        }
+    }
+    has_cfg && has_test
+}
+
+/// Scans forward for the first `{` or `;` at paren/bracket depth zero.
+/// Returns `(offset, is_brace)`.
+fn find_body_or_semi(b: &[u8], mut i: usize, hi: usize) -> (usize, bool) {
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    while i < hi {
+        match b[i] {
+            b'(' => paren += 1,
+            b')' => paren = paren.saturating_sub(1),
+            b'[' => bracket += 1,
+            b']' => bracket = bracket.saturating_sub(1),
+            b'{' if paren == 0 && bracket == 0 => return (i, true),
+            b';' if paren == 0 && bracket == 0 => return (i, false),
+            _ => {}
+        }
+        i += 1;
+    }
+    (hi, false)
+}
+
+/// Scans forward for the `;` terminating a `const`/`static`/`type` item,
+/// skipping over braced initializer expressions.
+fn find_semi_skipping_braces(b: &[u8], mut i: usize, hi: usize) -> usize {
+    let mut brace = 0usize;
+    while i < hi {
+        match b[i] {
+            b'{' => brace += 1,
+            b'}' => brace = brace.saturating_sub(1),
+            b';' if brace == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    hi
+}
+
+/// Reads a `::`-separated path starting at `i` and returns the last
+/// segment plus the offset just past the path (generics not consumed).
+fn read_path_last_segment(b: &[u8], mut i: usize, hi: usize) -> (String, usize) {
+    let mut last = String::new();
+    loop {
+        i = skip_ws(b, i, hi);
+        // Skip reference/pointer/slice sigils and `dyn`/`mut` prefixes.
+        while i < hi && (b[i] == b'&' || b[i] == b'*' || b[i] == b'[' || b[i] == b'\'') {
+            i += 1;
+        }
+        let Some((s, e)) = ident_at(b, i, hi) else {
+            return (last, i);
+        };
+        let word = &b[s..e];
+        if word == b"dyn" || word == b"mut" || word == b"const" {
+            i = e;
+            continue;
+        }
+        last = String::from_utf8_lossy(word).into_owned();
+        i = e;
+        let j = skip_ws(b, i, hi);
+        if j + 1 < hi && b[j] == b':' && b[j + 1] == b':' {
+            i = j + 2;
+            continue;
+        }
+        return (last, i);
+    }
+}
+
+/// The `impl` header's subject type: the path after `for` when present
+/// (trait impl), otherwise the self type after the generics.
+fn impl_subject(b: &[u8], lo: usize, hi: usize) -> String {
+    // `lo` points just past the `impl` keyword; `hi` at the body `{`.
+    let mut i = skip_ws(b, lo, hi);
+    // Skip the generic parameter list `<…>` if present.
+    if i < hi && b[i] == b'<' {
+        let mut depth = 0usize;
+        while i < hi {
+            match b[i] {
+                b'<' => depth += 1,
+                b'>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Find a top-level `for` keyword between here and the body.
+    let mut scan = i;
+    let mut angle = 0isize;
+    let mut for_at = None;
+    while scan < hi {
+        match b[scan] {
+            b'<' => angle += 1,
+            b'>' if scan > 0 && b[scan - 1] != b'-' => angle -= 1,
+            _ => {
+                if angle == 0 {
+                    if let Some((s, e)) = ident_at(b, scan, hi) {
+                        if &b[s..e] == b"for" && (s == 0 || !is_ident_byte(b[s - 1])) {
+                            for_at = Some(e);
+                            break;
+                        }
+                        if &b[s..e] == b"where" {
+                            break;
+                        }
+                        scan = e;
+                        continue;
+                    }
+                }
+            }
+        }
+        scan += 1;
+    }
+    let path_start = for_at.unwrap_or(i);
+    read_path_last_segment(b, path_start, hi).0
+}
+
+/// Recursive item recognizer over `b[lo..hi)`.
+fn parse_items(b: &[u8], lo: usize, hi: usize, owner: Option<&str>) -> Vec<Item> {
+    let mut out = Vec::new();
+    let mut i = lo;
+    'outer: while i < hi {
+        i = skip_ws(b, i, hi);
+        if i >= hi {
+            break;
+        }
+        let item_start = i;
+        let mut cfg_test = false;
+        // Leading attributes. Inner attributes (`#![…]`) belong to the
+        // enclosing container, not the next item: consume and restart.
+        while i < hi && b[i] == b'#' {
+            let mut j = i + 1;
+            let inner = j < hi && b[j] == b'!';
+            if inner {
+                j += 1;
+            }
+            j = skip_ws(b, j, hi);
+            if j >= hi || b[j] != b'[' {
+                i += 1;
+                continue 'outer;
+            }
+            let close = matching_bracket(b, j, hi);
+            if !inner && attr_is_cfg_test(&b[i..close]) {
+                cfg_test = true;
+            }
+            i = skip_ws(b, close, hi);
+            if inner {
+                continue 'outer;
+            }
+        }
+        // Modifiers and the item keyword.
+        let mut is_pub = false;
+        let keyword;
+        loop {
+            i = skip_ws(b, i, hi);
+            let Some((s, e)) = ident_at(b, i, hi) else {
+                // Not an item start (stray punctuation): skip one byte.
+                i = item_start.max(i) + 1;
+                continue 'outer;
+            };
+            let word = &b[s..e];
+            match word {
+                b"pub" => {
+                    is_pub = true;
+                    i = skip_ws(b, e, hi);
+                    if i < hi && b[i] == b'(' {
+                        i = matching_paren(b, i, hi);
+                    }
+                }
+                b"unsafe" | b"async" | b"default" => i = e,
+                b"extern" => {
+                    // `extern "C"`-style qualifier (string already
+                    // scrubbed) or `extern crate`; either way keep going.
+                    i = skip_ws(b, e, hi);
+                }
+                b"const" | b"static" => {
+                    // `const fn` is a modifier; `const NAME: …` an item.
+                    let j = skip_ws(b, e, hi);
+                    if let Some((s2, e2)) = ident_at(b, j, hi) {
+                        if &b[s2..e2] == b"fn" {
+                            i = j;
+                            continue;
+                        }
+                    }
+                    keyword = word.to_vec();
+                    i = e;
+                    break;
+                }
+                _ => {
+                    keyword = word.to_vec();
+                    i = e;
+                    break;
+                }
+            }
+        }
+        let mut item = Item {
+            kind: ItemKind::Other,
+            name: String::new(),
+            is_pub,
+            cfg_test,
+            start: item_start,
+            end: i,
+            sig_end: i,
+            body: None,
+            children: Vec::new(),
+            owner: owner.map(str::to_owned),
+        };
+        match keyword.as_slice() {
+            b"fn" => {
+                let j = skip_ws(b, i, hi);
+                if let Some((s, e)) = ident_at(b, j, hi) {
+                    item.name = String::from_utf8_lossy(&b[s..e]).into_owned();
+                    i = e;
+                }
+                let (at, is_brace) = find_body_or_semi(b, i, hi);
+                item.kind = ItemKind::Fn;
+                item.sig_end = at;
+                if is_brace {
+                    let close = matching_brace(b, at, hi);
+                    item.body = Some((at, close));
+                    item.end = close + 1;
+                } else {
+                    item.end = (at + 1).min(hi);
+                }
+            }
+            b"impl" => {
+                let (at, is_brace) = find_body_or_semi(b, i, hi);
+                let subject = impl_subject(b, i, at);
+                item.kind = ItemKind::Impl;
+                item.sig_end = at;
+                if is_brace {
+                    let close = matching_brace(b, at, hi);
+                    item.body = Some((at, close));
+                    item.end = close + 1;
+                    item.children = parse_items(b, at + 1, close, Some(&subject));
+                } else {
+                    item.end = (at + 1).min(hi);
+                }
+                item.name = subject;
+            }
+            b"mod" | b"trait" => {
+                let j = skip_ws(b, i, hi);
+                if let Some((s, e)) = ident_at(b, j, hi) {
+                    item.name = String::from_utf8_lossy(&b[s..e]).into_owned();
+                    i = e;
+                }
+                let (at, is_brace) = find_body_or_semi(b, i, hi);
+                item.kind = if keyword == b"mod" {
+                    ItemKind::Mod
+                } else {
+                    ItemKind::Trait
+                };
+                item.sig_end = at;
+                if is_brace {
+                    let close = matching_brace(b, at, hi);
+                    item.body = Some((at, close));
+                    item.end = close + 1;
+                    // Trait children keep the enclosing impl owner (none);
+                    // mod children keep the current owner.
+                    item.children = parse_items(b, at + 1, close, None);
+                } else {
+                    item.end = (at + 1).min(hi);
+                }
+            }
+            b"struct" | b"enum" | b"union" => {
+                let j = skip_ws(b, i, hi);
+                if let Some((s, e)) = ident_at(b, j, hi) {
+                    item.name = String::from_utf8_lossy(&b[s..e]).into_owned();
+                    i = e;
+                }
+                let (at, is_brace) = find_body_or_semi(b, i, hi);
+                item.kind = ItemKind::TypeDef;
+                item.sig_end = at;
+                if is_brace {
+                    let close = matching_brace(b, at, hi);
+                    item.body = Some((at, close));
+                    item.end = close + 1;
+                } else {
+                    item.end = (at + 1).min(hi);
+                }
+            }
+            b"const" | b"static" => {
+                let j = skip_ws(b, i, hi);
+                // Skip `mut` on `static mut`.
+                let j = match ident_at(b, j, hi) {
+                    Some((s, e)) if &b[s..e] == b"mut" => skip_ws(b, e, hi),
+                    _ => j,
+                };
+                if let Some((s, e)) = ident_at(b, j, hi) {
+                    item.name = String::from_utf8_lossy(&b[s..e]).into_owned();
+                    i = e;
+                }
+                let semi = find_semi_skipping_braces(b, i, hi);
+                item.kind = ItemKind::Const;
+                item.sig_end = semi;
+                item.end = (semi + 1).min(hi);
+            }
+            b"type" => {
+                let j = skip_ws(b, i, hi);
+                if let Some((s, e)) = ident_at(b, j, hi) {
+                    item.name = String::from_utf8_lossy(&b[s..e]).into_owned();
+                    i = e;
+                }
+                let semi = find_semi_skipping_braces(b, i, hi);
+                item.kind = ItemKind::TypeAlias;
+                item.sig_end = semi;
+                item.end = (semi + 1).min(hi);
+            }
+            b"use" | b"crate" => {
+                let semi = find_semi_skipping_braces(b, i, hi);
+                item.kind = ItemKind::Use;
+                item.end = (semi + 1).min(hi);
+            }
+            b"macro_rules" => {
+                let j = skip_ws(b, i, hi);
+                let j = if j < hi && b[j] == b'!' { j + 1 } else { j };
+                let j = skip_ws(b, j, hi);
+                if let Some((s, e)) = ident_at(b, j, hi) {
+                    item.name = String::from_utf8_lossy(&b[s..e]).into_owned();
+                    i = e;
+                }
+                let (at, is_brace) = find_body_or_semi(b, i, hi);
+                item.kind = ItemKind::MacroDef;
+                item.sig_end = at;
+                if is_brace {
+                    let close = matching_brace(b, at, hi);
+                    item.body = Some((at, close));
+                    item.end = close + 1;
+                } else {
+                    item.end = (at + 1).min(hi);
+                }
+            }
+            _ => {
+                // Unrecognized construct: resynchronize at the next `;` or
+                // balanced brace group so one oddity costs one item, not
+                // the rest of the file.
+                let (at, is_brace) = find_body_or_semi(b, i, hi);
+                if is_brace {
+                    let close = matching_brace(b, at, hi);
+                    item.end = close + 1;
+                } else {
+                    item.end = (at + 1).min(hi);
+                }
+            }
+        }
+        i = item.end.max(item_start + 1);
+        out.push(item);
+    }
+    out
+}
+
+/// Blanks every `#[cfg(test)]`-gated item span (attribute through closing
+/// brace, children included), preserving newlines for line numbering.
+/// This is the span-accurate replacement for the old textual
+/// `blank_test_regions` heuristic.
+pub fn strip_cfg_test(scrubbed: &str, items: &[Item]) -> String {
+    let mut b = scrubbed.as_bytes().to_vec();
+    fn blank(b: &mut [u8], items: &[Item]) {
+        for item in items {
+            if item.cfg_test {
+                let hi = item.end.min(b.len());
+                for byte in &mut b[item.start..hi] {
+                    if *byte != b'\n' {
+                        *byte = b' ';
+                    }
+                }
+            } else {
+                blank(b, &item.children);
+            }
+        }
+    }
+    blank(&mut b, items);
+    String::from_utf8_lossy(&b).into_owned()
+}
+
+/// Collects every function in the tree, with test-gating and visibility
+/// resolved through the ancestor chain.
+pub fn collect_fns<'a>(items: &'a [Item]) -> Vec<FnRef<'a>> {
+    let mut out = Vec::new();
+    fn walk<'a>(
+        items: &'a [Item],
+        owner: Option<&'a str>,
+        in_test: bool,
+        parents_pub: bool,
+        out: &mut Vec<FnRef<'a>>,
+    ) {
+        for item in items {
+            let gated = in_test || item.cfg_test;
+            match item.kind {
+                ItemKind::Fn => out.push(FnRef {
+                    item,
+                    owner: item.owner.as_deref().or(owner),
+                    in_test: gated,
+                    effectively_pub: item.is_pub && parents_pub,
+                }),
+                ItemKind::Impl => {
+                    // An impl block does not gate visibility of methods.
+                    walk(&item.children, Some(&item.name), gated, parents_pub, out);
+                }
+                ItemKind::Mod | ItemKind::Trait => {
+                    walk(
+                        &item.children,
+                        owner,
+                        gated,
+                        parents_pub && item.is_pub,
+                        out,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    walk(items, None, false, true, &mut out);
+    out
+}
+
+/// Finds every function named `name` (there may be one per `impl` block).
+pub fn find_fns<'a>(items: &'a [Item], name: &str) -> Vec<FnRef<'a>> {
+    collect_fns(items)
+        .into_iter()
+        .filter(|f| f.item.name == name)
+        .collect()
+}
+
+/// Collects the named `pub` items of a file that constitute API surface:
+/// functions, type definitions, traits, consts, type aliases, and
+/// exported macros. `use` re-exports and `impl` blocks are skipped, as is
+/// anything test-gated.
+pub fn collect_pub_items(items: &[Item]) -> Vec<&Item> {
+    let mut out = Vec::new();
+    fn walk<'a>(items: &'a [Item], in_test: bool, out: &mut Vec<&'a Item>) {
+        for item in items {
+            let gated = in_test || item.cfg_test;
+            if gated {
+                continue;
+            }
+            match item.kind {
+                ItemKind::Fn
+                | ItemKind::TypeDef
+                | ItemKind::Trait
+                | ItemKind::Const
+                | ItemKind::TypeAlias
+                    if item.is_pub && !item.name.is_empty() =>
+                {
+                    out.push(item);
+                }
+                // `macro_rules!` has no `pub`; exported macros are
+                // workspace surface regardless.
+                ItemKind::MacroDef if !item.name.is_empty() => {
+                    out.push(item);
+                }
+                ItemKind::Impl | ItemKind::Mod => walk(&item.children, gated, out),
+                _ => {}
+            }
+        }
+    }
+    walk(items, false, &mut out);
+    out
+}
+
+/// Byte spans of every `for`/`while`/`loop` body inside `span`
+/// (outermost loops only — nested loops are inside the returned spans).
+pub fn loop_body_spans(b: &[u8], span: (usize, usize)) -> Vec<(usize, usize)> {
+    let (lo, hi) = span;
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        let Some((s, e)) = ident_at(b, i, hi) else {
+            i += 1;
+            continue;
+        };
+        if s > 0 && is_ident_byte(b[s - 1]) {
+            i = e;
+            continue;
+        }
+        let word = &b[s..e];
+        if word == b"for" || word == b"while" || word == b"loop" {
+            let (open, is_brace) = find_body_or_semi(b, e, hi);
+            if is_brace {
+                let close = matching_brace(b, open, hi);
+                out.push((open, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        i = e;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+
+    fn names(items: &[Item]) -> Vec<(&str, ItemKind)> {
+        items.iter().map(|i| (i.name.as_str(), i.kind)).collect()
+    }
+
+    #[test]
+    fn parses_top_level_items_with_spans() {
+        let src = "pub struct Foo { a: u8 }\n\
+                   pub fn bar(x: u8) -> u8 { x + 1 }\n\
+                   const N: usize = 3;\n\
+                   mod inner { fn hidden() {} }\n";
+        let scrubbed = scrub(src);
+        let items = parse(&scrubbed);
+        assert_eq!(
+            names(&items),
+            vec![
+                ("Foo", ItemKind::TypeDef),
+                ("bar", ItemKind::Fn),
+                ("N", ItemKind::Const),
+                ("inner", ItemKind::Mod),
+            ]
+        );
+        assert!(items[0].is_pub && items[1].is_pub && !items[3].is_pub);
+        assert_eq!(items[3].children.len(), 1);
+        // Spans cover the full item text.
+        assert_eq!(
+            &src[items[1].start..items[1].end],
+            "pub fn bar(x: u8) -> u8 { x + 1 }"
+        );
+    }
+
+    #[test]
+    fn impl_blocks_carry_the_subject_type_to_methods() {
+        let src = "impl<T: Clone> Stoch<T> { pub fn contract(&self) {} }\n\
+                   impl Walk for crate::solver::FeatureWalk { fn go(&self) {} }\n";
+        let items = parse(&scrub(src));
+        assert_eq!(items[0].name, "Stoch");
+        assert_eq!(items[1].name, "FeatureWalk");
+        let fns = collect_fns(&items);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].owner, Some("Stoch"));
+        assert_eq!(fns[1].owner, Some("FeatureWalk"));
+        assert!(fns[0].item.is_pub && !fns[1].item.is_pub);
+    }
+
+    #[test]
+    fn cfg_test_strip_is_span_accurate() {
+        let src = "fn lib() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn t() { y.unwrap(); }\n}\n\
+                   #[cfg(test)]\nfn helper() { z.unwrap(); }\n\
+                   fn tail() { t.unwrap(); }\n";
+        let scrubbed = scrub(src);
+        let items = parse(&scrubbed);
+        let stripped = strip_cfg_test(&scrubbed, &items);
+        assert_eq!(stripped.matches("unwrap").count(), 2, "{stripped}");
+        assert!(stripped.contains("fn tail"));
+        assert_eq!(stripped.len(), scrubbed.len(), "byte offsets must survive");
+    }
+
+    #[test]
+    fn cfg_test_on_mod_declaration_does_not_eat_the_file() {
+        let src = "#[cfg(test)]\nmod tests;\nfn lib() { x.unwrap(); }\n";
+        let scrubbed = scrub(src);
+        let stripped = strip_cfg_test(&scrubbed, &parse(&scrubbed));
+        assert!(stripped.contains("unwrap"));
+    }
+
+    #[test]
+    fn cfg_attr_test_combinations_are_stripped() {
+        let src = "#[cfg(all(test, feature = \"slow\"))]\nfn gated() { a.unwrap(); }\n\
+                   #[cfg_attr(test, allow(dead_code))]\nfn kept() { b.unwrap(); }\n";
+        let scrubbed = scrub(src);
+        let stripped = strip_cfg_test(&scrubbed, &parse(&scrubbed));
+        // Both carry cfg+test tokens; the conservative rule strips both
+        // (over-approximation is safe for an exemption).
+        assert_eq!(stripped.matches("unwrap").count(), 0);
+    }
+
+    #[test]
+    fn visibility_resolves_through_private_modules() {
+        let src = "mod private { pub fn inner() {} }\n\
+                   pub mod open { pub fn outer() {} fn closed() {} }\n";
+        let fns_src = scrub(src);
+        let items = parse(&fns_src);
+        let fns = collect_fns(&items);
+        let vis: Vec<(&str, bool)> = fns
+            .iter()
+            .map(|f| (f.item.name.as_str(), f.effectively_pub))
+            .collect();
+        assert_eq!(
+            vis,
+            vec![("inner", false), ("outer", true), ("closed", false)]
+        );
+    }
+
+    #[test]
+    fn pub_items_skip_use_impl_and_test_code() {
+        let src = "pub use foo::Bar;\n\
+                   pub struct S;\n\
+                   pub trait T { fn f(&self); }\n\
+                   impl S { pub fn m(&self) {} }\n\
+                   #[cfg(test)]\npub fn only_in_tests() {}\n\
+                   #[macro_export]\nmacro_rules! mac { () => {} }\n";
+        let scrubbed = scrub(src);
+        let items = parse(&scrubbed);
+        let pubs = collect_pub_items(&items);
+        let got: Vec<&str> = pubs.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(got, vec!["S", "T", "m", "mac"]);
+    }
+
+    #[test]
+    fn loop_bodies_found_inside_fn_span() {
+        let src = "fn f() { let a = 1; for i in 0..3 { g(i); } while x { h(); } loop { break; } }";
+        let scrubbed = scrub(src);
+        let items = parse(&scrubbed);
+        let body = items[0].body.unwrap();
+        let spans = loop_body_spans(scrubbed.as_bytes(), (body.0 + 1, body.1));
+        assert_eq!(spans.len(), 3);
+        assert!(scrubbed[spans[0].0..spans[0].1].contains("g(i)"));
+    }
+
+    #[test]
+    fn fn_signature_span_excludes_the_body() {
+        let src = "pub fn apply(&self, x: &[f64]) -> Vec<f64> { self.go(x) }";
+        let scrubbed = scrub(src);
+        let items = parse(&scrubbed);
+        let sig = &scrubbed[items[0].start..items[0].sig_end];
+        assert!(sig.contains("x: &[f64]"));
+        assert!(!sig.contains("self.go"));
+    }
+
+    #[test]
+    fn trait_provided_methods_and_semicolon_decls_both_parse() {
+        let src = "pub trait Walk { fn len(&self) -> usize; fn is_empty(&self) -> bool { self.len() == 0 } }";
+        let items = parse(&scrub(src));
+        assert_eq!(items[0].children.len(), 2);
+        assert_eq!(items[0].children[0].body, None);
+        assert!(items[0].children[1].body.is_some());
+    }
+
+    #[test]
+    fn const_with_braced_initializer_terminates_at_semicolon() {
+        let src = "const X: [u8; 2] = { [1, 2] };\nfn after() {}\n";
+        let items = parse(&scrub(src));
+        assert_eq!(names(&items)[0], ("X", ItemKind::Const));
+        assert_eq!(names(&items)[1], ("after", ItemKind::Fn));
+    }
+}

@@ -17,7 +17,7 @@ pub struct Finding {
 }
 
 /// 1-based line number of byte offset `pos`.
-fn line_of(s: &str, pos: usize) -> usize {
+pub fn line_of(s: &str, pos: usize) -> usize {
     s.as_bytes()
         .iter()
         .take(pos)
@@ -241,6 +241,197 @@ pub fn lines_for(scrubbed: &str, offsets: &[usize]) -> Vec<usize> {
     offsets.iter().map(|&o| line_of(scrubbed, o)).collect()
 }
 
+/// Method calls that heap-allocate when they appear in a loop body.
+const ALLOC_METHODS: &[&[u8]] = &[b"clone", b"to_vec", b"to_owned", b"collect"];
+
+/// `Type::constructor` pairs that heap-allocate.
+const ALLOC_CTORS: &[(&[u8], &[u8])] = &[
+    (b"Vec", b"new"),
+    (b"Vec", b"with_capacity"),
+    (b"Vec", b"from"),
+    (b"Box", b"new"),
+    (b"String", b"new"),
+    (b"String", b"from"),
+    (b"String", b"with_capacity"),
+];
+
+/// Macros that heap-allocate.
+const ALLOC_MACROS: &[&[u8]] = &[b"vec", b"format"];
+
+/// Hot-loop-alloc lint: heap allocations inside the given loop-body
+/// spans (the per-iteration bodies of registered hot functions).
+///
+/// Every allocation here multiplies by the iteration count `T` of
+/// Algorithm 1 and breaks the paper's `O(qTD)` per-iteration cost claim;
+/// hot code must reuse workspace buffers instead.
+pub fn hot_loop_alloc_sites(
+    scrubbed: &str,
+    loop_spans: &[(usize, usize)],
+    allocating_calls: &[String],
+) -> Vec<Finding> {
+    let b = scrubbed.as_bytes();
+    let mut out = Vec::new();
+    for (start, end) in idents(scrubbed) {
+        if !loop_spans.iter().any(|&(lo, hi)| start >= lo && end <= hi) {
+            continue;
+        }
+        let word = &b[start..end];
+        // Calls to workspace functions registered as allocating wrappers
+        // (the convenience siblings of the `*_into` kernels).
+        if allocating_calls.iter().any(|n| n.as_bytes() == word)
+            && next_nonspace(b, end).map(|(_, c)| c) == Some(b'(')
+        {
+            out.push(Finding {
+                line: line_of(scrubbed, start),
+                message: format!(
+                    "`{}(..)` is a registered allocating wrapper — call its \
+                     `*_into` variant with a workspace buffer inside hot loops",
+                    String::from_utf8_lossy(word)
+                ),
+            });
+            continue;
+        }
+        let describe = if ALLOC_METHODS.contains(&word)
+            && prev_nonspace(b, start).map(|(_, c)| c) == Some(b'.')
+            && matches!(
+                next_nonspace(b, end).map(|(_, c)| c),
+                Some(b'(') | Some(b':')
+            ) {
+            Some(format!(".{}()", String::from_utf8_lossy(word)))
+        } else if ALLOC_MACROS.contains(&word)
+            && next_nonspace(b, end).map(|(_, c)| c) == Some(b'!')
+        {
+            Some(format!("{}!", String::from_utf8_lossy(word)))
+        } else if let Some(&(ty, ctor)) = ALLOC_CTORS.iter().find(|&&(ty, ctor)| {
+            // `Type` followed by `::ctor`.
+            ty == word
+                && next_nonspace(b, end)
+                    .is_some_and(|(p, c)| c == b':' && ident_after_colons(b, p) == Some(ctor))
+        }) {
+            Some(format!(
+                "{}::{}",
+                String::from_utf8_lossy(ty),
+                String::from_utf8_lossy(ctor)
+            ))
+        } else {
+            None
+        };
+        if let Some(what) = describe {
+            out.push(Finding {
+                line: line_of(scrubbed, start),
+                message: format!(
+                    "`{what}` allocates inside a registered hot loop — every \
+                     per-iteration allocation multiplies by T and breaks the \
+                     O(qTD) bound; reuse a workspace buffer"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// The identifier following `::` starting at byte `i` (which must point at
+/// the first `:`).
+fn ident_after_colons(b: &[u8], i: usize) -> Option<&[u8]> {
+    if i + 1 >= b.len() || b[i] != b':' || b[i + 1] != b':' {
+        return None;
+    }
+    let (start, c) = next_nonspace(b, i + 2)?;
+    if !is_ident_start(c) {
+        return None;
+    }
+    let mut end = start;
+    while end < b.len() && is_ident_continue(b[end]) {
+        end += 1;
+    }
+    Some(&b[start..end])
+}
+
+/// Float-determinism lint: order-sensitive scalar float accumulation in
+/// registered normalization/contraction code.
+///
+/// Flags `.sum(…)` / `.sum::<f64>()` iterator reductions and bare-scalar
+/// `acc += …` accumulation (integer counters `i += 1` are exempt, as are
+/// indexed scatters `y[i] += …`, element updates `*yi += …`, and field
+/// accumulators). Registered code must route scalar reductions through
+/// the shared fixed-order `tmark_linalg::kahan::kahan_sum` helper so the
+/// summation order — and therefore every convergence trace — is identical
+/// across refactors and future parallel backends.
+pub fn float_determinism_sites(scrubbed: &str) -> Vec<Finding> {
+    let b = scrubbed.as_bytes();
+    let mut out = Vec::new();
+    // `.sum(` / `.sum::<…>(` iterator reductions.
+    for (start, end) in idents(scrubbed) {
+        if &b[start..end] != b"sum" {
+            continue;
+        }
+        if prev_nonspace(b, start).map(|(_, c)| c) != Some(b'.') {
+            continue;
+        }
+        if !matches!(
+            next_nonspace(b, end).map(|(_, c)| c),
+            Some(b'(') | Some(b':')
+        ) {
+            continue;
+        }
+        out.push(Finding {
+            line: line_of(scrubbed, start),
+            message: "order-sensitive float reduction `.sum()` in \
+                      normalization/contraction code — use \
+                      `tmark_linalg::kahan::kahan_sum` (fixed-order, \
+                      compensated)"
+                .to_owned(),
+        });
+    }
+    // Bare-scalar `+=` accumulators.
+    let mut i = 0;
+    while i + 1 < b.len() {
+        if b[i] != b'+' || b[i + 1] != b'=' {
+            i += 1;
+            continue;
+        }
+        let at = i;
+        i += 2;
+        // LHS: must be a bare identifier (a local scalar accumulator).
+        let Some((lhs_end, c)) = prev_nonspace(b, at) else {
+            continue;
+        };
+        if !is_ident_continue(c) {
+            continue; // indexed (`]`), call (`)`), or other compound LHS
+        }
+        let Some(ident) = ident_ending_at(b, lhs_end + 1) else {
+            continue;
+        };
+        let ident_start = lhs_end + 1 - ident.len();
+        if let Some((_, prev)) = prev_nonspace(b, ident_start) {
+            if prev == b'.' || prev == b'*' || prev == b':' {
+                continue; // field access, deref target, or path
+            }
+        }
+        // RHS: integer-literal increments (`i += 1`) are loop counters,
+        // not float accumulation.
+        let rhs: String = scrubbed[at + 2..]
+            .chars()
+            .take_while(|&ch| ch != ';' && ch != '\n')
+            .collect();
+        let rhs = rhs.trim();
+        if !rhs.is_empty() && rhs.chars().all(|ch| ch.is_ascii_digit() || ch == '_') {
+            continue;
+        }
+        out.push(Finding {
+            line: line_of(scrubbed, at),
+            message: format!(
+                "order-sensitive float accumulation `{} += …` in \
+                 normalization/contraction code — use \
+                 `tmark_linalg::kahan::kahan_sum` or a `KahanAccumulator` \
+                 (fixed-order, compensated)",
+                String::from_utf8_lossy(ident)
+            ),
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +480,66 @@ mod tests {
         assert_eq!(stochastic_construction_sites(&scrub(src)).len(), 1);
         let def = "pub fn from_dense_unchecked(w: DenseMatrix) -> Self {";
         assert!(stochastic_construction_sites(&scrub(def)).is_empty());
+    }
+
+    #[test]
+    fn hot_loop_alloc_flags_only_inside_loop_spans() {
+        let src = "fn f() { let a = x.clone(); for i in 0..3 { let b = y.clone(); \
+                   let c: Vec<u8> = it.collect(); let d = Vec::new(); let e = vec![0; 3]; \
+                   let g = s.to_vec(); } }";
+        let scrubbed = scrub(src);
+        let items = crate::items::parse(&scrubbed);
+        let body = items[0].body.unwrap();
+        let spans = crate::items::loop_body_spans(scrubbed.as_bytes(), (body.0 + 1, body.1));
+        let findings = hot_loop_alloc_sites(&scrubbed, &spans, &[]);
+        // clone, collect, Vec::new, vec!, to_vec — but NOT the clone
+        // before the loop.
+        assert_eq!(findings.len(), 5, "{findings:?}");
+    }
+
+    #[test]
+    fn hot_loop_alloc_ignores_non_allocating_lookalikes() {
+        let src = "fn f() { for i in 0..3 { y[i] += o * x[j]; s.push(v); let t = m.max(x); } }";
+        let scrubbed = scrub(src);
+        let items = crate::items::parse(&scrubbed);
+        let body = items[0].body.unwrap();
+        let spans = crate::items::loop_body_spans(scrubbed.as_bytes(), (body.0 + 1, body.1));
+        assert!(hot_loop_alloc_sites(&scrubbed, &spans, &[]).is_empty());
+    }
+
+    #[test]
+    fn hot_loop_alloc_flags_registered_allocating_wrappers() {
+        let src = "fn f() { let a = w.apply(&x); for t in 0..5 { \
+                   let b = w.apply(&x); w.apply_into(&x, &mut y); } }";
+        let scrubbed = scrub(src);
+        let items = crate::items::parse(&scrubbed);
+        let body = items[0].body.unwrap();
+        let spans = crate::items::loop_body_spans(scrubbed.as_bytes(), (body.0 + 1, body.1));
+        let calls = vec!["apply".to_owned()];
+        let findings = hot_loop_alloc_sites(&scrubbed, &spans, &calls);
+        // The in-loop `apply` is flagged; the pre-loop call and the
+        // `apply_into` variant are not.
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("apply"));
+    }
+
+    #[test]
+    fn float_determinism_flags_sums_and_scalar_accumulators() {
+        let src = "let t: f64 = x.iter().sum();\n\
+                   let u = z.iter().sum::<f64>();\n\
+                   sum += src[end].value;\n";
+        let findings = float_determinism_sites(&scrub(src));
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert_eq!(findings[2].line, 3);
+    }
+
+    #[test]
+    fn float_determinism_exempts_counters_scatters_and_helpers() {
+        let src = "i += 1;\nend += 2;\ny[e.i as usize] += e.o * x[j];\n\
+                   *yi += share;\nself.total += v;\n\
+                   let s = kahan_sum(x.iter().copied());\n";
+        let findings = float_determinism_sites(&scrub(src));
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

@@ -1,34 +1,58 @@
 //! `cargo xtask lint` — the workspace lint gate.
 //!
-//! Three T-Mark-specific rules, run over every crate under `crates/`:
+//! Seven T-Mark-specific rules plus the unsafe-code gate, run over every
+//! crate under `crates/`:
 //!
 //! 1. **panic-surface** (ratcheted): `.unwrap()` / `.expect()` / `panic!`
 //!    in library code, counted per crate against the checked-in baseline
-//!    `xtask/lint-baseline.toml`. Counts may only go down; a new panic
-//!    site fails the build. Test code (`#[cfg(test)]` items, `tests/`,
-//!    `benches/`) is exempt.
+//!    `xtask/lint-baseline.toml`.
 //! 2. **nan-compare** (hard error): `partial_cmp(..).unwrap*()` — on
 //!    floats this mis-sorts or panics on NaN; use `f64::total_cmp`.
 //! 3. **stochastic-construction** (hard error): struct-literal
-//!    construction of `FeatureWalk` / `StochasticTensors` (or calling the
-//!    `_unchecked` escape hatch) outside their defining modules, which
-//!    would bypass the normalizing constructors behind Theorem 1.
+//!    construction of `FeatureWalk` / `StochasticTensors` (or the
+//!    `_unchecked` escape hatch) outside their defining modules.
+//! 4. **hot-loop-alloc** (ratcheted): heap allocations inside the loop
+//!    bodies of the hot functions registered in `xtask/hot-paths.toml`.
+//! 5. **float-determinism** (hard error): ad-hoc `.sum()` / scalar `+=`
+//!    float reductions in registered normalization/contraction files —
+//!    route them through `tmark_linalg::kahan::kahan_sum`.
+//! 6. **invariant-coverage** (hard error): public functions handling
+//!    `StochasticTensors` / `FeatureWalk` in registered crates must call
+//!    a `debug_assert_*` invariant macro or be allowlisted.
+//! 7. **dead-surface** (ratcheted): unused `pub` items and unused
+//!    `[dependencies]` entries per crate.
 //!
-//! The analysis is lexical (see [`scrub`]) rather than `syn`-based: this
-//! workspace builds offline with no external dependencies, and the rules
-//! above only need token adjacency, not a full AST.
+//! Plus **unsafe-forbid**: every crate root must carry
+//! `#![forbid(unsafe_code)]` unless allowlisted.
 //!
-//! Usage: `cargo xtask lint [--update-baseline]`.
+//! The analysis is lexical-structural (see [`scrub`] and [`items`])
+//! rather than `syn`-based: this workspace builds offline with no
+//! external dependencies, and the rules need brace-matched item spans,
+//! not a full AST. Run `cargo xtask lint --explain <rule>` for any
+//! rule's rationale.
+//!
+//! Usage: `cargo xtask lint [--update-baseline [--allow-increase]]
+//! [--format text|json]` or `cargo xtask lint --explain <rule>`.
 
+#![forbid(unsafe_code)]
 mod baseline;
+mod config;
+mod explain;
+mod items;
 mod lints;
+mod report;
 mod scrub;
+mod surface;
 
+use std::collections::{BTreeMap, HashMap};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use baseline::Baseline;
+use config::RuleConfig;
+use report::{Report, Severity};
+use surface::SourceFile;
 
 /// Files whose modules own the stochastic types and may construct them.
 const CONSTRUCTION_ALLOWED: &[&str] = &[
@@ -37,27 +61,68 @@ const CONSTRUCTION_ALLOWED: &[&str] = &[
 ];
 
 const BASELINE_PATH: &str = "xtask/lint-baseline.toml";
+const CONFIG_PATH: &str = "xtask/hot-paths.toml";
+
+const USAGE: &str = "usage: cargo xtask lint [--update-baseline [--allow-increase]] \
+                     [--format text|json] | cargo xtask lint --explain <rule>";
+
+/// Parsed command line for `xtask lint`.
+struct Options {
+    update_baseline: bool,
+    allow_increase: bool,
+    json: bool,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("lint") => {
-            let update = args.iter().any(|a| a == "--update-baseline");
-            if let Some(unknown) = args[1..].iter().find(|a| a.as_str() != "--update-baseline") {
-                eprintln!("xtask: unknown argument `{unknown}`");
+    if args.first().map(String::as_str) != Some("lint") {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let mut opts = Options {
+        update_baseline: false,
+        allow_increase: false,
+        json: false,
+    };
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--update-baseline" => opts.update_baseline = true,
+            "--allow-increase" => opts.allow_increase = true,
+            "--explain" => {
+                let Some(rule) = rest.next() else {
+                    eprintln!("xtask: --explain needs a rule name");
+                    return ExitCode::FAILURE;
+                };
+                return if explain::explain(rule) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
+            "--format" => match rest.next().map(String::as_str) {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                _ => {
+                    eprintln!("xtask: --format takes `text` or `json`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            unknown => {
+                eprintln!("xtask: unknown argument `{unknown}`\n{USAGE}");
                 return ExitCode::FAILURE;
             }
-            match run_lint(update) {
-                Ok(true) => ExitCode::SUCCESS,
-                Ok(false) => ExitCode::FAILURE,
-                Err(e) => {
-                    eprintln!("xtask: {e}");
-                    ExitCode::FAILURE
-                }
-            }
         }
-        _ => {
-            eprintln!("usage: cargo xtask lint [--update-baseline]");
+    }
+    if opts.allow_increase && !opts.update_baseline {
+        eprintln!("xtask: --allow-increase only makes sense with --update-baseline");
+        return ExitCode::FAILURE;
+    }
+    match run_lint(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask: {e}");
             ExitCode::FAILURE
         }
     }
@@ -102,8 +167,27 @@ fn rel<'a>(root: &Path, path: &'a Path) -> std::borrow::Cow<'a, str> {
     path.strip_prefix(root).unwrap_or(path).to_string_lossy()
 }
 
-fn run_lint(update_baseline: bool) -> Result<bool, String> {
-    let root = workspace_root()?;
+/// One `src/` file with both analysis views: the full scrubbed text (with
+/// its item tree, spans valid against it) and the `#[cfg(test)]`-stripped
+/// view the library-only rules scan.
+struct SrcFile {
+    file: SourceFile,
+    library_only: String,
+}
+
+/// One crate under `crates/`, fully loaded.
+struct CrateData {
+    /// `crates/<name>` — the ratchet key.
+    key: String,
+    manifest_display: String,
+    manifest_text: String,
+    src: Vec<SrcFile>,
+    /// tests/, benches/, examples/ — scanned by nan-compare and counted
+    /// as usage for dead-surface, nothing else.
+    aux: Vec<SourceFile>,
+}
+
+fn load_crates(root: &Path) -> Result<Vec<CrateData>, String> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
         .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
@@ -113,72 +197,390 @@ fn run_lint(update_baseline: bool) -> Result<bool, String> {
         .collect();
     crate_dirs.sort();
 
-    let mut errors = 0usize;
-    let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
-    let mut panic_locations: Vec<(String, Vec<(String, usize)>)> = Vec::new();
-
-    for crate_dir in &crate_dirs {
-        let crate_key = rel(&root, crate_dir).into_owned();
-        let mut lib_files = Vec::new();
-        rust_files(&crate_dir.join("src"), &mut lib_files)?;
-        let mut test_files = Vec::new();
+    let mut out = Vec::new();
+    for crate_dir in crate_dirs {
+        let manifest_path = crate_dir.join("Cargo.toml");
+        let mut src_paths = Vec::new();
+        rust_files(&crate_dir.join("src"), &mut src_paths)?;
+        let mut aux_paths = Vec::new();
         for sub in ["tests", "benches", "examples"] {
-            rust_files(&crate_dir.join(sub), &mut test_files)?;
+            rust_files(&crate_dir.join(sub), &mut aux_paths)?;
         }
+        let src = src_paths
+            .iter()
+            .map(|p| -> Result<SrcFile, String> {
+                let scrubbed = scrub::scrub(&read(p)?);
+                let tree = items::parse(&scrubbed);
+                let library_only = items::strip_cfg_test(&scrubbed, &tree);
+                Ok(SrcFile {
+                    file: SourceFile {
+                        display: rel(root, p).into_owned(),
+                        scrubbed,
+                        tree,
+                    },
+                    library_only,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let aux = aux_paths
+            .iter()
+            .map(|p| -> Result<SourceFile, String> {
+                Ok(SourceFile {
+                    display: rel(root, p).into_owned(),
+                    scrubbed: scrub::scrub(&read(p)?),
+                    tree: Vec::new(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        out.push(CrateData {
+            key: rel(root, &crate_dir).into_owned(),
+            manifest_display: rel(root, &manifest_path).into_owned(),
+            manifest_text: read(&manifest_path)?,
+            src,
+            aux,
+        });
+    }
+    Ok(out)
+}
 
-        let mut crate_panics: Vec<(String, usize)> = Vec::new();
-        for file in &lib_files {
-            let display = rel(&root, file).into_owned();
-            let scrubbed = scrub::scrub(&read(file)?);
-            let library_only = scrub::blank_test_regions(&scrubbed);
+/// Findings of one ratcheted rule, grouped by baseline key.
+type RatchetFindings = BTreeMap<String, Vec<(String, usize, String)>>;
 
-            let sites = lints::panic_sites(&library_only);
-            for line in lints::lines_for(&library_only, &sites) {
-                crate_panics.push((display.clone(), line));
+/// Compares one ratcheted rule's findings to its baseline table and
+/// pushes the outcome into the report.
+fn apply_ratchet(
+    rule: &'static str,
+    found: &RatchetFindings,
+    allowed: &BTreeMap<String, usize>,
+    report: &mut Report,
+) {
+    for (key, sites) in found {
+        let budget = allowed.get(key).copied().unwrap_or(0);
+        let severity = if sites.len() > budget {
+            Severity::Error
+        } else {
+            Severity::Allowed
+        };
+        for (file, line, message) in sites {
+            report.push(rule, severity, file, *line, message.clone());
+        }
+        if sites.len() > budget {
+            report.push(
+                rule,
+                Severity::Error,
+                key,
+                0,
+                format!(
+                    "{} finding(s), baseline allows {budget} — fix the new ones or \
+                     see `cargo xtask lint --explain {rule}`",
+                    sites.len()
+                ),
+            );
+        } else if sites.len() < budget {
+            report.note(format!(
+                "[{rule}] {key}: {} < baseline {budget} — run \
+                 `cargo xtask lint --update-baseline` to ratchet down",
+                sites.len()
+            ));
+        }
+    }
+    // Baseline keys with no findings at all still ratchet down to zero.
+    for (key, &budget) in allowed {
+        if budget > 0 && !found.contains_key(key) {
+            report.note(format!(
+                "[{rule}] {key}: 0 < baseline {budget} — run \
+                 `cargo xtask lint --update-baseline` to ratchet down"
+            ));
+        }
+    }
+}
+
+fn run_lint(opts: &Options) -> Result<bool, String> {
+    let root = workspace_root()?;
+    let config_path = root.join(CONFIG_PATH);
+    let config: RuleConfig =
+        config::parse(&read(&config_path)?).map_err(|e| format!("{CONFIG_PATH}: {e}"))?;
+    let crates = load_crates(&root)?;
+
+    let mut report = Report {
+        crates: crates.len(),
+        ..Default::default()
+    };
+
+    // Hard-error rules plus panic-surface collection, per crate.
+    let mut panic_found: RatchetFindings = RatchetFindings::new();
+    for krate in &crates {
+        let mut panic_sites: Vec<(String, usize, String)> = Vec::new();
+        for src in &krate.src {
+            let display = &src.file.display;
+            for line in lints::lines_for(&src.library_only, &lints::panic_sites(&src.library_only))
+            {
+                panic_sites.push((
+                    display.clone(),
+                    line,
+                    "panic site (`unwrap`/`expect`/`panic!`) in library code — \
+                     handle the error instead"
+                        .to_owned(),
+                ));
             }
-
-            for f in lints::nan_compare_sites(&scrubbed) {
-                eprintln!("error[nan-compare]: {display}:{}: {}", f.line, f.message);
-                errors += 1;
+            for f in lints::nan_compare_sites(&src.file.scrubbed) {
+                report.push("nan-compare", Severity::Error, display, f.line, f.message);
             }
-
             if !CONSTRUCTION_ALLOWED.contains(&display.as_str()) {
-                for f in lints::stochastic_construction_sites(&library_only) {
-                    eprintln!(
-                        "error[stochastic-construction]: {display}:{}: {}",
-                        f.line, f.message
+                for f in lints::stochastic_construction_sites(&src.library_only) {
+                    report.push(
+                        "stochastic-construction",
+                        Severity::Error,
+                        display,
+                        f.line,
+                        f.message,
                     );
-                    errors += 1;
                 }
             }
         }
-        for file in &test_files {
-            let display = rel(&root, file).into_owned();
-            let scrubbed = scrub::scrub(&read(file)?);
-            for f in lints::nan_compare_sites(&scrubbed) {
-                eprintln!("error[nan-compare]: {display}:{}: {}", f.line, f.message);
-                errors += 1;
+        for aux in &krate.aux {
+            for f in lints::nan_compare_sites(&aux.scrubbed) {
+                report.push(
+                    "nan-compare",
+                    Severity::Error,
+                    &aux.display,
+                    f.line,
+                    f.message,
+                );
             }
         }
-        counts.insert(crate_key.clone(), crate_panics.len());
-        panic_locations.push((crate_key, crate_panics));
+        if !panic_sites.is_empty() {
+            panic_found.insert(krate.key.clone(), panic_sites);
+        }
+
+        // unsafe-forbid: the crate root must carry the attribute.
+        if !config.unsafe_forbid_allow.contains(&krate.key) {
+            let root_file = krate.src.iter().find(|s| {
+                s.file.display.ends_with("src/lib.rs") || s.file.display.ends_with("src/main.rs")
+            });
+            match root_file {
+                Some(src) if src.file.scrubbed.contains("#![forbid(unsafe_code)]") => {}
+                Some(src) => report.push(
+                    "unsafe-forbid",
+                    Severity::Error,
+                    &src.file.display,
+                    1,
+                    format!(
+                        "crate root lacks `#![forbid(unsafe_code)]` — add it, or \
+                         allowlist `{}` under [unsafe-forbid] in {CONFIG_PATH}",
+                        krate.key
+                    ),
+                ),
+                None => report.push(
+                    "unsafe-forbid",
+                    Severity::Error,
+                    &krate.manifest_display,
+                    1,
+                    "crate has no src/lib.rs or src/main.rs root to check".to_owned(),
+                ),
+            }
+        }
+    }
+
+    // hot-loop-alloc: registered files/functions only, ratcheted per file.
+    let mut alloc_found: RatchetFindings = RatchetFindings::new();
+    for (file_key, fn_names) in &config.hot_loop_alloc {
+        let Some(src) = crates
+            .iter()
+            .flat_map(|k| &k.src)
+            .find(|s| &s.file.display == file_key)
+        else {
+            report.push(
+                "hot-loop-alloc",
+                Severity::Error,
+                file_key,
+                0,
+                format!("registered in {CONFIG_PATH} but the file does not exist"),
+            );
+            continue;
+        };
+        let bytes = src.file.scrubbed.as_bytes();
+        let mut sites: Vec<(String, usize, String)> = Vec::new();
+        for fn_name in fn_names {
+            let fns = items::find_fns(&src.file.tree, fn_name);
+            if fns.is_empty() {
+                report.push(
+                    "hot-loop-alloc",
+                    Severity::Error,
+                    file_key,
+                    0,
+                    format!(
+                        "hot function `{fn_name}` is registered in {CONFIG_PATH} \
+                         but not found — fix the registry"
+                    ),
+                );
+                continue;
+            }
+            for f in fns {
+                let Some((open, close)) = f.item.body else {
+                    continue;
+                };
+                let loops = items::loop_body_spans(bytes, (open, close));
+                for finding in lints::hot_loop_alloc_sites(
+                    &src.file.scrubbed,
+                    &loops,
+                    &config.allocating_calls,
+                ) {
+                    sites.push((
+                        src.file.display.clone(),
+                        finding.line,
+                        format!("in hot fn `{fn_name}`: {}", finding.message),
+                    ));
+                }
+            }
+        }
+        if !sites.is_empty() {
+            alloc_found.insert(file_key.clone(), sites);
+        }
+    }
+
+    // float-determinism: registered files, hard error.
+    for path in &config.float_determinism_paths {
+        let Some(src) = crates
+            .iter()
+            .flat_map(|k| &k.src)
+            .find(|s| &s.file.display == path)
+        else {
+            report.push(
+                "float-determinism",
+                Severity::Error,
+                path,
+                0,
+                format!("registered in {CONFIG_PATH} but the file does not exist"),
+            );
+            continue;
+        };
+        for f in lints::float_determinism_sites(&src.library_only) {
+            report.push(
+                "float-determinism",
+                Severity::Error,
+                &src.file.display,
+                f.line,
+                f.message,
+            );
+        }
+    }
+
+    // invariant-coverage: registered crates, hard error.
+    for crate_key in &config.invariant_crates {
+        let Some(krate) = crates.iter().find(|k| &k.key == crate_key) else {
+            report.push(
+                "invariant-coverage",
+                Severity::Error,
+                crate_key,
+                0,
+                format!("registered in {CONFIG_PATH} but the crate does not exist"),
+            );
+            continue;
+        };
+        for src in &krate.src {
+            for f in surface::invariant_coverage(
+                &src.file.display,
+                &src.file.scrubbed,
+                &src.file.tree,
+                &config.invariant_allow,
+            ) {
+                report.push(
+                    "invariant-coverage",
+                    Severity::Error,
+                    &src.file.display,
+                    f.line,
+                    f.message,
+                );
+            }
+        }
+    }
+
+    // dead-surface: liveness corpus is every scrubbed file in the workspace.
+    let mut corpus: HashMap<String, usize> = HashMap::new();
+    for krate in &crates {
+        for src in &krate.src {
+            surface::count_idents(&src.file.scrubbed, &mut corpus);
+        }
+        for aux in &krate.aux {
+            surface::count_idents(&aux.scrubbed, &mut corpus);
+        }
+    }
+    let mut dead_found: RatchetFindings = RatchetFindings::new();
+    for krate in &crates {
+        let files: Vec<&SourceFile> = krate.src.iter().map(|s| &s.file).collect();
+        let mut sites: Vec<(String, usize, String)> = Vec::new();
+        for f in surface::dead_pub_items(&files, &corpus) {
+            // The defining file is named inside the message; key the
+            // finding to it for navigation.
+            let file = files
+                .iter()
+                .find(|s| f.message.contains(&s.display))
+                .map_or(krate.key.clone(), |s| s.display.clone());
+            sites.push((file, f.line, f.message));
+        }
+        for f in surface::unused_deps(&krate.manifest_display, &krate.manifest_text, &files) {
+            sites.push((krate.manifest_display.clone(), f.line, f.message));
+        }
+        if !sites.is_empty() {
+            dead_found.insert(krate.key.clone(), sites);
+        }
+    }
+
+    // Ratchet bookkeeping: build the would-be baseline, then guard the
+    // update and compare.
+    let mut measured = Baseline::default();
+    for (key, sites) in &panic_found {
+        measured.panic_surface.insert(key.clone(), sites.len());
+    }
+    for (key, sites) in &alloc_found {
+        measured.hot_loop_alloc.insert(key.clone(), sites.len());
+    }
+    // Registered hot files always get an entry, so a clean file is pinned
+    // at an explicit `= 0` in the committed baseline.
+    for file_key in config.hot_loop_alloc.keys() {
+        measured.hot_loop_alloc.entry(file_key.clone()).or_insert(0);
+    }
+    for (key, sites) in &dead_found {
+        measured.dead_surface.insert(key.clone(), sites.len());
     }
 
     let baseline_path = root.join(BASELINE_PATH);
-    if update_baseline {
-        let updated = Baseline {
-            panic_surface: counts.clone(),
-        };
+    let existing = match fs::read_to_string(&baseline_path) {
+        Ok(text) => Some(Baseline::parse(&text).map_err(|e| format!("{BASELINE_PATH}: {e}"))?),
+        Err(_) => None,
+    };
+    if opts.update_baseline {
+        let old = existing.clone().unwrap_or_default();
+        let diff = old.diff(&measured);
+        if old.has_increase(&measured) && !opts.allow_increase {
+            for line in &diff {
+                eprintln!("baseline: {line}");
+            }
+            return Err(
+                "refusing to raise ratcheted baseline counts; fix the findings or \
+                 pass --allow-increase to accept them deliberately"
+                    .to_owned(),
+            );
+        }
         if let Some(dir) = baseline_path.parent() {
             fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
         }
-        fs::write(&baseline_path, updated.render())
+        fs::write(&baseline_path, measured.render())
             .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
-        println!("xtask: baseline updated at {BASELINE_PATH}");
+        if diff.is_empty() {
+            println!("xtask: baseline unchanged at {BASELINE_PATH}");
+        } else {
+            for line in &diff {
+                println!("baseline: {line}");
+            }
+            println!("xtask: baseline updated at {BASELINE_PATH}");
+        }
     }
-    let baseline = match fs::read_to_string(&baseline_path) {
-        Ok(text) => Baseline::parse(&text)?,
-        Err(_) => {
+    let baseline = match (opts.update_baseline, existing) {
+        (true, _) => measured.clone(),
+        (false, Some(b)) => b,
+        (false, None) => {
             return Err(format!(
                 "no baseline at {BASELINE_PATH}; run `cargo xtask lint --update-baseline` \
                  once and commit the result"
@@ -186,35 +588,29 @@ fn run_lint(update_baseline: bool) -> Result<bool, String> {
         }
     };
 
-    for (crate_key, sites) in &panic_locations {
-        let allowed = baseline.panic_surface.get(crate_key).copied().unwrap_or(0);
-        let found = sites.len();
-        if found > allowed {
-            eprintln!(
-                "error[panic-surface]: {crate_key}: {found} panic sites \
-                 (`unwrap`/`expect`/`panic!`), baseline allows {allowed} — \
-                 handle the error instead of panicking:"
-            );
-            for (file, line) in sites {
-                eprintln!("    {file}:{line}");
-            }
-            errors += 1;
-        } else if found < allowed {
-            println!(
-                "note[panic-surface]: {crate_key}: {found} < baseline {allowed} — \
-                 run `cargo xtask lint --update-baseline` to ratchet down"
-            );
-        }
-    }
+    apply_ratchet(
+        "panic-surface",
+        &panic_found,
+        &baseline.panic_surface,
+        &mut report,
+    );
+    apply_ratchet(
+        "hot-loop-alloc",
+        &alloc_found,
+        &baseline.hot_loop_alloc,
+        &mut report,
+    );
+    apply_ratchet(
+        "dead-surface",
+        &dead_found,
+        &baseline.dead_surface,
+        &mut report,
+    );
 
-    if errors > 0 {
-        eprintln!(
-            "xtask lint: {errors} error(s) across {} crates",
-            crate_dirs.len()
-        );
-        Ok(false)
+    if opts.json {
+        print!("{}", report.render_json());
     } else {
-        println!("xtask lint: clean ({} crates)", crate_dirs.len());
-        Ok(true)
+        report.render_text();
     }
+    Ok(report.clean())
 }

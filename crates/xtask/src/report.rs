@@ -1,0 +1,249 @@
+//! Finding collection and rendering (`--format text|json`).
+//!
+//! Rules append [`Record`]s to a [`Report`] instead of printing directly,
+//! so one run can render either the human text stream or the machine
+//! JSON document consumed by the CI lint job. The JSON is emitted by
+//! hand — the workspace builds offline and `serde_json` is not in the
+//! vendored dependency set — with full string escaping, so the document
+//! round-trips through standard parsers.
+
+use std::fmt::Write as _;
+
+/// Whether a finding fails the run or is absorbed by a ratchet budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the run: a hard-error rule fired, or a ratcheted count
+    /// exceeded its baseline.
+    Error,
+    /// Within the checked-in baseline budget; reported for visibility.
+    Allowed,
+}
+
+impl Severity {
+    fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Allowed => "allowed",
+        }
+    }
+}
+
+/// One finding from one rule at one source location.
+#[derive(Debug)]
+pub struct Record {
+    /// Rule identifier, e.g. `hot-loop-alloc`.
+    pub rule: &'static str,
+    /// Error or baseline-allowed.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description with the suggested fix.
+    pub message: String,
+}
+
+/// Accumulated findings plus run metadata.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, in rule-then-discovery order.
+    pub records: Vec<Record>,
+    /// Informational notices (e.g. ratchet-down opportunities).
+    pub notes: Vec<String>,
+    /// Number of crates analyzed.
+    pub crates: usize,
+}
+
+impl Report {
+    /// Appends a finding.
+    pub fn push(
+        &mut self,
+        rule: &'static str,
+        severity: Severity,
+        file: &str,
+        line: usize,
+        message: String,
+    ) {
+        self.records.push(Record {
+            rule,
+            severity,
+            file: file.to_owned(),
+            line,
+            message,
+        });
+    }
+
+    /// Appends an informational note.
+    pub fn note(&mut self, message: String) {
+        self.notes.push(message);
+    }
+
+    /// Number of run-failing findings.
+    pub fn error_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.severity == Severity::Error)
+            .count()
+    }
+
+    /// True when nothing fails the run.
+    pub fn clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Prints the human-readable stream: errors to stderr, notes and the
+    /// summary line to stdout. Baseline-allowed findings are kept quiet
+    /// in text mode — the ratchet sections of the baseline file already
+    /// document them — so the terminal shows only what needs action.
+    pub fn render_text(&self) {
+        for r in &self.records {
+            if r.severity == Severity::Error {
+                eprintln!("error[{}]: {}:{}: {}", r.rule, r.file, r.line, r.message);
+            }
+        }
+        for note in &self.notes {
+            println!("note: {note}");
+        }
+        let errors = self.error_count();
+        if errors > 0 {
+            eprintln!(
+                "xtask lint: {errors} error(s) across {} crates",
+                self.crates
+            );
+        } else {
+            println!("xtask lint: clean ({} crates)", self.crates);
+        }
+    }
+
+    /// Renders the machine-readable document for the CI artifact.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema_version\": 1,");
+        let _ = writeln!(out, "  \"clean\": {},", self.clean());
+        let _ = writeln!(out, "  \"crates\": {},", self.crates);
+        let _ = writeln!(out, "  \"errors\": {},", self.error_count());
+        let _ = writeln!(
+            out,
+            "  \"allowed\": {},",
+            self.records.len() - self.error_count()
+        );
+        out.push_str("  \"findings\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_string(r.rule),
+                json_string(r.severity.as_str()),
+                json_string(&r.file),
+                r.line,
+                json_string(&r.message)
+            );
+        }
+        if self.records.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n  ],\n");
+        }
+        out.push_str("  \"notes\": [");
+        for (i, note) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}", json_string(note));
+        }
+        if self.notes.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n  ]\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal, quotes included.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn report_counts_and_flags() {
+        let mut report = Report {
+            crates: 2,
+            ..Default::default()
+        };
+        assert!(report.clean());
+        report.push("nan-compare", Severity::Error, "a.rs", 3, "bad".to_owned());
+        report.push(
+            "panic-surface",
+            Severity::Allowed,
+            "b.rs",
+            7,
+            "ok".to_owned(),
+        );
+        assert_eq!(report.error_count(), 1);
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn json_document_has_expected_fields_and_balanced_braces() {
+        let mut report = Report {
+            crates: 1,
+            ..Default::default()
+        };
+        report.push(
+            "dead-surface",
+            Severity::Error,
+            "crates/x/src/lib.rs",
+            12,
+            "pub item `dead` is \"unused\"".to_owned(),
+        );
+        report.note("something to know".to_owned());
+        let json = report.render_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\\\"unused\\\""));
+        assert!(json.contains("\"line\": 12"));
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn empty_report_renders_empty_arrays() {
+        let report = Report::default();
+        let json = report.render_json();
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"notes\": []"));
+        assert!(json.contains("\"clean\": true"));
+    }
+}

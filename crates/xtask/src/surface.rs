@@ -1,0 +1,355 @@
+//! The two surface-level rules: invariant-coverage and dead-surface.
+//!
+//! Both consume the item tree from [`crate::items`] rather than raw token
+//! adjacency:
+//!
+//! - **invariant-coverage** walks the public functions of the registered
+//!   crates and demands that everything producing or consuming
+//!   `StochasticTensors` / `FeatureWalk` / probability vectors calls one
+//!   of the `debug_assert_*` invariant macros (or a `*_violation`
+//!   checker) somewhere in its body, unless a `file::fn` allowlist entry
+//!   excuses it (thin delegating wrappers). This keeps the executable
+//!   form of Theorems 1–3 wired into every new entry point.
+//! - **dead-surface** enumerates `pub` items per crate and flags those
+//!   whose name appears nowhere in the workspace outside their own
+//!   definition span, plus `[dependencies]` entries whose crate
+//!   identifier never occurs in the depending crate's `src/` tree.
+//!   Both are counted into one ratcheted per-crate budget.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::items::{self, Item};
+use crate::lints::{line_of, Finding};
+
+/// Types whose flow must be invariant-checked (the carriers of the
+/// column-stochastic invariant behind Theorems 1–3).
+const GUARDED_TYPES: &[&str] = &["StochasticTensors", "FeatureWalk"];
+
+/// Identifiers that count as invariant checks when they appear in a
+/// function body.
+const CHECK_IDENT_PREFIXES: &[&str] = &["debug_assert", "debug_verify"];
+const CHECK_IDENTS: &[&str] = &[
+    "simplex_violation",
+    "stochastic_violation",
+    "nonnegative_violation",
+    "finite_violation",
+    "invariants",
+    "is_stochastic",
+    "is_column_stochastic",
+];
+
+/// True when `text` contains `name` as a whole identifier token.
+pub fn has_ident(text: &str, name: &str) -> bool {
+    ident_occurrences(text, name) > 0
+}
+
+/// Number of whole-identifier occurrences of `name` in `text`.
+pub fn ident_occurrences(text: &str, name: &str) -> usize {
+    let b = text.as_bytes();
+    let nb = name.as_bytes();
+    if nb.is_empty() || b.len() < nb.len() {
+        return 0;
+    }
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let mut count = 0;
+    let mut i = 0;
+    while i + nb.len() <= b.len() {
+        if &b[i..i + nb.len()] == nb
+            && (i == 0 || !is_ident(b[i - 1]))
+            && (i + nb.len() == b.len() || !is_ident(b[i + nb.len()]))
+        {
+            count += 1;
+            i += nb.len();
+        } else {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// Adds every identifier token of `text` to `counts` (the dead-surface
+/// liveness corpus).
+pub fn count_idents(text: &str, counts: &mut HashMap<String, usize>) {
+    let b = text.as_bytes();
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let mut i = 0;
+    while i < b.len() {
+        if (b[i].is_ascii_alphabetic() || b[i] == b'_') && (i == 0 || !is_ident(b[i - 1])) {
+            let start = i;
+            while i < b.len() && is_ident(b[i]) {
+                i += 1;
+            }
+            *counts.entry(text[start..i].to_owned()).or_insert(0) += 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// True when any identifier in `text` starts with `prefix`.
+fn has_ident_prefix(text: &str, prefix: &str) -> bool {
+    let b = text.as_bytes();
+    let pb = prefix.as_bytes();
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let mut i = 0;
+    while i + pb.len() <= b.len() {
+        if &b[i..i + pb.len()] == pb && (i == 0 || !is_ident(b[i - 1])) {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Invariant-coverage rule for one source file of a registered crate.
+///
+/// A public function is in scope when its signature mentions one of the
+/// [`GUARDED_TYPES`], or when it is a method of one of those types whose
+/// signature handles `f64` data (probability vectors and scores). It
+/// complies by calling an invariant macro or violation checker anywhere
+/// in its body, or by appearing in the allowlist as `file::fn`.
+pub fn invariant_coverage(
+    file: &str,
+    scrubbed: &str,
+    tree: &[Item],
+    allow: &BTreeSet<String>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in items::collect_fns(tree) {
+        if f.in_test || !f.effectively_pub {
+            continue;
+        }
+        let item = f.item;
+        let sig = &scrubbed[item.start..item.sig_end];
+        let guarded_sig = GUARDED_TYPES.iter().any(|t| has_ident(sig, t));
+        let guarded_method =
+            f.owner.is_some_and(|o| GUARDED_TYPES.contains(&o)) && has_ident(sig, "f64");
+        if !guarded_sig && !guarded_method {
+            continue;
+        }
+        if allow.contains(&format!("{file}::{}", item.name)) {
+            continue;
+        }
+        let body = match item.body {
+            Some((open, close)) => &scrubbed[open..close + 1],
+            None => continue, // trait declaration without a body
+        };
+        let checked = CHECK_IDENT_PREFIXES
+            .iter()
+            .any(|p| has_ident_prefix(body, p))
+            || CHECK_IDENTS.iter().any(|c| has_ident(body, c));
+        if !checked {
+            out.push(Finding {
+                line: line_of(scrubbed, item.start),
+                message: format!(
+                    "public fn `{}` handles {} but never calls a \
+                     `debug_assert_*` invariant macro or violation checker \
+                     — verify the stochastic invariant (Theorems 1-3) or \
+                     allowlist it in xtask/hot-paths.toml as `{file}::{}`",
+                    item.name,
+                    if guarded_sig {
+                        "StochasticTensors/FeatureWalk"
+                    } else {
+                        "probability data of a guarded type"
+                    },
+                    item.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// One analyzed source file, shared by the cross-file rules.
+pub struct SourceFile {
+    /// Workspace-relative display path.
+    pub display: String,
+    /// Scrubbed text.
+    pub scrubbed: String,
+    /// Item tree (empty for test/bench/example files, which are only a
+    /// usage corpus).
+    pub tree: Vec<Item>,
+}
+
+/// Dead-pub-item half of the dead-surface rule: `pub` items of
+/// `crate_files` whose name occurs nowhere in the workspace outside the
+/// item's own span.
+///
+/// Name-token liveness is deliberately conservative: any occurrence —
+/// re-export, test, bench, another crate — keeps an item alive; only
+/// items referenced by *nothing* are flagged. The count is ratcheted per
+/// crate rather than hard-failed, so existing surface shrinks over time
+/// without blocking unrelated work.
+pub fn dead_pub_items(
+    crate_files: &[&SourceFile],
+    workspace_counts: &HashMap<String, usize>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in crate_files {
+        for item in items::collect_pub_items(&file.tree) {
+            let total = workspace_counts.get(&item.name).copied().unwrap_or(0);
+            let own_span = &file.scrubbed[item.start..item.end.min(file.scrubbed.len())];
+            let in_own_definition = ident_occurrences(own_span, &item.name);
+            if total <= in_own_definition {
+                out.push(Finding {
+                    line: line_of(&file.scrubbed, item.start),
+                    message: format!(
+                        "pub item `{}` is referenced nowhere in the workspace \
+                         outside its own definition — remove it or make it \
+                         private ({})",
+                        item.name, file.display
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Unused-dependency half of the dead-surface rule: `[dependencies]`
+/// entries of a crate manifest whose crate identifier never appears in
+/// the crate's `src/` tree.
+pub fn unused_deps(
+    manifest_display: &str,
+    manifest_text: &str,
+    src_files: &[&SourceFile],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for (lineno, raw) in manifest_text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let name: String = line
+            .chars()
+            .take_while(|&c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let ident = name.replace('-', "_");
+        let used = src_files.iter().any(|f| has_ident(&f.scrubbed, &ident));
+        if !used {
+            out.push(Finding {
+                line: lineno + 1,
+                message: format!(
+                    "dependency `{name}` is declared in {manifest_display} but \
+                     `{ident}` never occurs in the crate's src/ tree — remove \
+                     it (or move it to [dev-dependencies] if only tests use it)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse;
+    use crate::scrub::scrub;
+
+    fn file(display: &str, src: &str, with_tree: bool) -> SourceFile {
+        let scrubbed = scrub(src);
+        let tree = if with_tree {
+            parse(&scrubbed)
+        } else {
+            Vec::new()
+        };
+        SourceFile {
+            display: display.to_owned(),
+            scrubbed,
+            tree,
+        }
+    }
+
+    #[test]
+    fn invariant_coverage_spots_unchecked_guarded_functions() {
+        let src = "pub fn build(t: &SparseTensor3) -> StochasticTensors { go(t) }\n\
+                   pub fn checked(t: &SparseTensor3) -> StochasticTensors {\n\
+                       let s = go(t); debug_assert_stochastic!(&s.sums()); s\n\
+                   }\n\
+                   pub fn unrelated(a: usize) -> usize { a }\n";
+        let scrubbed = scrub(src);
+        let tree = parse(&scrubbed);
+        let findings = invariant_coverage("f.rs", &scrubbed, &tree, &BTreeSet::new());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`build`"));
+    }
+
+    #[test]
+    fn invariant_coverage_covers_f64_methods_of_guarded_types() {
+        let src = "impl StochasticTensors {\n\
+                       pub fn contract(&self, x: &[f64]) -> Vec<f64> { x.to_vec() }\n\
+                       pub fn nnz(&self) -> usize { 0 }\n\
+                   }\n";
+        let scrubbed = scrub(src);
+        let tree = parse(&scrubbed);
+        let findings = invariant_coverage("f.rs", &scrubbed, &tree, &BTreeSet::new());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`contract`"));
+    }
+
+    #[test]
+    fn invariant_coverage_respects_the_allowlist() {
+        let src = "pub fn wrap(w: &FeatureWalk) -> Vec<f64> { w.go() }\n";
+        let scrubbed = scrub(src);
+        let tree = parse(&scrubbed);
+        let allow: BTreeSet<String> = ["f.rs::wrap".to_owned()].into();
+        assert!(invariant_coverage("f.rs", &scrubbed, &tree, &allow).is_empty());
+        assert_eq!(
+            invariant_coverage("f.rs", &scrubbed, &tree, &BTreeSet::new()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn dead_pub_items_flags_only_unreferenced_names() {
+        let lib = file(
+            "crates/x/src/lib.rs",
+            "pub fn used_fn() {}\npub fn dead_fn() {}\npub struct DeadType;\n",
+            true,
+        );
+        let other = file("crates/y/src/lib.rs", "fn f() { used_fn(); }\n", false);
+        let mut counts = HashMap::new();
+        for f in [&lib, &other] {
+            count_idents(&f.scrubbed, &mut counts);
+        }
+        let findings = dead_pub_items(&[&lib], &counts);
+        let flagged: Vec<&str> = findings
+            .iter()
+            .map(|f| {
+                if f.message.contains("dead_fn") {
+                    "dead_fn"
+                } else {
+                    "DeadType"
+                }
+            })
+            .collect();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(flagged.contains(&"dead_fn") && flagged.contains(&"DeadType"));
+    }
+
+    #[test]
+    fn unused_deps_reads_the_dependencies_table_only() {
+        let manifest = "[package]\nname = \"x\"\n\n[dependencies]\n\
+                        tmark-linalg.workspace = true\nserde = { workspace = true }\n\n\
+                        [dev-dependencies]\nproptest.workspace = true\n";
+        let src = file("crates/x/src/lib.rs", "use tmark_linalg::dot;\n", false);
+        let findings = unused_deps("crates/x/Cargo.toml", manifest, &[&src]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`serde`"));
+        assert_eq!(findings[0].line, 6);
+    }
+
+    #[test]
+    fn ident_occurrences_respects_token_boundaries() {
+        assert_eq!(ident_occurrences("sum kahan_sum sum_of sum", "sum"), 2);
+        assert_eq!(ident_occurrences("", "x"), 0);
+    }
+}
