@@ -1,0 +1,50 @@
+//! Batched multi-class solver vs the per-class baseline (the PR's core
+//! claim: one pass over the tensor nnz serves every class, so the batch
+//! should win whenever `q > 1` without changing a single bit of output).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmark::solver::{solve_class, FeatureWalk, SolverWorkspace};
+use tmark::{BatchSolver, BatchWorkspace};
+use tmark_bench::Dataset;
+use tmark_datasets::dblp::dblp_with_size;
+use tmark_linalg::similarity::feature_transition_matrix;
+
+fn bench_batch_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_solver");
+    for &n in &[150usize, 300, 600] {
+        let hin = dblp_with_size(n, 3);
+        let config = Dataset::Dblp.tmark_config();
+        let (train, _) = tmark_datasets::stratified_split(&hin, 0.3, 1);
+        let q = hin.num_classes();
+        let seeds: Vec<Vec<usize>> = (0..q)
+            .map(|cl| {
+                train
+                    .iter()
+                    .copied()
+                    .filter(|&v| hin.labels().has_label(v, cl))
+                    .collect()
+            })
+            .collect();
+        let classes: Vec<usize> = (0..q).collect();
+        let stoch = hin.stochastic_tensors();
+        let w = FeatureWalk::from_dense(feature_transition_matrix(hin.features()));
+
+        group.bench_with_input(BenchmarkId::new("per_class", n), &n, |b, _| {
+            let mut ws = SolverWorkspace::default();
+            b.iter(|| {
+                for &cl in &classes {
+                    std::hint::black_box(solve_class(cl, &stoch, &w, &seeds[cl], &config, &mut ws));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+            let solver = BatchSolver::new(&stoch, &w, config);
+            let mut ws = BatchWorkspace::default();
+            b.iter(|| std::hint::black_box(solver.solve(&classes, &seeds, &[], &mut ws)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_solver);
+criterion_main!(benches);

@@ -1,0 +1,235 @@
+//! Wall-time benchmark of the batched multi-class solver against the
+//! per-class baseline, with a machine-readable JSON emitter.
+//!
+//! For every dataset preset this measures, at a 30% label fraction:
+//!
+//! - `per_class_ms`: solving each class independently with
+//!   [`tmark::solver::solve_class`] (the pre-batching code path),
+//! - `batch_ms`: one lockstep [`tmark::BatchSolver`] pass over all
+//!   classes (one sweep of the tensor nnz serves every class),
+//! - `fit_ms`: the full [`tmark::TMarkModel::fit`], i.e. batching plus
+//!   the bounded worker pool,
+//!
+//! and cross-checks that the batched and per-class solutions agree bit
+//! for bit before reporting.
+//!
+//! Usage: `bench_solver [--smoke] [--format json] [--out PATH]`
+//!
+//! `--smoke` runs a single repetition per measurement (CI smoke mode);
+//! the default takes the minimum of three. The JSON report is written to
+//! `BENCH_solver.json` unless `--out` overrides it.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tmark::solver::{solve_class, ClassStationary, FeatureWalk, SolverWorkspace};
+use tmark::{BatchSolver, BatchWorkspace, TMarkModel};
+use tmark_bench::{Dataset, DATA_SEED};
+use tmark_linalg::similarity::feature_transition_matrix;
+
+/// Label fraction shared by every measurement.
+const FRACTION: f64 = 0.3;
+/// Split seed shared by every measurement.
+const SPLIT_SEED: u64 = 1;
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_solver: {msg}");
+    std::process::exit(1);
+}
+
+struct Row {
+    name: &'static str,
+    nodes: usize,
+    classes: usize,
+    link_types: usize,
+    /// Total solver iterations across classes (identical for the batched
+    /// and per-class runs by the bit-exactness contract).
+    iterations: usize,
+    per_class_ms: f64,
+    batch_ms: f64,
+    fit_ms: f64,
+    bitwise_equal: bool,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.per_class_ms / self.batch_ms
+    }
+}
+
+fn min_ms(best: f64, started: Instant) -> f64 {
+    let elapsed = started.elapsed().as_secs_f64() * 1e3;
+    if elapsed < best {
+        elapsed
+    } else {
+        best
+    }
+}
+
+fn bench_dataset(dataset: Dataset, reps: usize) -> Row {
+    let hin = dataset.load(DATA_SEED);
+    let config = dataset.tmark_config();
+    let (train, _) = tmark_datasets::stratified_split(&hin, FRACTION, SPLIT_SEED);
+    let q = hin.num_classes();
+    let seeds: Vec<Vec<usize>> = (0..q)
+        .map(|c| {
+            train
+                .iter()
+                .copied()
+                .filter(|&v| hin.labels().has_label(v, c))
+                .collect()
+        })
+        .collect();
+    let classes: Vec<usize> = (0..q).collect();
+    let stoch = hin.stochastic_tensors();
+    let w = FeatureWalk::from_dense(feature_transition_matrix(hin.features()));
+
+    let mut ws = SolverWorkspace::default();
+    let mut per_class_ms = f64::INFINITY;
+    let mut sequential: Vec<ClassStationary> = Vec::new();
+    for _ in 0..reps {
+        let started = Instant::now();
+        let outs: Vec<ClassStationary> = classes
+            .iter()
+            .map(|&c| solve_class(c, &stoch, &w, &seeds[c], &config, &mut ws))
+            .collect();
+        per_class_ms = min_ms(per_class_ms, started);
+        sequential = outs;
+    }
+
+    let solver = BatchSolver::new(&stoch, &w, config);
+    let mut bws = BatchWorkspace::default();
+    let mut batch_ms = f64::INFINITY;
+    let mut batched: Vec<ClassStationary> = Vec::new();
+    for _ in 0..reps {
+        let started = Instant::now();
+        let outs = solver.solve(&classes, &seeds, &[], &mut bws);
+        batch_ms = min_ms(batch_ms, started);
+        batched = outs;
+    }
+
+    let bitwise_equal = sequential.len() == batched.len()
+        && sequential
+            .iter()
+            .zip(&batched)
+            .all(|(a, b)| a.x == b.x && a.z == b.z && a.report == b.report);
+    if !bitwise_equal {
+        die(&format!(
+            "{}: batched and per-class solutions diverged — refusing to report timings",
+            dataset.name()
+        ));
+    }
+
+    let model = TMarkModel::new(config);
+    let mut fit_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        match model.fit(&hin, &train) {
+            Ok(_) => fit_ms = min_ms(fit_ms, started),
+            Err(e) => die(&format!("{} fit failed: {e}", dataset.name())),
+        }
+    }
+
+    Row {
+        name: dataset.name(),
+        nodes: hin.num_nodes(),
+        classes: q,
+        link_types: hin.num_link_types(),
+        iterations: batched.iter().map(|o| o.report.iterations).sum(),
+        per_class_ms,
+        batch_ms,
+        fit_ms,
+        bitwise_equal,
+    }
+}
+
+fn render_json(rows: &[Row], smoke: bool, reps: usize) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    let _ = writeln!(out, "  \"fraction\": {FRACTION},");
+    out.push_str("  \"datasets\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"nodes\": {},", r.nodes);
+        let _ = writeln!(out, "      \"classes\": {},", r.classes);
+        let _ = writeln!(out, "      \"link_types\": {},", r.link_types);
+        let _ = writeln!(out, "      \"iterations\": {},", r.iterations);
+        let _ = writeln!(out, "      \"per_class_ms\": {:.3},", r.per_class_ms);
+        let _ = writeln!(out, "      \"batch_ms\": {:.3},", r.batch_ms);
+        let _ = writeln!(out, "      \"fit_ms\": {:.3},", r.fit_ms);
+        let _ = writeln!(
+            out,
+            "      \"speedup_batch_over_per_class\": {:.3},",
+            r.speedup()
+        );
+        let _ = writeln!(out, "      \"bitwise_equal\": {}", r.bitwise_equal);
+        out.push_str(if i + 1 < rows.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_solver.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => {}
+                other => die(&format!("unsupported --format {other:?} (json only)")),
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => die("--out requires a path"),
+            },
+            other => die(&format!(
+                "unknown flag {other} (try --smoke, --format json, --out PATH)"
+            )),
+        }
+    }
+
+    let reps = if smoke { 1 } else { 3 };
+    let datasets = [
+        Dataset::Dblp,
+        Dataset::Movies,
+        Dataset::NusTagset1,
+        Dataset::NusTagset2,
+        Dataset::Acm,
+    ];
+    let mut rows = Vec::with_capacity(datasets.len());
+    for d in datasets {
+        eprintln!("bench_solver: measuring {} ...", d.name());
+        rows.push(bench_dataset(d, reps));
+    }
+
+    println!(
+        "{:<14} {:>5} {:>3} {:>12} {:>12} {:>10} {:>8}",
+        "dataset", "nodes", "q", "per-class ms", "batched ms", "fit ms", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>5} {:>3} {:>12.3} {:>12.3} {:>10.3} {:>7.2}x",
+            r.name,
+            r.nodes,
+            r.classes,
+            r.per_class_ms,
+            r.batch_ms,
+            r.fit_ms,
+            r.speedup()
+        );
+    }
+
+    let json = render_json(&rows, smoke, reps);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        die(&format!("writing {out_path}: {e}"));
+    }
+    println!("wrote {out_path}");
+}

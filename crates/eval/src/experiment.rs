@@ -86,19 +86,18 @@ impl SweepResult {
 
 /// Runs the sweep: for every fraction and trial, draws one stratified
 /// split shared by all methods (paired comparison, as in the paper) and
-/// evaluates the chosen metric on the held-out nodes. Trials run in
-/// parallel on scoped threads.
+/// evaluates the chosen metric on the held-out nodes. Trials run on the
+/// process-wide bounded solver pool ([`tmark::pool`]), so a sweep layered
+/// above per-class fits never exceeds the pool's thread cap. A trial whose
+/// method panics is recorded as a failure for every method in that trial —
+/// reported in [`Cell::failures`], never aborting the sweep.
 pub fn run_sweep(hin: &Hin, methods: &[Box<dyn Method>], config: &SweepConfig) -> SweepResult {
     let mut rows = Vec::with_capacity(config.fractions.len());
     for (fi, &fraction) in config.fractions.iter().enumerate() {
-        // scores[trial][method] = Result<metric value>
-        let mut trial_outcomes: Vec<Vec<Result<f64, String>>> =
-            (0..config.trials).map(|_| Vec::new()).collect();
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(config.trials);
-            for t in 0..config.trials {
+        let tasks: Vec<_> = (0..config.trials)
+            .map(|t| {
                 let seed = config.base_seed + 1000 * fi as u64 + t as u64;
-                handles.push(scope.spawn(move |_| {
+                move || {
                     let (train, test) = tmark_datasets::stratified_split(hin, fraction, seed);
                     methods
                         .iter()
@@ -115,13 +114,23 @@ pub fn run_sweep(hin: &Hin, methods: &[Box<dyn Method>], config: &SweepConfig) -
                                 })
                         })
                         .collect::<Vec<_>>()
-                }));
-            }
-            for (t, h) in handles.into_iter().enumerate() {
-                trial_outcomes[t] = h.join().expect("trial thread panicked");
-            }
-        })
-        .expect("crossbeam scope panicked");
+                }
+            })
+            .collect();
+        // trial_outcomes[trial][method] = Result<metric value>
+        let trial_outcomes: Vec<Vec<Result<f64, String>>> = tmark::pool::run_tasks(tasks)
+            .into_iter()
+            .map(|outcome| match outcome {
+                Ok(per_method) => per_method,
+                Err(payload) => {
+                    let msg = format!(
+                        "trial panicked: {}",
+                        tmark::pool::panic_message(payload.as_ref())
+                    );
+                    methods.iter().map(|_| Err(msg.clone())).collect()
+                }
+            })
+            .collect();
 
         let mut cells = Vec::with_capacity(methods.len());
         for mi in 0..methods.len() {
@@ -152,9 +161,10 @@ pub fn run_sweep(hin: &Hin, methods: &[Box<dyn Method>], config: &SweepConfig) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::methods::{IcaMethod, TMarkMethod};
+    use crate::methods::{IcaMethod, Method, TMarkMethod};
     use tmark::TMarkConfig;
     use tmark_datasets::dblp::dblp_with_size;
+    use tmark_linalg::DenseMatrix;
 
     fn quick_config() -> SweepConfig {
         SweepConfig {
@@ -205,6 +215,36 @@ mod tests {
         let a = run_sweep(&hin, &methods, &quick_config());
         let b = run_sweep(&hin, &methods, &quick_config());
         assert_eq!(a.rows[0][0].mean, b.rows[0][0].mean);
+    }
+
+    /// A method whose `score` panics outright (worse than returning
+    /// `Err`), modelling a solver assertion tripping inside a trial.
+    struct PanickingMethod;
+
+    impl Method for PanickingMethod {
+        fn name(&self) -> &'static str {
+            "Panics"
+        }
+        fn score(&self, _hin: &Hin, _train: &[usize], seed: u64) -> Result<DenseMatrix, String> {
+            panic!("method exploded on seed {seed}");
+        }
+    }
+
+    #[test]
+    fn a_panicking_method_becomes_failed_cells_not_an_abort() {
+        let hin = dblp_with_size(60, 3);
+        let methods: Vec<Box<dyn Method>> = vec![Box::new(IcaMethod), Box::new(PanickingMethod)];
+        let config = quick_config();
+        let result = run_sweep(&hin, &methods, &config);
+        assert_eq!(result.rows.len(), config.fractions.len());
+        for row in &result.rows {
+            // The panic poisons its whole trial, so every method records
+            // the trial as failed — reported, never silently dropped.
+            for cell in row {
+                assert_eq!(cell.failures, config.trials);
+                assert_eq!(cell.mean, 0.0);
+            }
+        }
     }
 
     #[test]

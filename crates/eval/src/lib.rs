@@ -10,8 +10,8 @@
 //!   multi-label support.
 //! - [`methods`]: every compared method (T-Mark, TensorRrCc, GI, HN, Hcc,
 //!   Hcc-ss, wvRN+RL, EMR, ICA) behind one [`methods::Method`] trait.
-//! - [`experiment`]: the sweep runner (parallel over trials) producing
-//!   mean ± std per cell.
+//! - [`experiment`]: the sweep runner (parallel over trials on the
+//!   bounded [`tmark::pool`]) producing mean ± std per cell.
 //! - [`tables`]: plain-text and CSV renderings in the layout of the
 //!   paper's tables, used by the `repro` binary and EXPERIMENTS.md.
 //! - [`reports`]: confusion matrices, per-class recall, and

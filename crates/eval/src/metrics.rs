@@ -30,8 +30,15 @@ pub fn multi_label_predictions(scores: &DenseMatrix, theta: f64) -> Vec<Vec<usiz
     (0..scores.rows())
         .map(|v| {
             let row = scores.row(v);
-            let max = row.iter().fold(0.0_f64, |m, &x| m.max(x));
-            if max <= 0.0 {
+            tmark_sparse_tensor::debug_assert_finite_nonnegative!(row, "multi-label score row");
+            // `total_cmp` propagates a NaN score into `max` (instead of
+            // silently masking it as `f64::max` would), and the guard
+            // below then yields no predictions for the poisoned row.
+            let max =
+                row.iter()
+                    .copied()
+                    .fold(0.0_f64, |m, x| if x.total_cmp(&m).is_gt() { x } else { m });
+            if max.is_nan() || max <= 0.0 {
                 return Vec::new();
             }
             row.iter()
@@ -69,8 +76,16 @@ pub fn multi_label_predictions_per_class_pooled(
     let q = scores.cols();
     let mut col_max = vec![0.0_f64; q];
     for &v in pool {
-        for (c, &x) in scores.row(v).iter().enumerate() {
-            col_max[c] = col_max[c].max(x);
+        let row = scores.row(v);
+        tmark_sparse_tensor::debug_assert_finite_nonnegative!(row, "pooled score row");
+        for (c, &x) in row.iter().enumerate() {
+            // `total_cmp` propagates NaN into `col_max[c]`; the
+            // `col_max[c] > 0.0` filter below is then false for that
+            // class, so a poisoned column predicts nothing instead of
+            // inheriting whatever finite maximum `f64::max` kept.
+            if x.total_cmp(&col_max[c]).is_gt() {
+                col_max[c] = x;
+            }
         }
     }
     (0..n)

@@ -1,0 +1,46 @@
+//! The process-wide solver-thread cap must hold even when a sweep
+//! (parallel over trials) nests per-class fits (parallel over class
+//! groups) underneath it.
+//!
+//! This lives in its own integration-test binary on purpose: the pool's
+//! cap override and peak-worker gauge are process-global, so sharing a
+//! process with other tests that also exercise the pool would race the
+//! gauge and make the assertion flaky.
+
+use tmark::{pool, TMarkConfig};
+use tmark_datasets::dblp::dblp_with_size;
+use tmark_eval::experiment::{run_sweep, SweepConfig, SweepMetric};
+use tmark_eval::methods::{Method, TMarkMethod};
+
+#[test]
+fn nested_sweep_never_exceeds_the_thread_cap() {
+    const CAP: usize = 3;
+    pool::set_thread_cap(Some(CAP));
+    pool::reset_peak_workers();
+
+    // 6 trials × 3 classes: the old design would have run up to 18 live
+    // solver threads here.
+    let hin = dblp_with_size(80, 3);
+    let methods: Vec<Box<dyn Method>> = vec![Box::new(TMarkMethod {
+        config: TMarkConfig::default(),
+    })];
+    let config = SweepConfig {
+        fractions: vec![0.2, 0.5],
+        trials: 6,
+        metric: SweepMetric::Accuracy,
+        base_seed: 7,
+    };
+    let result = run_sweep(&hin, &methods, &config);
+
+    for row in &result.rows {
+        for cell in row {
+            assert_eq!(cell.failures, 0);
+            assert!(cell.mean > 0.0);
+        }
+    }
+    let peak = pool::peak_workers();
+    assert!(peak >= 1, "the pool never ran anything");
+    assert!(peak <= CAP, "peak live workers {peak} exceeded cap {CAP}");
+
+    pool::set_thread_cap(None);
+}

@@ -189,6 +189,40 @@ impl DenseMatrix {
         Ok(())
     }
 
+    /// Block matrix–vector product `Y = A X` over column-major blocks:
+    /// `xs` holds `q` input columns of length `cols` (`xs[c·cols ..
+    /// (c+1)·cols]`), `ys` receives `q` output columns of length `rows`.
+    ///
+    /// One pass over the rows of `A` serves all `q` columns (each row stays
+    /// cache-resident across the inner class loop); every output cell is
+    /// the same Kahan-compensated [`vector::dot`] that
+    /// [`DenseMatrix::matvec_into`] computes, so each column is bit-for-bit
+    /// identical to the single-vector product.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] on wrong block lengths.
+    pub fn matvec_multi_into(
+        &self,
+        xs: &[f64],
+        q: usize,
+        ys: &mut [f64],
+    ) -> Result<(), LinalgError> {
+        if xs.len() != self.cols * q || ys.len() != self.rows * q {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec_multi",
+                expected: (self.rows * q, self.cols * q),
+                found: (ys.len(), xs.len()),
+            });
+        }
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for c in 0..q {
+                ys[c * self.rows + r] = vector::dot(row, &xs[c * self.cols..(c + 1) * self.cols]);
+            }
+        }
+        Ok(())
+    }
+
     /// Transposed matrix–vector product `y = Aᵀ x`.
     pub fn matvec_transpose(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
         if x.len() != self.rows {
@@ -461,5 +495,21 @@ mod tests {
     #[test]
     fn frobenius_norm_of_identity() {
         assert!((DenseMatrix::identity(4).frobenius_norm() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_multi_matches_per_column_bitwise() {
+        let m = sample(); // 3 x 2
+        let q = 4;
+        let xs: Vec<f64> = (0..2 * q).map(|i| (i as f64) * 0.37 - 1.0).collect();
+        let mut ys = vec![f64::NAN; 3 * q];
+        m.matvec_multi_into(&xs, q, &mut ys).unwrap();
+        for c in 0..q {
+            let mut single = vec![0.0; 3];
+            m.matvec_into(&xs[c * 2..(c + 1) * 2], &mut single).unwrap();
+            assert_eq!(&ys[c * 3..(c + 1) * 3], single.as_slice(), "column {c}");
+        }
+        assert!(m.matvec_multi_into(&xs, q, &mut [0.0; 4]).is_err());
+        assert!(m.matvec_multi_into(&xs[..5], q, &mut ys).is_err());
     }
 }

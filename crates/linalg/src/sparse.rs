@@ -210,6 +210,62 @@ impl SparseMatrix {
         Ok(())
     }
 
+    /// Block matrix–vector product `Y = A X` over column-major blocks
+    /// (`q` input columns of length `cols` in `xs`, `q` output columns of
+    /// length `rows` in `ys`), accounting for uniform dangling columns
+    /// exactly as [`SparseMatrix::matvec_into`] does.
+    ///
+    /// One pass over the row structure serves all `q` columns; per column
+    /// the accumulation order (row entries in CSR order, then the
+    /// Kahan-compensated dangling mass) matches the single-vector product,
+    /// so each output column is bit-for-bit identical to it.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] on wrong block lengths.
+    pub fn matvec_multi_into(
+        &self,
+        xs: &[f64],
+        q: usize,
+        ys: &mut [f64],
+    ) -> Result<(), LinalgError> {
+        if xs.len() != self.cols * q || ys.len() != self.rows * q {
+            return Err(LinalgError::DimensionMismatch {
+                op: "sparse matvec_multi",
+                expected: (self.rows * q, self.cols * q),
+                found: (ys.len(), xs.len()),
+            });
+        }
+        for r in 0..self.rows {
+            for c in 0..q {
+                let x = &xs[c * self.cols..(c + 1) * self.cols];
+                let mut acc = crate::kahan::KahanAccumulator::new();
+                for (col, v) in self.row_iter(r) {
+                    acc.add(v * x[col]);
+                }
+                ys[c * self.rows + r] = acc.total();
+            }
+        }
+        if self.uniform_dangling && self.rows > 0 {
+            for c in 0..q {
+                let x = &xs[c * self.cols..(c + 1) * self.cols];
+                let mut dangling_mass = crate::kahan::KahanAccumulator::new();
+                for (&d, &xc) in self.dangling_cols.iter().zip(x) {
+                    if d {
+                        dangling_mass.add(xc);
+                    }
+                }
+                let mass = dangling_mass.total();
+                if mass != 0.0 {
+                    let share = mass / self.rows as f64;
+                    for yr in ys[c * self.rows..(c + 1) * self.rows].iter_mut() {
+                        *yr += share;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Transposed product `y = Aᵀ x` (dangling handling not applied; the
     /// transpose of a column-stochastic matrix is used only for aggregation,
     /// not as a transition operator).
@@ -486,5 +542,24 @@ mod tests {
         let m = SparseMatrix::from_triplets(1, 4, &[(0, 3, 1.0), (0, 1, 2.0)]).unwrap();
         let cols: Vec<usize> = m.row_iter(0).map(|(c, _)| c).collect();
         assert_eq!(cols, vec![1, 3]);
+    }
+
+    #[test]
+    fn matvec_multi_matches_per_column_bitwise() {
+        // Includes a dangling column so the uniform-mass path is covered.
+        let mut m =
+            SparseMatrix::from_triplets(3, 3, &[(0, 0, 2.0), (1, 0, 1.0), (2, 2, 4.0)]).unwrap();
+        m.normalize_columns_stochastic();
+        let q = 3;
+        let xs: Vec<f64> = (0..3 * q).map(|i| (i % 5) as f64 / 10.0).collect();
+        let mut ys = vec![f64::NAN; 3 * q];
+        m.matvec_multi_into(&xs, q, &mut ys).unwrap();
+        for c in 0..q {
+            let mut single = vec![0.0; 3];
+            m.matvec_into(&xs[c * 3..(c + 1) * 3], &mut single).unwrap();
+            assert_eq!(&ys[c * 3..(c + 1) * 3], single.as_slice(), "column {c}");
+        }
+        assert!(m.matvec_multi_into(&xs, q, &mut [0.0; 4]).is_err());
+        assert!(m.matvec_multi_into(&xs[..4], q, &mut ys).is_err());
     }
 }

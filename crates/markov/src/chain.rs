@@ -30,7 +30,14 @@ pub struct ConvergenceReport {
     /// Whether the `epsilon` threshold was reached before the cap.
     pub converged: bool,
     /// Residual after every iteration (the paper's Fig. 10 series).
+    /// Producers may cap the recorded length; see
+    /// [`ConvergenceReport::trace_truncated`].
     pub residual_trace: Vec<f64>,
+    /// Number of residuals dropped from the head-recorded
+    /// `residual_trace` because the producer's trace capacity was
+    /// exhausted (0 when the trace is complete). `iterations` always
+    /// counts every iteration performed, recorded or not.
+    pub trace_truncated: usize,
 }
 
 /// Computes the stationary distribution of a column-stochastic matrix by
@@ -82,6 +89,7 @@ pub fn power_iteration(
             final_residual: residual,
             converged,
             residual_trace: trace,
+            trace_truncated: 0,
         },
     ))
 }

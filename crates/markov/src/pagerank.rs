@@ -90,6 +90,7 @@ pub fn random_walk_with_restart(
             final_residual: residual,
             converged,
             residual_trace: trace,
+            trace_truncated: 0,
         },
     ))
 }

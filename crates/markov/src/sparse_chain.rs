@@ -68,6 +68,7 @@ pub fn sparse_power_iteration(
             final_residual: residual,
             converged,
             residual_trace: trace,
+            trace_truncated: 0,
         },
     ))
 }
@@ -119,6 +120,7 @@ pub fn sparse_random_walk_with_restart(
             final_residual: residual,
             converged,
             residual_trace: trace,
+            trace_truncated: 0,
         },
     ))
 }

@@ -340,6 +340,144 @@ impl StochasticTensors {
         Ok(z)
     }
 
+    /// Batched `O` contraction: `ys[:, c] = O ×̄₁ xs[:, c] ×̄₃ zs[:, c]` for
+    /// `q` classes at once. `xs`/`ys` are column-major `n × q` blocks
+    /// (class `c` occupies `xs[c·n .. (c+1)·n]`) and `zs` is a column-major
+    /// `m × q` block.
+    ///
+    /// One pass over the stored entries serves all `q` classes — the
+    /// cache-locality win over `q` independent [`contract_o_into`] calls —
+    /// while the per-class summation order is exactly that of
+    /// [`contract_o_into`] (entries in storage order, then the analytic
+    /// dangling correction), so each output column is bit-for-bit identical
+    /// to the single-class kernel on the same operands.
+    ///
+    /// [`contract_o_into`]: StochasticTensors::contract_o_into
+    ///
+    /// # Errors
+    /// [`TensorError::VectorLengthMismatch`] on wrong block lengths.
+    pub fn contract_o_multi_into(
+        &self,
+        xs: &[f64],
+        zs: &[f64],
+        ys: &mut [f64],
+        q: usize,
+    ) -> Result<(), TensorError> {
+        let (n, m) = (self.n, self.m);
+        if xs.len() != n * q {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "xs",
+                expected: n * q,
+                found: xs.len(),
+            });
+        }
+        if zs.len() != m * q {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "zs",
+                expected: m * q,
+                found: zs.len(),
+            });
+        }
+        if ys.len() != n * q {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "ys",
+                expected: n * q,
+                found: ys.len(),
+            });
+        }
+        ys.fill(0.0);
+        for e in &self.entries {
+            let (i, j, k) = (e.i as usize, e.j as usize, e.k as usize);
+            let o = e.o;
+            for c in 0..q {
+                ys[c * n + i] += o * xs[c * n + j] * zs[c * m + k];
+            }
+        }
+        for c in 0..q {
+            let x = &xs[c * n..(c + 1) * n];
+            let z = &zs[c * m..(c + 1) * m];
+            let total_mass = kahan_sum(x) * kahan_sum(z);
+            let present_mass = kahan_map_sum(&self.present_columns, |&(j, k)| {
+                x[j as usize] * z[k as usize]
+            });
+            let dangling = total_mass - present_mass;
+            if dangling != 0.0 {
+                let share = dangling / n as f64;
+                for yi in ys[c * n..(c + 1) * n].iter_mut() {
+                    *yi += share;
+                }
+            }
+            self.debug_verify_simplex_preserved(
+                &[x, z],
+                &ys[c * n..(c + 1) * n],
+                "batched O ×̄₁ x ×̄₃ z (Theorem 1)",
+            );
+        }
+        Ok(())
+    }
+
+    /// Batched `R` contraction: `zs[:, c] = R ×̄₁ xs[:, c] ×̄₂ xs[:, c]` for
+    /// `q` classes at once, over column-major `n × q` / `m × q` blocks.
+    /// One pass over the stored entries serves all classes; each output
+    /// column is bit-for-bit identical to [`contract_r_into`] on the same
+    /// operand (same entry order, same Kahan-compensated dangling
+    /// correction).
+    ///
+    /// [`contract_r_into`]: StochasticTensors::contract_r_into
+    ///
+    /// # Errors
+    /// [`TensorError::VectorLengthMismatch`] on wrong block lengths.
+    pub fn contract_r_multi_into(
+        &self,
+        xs: &[f64],
+        zs: &mut [f64],
+        q: usize,
+    ) -> Result<(), TensorError> {
+        let (n, m) = (self.n, self.m);
+        if xs.len() != n * q {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "xs",
+                expected: n * q,
+                found: xs.len(),
+            });
+        }
+        if zs.len() != m * q {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "zs",
+                expected: m * q,
+                found: zs.len(),
+            });
+        }
+        zs.fill(0.0);
+        for e in &self.entries {
+            let (i, j, k) = (e.i as usize, e.j as usize, e.k as usize);
+            let r = e.r;
+            for c in 0..q {
+                zs[c * m + k] += r * xs[c * n + i] * xs[c * n + j];
+            }
+        }
+        for c in 0..q {
+            let x = &xs[c * n..(c + 1) * n];
+            let sum_x = kahan_sum(x);
+            let total_mass = sum_x * sum_x;
+            let present_mass =
+                kahan_map_sum(&self.present_pairs, |&(i, j)| x[i as usize] * x[j as usize]);
+            let dangling = total_mass - present_mass;
+            if dangling != 0.0 {
+                let share = dangling / m as f64;
+                for zk in zs[c * m..(c + 1) * m].iter_mut() {
+                    *zk += share;
+                }
+            }
+            self.debug_verify_simplex_preserved(
+                &[x],
+                &zs[c * m..(c + 1) * m],
+                "batched R ×̄₁ x ×̄₂ x (Theorem 1)",
+            );
+        }
+        Ok(())
+    }
+
     /// The two-vector relation contraction
     /// `z_k = Σ_{i,j} r_{i,j,k} · u_i · v_j` with the same analytic
     /// dangling handling as [`StochasticTensors::contract_r_into`].
@@ -654,5 +792,67 @@ mod tests {
         assert_eq!(s.nnz(), t.nnz());
         assert_eq!(s.num_nodes(), 4);
         assert_eq!(s.num_relations(), 3);
+    }
+
+    /// A handful of distinct simplex points for the batched-kernel tests.
+    fn simplex_columns(len: usize, q: usize) -> Vec<f64> {
+        let mut block = Vec::with_capacity(len * q);
+        for c in 0..q {
+            let mut col: Vec<f64> = (0..len).map(|i| ((c * len + i) % 7 + 1) as f64).collect();
+            assert!(tmark_linalg::vector::normalize_sum_to_one(&mut col));
+            block.extend_from_slice(&col);
+        }
+        block
+    }
+
+    #[test]
+    fn contract_o_multi_matches_per_class_bitwise() {
+        let (_, s) = example();
+        let (n, m, q) = (4, 3, 5);
+        let xs = simplex_columns(n, q);
+        let zs = simplex_columns(m, q);
+        let mut ys = vec![f64::NAN; n * q];
+        s.contract_o_multi_into(&xs, &zs, &mut ys, q).unwrap();
+        for c in 0..q {
+            let single = s
+                .contract_o(&xs[c * n..(c + 1) * n], &zs[c * m..(c + 1) * m])
+                .unwrap();
+            assert_eq!(&ys[c * n..(c + 1) * n], single.as_slice(), "class {c}");
+        }
+    }
+
+    #[test]
+    fn contract_r_multi_matches_per_class_bitwise() {
+        let (_, s) = example();
+        let (n, m, q) = (4, 3, 5);
+        let xs = simplex_columns(n, q);
+        let mut zs = vec![f64::NAN; m * q];
+        s.contract_r_multi_into(&xs, &mut zs, q).unwrap();
+        for c in 0..q {
+            let single = s.contract_r(&xs[c * n..(c + 1) * n]).unwrap();
+            assert_eq!(&zs[c * m..(c + 1) * m], single.as_slice(), "class {c}");
+        }
+    }
+
+    #[test]
+    fn multi_contractions_accept_zero_classes_and_reject_bad_shapes() {
+        let (_, s) = example();
+        let mut empty: [f64; 0] = [];
+        s.contract_o_multi_into(&[], &[], &mut empty, 0).unwrap();
+        s.contract_r_multi_into(&[], &mut empty, 0).unwrap();
+        let err = s
+            .contract_o_multi_into(&[0.5; 4], &[0.5; 3], &mut [0.0; 4], 2)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TensorError::VectorLengthMismatch { operand: "xs", .. }
+        ));
+        let err = s
+            .contract_r_multi_into(&[0.25; 8], &mut [0.0; 3], 2)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TensorError::VectorLengthMismatch { operand: "zs", .. }
+        ));
     }
 }

@@ -63,15 +63,18 @@
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+pub mod batch;
 pub mod config;
 pub mod explain;
 pub mod link_prediction;
 pub mod model;
 pub mod multirank;
+pub mod pool;
 pub mod ranking;
 pub mod restart;
 pub mod solver;
 
+pub use batch::{BatchSolver, BatchWorkspace};
 pub use config::{ConfigError, TMarkConfig};
 pub use explain::{channel_shares, explain_class, Explanation};
 pub use link_prediction::{link_score, top_missing_links, LinkCandidate};

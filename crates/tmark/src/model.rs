@@ -11,7 +11,7 @@ use tmark_markov::ConvergenceReport;
 
 use crate::config::{ConfigError, TMarkConfig};
 use crate::ranking::LinkRanking;
-use crate::solver::{solve_class_from, FeatureWalk, SolverWorkspace};
+use crate::solver::FeatureWalk;
 
 /// How to materialize the feature-walk operator `W`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +35,15 @@ pub enum FitError {
     TrainNodeOutOfRange(usize),
     /// A training node carries no ground-truth label.
     TrainNodeUnlabeled(usize),
+    /// The solver for this class panicked (e.g. a poisoned iterate tripped
+    /// a Theorem-1 assertion). The panic is caught on the worker so one
+    /// bad class degrades into this error instead of aborting a sweep.
+    ClassSolveFailed(usize),
+    /// [`FeatureWalkMode::Knn`] was requested together with a similarity
+    /// metric the kNN builder does not support (cosine only). Use
+    /// [`FeatureWalkMode::Dense`] (or [`FeatureWalkMode::Auto`], which
+    /// falls back to the dense construction for non-cosine metrics).
+    KnnUnsupportedMetric(SimilarityMetric),
 }
 
 impl fmt::Display for FitError {
@@ -45,6 +54,16 @@ impl fmt::Display for FitError {
             FitError::TrainNodeOutOfRange(v) => write!(f, "training node {v} out of range"),
             FitError::TrainNodeUnlabeled(v) => {
                 write!(f, "training node {v} has no ground-truth label")
+            }
+            FitError::ClassSolveFailed(c) => {
+                write!(f, "the solver for class {c} panicked")
+            }
+            FitError::KnnUnsupportedMetric(m) => {
+                write!(
+                    f,
+                    "FeatureWalkMode::Knn supports cosine similarity only (got {m:?}); \
+                     use FeatureWalkMode::Dense or SimilarityMetric::Cosine"
+                )
             }
         }
     }
@@ -124,8 +143,14 @@ impl TMarkResult {
     /// `theta = 1` reduces to the argmax set).
     pub fn predict_multi(&self, node: usize, theta: f64) -> Vec<usize> {
         let row = self.confidences.row(node);
-        let max = row.iter().fold(0.0_f64, |m, &v| m.max(v));
-        if max <= 0.0 {
+        // Confidences are stationary probabilities; a NaN here is solver
+        // corruption that `f64::max` folding would silently swallow.
+        tmark_sparse_tensor::debug_assert_finite_nonnegative!(row, "node confidence row");
+        let max =
+            row.iter()
+                .copied()
+                .fold(0.0_f64, |m, v| if v.total_cmp(&m).is_gt() { v } else { m });
+        if max.is_nan() || max <= 0.0 {
             return Vec::new();
         }
         row.iter()
@@ -205,7 +230,11 @@ impl TMarkModel {
 
     /// Overrides the node-similarity metric used to build `W` (Section
     /// 4.2 defaults to cosine). The kNN sparsification currently supports
-    /// cosine only, so a non-cosine metric forces the dense construction.
+    /// cosine only: under [`FeatureWalkMode::Auto`] a non-cosine metric
+    /// falls back to the dense construction, while an explicit
+    /// [`FeatureWalkMode::Knn`] with a non-cosine metric is rejected at
+    /// fit time with [`FitError::KnnUnsupportedMetric`] rather than
+    /// silently ignoring the requested `k`.
     pub fn with_similarity(mut self, metric: SimilarityMetric) -> Self {
         self.similarity = metric;
         self
@@ -216,27 +245,35 @@ impl TMarkModel {
         &self.config
     }
 
-    fn build_feature_walk(&self, hin: &Hin) -> FeatureWalk {
+    fn build_feature_walk(&self, hin: &Hin) -> Result<FeatureWalk, FitError> {
         const AUTO_DENSE_LIMIT: usize = 2048;
         const AUTO_KNN: usize = 64;
         let dense = |metric| {
             FeatureWalk::from_dense(feature_transition_matrix_with(hin.features(), metric))
         };
         match (self.feature_walk_mode, self.similarity) {
-            (FeatureWalkMode::Knn(k), SimilarityMetric::Cosine) => {
-                FeatureWalk::from_sparse(knn_feature_transition_matrix(hin.features(), k))
-            }
+            (FeatureWalkMode::Knn(k), SimilarityMetric::Cosine) => Ok(FeatureWalk::from_sparse(
+                knn_feature_transition_matrix(hin.features(), k),
+            )),
+            // An explicit kNN request with a metric the kNN builder cannot
+            // honour must not silently drop the user's `k`.
+            (FeatureWalkMode::Knn(_), metric) => Err(FitError::KnnUnsupportedMetric(metric)),
             (FeatureWalkMode::Auto, SimilarityMetric::Cosine)
                 if hin.num_nodes() > AUTO_DENSE_LIMIT =>
             {
-                FeatureWalk::from_sparse(knn_feature_transition_matrix(hin.features(), AUTO_KNN))
+                Ok(FeatureWalk::from_sparse(knn_feature_transition_matrix(
+                    hin.features(),
+                    AUTO_KNN,
+                )))
             }
-            (_, metric) => dense(metric),
+            (_, metric) => Ok(dense(metric)),
         }
     }
 
-    /// Fits the model: runs Algorithm 1 once per class, in parallel, using
-    /// only the labels of `train_nodes` as supervision.
+    /// Fits the model: runs Algorithm 1 for every class, batched into
+    /// lockstep groups on the bounded solver pool (see [`crate::pool`]),
+    /// using only the labels of `train_nodes` as supervision. The batched
+    /// runs are bit-identical to solving each class on its own.
     ///
     /// # Errors
     /// [`FitError`] on invalid configuration or training sets; see the
@@ -288,7 +325,7 @@ impl TMarkModel {
         let q = hin.num_classes();
         let m = hin.num_link_types();
         let stoch = hin.stochastic_tensors();
-        let w = self.build_feature_walk(hin);
+        let w = self.build_feature_walk(hin)?;
 
         // Per-class seed sets from the visible training labels.
         let mut seeds: Vec<Vec<usize>> = vec![Vec::new(); q];
@@ -302,12 +339,17 @@ impl TMarkModel {
             s.dedup();
         }
 
-        // Independent class runs on scoped threads (the paper's O(qTD)
-        // cost is embarrassingly parallel over q).
+        // Batched class runs on the bounded pool: the classes are split
+        // into at most `pool::thread_cap()` groups, each solved lockstep by
+        // one BatchSolver pass (the paper's O(qTD) cost is embarrassingly
+        // parallel over q, but one pass over the tensor nnz now serves a
+        // whole group). When the pool has no free permits — e.g. inside a
+        // sweep already running at the cap — the groups simply run inline
+        // on the calling thread, so nesting never exceeds the cap.
         let config = self.config;
         // Per-class warm starts from the previous result, when its shape
-        // matches this network (computed outside the thread scope so the
-        // borrows outlive the spawned workers).
+        // matches this network (computed up front so the borrows outlive
+        // the pool workers).
         let warm: Vec<Option<(Vec<f64>, Vec<f64>)>> = (0..q)
             .map(|c| {
                 previous.and_then(|p| {
@@ -321,35 +363,59 @@ impl TMarkModel {
                 })
             })
             .collect();
+        let group_count = q.min(crate::pool::thread_cap()).max(1);
+        let groups: Vec<Vec<usize>> = (0..group_count)
+            .map(|g| (g..q).step_by(group_count).collect())
+            .collect();
+        let solver = crate::batch::BatchSolver::new(&stoch, &w, config);
+        let tasks: Vec<_> = groups
+            .iter()
+            .map(|group| {
+                let seeds = &seeds;
+                let warm = &warm;
+                move || {
+                    let mut ws = crate::batch::BatchWorkspace::default();
+                    solver.solve(group, seeds, warm, &mut ws)
+                }
+            })
+            .collect();
+        let group_results = crate::pool::run_tasks(tasks);
+
         let mut outputs: Vec<Option<crate::solver::ClassStationary>> =
             (0..q).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(q);
-            for (c, seed) in seeds.iter().enumerate() {
-                let stoch = &stoch;
-                let w = &w;
-                let warm_c = &warm[c];
-                handles.push(scope.spawn(move |_| {
-                    let mut ws = SolverWorkspace::default();
-                    let warm_ref = warm_c.as_ref().map(|(x, z)| (x.as_slice(), z.as_slice()));
-                    (
-                        c,
-                        solve_class_from(c, stoch, w, seed, &config, &mut ws, warm_ref),
-                    )
-                }));
+        for (group, result) in groups.iter().zip(group_results) {
+            match result {
+                Ok(solved) => {
+                    for out in solved {
+                        let c = out.class_id;
+                        outputs[c] = Some(out);
+                    }
+                }
+                Err(_) => {
+                    // The lockstep batch for this group panicked. Re-run
+                    // its classes one at a time to attribute the failure
+                    // to the poisoned class; healthy classmates still
+                    // produce their solutions.
+                    for &c in group {
+                        let warm_ref = warm[c].as_ref().map(|(x, z)| (x.as_slice(), z.as_slice()));
+                        match crate::batch::solve_class_caught(
+                            c, &stoch, &w, &seeds[c], &config, warm_ref,
+                        ) {
+                            Ok(out) => outputs[c] = Some(out),
+                            Err(()) => return Err(FitError::ClassSolveFailed(c)),
+                        }
+                    }
+                }
             }
-            for h in handles {
-                let (c, out) = h.join().expect("class solver thread panicked");
-                outputs[c] = Some(out);
-            }
-        })
-        .expect("crossbeam scope panicked");
+        }
 
         let mut confidences = DenseMatrix::zeros(n, q);
         let mut link_scores = DenseMatrix::zeros(m, q);
         let mut reports = Vec::with_capacity(q);
         for (c, out) in outputs.into_iter().enumerate() {
-            let out = out.expect("every class was solved");
+            let Some(out) = out else {
+                return Err(FitError::ClassSolveFailed(c));
+            };
             for (i, &xi) in out.x.iter().enumerate() {
                 confidences.set(i, c, xi);
             }
@@ -528,6 +594,38 @@ mod tests {
         for v in 0..8 {
             assert_eq!(dense.predict_single(v), knn.predict_single(v), "node {v}");
         }
+    }
+
+    #[test]
+    fn knn_with_non_cosine_metric_is_rejected() {
+        let hin = two_community_hin();
+        for metric in [
+            SimilarityMetric::Jaccard,
+            SimilarityMetric::Gaussian { sigma: 0.5 },
+            SimilarityMetric::Hamming,
+        ] {
+            let err = TMarkModel::new(TMarkConfig::default())
+                .with_feature_walk(FeatureWalkMode::Knn(4))
+                .with_similarity(metric)
+                .fit(&hin, &[0, 4])
+                .unwrap_err();
+            assert_eq!(err, FitError::KnnUnsupportedMetric(metric));
+            // The message names the escape hatches.
+            let msg = err.to_string();
+            assert!(msg.contains("cosine"), "unhelpful message: {msg}");
+            assert!(msg.contains("Dense"), "unhelpful message: {msg}");
+        }
+    }
+
+    #[test]
+    fn auto_mode_with_non_cosine_metric_falls_back_to_dense() {
+        // Auto + non-cosine is a documented dense fallback, not an error.
+        let hin = two_community_hin();
+        let result = TMarkModel::new(TMarkConfig::default())
+            .with_similarity(SimilarityMetric::Gaussian { sigma: 0.5 })
+            .fit(&hin, &[0, 4])
+            .unwrap();
+        assert_eq!(result.num_classes(), 2);
     }
 
     #[test]

@@ -98,6 +98,7 @@ pub fn multirank(stoch: &StochasticTensors, config: &MultiRankConfig) -> MultiRa
             final_residual: residual,
             converged: residual < config.epsilon,
             residual_trace: trace,
+            trace_truncated: 0,
         },
     }
 }
@@ -187,6 +188,7 @@ pub fn har(stoch: &StochasticTensors, config: &MultiRankConfig) -> HarResult {
             final_residual: residual,
             converged: residual < config.epsilon,
             residual_trace: trace,
+            trace_truncated: 0,
         },
     }
 }

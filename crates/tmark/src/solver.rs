@@ -104,6 +104,42 @@ impl FeatureWalk {
         }
     }
 
+    /// Batched `Y = W X` over column-major `n × q` blocks (`xs[c·n ..
+    /// (c+1)·n]` is class `c`'s iterate), written into a caller-provided
+    /// block of the same shape. One pass over `W` serves all classes; per
+    /// column the result is bit-for-bit identical to
+    /// [`FeatureWalk::apply_into`] on that column.
+    ///
+    /// In debug builds every input column on the probability simplex must
+    /// map onto the simplex, as in [`FeatureWalk::apply_into`].
+    pub fn apply_multi_into(&self, xs: &[f64], q: usize, ys: &mut [f64]) {
+        match &self.repr {
+            WalkRepr::Dense(w) => w
+                .matvec_multi_into(xs, q, ys)
+                .expect("W shape fixed at construction"),
+            WalkRepr::Sparse(w) => w
+                .matvec_multi_into(xs, q, ys)
+                .expect("W shape fixed at construction"),
+        }
+        if cfg!(debug_assertions) {
+            let n = self.len();
+            for c in 0..q {
+                if tmark_sparse_tensor::invariants::simplex_violation(
+                    &xs[c * n..(c + 1) * n],
+                    WALK_TOL,
+                )
+                .is_none()
+                {
+                    tmark_sparse_tensor::debug_assert_simplex!(
+                        &ys[c * n..(c + 1) * n],
+                        WALK_TOL,
+                        "batched feature walk application W X (Eq. 9)"
+                    );
+                }
+            }
+        }
+    }
+
     /// `y = W x` as a freshly allocated vector. Thin wrapper over
     /// [`FeatureWalk::apply_into`], which carries the invariant check; the
     /// `hot-loop-alloc` lint registers `apply` as an allocating call, so
@@ -145,7 +181,16 @@ pub struct SolverWorkspace {
     next_z: Vec<f64>,
     restart: Vec<f64>,
     scratch: RestartScratch,
+    trace: Vec<f64>,
 }
+
+/// Hard cap on the recorded residual-trace length. The capacity is
+/// reserved up front (in the workspace, outside the hot loop) and pushes
+/// beyond the cap are dropped — counted in
+/// [`ConvergenceReport::trace_truncated`] — so an adversarial
+/// `max_iterations` can neither pre-reserve unbounded memory nor trigger a
+/// reallocation inside the iteration loop.
+pub const TRACE_CAP: usize = 4096;
 
 /// Stationary distributions of one class run.
 #[derive(Debug, Clone)]
@@ -236,10 +281,11 @@ pub fn solve_class_from(
     ws.next_x.resize(n, 0.0);
     ws.next_z.resize(m, 0.0);
 
-    // Pre-size the residual trace so `push` never reallocates inside the
-    // loop (capped: an adversarial iteration budget must not pre-reserve
-    // unbounded memory).
-    let mut trace = Vec::with_capacity(config.max_iterations.min(4096));
+    // The trace buffer lives in the workspace and its capacity is reserved
+    // here, outside the loop, so `push` never reallocates inside it.
+    ws.trace.clear();
+    ws.trace.reserve(config.max_iterations.min(TRACE_CAP));
+    let mut trace_truncated = 0usize;
     let mut residual = f64::INFINITY;
     let mut iterations = 0;
     for t in 1..=config.max_iterations {
@@ -283,7 +329,11 @@ pub fn solve_class_from(
         );
 
         residual = vector::l1_distance(&ws.next_x, &ws.x) + vector::l1_distance(&ws.next_z, &ws.z);
-        trace.push(residual);
+        if ws.trace.len() < TRACE_CAP {
+            ws.trace.push(residual);
+        } else {
+            trace_truncated += 1;
+        }
         // Double-buffer flip: the fresh iterate becomes current without a
         // copy; the stale buffer is overwritten next iteration.
         std::mem::swap(&mut ws.x, &mut ws.next_x);
@@ -302,7 +352,8 @@ pub fn solve_class_from(
             iterations,
             final_residual: residual,
             converged,
-            residual_trace: trace,
+            residual_trace: ws.trace.clone(),
+            trace_truncated,
         },
     }
 }
@@ -470,5 +521,37 @@ mod tests {
         let b = solve_class(0, &stoch, &w, &[0], &TMarkConfig::default(), &mut ws);
         assert_eq!(a.x, b.x);
         assert_eq!(a.z, b.z);
+    }
+
+    #[test]
+    fn residual_trace_is_capped_and_truncation_is_reported() {
+        // epsilon = 0 makes `residual < epsilon` unreachable, so the
+        // solver runs its full budget of 5000 iterations — 904 past the
+        // trace cap. The trace must stop growing at TRACE_CAP (no
+        // reallocation in the hot loop) while `iterations` and
+        // `trace_truncated` keep full counts.
+        let (stoch, w) = community_setup();
+        let config = TMarkConfig {
+            epsilon: 0.0,
+            max_iterations: TRACE_CAP + 904,
+            ..TMarkConfig::default()
+        };
+        let mut ws = SolverWorkspace::default();
+        let out = solve_class(0, &stoch, &w, &[0], &config, &mut ws);
+        assert!(!out.report.converged);
+        assert_eq!(out.report.iterations, TRACE_CAP + 904);
+        assert_eq!(out.report.residual_trace.len(), TRACE_CAP);
+        assert_eq!(out.report.trace_truncated, 904);
+        // The head of the trace is recorded normally.
+        assert!(out.report.residual_trace[0].is_finite());
+    }
+
+    #[test]
+    fn short_runs_record_a_complete_trace() {
+        let (stoch, w) = community_setup();
+        let mut ws = SolverWorkspace::default();
+        let out = solve_class(0, &stoch, &w, &[0], &TMarkConfig::default(), &mut ws);
+        assert_eq!(out.report.residual_trace.len(), out.report.iterations);
+        assert_eq!(out.report.trace_truncated, 0);
     }
 }

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use tmark::solver::{solve_class, FeatureWalk, SolverWorkspace};
-use tmark::{TMarkConfig, TMarkModel};
+use tmark::{BatchSolver, BatchWorkspace, TMarkConfig, TMarkModel};
 use tmark_hin::{Hin, HinBuilder};
 use tmark_linalg::similarity::feature_transition_matrix;
 use tmark_linalg::vector::is_stochastic;
@@ -132,6 +132,42 @@ proptest! {
             if report.converged {
                 prop_assert!(report.final_residual < config.epsilon);
             }
+        }
+    }
+
+    #[test]
+    fn batched_solver_matches_per_class_bitwise(
+        (hin, train) in random_hin(),
+        config in valid_config(),
+    ) {
+        // The lockstep batch must reproduce every per-class run bit for
+        // bit: identical stationary vectors, link scores, and convergence
+        // reports — on arbitrary networks and parameter settings.
+        let q = hin.num_classes();
+        let stoch = hin.stochastic_tensors();
+        let w = FeatureWalk::from_dense(feature_transition_matrix(hin.features()));
+        let seeds: Vec<Vec<usize>> = (0..q)
+            .map(|c| {
+                train
+                    .iter()
+                    .copied()
+                    .filter(|&v| hin.labels().has_label(v, c))
+                    .collect()
+            })
+            .collect();
+        let classes: Vec<usize> = (0..q).collect();
+        let batch = BatchSolver::new(&stoch, &w, config).solve(
+            &classes,
+            &seeds,
+            &[],
+            &mut BatchWorkspace::default(),
+        );
+        for (&c, out) in classes.iter().zip(&batch) {
+            let mut ws = SolverWorkspace::default();
+            let seq = solve_class(c, &stoch, &w, &seeds[c], &config, &mut ws);
+            prop_assert_eq!(&out.x, &seq.x, "class {} x diverged", c);
+            prop_assert_eq!(&out.z, &seq.z, "class {} z diverged", c);
+            prop_assert_eq!(&out.report, &seq.report, "class {} report diverged", c);
         }
     }
 
