@@ -3,15 +3,30 @@
 //!
 //! For every dataset preset this measures, at a 30% label fraction:
 //!
+//! - `build_stoch_ms` / `build_w_ms`: one-time model-assembly phases
+//!   (compressed stochastic tensors, cosine feature walk `W`). Both are
+//!   memoized on the immutable [`tmark_hin::Hin`], so only a *cold* fit
+//!   pays them; the fit columns below report the warm steady state
+//!   (min over repetitions) and a cold fit costs roughly their sum on
+//!   top,
 //! - `per_class_ms`: solving each class independently with
 //!   [`tmark::solver::solve_class`] (the pre-batching code path),
 //! - `batch_ms`: one lockstep [`tmark::BatchSolver`] pass over all
 //!   classes (one sweep of the tensor nnz serves every class),
-//! - `fit_ms`: the full [`tmark::TMarkModel::fit`], i.e. batching plus
-//!   the bounded worker pool,
+//! - `fit_ms`: the full [`tmark::TMarkModel::fit`] at the ambient thread
+//!   cap, plus `fit_threads_ms` columns at explicit caps 1 / 2 / 4 —
+//!   the intra-solve kernels partition their outputs over pool workers,
+//!   so these columns expose the serial-vs-parallel spread,
+//! - `kernel_*_ms`: per-call timings of the three hot kernels
+//!   (`contract_o_multi_into`, `contract_r_multi_into`,
+//!   `apply_multi_into`) at caps 1 and 4,
+//! - `*_bytes`: the AoS entry footprint the compressed slice-pointer
+//!   layout replaced, against the compressed O-path and R-path footprints
+//!   actually held in memory,
 //!
-//! and cross-checks that the batched and per-class solutions agree bit
-//! for bit before reporting.
+//! and cross-checks that (a) the batched and per-class solutions agree
+//! bit for bit and (b) the fit confidences are bitwise identical at every
+//! thread cap, refusing to report timings otherwise.
 //!
 //! Usage: `bench_solver [--smoke] [--format json] [--out PATH]`
 //!
@@ -23,14 +38,19 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use tmark::solver::{solve_class, ClassStationary, FeatureWalk, SolverWorkspace};
-use tmark::{BatchSolver, BatchWorkspace, TMarkModel};
+use tmark::{BatchSolver, BatchWorkspace, TMarkModel, TMarkResult};
 use tmark_bench::{Dataset, DATA_SEED};
+use tmark_linalg::pool;
 use tmark_linalg::similarity::feature_transition_matrix;
 
 /// Label fraction shared by every measurement.
 const FRACTION: f64 = 0.3;
 /// Split seed shared by every measurement.
 const SPLIT_SEED: u64 = 1;
+/// Explicit thread caps for the serial-vs-parallel fit columns.
+const THREAD_CAPS: [usize; 3] = [1, 2, 4];
+/// Kernel-timing inner repetitions (per-call cost is microseconds).
+const KERNEL_CALLS: usize = 50;
 
 fn die(msg: &str) -> ! {
     eprintln!("bench_solver: {msg}");
@@ -45,9 +65,20 @@ struct Row {
     /// Total solver iterations across classes (identical for the batched
     /// and per-class runs by the bit-exactness contract).
     iterations: usize,
+    build_stoch_ms: f64,
+    build_w_ms: f64,
     per_class_ms: f64,
     batch_ms: f64,
     fit_ms: f64,
+    /// Fit wall time at each cap in [`THREAD_CAPS`], same order.
+    fit_threads_ms: [f64; THREAD_CAPS.len()],
+    /// Per-call kernel timings `[cap-1, cap-4]`.
+    kernel_o_ms: [f64; 2],
+    kernel_r_ms: [f64; 2],
+    kernel_w_ms: [f64; 2],
+    aos_bytes: usize,
+    o_path_bytes: usize,
+    r_path_bytes: usize,
     bitwise_equal: bool,
 }
 
@@ -66,6 +97,17 @@ fn min_ms(best: f64, started: Instant) -> f64 {
     }
 }
 
+/// Minimum wall time of `f` over `reps` repetitions, in milliseconds.
+fn time_min_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        f();
+        best = min_ms(best, started);
+    }
+    best
+}
+
 fn bench_dataset(dataset: Dataset, reps: usize) -> Row {
     let hin = dataset.load(DATA_SEED);
     let config = dataset.tmark_config();
@@ -81,8 +123,22 @@ fn bench_dataset(dataset: Dataset, reps: usize) -> Row {
         })
         .collect();
     let classes: Vec<usize> = (0..q).collect();
+
+    // Model-assembly phases. These call the builders directly (not the
+    // network's memoized accessors) so they report the true one-time cost
+    // a cold fit pays; warm fits skip both via the `Hin` caches.
+    let build_stoch_ms = time_min_ms(reps, || {
+        std::hint::black_box(tmark_sparse_tensor::StochasticTensors::from_tensor(
+            hin.tensor(),
+        ));
+    });
+    let build_w_ms = time_min_ms(reps, || {
+        std::hint::black_box(feature_transition_matrix(hin.features()));
+    });
+
     let stoch = hin.stochastic_tensors();
     let w = FeatureWalk::from_dense(feature_transition_matrix(hin.features()));
+    let sizes = stoch.entry_byte_sizes();
 
     let mut ws = SolverWorkspace::default();
     let mut per_class_ms = f64::INFINITY;
@@ -108,7 +164,7 @@ fn bench_dataset(dataset: Dataset, reps: usize) -> Row {
         batched = outs;
     }
 
-    let bitwise_equal = sequential.len() == batched.len()
+    let mut bitwise_equal = sequential.len() == batched.len()
         && sequential
             .iter()
             .zip(&batched)
@@ -120,25 +176,108 @@ fn bench_dataset(dataset: Dataset, reps: usize) -> Row {
         ));
     }
 
+    // Per-kernel timings at serial and 4-way caps. The operand block is
+    // the stationary solution, so the kernels see realistic sparsity.
+    let n = hin.num_nodes();
+    let m = hin.num_link_types();
+    let mut xs = vec![0.0; n * q];
+    let mut zs = vec![0.0; m * q];
+    for (c, out) in batched.iter().enumerate() {
+        xs[c * n..(c + 1) * n].copy_from_slice(&out.x);
+        zs[c * m..(c + 1) * m].copy_from_slice(&out.z);
+    }
+    let mut ys = vec![0.0; n * q];
+    let mut zb = vec![0.0; m * q];
+    let mut kernel_o_ms = [0.0; 2];
+    let mut kernel_r_ms = [0.0; 2];
+    let mut kernel_w_ms = [0.0; 2];
+    for (slot, cap) in [(0usize, 1usize), (1, 4)] {
+        pool::set_thread_cap(Some(cap));
+        kernel_o_ms[slot] = time_min_ms(reps, || {
+            for _ in 0..KERNEL_CALLS {
+                if stoch.contract_o_multi_into(&xs, &zs, &mut ys, q).is_err() {
+                    die("contract_o_multi_into rejected the operand block");
+                }
+            }
+        }) / KERNEL_CALLS as f64;
+        kernel_r_ms[slot] = time_min_ms(reps, || {
+            for _ in 0..KERNEL_CALLS {
+                if stoch.contract_r_multi_into(&xs, &mut zb, q).is_err() {
+                    die("contract_r_multi_into rejected the operand block");
+                }
+            }
+        }) / KERNEL_CALLS as f64;
+        kernel_w_ms[slot] = time_min_ms(reps, || {
+            for _ in 0..KERNEL_CALLS {
+                w.apply_multi_into(&xs, q, &mut ys);
+            }
+        }) / KERNEL_CALLS as f64;
+    }
+    pool::set_thread_cap(None);
+
     let model = TMarkModel::new(config);
     let mut fit_ms = f64::INFINITY;
+    let mut fit_baseline: Option<TMarkResult> = None;
     for _ in 0..reps {
         let started = Instant::now();
         match model.fit(&hin, &train) {
-            Ok(_) => fit_ms = min_ms(fit_ms, started),
+            Ok(r) => {
+                fit_ms = min_ms(fit_ms, started);
+                fit_baseline = Some(r);
+            }
             Err(e) => die(&format!("{} fit failed: {e}", dataset.name())),
         }
+    }
+    let Some(fit_baseline) = fit_baseline else {
+        die(&format!("{}: no successful fit repetition", dataset.name()));
+    };
+
+    // Serial-vs-parallel fit columns, each cross-checked bitwise against
+    // the ambient-cap fit above.
+    let mut fit_threads_ms = [f64::INFINITY; THREAD_CAPS.len()];
+    for (slot, cap) in THREAD_CAPS.iter().enumerate() {
+        pool::set_thread_cap(Some(*cap));
+        for _ in 0..reps {
+            let started = Instant::now();
+            match model.fit(&hin, &train) {
+                Ok(r) => {
+                    fit_threads_ms[slot] = min_ms(fit_threads_ms[slot], started);
+                    if r.confidences().as_slice() != fit_baseline.confidences().as_slice()
+                        || r.link_scores().as_slice() != fit_baseline.link_scores().as_slice()
+                    {
+                        bitwise_equal = false;
+                    }
+                }
+                Err(e) => die(&format!("{} fit (cap {cap}) failed: {e}", dataset.name())),
+            }
+        }
+    }
+    pool::set_thread_cap(None);
+    if !bitwise_equal {
+        die(&format!(
+            "{}: fit results diverged across thread caps — refusing to report timings",
+            dataset.name()
+        ));
     }
 
     Row {
         name: dataset.name(),
-        nodes: hin.num_nodes(),
+        nodes: n,
         classes: q,
         link_types: hin.num_link_types(),
         iterations: batched.iter().map(|o| o.report.iterations).sum(),
+        build_stoch_ms,
+        build_w_ms,
         per_class_ms,
         batch_ms,
         fit_ms,
+        fit_threads_ms,
+        kernel_o_ms,
+        kernel_r_ms,
+        kernel_w_ms,
+        aos_bytes: sizes.aos,
+        o_path_bytes: sizes.o_path,
+        r_path_bytes: sizes.r_path,
         bitwise_equal,
     }
 }
@@ -148,6 +287,11 @@ fn render_json(rows: &[Row], smoke: bool, reps: usize) -> String {
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(out, "  \"reps\": {reps},");
     let _ = writeln!(out, "  \"fraction\": {FRACTION},");
+    let _ = writeln!(
+        out,
+        "  \"thread_caps\": [{}],",
+        THREAD_CAPS.map(|c| c.to_string()).join(", ")
+    );
     out.push_str("  \"datasets\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str("    {\n");
@@ -156,9 +300,34 @@ fn render_json(rows: &[Row], smoke: bool, reps: usize) -> String {
         let _ = writeln!(out, "      \"classes\": {},", r.classes);
         let _ = writeln!(out, "      \"link_types\": {},", r.link_types);
         let _ = writeln!(out, "      \"iterations\": {},", r.iterations);
+        let _ = writeln!(out, "      \"build_stoch_ms\": {:.3},", r.build_stoch_ms);
+        let _ = writeln!(out, "      \"build_w_ms\": {:.3},", r.build_w_ms);
         let _ = writeln!(out, "      \"per_class_ms\": {:.3},", r.per_class_ms);
         let _ = writeln!(out, "      \"batch_ms\": {:.3},", r.batch_ms);
         let _ = writeln!(out, "      \"fit_ms\": {:.3},", r.fit_ms);
+        let _ = writeln!(
+            out,
+            "      \"fit_threads_ms\": [{}],",
+            r.fit_threads_ms.map(|v| format!("{v:.3}")).join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "      \"kernel_contract_o_ms\": [{}],",
+            r.kernel_o_ms.map(|v| format!("{v:.4}")).join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "      \"kernel_contract_r_ms\": [{}],",
+            r.kernel_r_ms.map(|v| format!("{v:.4}")).join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "      \"kernel_feature_walk_ms\": [{}],",
+            r.kernel_w_ms.map(|v| format!("{v:.4}")).join(", ")
+        );
+        let _ = writeln!(out, "      \"aos_bytes\": {},", r.aos_bytes);
+        let _ = writeln!(out, "      \"o_path_bytes\": {},", r.o_path_bytes);
+        let _ = writeln!(out, "      \"r_path_bytes\": {},", r.r_path_bytes);
         let _ = writeln!(
             out,
             "      \"speedup_batch_over_per_class\": {:.3},",
@@ -211,18 +380,30 @@ fn main() {
     }
 
     println!(
-        "{:<14} {:>5} {:>3} {:>12} {:>12} {:>10} {:>8}",
-        "dataset", "nodes", "q", "per-class ms", "batched ms", "fit ms", "speedup"
+        "{:<14} {:>5} {:>3} {:>12} {:>12} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "dataset",
+        "nodes",
+        "q",
+        "per-class ms",
+        "batched ms",
+        "fit ms",
+        "fit t1",
+        "fit t2",
+        "fit t4",
+        "speedup"
     );
     for r in &rows {
         println!(
-            "{:<14} {:>5} {:>3} {:>12.3} {:>12.3} {:>10.3} {:>7.2}x",
+            "{:<14} {:>5} {:>3} {:>12.3} {:>12.3} {:>10.3} {:>8.3} {:>8.3} {:>8.3} {:>7.2}x",
             r.name,
             r.nodes,
             r.classes,
             r.per_class_ms,
             r.batch_ms,
             r.fit_ms,
+            r.fit_threads_ms[0],
+            r.fit_threads_ms[1],
+            r.fit_threads_ms[2],
             r.speedup()
         );
     }

@@ -54,7 +54,7 @@ pub fn hin_stats(hin: &Hin) -> HinStats {
         let mut same_class = 0usize;
         let mut labeled_pairs = 0usize;
         let mut incident = vec![false; n];
-        for e in hin.tensor().entries().iter().filter(|e| e.k == k) {
+        for e in hin.tensor().entries_for_relation(k) {
             num_edges += 1;
             incident[e.i] = true;
             incident[e.j] = true;

@@ -6,6 +6,12 @@
 #![allow(clippy::needless_range_loop)]
 use crate::error::LinalgError;
 use crate::vector;
+use crate::{partition, pool};
+
+/// Below this cell count (`rows × cols`) a product runs its plain serial
+/// loop even when pool permits are free: the output is identical either
+/// way and the work is too small to amortize spawning workers.
+const PAR_MIN_CELLS: usize = 4096;
 
 /// A row-major dense matrix of `f64`.
 ///
@@ -174,7 +180,10 @@ impl DenseMatrix {
     }
 
     /// Matrix–vector product into a caller-provided buffer (hot path of the
-    /// T-Mark iteration; avoids a per-iteration allocation).
+    /// T-Mark iteration; avoids a per-iteration allocation). Large products
+    /// partition the output rows over free pool workers; each `y_r` is the
+    /// same Kahan-compensated [`vector::dot`] either way, so the result is
+    /// bitwise equal to the serial loop at any thread count.
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
         if x.len() != self.cols || y.len() != self.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -183,21 +192,47 @@ impl DenseMatrix {
                 found: (y.len(), x.len()),
             });
         }
-        for (r, yr) in y.iter_mut().enumerate() {
-            *yr = vector::dot(&self.data[r * self.cols..(r + 1) * self.cols], x);
+        if self.use_parallel() {
+            let bounds = partition::uniform_bounds(self.rows);
+            partition::run_chunks(bounds.as_slice(), y, |start, chunk| {
+                self.row_dots(x, start, chunk);
+            });
+        } else {
+            self.row_dots(x, 0, y);
         }
         Ok(())
+    }
+
+    /// Whether a product should partition its output over pool workers.
+    /// Purely a scheduling decision — results are bitwise identical
+    /// either way.
+    #[inline]
+    fn use_parallel(&self) -> bool {
+        self.rows >= 2 && self.rows * self.cols >= PAR_MIN_CELLS && pool::parallelism_hint() > 1
+    }
+
+    /// Writes `out[t] = row(start + t) · x` for every element of `out`.
+    /// One exclusive owner per output element; the summation order inside
+    /// [`vector::dot`] is fixed, so any partitioning of the output rows
+    /// yields bitwise-identical results.
+    fn row_dots(&self, x: &[f64], start: usize, out: &mut [f64]) {
+        for (t, yr) in out.iter_mut().enumerate() {
+            let r = start + t;
+            *yr = vector::dot(&self.data[r * self.cols..(r + 1) * self.cols], x);
+        }
     }
 
     /// Block matrix–vector product `Y = A X` over column-major blocks:
     /// `xs` holds `q` input columns of length `cols` (`xs[c·cols ..
     /// (c+1)·cols]`), `ys` receives `q` output columns of length `rows`.
     ///
-    /// One pass over the rows of `A` serves all `q` columns (each row stays
-    /// cache-resident across the inner class loop); every output cell is
-    /// the same Kahan-compensated [`vector::dot`] that
+    /// Serially, one pass over the rows of `A` serves all `q` columns (each
+    /// row stays cache-resident across the inner class loop); with free
+    /// pool workers the output block is partitioned into
+    /// `(class, row-range)` chunks computed concurrently. Every output cell
+    /// is the same Kahan-compensated [`vector::dot`] that
     /// [`DenseMatrix::matvec_into`] computes, so each column is bit-for-bit
-    /// identical to the single-vector product.
+    /// identical to the single-vector product at any thread count.
     ///
     /// # Errors
     /// [`LinalgError::DimensionMismatch`] on wrong block lengths.
@@ -214,10 +249,18 @@ impl DenseMatrix {
                 found: (ys.len(), xs.len()),
             });
         }
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            for c in 0..q {
-                ys[c * self.rows + r] = vector::dot(row, &xs[c * self.cols..(c + 1) * self.cols]);
+        if q > 0 && self.use_parallel() {
+            let bounds = partition::uniform_bounds(self.rows);
+            partition::run_col_chunks(bounds.as_slice(), ys, self.rows, |c, start, chunk| {
+                self.row_dots(&xs[c * self.cols..(c + 1) * self.cols], start, chunk);
+            });
+        } else {
+            for r in 0..self.rows {
+                let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                for c in 0..q {
+                    ys[c * self.rows + r] =
+                        vector::dot(row, &xs[c * self.cols..(c + 1) * self.cols]);
+                }
             }
         }
         Ok(())

@@ -14,6 +14,11 @@
 //!   empty transition structures.
 //! - [`similarity`]: builders for the cosine-similarity transition matrix
 //!   `W` of Eq. (9) in the paper, in dense and k-nearest-neighbour form.
+//! - [`pool`]: the process-wide bounded worker pool that every parallel
+//!   kernel and solver driver draws permits from.
+//! - [`partition`]: output-partitioning planners and chunk runners shared
+//!   by every deterministic parallel kernel (one exclusive owner per
+//!   output element ⇒ bitwise-equal results at any thread count).
 //!
 //! All routines are deterministic and allocation-conscious; hot paths take
 //! output buffers where that avoids per-iteration allocation.
@@ -38,6 +43,8 @@
 pub mod dense;
 pub mod error;
 pub mod kahan;
+pub mod partition;
+pub mod pool;
 pub mod similarity;
 pub mod sparse;
 pub mod vector;

@@ -1,0 +1,257 @@
+//! Output partitioning for deterministic parallel kernels.
+//!
+//! Every parallel kernel in the workspace follows one contract: the output
+//! vector is split into disjoint contiguous chunks, each chunk is computed
+//! by exactly one worker, and the per-element summation order inside a
+//! chunk is identical to the serial kernel's. Partition boundaries
+//! therefore affect *scheduling only* — the result is bitwise equal to the
+//! serial sweep at any thread count, which is what lets the solvers keep
+//! their reproducibility guarantees while drawing workers from
+//! [`crate::pool`].
+//!
+//! The planners ([`uniform_bounds`], [`balanced_bounds`]) produce at most
+//! [`MAX_PARTS`] ranges on the stack, so kernels can partition per call
+//! without heap allocation; structures with static sparsity (the
+//! compressed tensor layout) precompute their boundaries once instead.
+
+use crate::pool;
+
+/// Upper bound on partition granularity. More parts than any realistic
+/// worker count lets the round-robin bucketing in [`pool::run_tasks`]
+/// balance uneven chunks; the boundaries affect only scheduling, never
+/// results.
+pub const MAX_PARTS: usize = 16;
+
+/// A stack-allocated partition boundary list: `bounds[0] = 0`, the last
+/// value is the domain size, and every step is nonempty.
+#[derive(Debug, Clone, Copy)]
+pub struct Bounds {
+    arr: [usize; MAX_PARTS + 1],
+    len: usize,
+}
+
+impl Bounds {
+    fn new() -> Self {
+        Bounds {
+            arr: [0; MAX_PARTS + 1],
+            len: 1,
+        }
+    }
+
+    fn last(&self) -> usize {
+        self.arr[self.len - 1]
+    }
+
+    fn push(&mut self, b: usize) {
+        self.arr[self.len] = b;
+        self.len += 1;
+    }
+
+    /// The boundary values, ready for [`run_chunks`] / [`run_col_chunks`].
+    pub fn as_slice(&self) -> &[usize] {
+        &self.arr[..self.len]
+    }
+}
+
+/// Splits `0 .. domain` into up to [`MAX_PARTS`] contiguous ranges of
+/// roughly equal length (for kernels whose per-element cost is uniform,
+/// e.g. dense matrix rows).
+pub fn uniform_bounds(domain: usize) -> Bounds {
+    let parts = MAX_PARTS.min(domain.max(1));
+    let mut bounds = Bounds::new();
+    for t in 1..parts {
+        let cut = (domain * t).div_ceil(parts).min(domain);
+        if cut > bounds.last() {
+            bounds.push(cut);
+        }
+    }
+    if domain > bounds.last() {
+        bounds.push(domain);
+    }
+    bounds
+}
+
+/// Splits the index domain of a monotone offset array (`ptr[d]` = entries
+/// before domain element `d`, as in CSR `indptr` or slice pointers) into
+/// up to [`MAX_PARTS`] contiguous ranges of roughly equal entry count.
+pub fn balanced_bounds(ptr: &[usize]) -> Bounds {
+    let domain = ptr.len() - 1;
+    let total = ptr[domain];
+    let parts = MAX_PARTS.min(domain.max(1));
+    let mut bounds = Bounds::new();
+    for t in 1..parts {
+        let target = (total * t).div_ceil(parts);
+        let b = ptr.partition_point(|&v| v < target).min(domain);
+        if b > bounds.last() {
+            bounds.push(b);
+        }
+    }
+    if domain > bounds.last() {
+        bounds.push(domain);
+    }
+    bounds
+}
+
+/// Runs `work(start, chunk)` over the contiguous output ranges described
+/// by `bounds`, drawing extra workers from the pool when any are free.
+/// Each output element belongs to exactly one chunk and `work` must
+/// compute it independently of every other chunk, so the result is
+/// identical whether the chunks run on one thread or many; a chunk that
+/// panics re-raises on the caller. Falls back to one serial pass when the
+/// pool has no free permits or there is nothing to split.
+pub fn run_chunks<F>(bounds: &[usize], out: &mut [f64], work: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    debug_assert_eq!(
+        *bounds.last().unwrap_or(&0),
+        out.len(),
+        "partition plan must cover the output"
+    );
+    if bounds.len() <= 2 || pool::parallelism_hint() <= 1 {
+        work(0, out);
+        return;
+    }
+    let mut tasks = Vec::with_capacity(bounds.len() - 1);
+    let mut rest = out;
+    let mut prev = 0;
+    for &b in &bounds[1..] {
+        let (chunk, tail) = rest.split_at_mut(b - prev);
+        tasks.push((prev, chunk));
+        rest = tail;
+        prev = b;
+    }
+    finish(pool::run_tasks(
+        tasks
+            .into_iter()
+            .map(|(start, chunk)| {
+                let work = &work;
+                move || work(start, chunk)
+            })
+            .collect(),
+    ));
+}
+
+/// Multi-class variant of [`run_chunks`]: `out` is a column-major block of
+/// `out.len() / col_len` columns, each column is split at `bounds`, and
+/// `work(class, start, chunk)` computes one chunk of one column. Ownership
+/// is still exclusive per output element, so results are thread-count
+/// invariant. Unlike [`run_chunks`] there is no serial fallback here —
+/// callers gate on [`pool::parallelism_hint`] themselves because their
+/// serial path is usually a faster interleaved single pass, not a
+/// column-at-a-time loop.
+pub fn run_col_chunks<F>(bounds: &[usize], out: &mut [f64], col_len: usize, work: F)
+where
+    F: Fn(usize, usize, &mut [f64]) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    let q = out.len() / col_len;
+    let parts = bounds.len() - 1;
+    let mut tasks = Vec::with_capacity(parts * q);
+    let mut rest = out;
+    for c in 0..q {
+        let mut prev = 0;
+        for &b in &bounds[1..] {
+            let (chunk, tail) = rest.split_at_mut(b - prev);
+            tasks.push((c, prev, chunk));
+            rest = tail;
+            prev = b;
+        }
+    }
+    finish(pool::run_tasks(
+        tasks
+            .into_iter()
+            .map(|(c, start, chunk)| {
+                let work = &work;
+                move || work(c, start, chunk)
+            })
+            .collect(),
+    ));
+}
+
+/// Re-raises the first chunk panic so kernel invariant failures surface on
+/// the caller exactly as they would from the serial loop.
+fn finish(results: Vec<std::thread::Result<()>>) {
+    for r in results {
+        if let Err(payload) = r {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_bounds_cover_the_domain_without_empty_ranges() {
+        // 5 domain elements with skewed weights.
+        let ptr = vec![0, 100, 100, 101, 102, 110];
+        let bounds = balanced_bounds(&ptr);
+        let bounds = bounds.as_slice();
+        assert_eq!(*bounds.first().unwrap(), 0);
+        assert_eq!(*bounds.last().unwrap(), 5);
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "empty or reversed range in {bounds:?}");
+        }
+    }
+
+    #[test]
+    fn balanced_bounds_handle_tiny_and_empty_domains() {
+        assert_eq!(balanced_bounds(&[0]).as_slice(), &[0]);
+        assert_eq!(balanced_bounds(&[0, 0]).as_slice(), &[0, 1]);
+        assert_eq!(balanced_bounds(&[0, 3]).as_slice(), &[0, 1]);
+    }
+
+    #[test]
+    fn uniform_bounds_split_evenly() {
+        let bounds = uniform_bounds(64);
+        let bounds = bounds.as_slice();
+        assert_eq!(bounds.len(), MAX_PARTS + 1);
+        assert_eq!(*bounds.last().unwrap(), 64);
+        for w in bounds.windows(2) {
+            assert_eq!(w[1] - w[0], 4);
+        }
+        assert_eq!(uniform_bounds(0).as_slice(), &[0]);
+        assert_eq!(uniform_bounds(1).as_slice(), &[0, 1]);
+        // Domains smaller than MAX_PARTS degrade to one element per range.
+        let tiny = uniform_bounds(3);
+        assert_eq!(tiny.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn run_chunks_is_equivalent_to_one_serial_pass() {
+        let bounds = vec![0, 2, 5, 8];
+        let mut serial = vec![0.0; 8];
+        let mut parallel = vec![0.0; 8];
+        let fill = |start: usize, chunk: &mut [f64]| {
+            for (t, v) in chunk.iter_mut().enumerate() {
+                *v = (start + t) as f64 * 1.5;
+            }
+        };
+        fill(0, &mut serial);
+        pool::set_thread_cap(Some(3));
+        run_chunks(&bounds, &mut parallel, fill);
+        pool::set_thread_cap(None);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn run_col_chunks_assigns_each_element_to_one_owner() {
+        let bounds = vec![0, 3, 4];
+        let col_len = 4;
+        let mut out = vec![-1.0; col_len * 3];
+        pool::set_thread_cap(Some(7));
+        run_col_chunks(&bounds, &mut out, col_len, |c, start, chunk| {
+            for (t, v) in chunk.iter_mut().enumerate() {
+                assert_eq!(*v, -1.0, "element written twice");
+                *v = (c * col_len + start + t) as f64;
+            }
+        });
+        pool::set_thread_cap(None);
+        let expect: Vec<f64> = (0..col_len * 3).map(|i| i as f64).collect();
+        assert_eq!(out, expect);
+    }
+}

@@ -1,9 +1,10 @@
 //! A small bounded worker pool shared by every multi-task caller.
 //!
-//! [`TMarkModel::fit`] parallelizes over class groups and
-//! [`run_sweep`-style drivers] parallelize over trials; before this module
-//! each spawned its own unbounded set of scoped threads, so a sweep nested
-//! `trials × q` live threads. The pool replaces that with a process-wide
+//! Solver drivers parallelize over fit calls and sweep trials, and the
+//! contraction/matvec kernels parallelize over output partitions; before
+//! this module each spawned its own unbounded set of scoped threads, so a
+//! sweep nested `trials × q` live threads. The pool replaces that with a
+//! process-wide
 //! *extra-worker* budget of `cap − 1` permits (the calling thread is
 //! always the first worker): [`run_tasks`] grabs as many permits as are
 //! free, spawns that many scoped workers, and runs the rest of its tasks
@@ -21,9 +22,6 @@
 //! [`std::panic::catch_unwind`] and its verdict is returned as a
 //! [`std::thread::Result`], so one poisoned task degrades into an error
 //! the caller can attribute.
-//!
-//! [`TMarkModel::fit`]: crate::TMarkModel::fit
-//! [`run_sweep`-style drivers]: run_tasks
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -78,6 +76,18 @@ pub fn peak_workers() -> usize {
 /// Resets the [`peak_workers`] gauge to zero.
 pub fn reset_peak_workers() {
     PEAK_WORKERS.store(0, Ordering::SeqCst);
+}
+
+/// A cheap, racy estimate of how many workers a [`run_tasks`] call made
+/// right now would get (the caller plus currently-free permits). Always
+/// ≥ 1. Kernels use it to skip partitioning entirely and run their plain
+/// serial loop when no extra workers could be granted anyway; because
+/// parallel and serial paths are bitwise-identical by construction, a
+/// stale answer affects only scheduling, never results.
+pub fn parallelism_hint() -> usize {
+    let cap_extra = thread_cap().saturating_sub(1);
+    let in_use = EXTRA_IN_USE.load(Ordering::SeqCst);
+    1 + cap_extra.saturating_sub(in_use)
 }
 
 /// Tries to take up to `want` extra-worker permits without blocking;

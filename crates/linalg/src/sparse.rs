@@ -10,6 +10,12 @@
 // clippy's iterator rewrite would obscure the shared-index structure.
 #![allow(clippy::needless_range_loop)]
 use crate::error::LinalgError;
+use crate::{partition, pool};
+
+/// Below this stored-entry count a product runs its plain serial loop even
+/// when pool permits are free: the output is identical either way and the
+/// work is too small to amortize spawning workers.
+const PAR_MIN_NNZ: usize = 2048;
 
 /// A CSR (compressed sparse row) matrix of `f64`.
 ///
@@ -175,7 +181,10 @@ impl SparseMatrix {
     /// Matrix–vector product into a caller-provided buffer (hot path of the
     /// T-Mark iteration; avoids a per-iteration allocation). Rows accumulate
     /// through compensated summation, so the sparse product is bit-identical
-    /// to the dense one on the same operator.
+    /// to the dense one on the same operator. Large products partition the
+    /// output rows over free pool workers (nnz-balanced via the row
+    /// pointers); each output element keeps its serial summation order, so
+    /// the result is bitwise equal at any thread count.
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
         if x.len() != self.cols || y.len() != self.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -184,30 +193,60 @@ impl SparseMatrix {
                 found: (y.len(), x.len()),
             });
         }
-        for (r, yr) in y.iter_mut().enumerate() {
+        let (share, correct) = self.dangling_share(x);
+        if self.use_parallel() {
+            let bounds = partition::balanced_bounds(&self.indptr);
+            partition::run_chunks(bounds.as_slice(), y, |start, chunk| {
+                self.row_gather(x, share, correct, start, chunk);
+            });
+        } else {
+            self.row_gather(x, share, correct, 0, y);
+        }
+        Ok(())
+    }
+
+    /// Whether a product should partition its output over pool workers.
+    /// Purely a scheduling decision — results are bitwise identical
+    /// either way.
+    #[inline]
+    fn use_parallel(&self) -> bool {
+        self.rows >= 2 && self.nnz() >= PAR_MIN_NNZ && pool::parallelism_hint() > 1
+    }
+
+    /// The uniform per-row share contributed by dangling columns, and
+    /// whether any dangling mass flows at all (the correction is skipped
+    /// entirely when it does not, matching the historical behaviour).
+    fn dangling_share(&self, x: &[f64]) -> (f64, bool) {
+        if !self.uniform_dangling || self.rows == 0 {
+            return (0.0, false);
+        }
+        let mut dangling_mass = crate::kahan::KahanAccumulator::new();
+        for (&d, &xc) in self.dangling_cols.iter().zip(x) {
+            if d {
+                dangling_mass.add(xc);
+            }
+        }
+        let mass = dangling_mass.total();
+        (mass / self.rows as f64, mass != 0.0)
+    }
+
+    /// Gathers `out[t] = row(start + t) · x` (Kahan-compensated, CSR entry
+    /// order) plus the dangling share. One exclusive owner per output
+    /// element with a fixed summation order, so any partitioning of the
+    /// output rows yields bitwise-identical results.
+    fn row_gather(&self, x: &[f64], share: f64, correct: bool, start: usize, out: &mut [f64]) {
+        for (t, yr) in out.iter_mut().enumerate() {
             let mut acc = crate::kahan::KahanAccumulator::new();
-            for (c, v) in self.row_iter(r) {
+            for (c, v) in self.row_iter(start + t) {
                 acc.add(v * x[c]);
             }
             *yr = acc.total();
         }
-        if self.uniform_dangling && self.rows > 0 {
-            // Dangling columns distribute their mass uniformly over rows.
-            let mut dangling_mass = crate::kahan::KahanAccumulator::new();
-            for (&d, &xc) in self.dangling_cols.iter().zip(x) {
-                if d {
-                    dangling_mass.add(xc);
-                }
-            }
-            let mass = dangling_mass.total();
-            if mass != 0.0 {
-                let share = mass / self.rows as f64;
-                for yr in y.iter_mut() {
-                    *yr += share;
-                }
+        if correct {
+            for yr in out.iter_mut() {
+                *yr += share;
             }
         }
-        Ok(())
     }
 
     /// Block matrix–vector product `Y = A X` over column-major blocks
@@ -215,10 +254,13 @@ impl SparseMatrix {
     /// length `rows` in `ys`), accounting for uniform dangling columns
     /// exactly as [`SparseMatrix::matvec_into`] does.
     ///
-    /// One pass over the row structure serves all `q` columns; per column
-    /// the accumulation order (row entries in CSR order, then the
+    /// Serially, one pass over the row structure serves all `q` columns;
+    /// with free pool workers the output block is partitioned into
+    /// `(class, row-range)` chunks computed concurrently. Per column the
+    /// accumulation order (row entries in CSR order, then the
     /// Kahan-compensated dangling mass) matches the single-vector product,
-    /// so each output column is bit-for-bit identical to it.
+    /// so each output column is bit-for-bit identical to it at any thread
+    /// count.
     ///
     /// # Errors
     /// [`LinalgError::DimensionMismatch`] on wrong block lengths.
@@ -235,28 +277,39 @@ impl SparseMatrix {
                 found: (ys.len(), xs.len()),
             });
         }
-        for r in 0..self.rows {
-            for c in 0..q {
-                let x = &xs[c * self.cols..(c + 1) * self.cols];
-                let mut acc = crate::kahan::KahanAccumulator::new();
-                for (col, v) in self.row_iter(r) {
-                    acc.add(v * x[col]);
-                }
-                ys[c * self.rows + r] = acc.total();
-            }
+        if q == 0 {
+            return Ok(());
         }
-        if self.uniform_dangling && self.rows > 0 {
-            for c in 0..q {
-                let x = &xs[c * self.cols..(c + 1) * self.cols];
-                let mut dangling_mass = crate::kahan::KahanAccumulator::new();
-                for (&d, &xc) in self.dangling_cols.iter().zip(x) {
-                    if d {
-                        dangling_mass.add(xc);
+        let mut shares = vec![(0.0f64, false); q];
+        for c in 0..q {
+            shares[c] = self.dangling_share(&xs[c * self.cols..(c + 1) * self.cols]);
+        }
+        if self.use_parallel() {
+            let bounds = partition::balanced_bounds(&self.indptr);
+            partition::run_col_chunks(bounds.as_slice(), ys, self.rows, |c, start, chunk| {
+                let (share, correct) = shares[c];
+                self.row_gather(
+                    &xs[c * self.cols..(c + 1) * self.cols],
+                    share,
+                    correct,
+                    start,
+                    chunk,
+                );
+            });
+        } else {
+            for r in 0..self.rows {
+                for c in 0..q {
+                    let x = &xs[c * self.cols..(c + 1) * self.cols];
+                    let mut acc = crate::kahan::KahanAccumulator::new();
+                    for (col, v) in self.row_iter(r) {
+                        acc.add(v * x[col]);
                     }
+                    ys[c * self.rows + r] = acc.total();
                 }
-                let mass = dangling_mass.total();
-                if mass != 0.0 {
-                    let share = mass / self.rows as f64;
+            }
+            for c in 0..q {
+                let (share, correct) = shares[c];
+                if correct {
                     for yr in ys[c * self.rows..(c + 1) * self.rows].iter_mut() {
                         *yr += share;
                     }

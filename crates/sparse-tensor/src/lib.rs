@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 pub mod builder;
+mod compressed;
 pub mod connectivity;
 pub mod invariants;
 pub mod stochastic;

@@ -16,40 +16,68 @@
 //!
 //! Both contractions therefore cost `O(D)` per iteration where `D` is the
 //! number of stored entries, exactly the Section 4.5 bound.
+//!
+//! Since the slice-pointer refactor the entries live in the compressed
+//! structure-of-arrays layout of [`crate::compressed`]: each kernel is a
+//! *gather* over the arrays relevant to it (16 hot bytes per entry instead
+//! of the 40-byte array-of-structs record), each output element is summed
+//! by exactly one owner in a fixed order, and when the worker pool has
+//! free permits the output is partitioned over nnz-balanced chunks that
+//! run concurrently — bitwise equal to the serial sweep at any thread
+//! count.
 
 // Indexed loops below walk several parallel arrays with one index;
 // clippy's iterator rewrite would obscure the shared-index structure.
 #![allow(clippy::needless_range_loop)]
+use crate::compressed::CompressedSlices;
 use crate::tensor::{SparseTensor3, TensorError};
 use tmark_linalg::kahan::{kahan_map_sum, kahan_sum, KahanAccumulator};
+use tmark_linalg::{partition, pool};
 
-/// A stored entry carrying both normalized values.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct StochEntry {
-    i: u32,
-    j: u32,
-    k: u32,
-    /// The raw tensor value (kept so derived operators, e.g. the HAR
-    /// transpose normalization, can renormalize along other modes).
-    value: f64,
-    /// `o_{i,j,k}` = value / (mode-1 fiber sum for fixed `(j, k)`), Eq. (1).
-    o: f64,
-    /// `r_{i,j,k}` = value / (mode-3 fiber sum for fixed `(i, j)`), Eq. (2).
-    r: f64,
+/// A normalized entry during construction: `(i, j, o, r, raw)` in storage
+/// `(k, j, i)` order. Scattered into the compressed arrays immediately
+/// after the normalization passes; never kept.
+type BuildEntry = (u32, u32, f64, f64, f64);
+
+/// Byte cost per entry of the retired array-of-structs record
+/// (`{i, j, k: u32, value, o, r: f64}` — 12 index bytes, 4 of padding,
+/// 24 value bytes). Kept as the baseline for the bench memory report.
+const AOS_ENTRY_BYTES: usize = 40;
+
+/// Below this entry count a contraction runs its plain serial loop even
+/// when pool permits are free: the output is identical either way and the
+/// work is too small to amortize spawning workers.
+const PAR_MIN_NNZ: usize = 2048;
+
+/// Hot-storage byte footprint of one [`StochasticTensors`] instance,
+/// reported by [`StochasticTensors::entry_byte_sizes`] for the bench
+/// memory sanity check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryByteSizes {
+    /// What the same entries would cost in the retired array-of-structs
+    /// layout (40 bytes each).
+    pub aos: usize,
+    /// Bytes the `O` gather actually sweeps (row pointers + `u32`
+    /// column/relation indices + `f64` probabilities).
+    pub o_path: usize,
+    /// Bytes the `R` gather actually sweeps (slice pointers + `u32`
+    /// row/column indices + `f64` probabilities).
+    pub r_path: usize,
 }
 
 /// The pair of transition-probability tensors `(O, R)` derived from one
-/// adjacency tensor, sharing a single entry array.
+/// adjacency tensor, sharing one compressed entry layout.
 #[derive(Debug, Clone)]
 pub struct StochasticTensors {
     n: usize,
     m: usize,
-    entries: Vec<StochEntry>,
+    cs: CompressedSlices,
     /// Distinct `(j, k)` fibers that have stored mass, for the analytic
-    /// dangling correction of the `O` contraction.
+    /// dangling correction of the `O` contraction. Storage order, i.e.
+    /// ascending `(k, j)`.
     present_columns: Vec<(u32, u32)>,
     /// Distinct `(i, j)` pairs that have stored mass, for the analytic
-    /// dangling correction of the `R` contraction.
+    /// dangling correction of the `R` contraction. Ascending `(i, j)`.
     present_pairs: Vec<(u32, u32)>,
 }
 
@@ -59,7 +87,7 @@ impl StochasticTensors {
         let n = a.num_nodes();
         let m = a.num_relations();
         let src = a.entries();
-        let mut entries: Vec<StochEntry> = Vec::with_capacity(src.len());
+        let mut entries: Vec<BuildEntry> = Vec::with_capacity(src.len());
 
         // Pass 1: mode-1 fiber sums. Entries are sorted by (k, j, i), so
         // each (j, k) fiber is a contiguous run.
@@ -74,90 +102,42 @@ impl StochasticTensors {
             let sum = kahan_map_sum(&src[start..end], |e| e.value);
             present_columns.push((j as u32, k as u32));
             for e in &src[start..end] {
-                entries.push(StochEntry {
-                    i: e.i as u32,
-                    j: e.j as u32,
-                    k: e.k as u32,
-                    value: e.value,
-                    o: e.value / sum,
-                    r: 0.0, // filled in pass 2
-                });
+                entries.push((e.i as u32, e.j as u32, e.value / sum, 0.0, e.value));
             }
             start = end;
         }
 
         // Pass 2: mode-3 fiber sums, grouped by (i, j) via an index sort.
         let mut order: Vec<usize> = (0..entries.len()).collect();
-        order.sort_by_key(|&idx| (entries[idx].i, entries[idx].j));
+        order.sort_by_key(|&idx| (entries[idx].0, entries[idx].1));
         let mut present_pairs = Vec::new();
+        let mut pair_ptr = Vec::new();
         let mut pos = 0;
         while pos < order.len() {
-            let (i, j) = (entries[order[pos]].i, entries[order[pos]].j);
+            let (i, j) = (entries[order[pos]].0, entries[order[pos]].1);
             let mut end = pos;
-            while end < order.len() && entries[order[end]].i == i && entries[order[end]].j == j {
+            while end < order.len() && entries[order[end]].0 == i && entries[order[end]].1 == j {
                 end += 1;
             }
             let sum = kahan_map_sum(&order[pos..end], |&idx| src[idx].value);
             present_pairs.push((i, j));
+            pair_ptr.push(pos);
             for &idx in &order[pos..end] {
-                entries[idx].r = src[idx].value / sum;
+                entries[idx].3 = src[idx].value / sum;
             }
             pos = end;
         }
+        pair_ptr.push(order.len());
 
-        let built = StochasticTensors {
+        debug_verify_normalization(a.slice_ptr(), &entries, &present_columns, &present_pairs);
+        let cs = CompressedSlices::build(n, a.slice_ptr().to_vec(), pair_ptr, &order, &entries);
+        StochasticTensors {
             n,
             m,
-            entries,
+            cs,
             present_columns,
             present_pairs,
-        };
-        built.debug_verify_normalization();
-        built
-    }
-
-    /// Debug-build verification that the fiber normalizations of Eqs. (1)
-    /// and (2) produced genuinely stochastic operators: every stored `o`
-    /// fiber (fixed `(j, k)`) and `r` fiber (fixed `(i, j)`) sums to one,
-    /// and all probabilities are finite and nonnegative. No-op in release.
-    fn debug_verify_normalization(&self) {
-        if !cfg!(debug_assertions) {
-            return;
         }
-        let mut o_sums: std::collections::BTreeMap<(u32, u32), f64> =
-            std::collections::BTreeMap::new();
-        let mut r_sums: std::collections::BTreeMap<(u32, u32), f64> =
-            std::collections::BTreeMap::new();
-        for e in &self.entries {
-            crate::debug_assert_finite_nonnegative!(
-                &[e.value, e.o, e.r],
-                "StochasticTensors entry probabilities"
-            );
-            *o_sums.entry((e.j, e.k)).or_insert(0.0) += e.o;
-            *r_sums.entry((e.i, e.j)).or_insert(0.0) += e.r;
-        }
-        let o_sums: Vec<f64> = o_sums.into_values().collect();
-        let r_sums: Vec<f64> = r_sums.into_values().collect();
-        crate::debug_assert_stochastic!(
-            &o_sums,
-            crate::invariants::SIMPLEX_TOL,
-            "O mode-1 fiber normalization (Eq. 1)"
-        );
-        crate::debug_assert_stochastic!(
-            &r_sums,
-            crate::invariants::SIMPLEX_TOL,
-            "R mode-3 fiber normalization (Eq. 2)"
-        );
-        debug_assert_eq!(
-            o_sums.len(),
-            self.present_columns.len(),
-            "present_columns disagrees with stored fibers"
-        );
-        debug_assert_eq!(
-            r_sums.len(),
-            self.present_pairs.len(),
-            "present_pairs disagrees with stored fibers"
-        );
     }
 
     /// Number of nodes `n`.
@@ -175,11 +155,29 @@ impl StochasticTensors {
     /// Stored entry count `D`.
     #[inline]
     pub fn nnz(&self) -> usize {
-        self.entries.len()
+        self.cs.nnz()
+    }
+
+    /// Hot-storage byte footprint versus the retired array-of-structs
+    /// layout, for the bench memory sanity check.
+    pub fn entry_byte_sizes(&self) -> EntryByteSizes {
+        EntryByteSizes {
+            aos: self.nnz() * AOS_ENTRY_BYTES,
+            o_path: self.cs.o_path_bytes(),
+            r_path: self.cs.r_path_bytes(),
+        }
+    }
+
+    /// Whether a contraction should partition its output over pool
+    /// workers. Purely a scheduling decision — results are bitwise
+    /// identical either way.
+    #[inline]
+    fn use_parallel(&self) -> bool {
+        self.cs.nnz() >= PAR_MIN_NNZ && pool::parallelism_hint() > 1
     }
 
     /// `o_{i,j,k}` including the dangling rule (uniform `1/n` on absent
-    /// fibers). `O(D)` — intended for tests and small tensors.
+    /// fibers). `O(log D)` — intended for tests and small tensors.
     pub fn o_get(&self, i: usize, j: usize, k: usize) -> f64 {
         debug_assert!(
             i < self.n && j < self.n && k < self.m,
@@ -189,19 +187,33 @@ impl StochasticTensors {
         );
         let fiber_present = self
             .present_columns
-            .iter()
-            .any(|&(pj, pk)| pj as usize == j && pk as usize == k);
+            .binary_search_by_key(&(k as u32, j as u32), |&(pj, pk)| (pk, pj))
+            .is_ok();
         if !fiber_present {
             return 1.0 / self.n as f64;
         }
-        self.entries
-            .iter()
-            .find(|e| e.i as usize == i && e.j as usize == j && e.k as usize == k)
-            .map_or(0.0, |e| e.o)
+        let cs = &self.cs;
+        let (key_k, key_j) = (k as u32, j as u32);
+        let mut lo = cs.o_row_ptr[i];
+        let mut hi = cs.o_row_ptr[i + 1];
+        let row_end = hi;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if (cs.o_rel[mid], cs.o_col[mid]) < (key_k, key_j) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < row_end && cs.o_rel[lo] == key_k && cs.o_col[lo] == key_j {
+            cs.o_vals[lo]
+        } else {
+            0.0
+        }
     }
 
     /// `r_{i,j,k}` including the dangling rule (uniform `1/m` on absent
-    /// pairs). `O(D)` — intended for tests and small tensors.
+    /// pairs). `O(log D)` — intended for tests and small tensors.
     pub fn r_get(&self, i: usize, j: usize, k: usize) -> f64 {
         debug_assert!(
             i < self.n && j < self.n && k < self.m,
@@ -209,22 +221,103 @@ impl StochasticTensors {
             self.n,
             self.m
         );
-        let pair_present = self
-            .present_pairs
-            .iter()
-            .any(|&(pi, pj)| pi as usize == i && pj as usize == j);
-        if !pair_present {
-            return 1.0 / self.m as f64;
+        let cs = &self.cs;
+        match self.present_pairs.binary_search(&(i as u32, j as u32)) {
+            Err(_) => 1.0 / self.m as f64,
+            Ok(p) => {
+                for &sidx in &cs.pair_order[cs.pair_ptr[p]..cs.pair_ptr[p + 1]] {
+                    if cs.relation_of(sidx as usize) == k {
+                        return cs.r_vals[sidx as usize];
+                    }
+                }
+                0.0
+            }
         }
-        self.entries
-            .iter()
-            .find(|e| e.i as usize == i && e.j as usize == j && e.k as usize == k)
-            .map_or(0.0, |e| e.r)
+    }
+
+    /// The analytic dangling term of the `O` contraction: the per-node
+    /// uniform share and whether any mass dangles at all (the correction
+    /// is skipped entirely when it does not, matching the historical
+    /// summation order exactly).
+    fn o_share(&self, x: &[f64], z: &[f64]) -> (f64, bool) {
+        let total_mass = kahan_sum(x) * kahan_sum(z);
+        let present_mass = kahan_map_sum(&self.present_columns, |&(j, k)| {
+            x[j as usize] * z[k as usize]
+        });
+        let dangling = total_mass - present_mass;
+        (dangling / self.n as f64, dangling != 0.0)
+    }
+
+    /// The analytic dangling term of the `R` contraction for operands
+    /// `(u, v)` (`u = v = x` in Algorithm 1).
+    fn r_share(&self, u: &[f64], v: &[f64]) -> (f64, bool) {
+        let total_mass = kahan_sum(u) * kahan_sum(v);
+        let present_mass =
+            kahan_map_sum(&self.present_pairs, |&(i, j)| u[i as usize] * v[j as usize]);
+        let dangling = total_mass - present_mass;
+        (dangling / self.m as f64, dangling != 0.0)
+    }
+
+    /// Gathers `out[t] = Σ_{idx ∈ row (start + t)} o · x_j · z_k` plus the
+    /// dangling share. One exclusive owner per output element, terms added
+    /// in storage `(k, j)` order: the bitwise contract every partitioning
+    /// of the output relies on.
+    fn o_gather(
+        &self,
+        x: &[f64],
+        z: &[f64],
+        share: f64,
+        correct: bool,
+        start: usize,
+        out: &mut [f64],
+    ) {
+        let cs = &self.cs;
+        for (t, yi) in out.iter_mut().enumerate() {
+            let i = start + t;
+            *yi = 0.0;
+            for idx in cs.o_row_ptr[i]..cs.o_row_ptr[i + 1] {
+                *yi += cs.o_vals[idx] * x[cs.o_col[idx] as usize] * z[cs.o_rel[idx] as usize];
+            }
+        }
+        if correct {
+            for yi in out.iter_mut() {
+                *yi += share;
+            }
+        }
+    }
+
+    /// Gathers `out[t] = Σ_{idx ∈ slice (start + t)} r · u_i · v_j` plus
+    /// the dangling share, with the same exclusive-owner contract as
+    /// [`StochasticTensors::o_gather`].
+    fn r_gather(
+        &self,
+        u: &[f64],
+        v: &[f64],
+        share: f64,
+        correct: bool,
+        start: usize,
+        out: &mut [f64],
+    ) {
+        let cs = &self.cs;
+        for (t, zk) in out.iter_mut().enumerate() {
+            let k = start + t;
+            *zk = 0.0;
+            for idx in cs.slice_ptr[k]..cs.slice_ptr[k + 1] {
+                *zk += cs.r_vals[idx] * u[cs.row_idx[idx] as usize] * v[cs.col_idx[idx] as usize];
+            }
+        }
+        if correct {
+            for zk in out.iter_mut() {
+                *zk += share;
+            }
+        }
     }
 
     /// `y = O ×̄₁ x ×̄₃ z` (Eq. 5 / step 5 of Algorithm 1), writing into a
     /// caller-provided buffer. For stochastic `x` and `z` the output is
-    /// stochastic (Theorem 1).
+    /// stochastic (Theorem 1). Partitions the output rows over free pool
+    /// workers; the result is bitwise equal to the serial sweep at any
+    /// thread count.
     ///
     /// # Errors
     /// [`TensorError::VectorLengthMismatch`] on wrong operand lengths.
@@ -250,21 +343,13 @@ impl StochasticTensors {
                 found: y.len(),
             });
         }
-        y.fill(0.0);
-        for e in &self.entries {
-            y[e.i as usize] += e.o * x[e.j as usize] * z[e.k as usize];
-        }
-        // Mass that flowed through dangling (uniform) fibers.
-        let total_mass = kahan_sum(x) * kahan_sum(z);
-        let present_mass = kahan_map_sum(&self.present_columns, |&(j, k)| {
-            x[j as usize] * z[k as usize]
-        });
-        let dangling = total_mass - present_mass;
-        if dangling != 0.0 {
-            let share = dangling / self.n as f64;
-            for yi in y.iter_mut() {
-                *yi += share;
-            }
+        let (share, correct) = self.o_share(x, z);
+        if self.use_parallel() {
+            partition::run_chunks(&self.cs.o_parts, y, |start, chunk| {
+                self.o_gather(x, z, share, correct, start, chunk);
+            });
+        } else {
+            self.o_gather(x, z, share, correct, 0, y);
         }
         self.debug_verify_simplex_preserved(&[x, z], y, "O ×̄₁ x ×̄₃ z (Theorem 1)");
         Ok(())
@@ -296,6 +381,8 @@ impl StochasticTensors {
 
     /// `z = R ×̄₁ x ×̄₂ x` (Eq. 6 / step 6 of Algorithm 1), writing into a
     /// caller-provided buffer. For stochastic `x` the output is stochastic.
+    /// Partitions the output relations over free pool workers; the result
+    /// is bitwise equal to the serial sweep at any thread count.
     ///
     /// # Errors
     /// [`TensorError::VectorLengthMismatch`] on wrong operand lengths.
@@ -314,20 +401,13 @@ impl StochasticTensors {
                 found: z.len(),
             });
         }
-        z.fill(0.0);
-        for e in &self.entries {
-            z[e.k as usize] += e.r * x[e.i as usize] * x[e.j as usize];
-        }
-        let sum_x = kahan_sum(x);
-        let total_mass = sum_x * sum_x;
-        let present_mass =
-            kahan_map_sum(&self.present_pairs, |&(i, j)| x[i as usize] * x[j as usize]);
-        let dangling = total_mass - present_mass;
-        if dangling != 0.0 {
-            let share = dangling / self.m as f64;
-            for zk in z.iter_mut() {
-                *zk += share;
-            }
+        let (share, correct) = self.r_share(x, x);
+        if self.use_parallel() {
+            partition::run_chunks(&self.cs.r_parts, z, |start, chunk| {
+                self.r_gather(x, x, share, correct, start, chunk);
+            });
+        } else {
+            self.r_gather(x, x, share, correct, 0, z);
         }
         self.debug_verify_simplex_preserved(&[x], z, "R ×̄₁ x ×̄₂ x (Theorem 1)");
         Ok(())
@@ -345,12 +425,14 @@ impl StochasticTensors {
     /// (class `c` occupies `xs[c·n .. (c+1)·n]`) and `zs` is a column-major
     /// `m × q` block.
     ///
-    /// One pass over the stored entries serves all `q` classes — the
-    /// cache-locality win over `q` independent [`contract_o_into`] calls —
-    /// while the per-class summation order is exactly that of
-    /// [`contract_o_into`] (entries in storage order, then the analytic
-    /// dangling correction), so each output column is bit-for-bit identical
-    /// to the single-class kernel on the same operands.
+    /// Serially, one pass over the stored entries serves all `q` classes —
+    /// the cache-locality win over `q` independent [`contract_o_into`]
+    /// calls. With free pool workers, the output block is partitioned into
+    /// `(class, row-range)` chunks computed concurrently. Either way the
+    /// per-element summation order is exactly that of [`contract_o_into`]
+    /// (row entries in storage `(k, j)` order, then the analytic dangling
+    /// correction), so each output column is bit-for-bit identical to the
+    /// single-class kernel on the same operands, at any thread count.
     ///
     /// [`contract_o_into`]: StochasticTensors::contract_o_into
     ///
@@ -385,30 +467,50 @@ impl StochasticTensors {
                 found: ys.len(),
             });
         }
-        ys.fill(0.0);
-        for e in &self.entries {
-            let (i, j, k) = (e.i as usize, e.j as usize, e.k as usize);
-            let o = e.o;
+        if q == 0 {
+            return Ok(());
+        }
+        let mut shares = vec![(0.0f64, false); q];
+        for c in 0..q {
+            shares[c] = self.o_share(&xs[c * n..(c + 1) * n], &zs[c * m..(c + 1) * m]);
+        }
+        if self.use_parallel() {
+            partition::run_col_chunks(&self.cs.o_parts, ys, n, |c, start, chunk| {
+                let (share, correct) = shares[c];
+                self.o_gather(
+                    &xs[c * n..(c + 1) * n],
+                    &zs[c * m..(c + 1) * m],
+                    share,
+                    correct,
+                    start,
+                    chunk,
+                );
+            });
+        } else {
+            let cs = &self.cs;
+            ys.fill(0.0);
+            for i in 0..n {
+                for idx in cs.o_row_ptr[i]..cs.o_row_ptr[i + 1] {
+                    let j = cs.o_col[idx] as usize;
+                    let k = cs.o_rel[idx] as usize;
+                    let o = cs.o_vals[idx];
+                    for c in 0..q {
+                        ys[c * n + i] += o * xs[c * n + j] * zs[c * m + k];
+                    }
+                }
+            }
             for c in 0..q {
-                ys[c * n + i] += o * xs[c * n + j] * zs[c * m + k];
+                let (share, correct) = shares[c];
+                if correct {
+                    for yi in ys[c * n..(c + 1) * n].iter_mut() {
+                        *yi += share;
+                    }
+                }
             }
         }
         for c in 0..q {
-            let x = &xs[c * n..(c + 1) * n];
-            let z = &zs[c * m..(c + 1) * m];
-            let total_mass = kahan_sum(x) * kahan_sum(z);
-            let present_mass = kahan_map_sum(&self.present_columns, |&(j, k)| {
-                x[j as usize] * z[k as usize]
-            });
-            let dangling = total_mass - present_mass;
-            if dangling != 0.0 {
-                let share = dangling / n as f64;
-                for yi in ys[c * n..(c + 1) * n].iter_mut() {
-                    *yi += share;
-                }
-            }
             self.debug_verify_simplex_preserved(
-                &[x, z],
+                &[&xs[c * n..(c + 1) * n], &zs[c * m..(c + 1) * m]],
                 &ys[c * n..(c + 1) * n],
                 "batched O ×̄₁ x ×̄₃ z (Theorem 1)",
             );
@@ -418,10 +520,12 @@ impl StochasticTensors {
 
     /// Batched `R` contraction: `zs[:, c] = R ×̄₁ xs[:, c] ×̄₂ xs[:, c]` for
     /// `q` classes at once, over column-major `n × q` / `m × q` blocks.
-    /// One pass over the stored entries serves all classes; each output
-    /// column is bit-for-bit identical to [`contract_r_into`] on the same
-    /// operand (same entry order, same Kahan-compensated dangling
-    /// correction).
+    /// Serially one pass over the stored entries serves all classes; with
+    /// free pool workers the output block is partitioned into
+    /// `(class, relation-range)` chunks. Each output column is bit-for-bit
+    /// identical to [`contract_r_into`] on the same operand (same entry
+    /// order, same Kahan-compensated dangling correction) at any thread
+    /// count.
     ///
     /// [`contract_r_into`]: StochasticTensors::contract_r_into
     ///
@@ -448,29 +552,45 @@ impl StochasticTensors {
                 found: zs.len(),
             });
         }
-        zs.fill(0.0);
-        for e in &self.entries {
-            let (i, j, k) = (e.i as usize, e.j as usize, e.k as usize);
-            let r = e.r;
+        if q == 0 {
+            return Ok(());
+        }
+        let mut shares = vec![(0.0f64, false); q];
+        for c in 0..q {
+            let x = &xs[c * n..(c + 1) * n];
+            shares[c] = self.r_share(x, x);
+        }
+        if self.use_parallel() {
+            partition::run_col_chunks(&self.cs.r_parts, zs, m, |c, start, chunk| {
+                let (share, correct) = shares[c];
+                let x = &xs[c * n..(c + 1) * n];
+                self.r_gather(x, x, share, correct, start, chunk);
+            });
+        } else {
+            let cs = &self.cs;
+            zs.fill(0.0);
+            for k in 0..m {
+                for idx in cs.slice_ptr[k]..cs.slice_ptr[k + 1] {
+                    let i = cs.row_idx[idx] as usize;
+                    let j = cs.col_idx[idx] as usize;
+                    let r = cs.r_vals[idx];
+                    for c in 0..q {
+                        zs[c * m + k] += r * xs[c * n + i] * xs[c * n + j];
+                    }
+                }
+            }
             for c in 0..q {
-                zs[c * m + k] += r * xs[c * n + i] * xs[c * n + j];
+                let (share, correct) = shares[c];
+                if correct {
+                    for zk in zs[c * m..(c + 1) * m].iter_mut() {
+                        *zk += share;
+                    }
+                }
             }
         }
         for c in 0..q {
-            let x = &xs[c * n..(c + 1) * n];
-            let sum_x = kahan_sum(x);
-            let total_mass = sum_x * sum_x;
-            let present_mass =
-                kahan_map_sum(&self.present_pairs, |&(i, j)| x[i as usize] * x[j as usize]);
-            let dangling = total_mass - present_mass;
-            if dangling != 0.0 {
-                let share = dangling / m as f64;
-                for zk in zs[c * m..(c + 1) * m].iter_mut() {
-                    *zk += share;
-                }
-            }
             self.debug_verify_simplex_preserved(
-                &[x],
+                &[&xs[c * n..(c + 1) * n]],
                 &zs[c * m..(c + 1) * m],
                 "batched R ×̄₁ x ×̄₂ x (Theorem 1)",
             );
@@ -504,18 +624,13 @@ impl StochasticTensors {
             });
         }
         let mut z = vec![0.0; self.m];
-        for e in &self.entries {
-            z[e.k as usize] += e.r * u[e.i as usize] * v[e.j as usize];
-        }
-        let total_mass = kahan_sum(u) * kahan_sum(v);
-        let present_mass =
-            kahan_map_sum(&self.present_pairs, |&(i, j)| u[i as usize] * v[j as usize]);
-        let dangling = total_mass - present_mass;
-        if dangling != 0.0 {
-            let share = dangling / self.m as f64;
-            for zk in z.iter_mut() {
-                *zk += share;
-            }
+        let (share, correct) = self.r_share(u, v);
+        if self.use_parallel() {
+            partition::run_chunks(&self.cs.r_parts, &mut z, |start, chunk| {
+                self.r_gather(u, v, share, correct, start, chunk);
+            });
+        } else {
+            self.r_gather(u, v, share, correct, 0, &mut z);
         }
         self.debug_verify_simplex_preserved(&[u, v], &z, "R ×̄₁ u ×̄₂ v (HAR co-ranking)");
         Ok(z)
@@ -549,20 +664,26 @@ impl StochasticTensors {
                 found: z.len(),
             });
         }
+        let cs = &self.cs;
         // Mode-2 fiber sums for fixed (i, k), from the stored raw values.
         let mut fiber_sums: std::collections::BTreeMap<(u32, u32), f64> =
             std::collections::BTreeMap::new();
-        for e in &self.entries {
-            *fiber_sums.entry((e.i, e.k)).or_insert(0.0) += e.value;
+        for k in 0..self.m {
+            for idx in cs.slice_ptr[k]..cs.slice_ptr[k + 1] {
+                *fiber_sums.entry((cs.row_idx[idx], k as u32)).or_insert(0.0) += cs.raw_vals[idx];
+            }
         }
         let mut y = vec![0.0; self.n];
         let mut present_mass = KahanAccumulator::new();
         let mut seen: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
-        for e in &self.entries {
-            let denom = fiber_sums[&(e.i, e.k)];
-            y[e.j as usize] += (e.value / denom) * x[e.i as usize] * z[e.k as usize];
-            if seen.insert((e.i, e.k)) {
-                present_mass.add(x[e.i as usize] * z[e.k as usize]);
+        for k in 0..self.m {
+            for idx in cs.slice_ptr[k]..cs.slice_ptr[k + 1] {
+                let i = cs.row_idx[idx];
+                let denom = fiber_sums[&(i, k as u32)];
+                y[cs.col_idx[idx] as usize] += (cs.raw_vals[idx] / denom) * x[i as usize] * z[k];
+                if seen.insert((i, k as u32)) {
+                    present_mass.add(x[i as usize] * z[k]);
+                }
             }
         }
         let total_mass = kahan_sum(x) * kahan_sum(z);
@@ -576,6 +697,56 @@ impl StochasticTensors {
         self.debug_verify_simplex_preserved(&[x, z], &y, "O' ×̄₁ x ×̄₃ z (hub operator)");
         Ok(y)
     }
+}
+
+/// Debug-build verification that the fiber normalizations of Eqs. (1)
+/// and (2) produced genuinely stochastic operators: every stored `o`
+/// fiber (fixed `(j, k)`) and `r` fiber (fixed `(i, j)`) sums to one,
+/// and all probabilities are finite and nonnegative. No-op in release.
+fn debug_verify_normalization(
+    slice_ptr: &[usize],
+    entries: &[BuildEntry],
+    present_columns: &[(u32, u32)],
+    present_pairs: &[(u32, u32)],
+) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    let mut o_sums: std::collections::BTreeMap<(u32, u32), f64> = std::collections::BTreeMap::new();
+    let mut r_sums: std::collections::BTreeMap<(u32, u32), f64> = std::collections::BTreeMap::new();
+    for k in 0..slice_ptr.len() - 1 {
+        for idx in slice_ptr[k]..slice_ptr[k + 1] {
+            let (i, j, o, r, raw) = entries[idx];
+            crate::debug_assert_finite_nonnegative!(
+                &[raw, o, r],
+                "StochasticTensors entry probabilities"
+            );
+            *o_sums.entry((j, k as u32)).or_insert(0.0) += o;
+            *r_sums.entry((i, j)).or_insert(0.0) += r;
+        }
+    }
+    let o_sums: Vec<f64> = o_sums.into_values().collect();
+    let r_sums: Vec<f64> = r_sums.into_values().collect();
+    crate::debug_assert_stochastic!(
+        &o_sums,
+        crate::invariants::SIMPLEX_TOL,
+        "O mode-1 fiber normalization (Eq. 1)"
+    );
+    crate::debug_assert_stochastic!(
+        &r_sums,
+        crate::invariants::SIMPLEX_TOL,
+        "R mode-3 fiber normalization (Eq. 2)"
+    );
+    debug_assert_eq!(
+        o_sums.len(),
+        present_columns.len(),
+        "present_columns disagrees with stored fibers"
+    );
+    debug_assert_eq!(
+        r_sums.len(),
+        present_pairs.len(),
+        "present_pairs disagrees with stored fibers"
+    );
 }
 
 #[cfg(test)]
@@ -792,6 +963,17 @@ mod tests {
         assert_eq!(s.nnz(), t.nnz());
         assert_eq!(s.num_nodes(), 4);
         assert_eq!(s.num_relations(), 3);
+    }
+
+    #[test]
+    fn entry_byte_sizes_reflect_the_compression() {
+        let (_, s) = example();
+        let sizes = s.entry_byte_sizes();
+        assert_eq!(sizes.aos, s.nnz() * 40);
+        // 16 hot bytes per entry plus the row/slice pointer arrays.
+        assert_eq!(sizes.o_path, s.nnz() * 16 + (s.num_nodes() + 1) * 8);
+        assert_eq!(sizes.r_path, s.nnz() * 16 + (s.num_relations() + 1) * 8);
+        assert!(sizes.o_path < sizes.aos);
     }
 
     /// A handful of distinct simplex points for the batched-kernel tests.

@@ -92,6 +92,10 @@ pub struct SparseTensor3 {
     n: usize,
     m: usize,
     entries: Vec<Entry>,
+    /// `slice_ptr[k] .. slice_ptr[k + 1]` is the contiguous run of entries
+    /// belonging to relation `k` (the `(k, j, i)` sort makes each relation
+    /// slice a single range). Length `m + 1`.
+    slice_ptr: Vec<usize>,
 }
 
 impl SparseTensor3 {
@@ -139,10 +143,18 @@ impl SparseTensor3 {
                 _ => merged.push(e),
             }
         }
+        let mut slice_ptr = vec![0usize; m + 1];
+        for e in &merged {
+            slice_ptr[e.k + 1] += 1;
+        }
+        for k in 0..m {
+            slice_ptr[k + 1] += slice_ptr[k];
+        }
         Ok(SparseTensor3 {
             n,
             m,
             entries: merged,
+            slice_ptr,
         })
     }
 
@@ -177,6 +189,23 @@ impl SparseTensor3 {
         &self.entries
     }
 
+    /// Relation-slice offsets into [`SparseTensor3::entries`]: relation `k`
+    /// occupies `entries()[slice_ptr()[k] .. slice_ptr()[k + 1]]`. Length
+    /// `m + 1`.
+    #[inline]
+    pub fn slice_ptr(&self) -> &[usize] {
+        &self.slice_ptr
+    }
+
+    /// The stored entries of relation `k`, in `(j, i)` order — an `O(1)`
+    /// lookup into the relation slice instead of an `O(D)` filter over all
+    /// entries.
+    #[inline]
+    pub fn entries_for_relation(&self, k: usize) -> &[Entry] {
+        assert!(k < self.m, "relation {k} out of bounds");
+        &self.entries[self.slice_ptr[k]..self.slice_ptr[k + 1]]
+    }
+
     /// Value at `(i, j, k)` (zero when absent). `O(log D)`.
     pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
         match self
@@ -191,9 +220,8 @@ impl SparseTensor3 {
     /// The adjacency matrix of relation `k` as a dense `n × n` matrix
     /// (`A[i][j] = a_{i,j,k}`). Intended for small tensors and tests.
     pub fn slice_dense(&self, k: usize) -> DenseMatrix {
-        assert!(k < self.m, "relation {k} out of bounds");
         let mut s = DenseMatrix::zeros(self.n, self.n);
-        for e in self.entries.iter().filter(|e| e.k == k) {
+        for e in self.entries_for_relation(k) {
             s.add_at(e.i, e.j, e.value);
         }
         s
@@ -287,11 +315,7 @@ impl SparseTensor3 {
     /// Per-relation entry counts (length `m`), a cheap sparsity profile
     /// used by dataset diagnostics and the Movies experiment discussion.
     pub fn relation_nnz(&self) -> Vec<usize> {
-        let mut counts = vec![0usize; self.m];
-        for e in &self.entries {
-            counts[e.k] += 1;
-        }
-        counts
+        self.slice_ptr.windows(2).map(|w| w[1] - w[0]).collect()
     }
 }
 

@@ -69,7 +69,7 @@ pub mod explain;
 pub mod link_prediction;
 pub mod model;
 pub mod multirank;
-pub mod pool;
+pub use tmark_linalg::pool;
 pub mod ranking;
 pub mod restart;
 pub mod solver;

@@ -146,10 +146,10 @@ impl TMarkResult {
         // Confidences are stationary probabilities; a NaN here is solver
         // corruption that `f64::max` folding would silently swallow.
         tmark_sparse_tensor::debug_assert_finite_nonnegative!(row, "node confidence row");
-        let max =
-            row.iter()
-                .copied()
-                .fold(0.0_f64, |m, v| if v.total_cmp(&m).is_gt() { v } else { m });
+        let max = row
+            .iter()
+            .copied()
+            .fold(0.0_f64, |m, v| if v.total_cmp(&m).is_gt() { v } else { m });
         if max.is_nan() || max <= 0.0 {
             return Vec::new();
         }
@@ -266,14 +266,19 @@ impl TMarkModel {
                     AUTO_KNN,
                 )))
             }
+            // The default dense cosine walk is memoized on the network;
+            // repeated fits clone the cached matrix instead of redoing the
+            // O(n²·d) similarity pass.
+            (_, SimilarityMetric::Cosine) => Ok(FeatureWalk::from_dense(hin.cosine_walk().clone())),
             (_, metric) => Ok(dense(metric)),
         }
     }
 
-    /// Fits the model: runs Algorithm 1 for every class, batched into
-    /// lockstep groups on the bounded solver pool (see [`crate::pool`]),
-    /// using only the labels of `train_nodes` as supervision. The batched
-    /// runs are bit-identical to solving each class on its own.
+    /// Fits the model: runs Algorithm 1 for every class in one lockstep
+    /// [`crate::batch::BatchSolver`] pass whose kernels draw workers from
+    /// the bounded solver pool (see [`crate::pool`]), using only the
+    /// labels of `train_nodes` as supervision. The batched, parallel run
+    /// is bit-identical to solving each class on its own serially.
     ///
     /// # Errors
     /// [`FitError`] on invalid configuration or training sets; see the
@@ -324,7 +329,7 @@ impl TMarkModel {
         }
         let q = hin.num_classes();
         let m = hin.num_link_types();
-        let stoch = hin.stochastic_tensors();
+        let stoch = hin.stochastic_tensors_ref();
         let w = self.build_feature_walk(hin)?;
 
         // Per-class seed sets from the visible training labels.
@@ -339,13 +344,15 @@ impl TMarkModel {
             s.dedup();
         }
 
-        // Batched class runs on the bounded pool: the classes are split
-        // into at most `pool::thread_cap()` groups, each solved lockstep by
-        // one BatchSolver pass (the paper's O(qTD) cost is embarrassingly
-        // parallel over q, but one pass over the tensor nnz now serves a
-        // whole group). When the pool has no free permits — e.g. inside a
-        // sweep already running at the cap — the groups simply run inline
-        // on the calling thread, so nesting never exceeds the cap.
+        // One lockstep BatchSolver pass over all q classes: every iteration
+        // makes one pass over the tensor nnz (and one over W) that serves
+        // the whole class block, and the contraction kernels partition
+        // their *outputs* over free pool permits internally (see
+        // `tmark_linalg::partition`). Parallelism therefore lives inside
+        // the kernels rather than across class groups — when the pool has
+        // no free permits (e.g. inside a sweep already running at the cap)
+        // the kernels run serially, so nesting never exceeds the cap, and
+        // the result is bitwise identical either way.
         let config = self.config;
         // Per-class warm starts from the previous result, when its shape
         // matches this network (computed up front so the borrows outlive
@@ -363,47 +370,33 @@ impl TMarkModel {
                 })
             })
             .collect();
-        let group_count = q.min(crate::pool::thread_cap()).max(1);
-        let groups: Vec<Vec<usize>> = (0..group_count)
-            .map(|g| (g..q).step_by(group_count).collect())
-            .collect();
-        let solver = crate::batch::BatchSolver::new(&stoch, &w, config);
-        let tasks: Vec<_> = groups
-            .iter()
-            .map(|group| {
-                let seeds = &seeds;
-                let warm = &warm;
-                move || {
-                    let mut ws = crate::batch::BatchWorkspace::default();
-                    solver.solve(group, seeds, warm, &mut ws)
-                }
-            })
-            .collect();
-        let group_results = crate::pool::run_tasks(tasks);
+        let classes: Vec<usize> = (0..q).collect();
+        let solver = crate::batch::BatchSolver::new(stoch, &w, config);
+        let batch_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ws = crate::batch::BatchWorkspace::default();
+            solver.solve(&classes, &seeds, &warm, &mut ws)
+        }));
 
         let mut outputs: Vec<Option<crate::solver::ClassStationary>> =
             (0..q).map(|_| None).collect();
-        for (group, result) in groups.iter().zip(group_results) {
-            match result {
-                Ok(solved) => {
-                    for out in solved {
-                        let c = out.class_id;
-                        outputs[c] = Some(out);
-                    }
+        match batch_result {
+            Ok(solved) => {
+                for out in solved {
+                    let c = out.class_id;
+                    outputs[c] = Some(out);
                 }
-                Err(_) => {
-                    // The lockstep batch for this group panicked. Re-run
-                    // its classes one at a time to attribute the failure
-                    // to the poisoned class; healthy classmates still
-                    // produce their solutions.
-                    for &c in group {
-                        let warm_ref = warm[c].as_ref().map(|(x, z)| (x.as_slice(), z.as_slice()));
-                        match crate::batch::solve_class_caught(
-                            c, &stoch, &w, &seeds[c], &config, warm_ref,
-                        ) {
-                            Ok(out) => outputs[c] = Some(out),
-                            Err(()) => return Err(FitError::ClassSolveFailed(c)),
-                        }
+            }
+            Err(_) => {
+                // The lockstep batch panicked. Re-run the classes one at a
+                // time to attribute the failure to the poisoned class;
+                // healthy classmates still produce their solutions.
+                for c in 0..q {
+                    let warm_ref = warm[c].as_ref().map(|(x, z)| (x.as_slice(), z.as_slice()));
+                    match crate::batch::solve_class_caught(
+                        c, stoch, &w, &seeds[c], &config, warm_ref,
+                    ) {
+                        Ok(out) => outputs[c] = Some(out),
+                        Err(()) => return Err(FitError::ClassSolveFailed(c)),
                     }
                 }
             }

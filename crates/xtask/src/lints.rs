@@ -195,8 +195,12 @@ pub fn stochastic_construction_sites(scrubbed: &str) -> Vec<Finding> {
                 }
                 let name = String::from_utf8_lossy(word).into_owned();
                 if let Some((p, c)) = prev_nonspace(b, start) {
-                    // `-> FeatureWalk {` is a return type before a body.
+                    // `-> FeatureWalk {` is a return type before a body,
+                    // as is the by-reference form `-> &FeatureWalk {`.
                     if c == b'>' {
+                        continue;
+                    }
+                    if c == b'&' && prev_nonspace(b, p).map(|(_, c2)| c2) == Some(b'>') {
                         continue;
                     }
                     if let Some(prev) = ident_ending_at(b, p + 1) {
