@@ -7,7 +7,7 @@ use tmark::solver::{solve_class, FeatureWalk, SolverWorkspace};
 use tmark::{BatchSolver, BatchWorkspace};
 use tmark_bench::Dataset;
 use tmark_datasets::dblp::dblp_with_size;
-use tmark_linalg::similarity::feature_transition_matrix;
+use tmark_feature_walk::feature_transition_matrix;
 
 fn bench_batch_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("batch_solver");

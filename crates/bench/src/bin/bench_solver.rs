@@ -9,6 +9,12 @@
 //!   pays them; the fit columns below report the warm steady state
 //!   (min over repetitions) and a cold fit costs roughly their sum on
 //!   top,
+//! - `build_w_{dense,knn,ann}_ms`: the same `W` build through each
+//!   feature-walk backend at thread caps 1 and 4, plus `ann_recall_at_k`
+//!   (mean fraction of the exact top-`k` neighbourhood the LSH backend
+//!   recovers). The dense and exact-kNN builds are verified bitwise
+//!   identical across caps and every backend's output is verified
+//!   column-stochastic — the run aborts on either violation,
 //! - `per_class_ms`: solving each class independently with
 //!   [`tmark::solver::solve_class`] (the pre-batching code path),
 //! - `batch_ms`: one lockstep [`tmark::BatchSolver`] pass over all
@@ -37,11 +43,15 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use tmark::solver::{solve_class, ClassStationary, FeatureWalk, SolverWorkspace};
+use tmark::solver::{solve_class, ClassStationary, SolverWorkspace};
 use tmark::{BatchSolver, BatchWorkspace, TMarkModel, TMarkResult};
 use tmark_bench::{Dataset, DATA_SEED};
+use tmark_feature_walk::{
+    feature_transition_matrix, AnnBackend, AnnParams, DenseBackend, FeatureWalkMode, KnnBackend,
+};
 use tmark_linalg::pool;
-use tmark_linalg::similarity::feature_transition_matrix;
+use tmark_linalg::similarity::SimilarityMetric;
+use tmark_linalg::SparseMatrix;
 
 /// Label fraction shared by every measurement.
 const FRACTION: f64 = 0.3;
@@ -51,6 +61,8 @@ const SPLIT_SEED: u64 = 1;
 const THREAD_CAPS: [usize; 3] = [1, 2, 4];
 /// Kernel-timing inner repetitions (per-call cost is microseconds).
 const KERNEL_CALLS: usize = 50;
+/// Neighbourhood size for the exact-kNN and ANN backend columns.
+const KNN_K: usize = 64;
 
 fn die(msg: &str) -> ! {
     eprintln!("bench_solver: {msg}");
@@ -67,6 +79,14 @@ struct Row {
     iterations: usize,
     build_stoch_ms: f64,
     build_w_ms: f64,
+    /// Dense-backend `W` build wall time `[cap-1, cap-4]`.
+    build_w_dense_ms: [f64; 2],
+    /// Exact top-`KNN_K` sparse-backend build wall time `[cap-1, cap-4]`.
+    build_w_knn_ms: [f64; 2],
+    /// SimHash ANN backend build wall time `[cap-1, cap-4]`.
+    build_w_ann_ms: [f64; 2],
+    /// Mean fraction of the exact kNN neighbourhood the ANN backend keeps.
+    ann_recall: f64,
     per_class_ms: f64,
     batch_ms: f64,
     fit_ms: f64,
@@ -108,6 +128,52 @@ fn time_min_ms(reps: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
+/// Off-diagonal row supports of every column (ascending), for recall@k.
+fn column_supports(w: &SparseMatrix, n: usize) -> Vec<Vec<u32>> {
+    let mut cols = vec![Vec::new(); n];
+    for r in 0..n {
+        for (c, _) in w.row_iter(r) {
+            if c != r {
+                cols[c].push(r as u32);
+            }
+        }
+    }
+    cols
+}
+
+/// Mean per-column fraction of the exact kNN neighbourhood retained by
+/// the ANN build, averaged over columns with a nonempty exact support.
+fn mean_recall(ann: &SparseMatrix, knn: &SparseMatrix, n: usize) -> f64 {
+    let exact = column_supports(knn, n);
+    let approx = column_supports(ann, n);
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for j in 0..n {
+        if exact[j].is_empty() {
+            continue;
+        }
+        let hits = approx[j]
+            .iter()
+            .filter(|i| exact[j].binary_search(i).is_ok())
+            .count();
+        total += hits as f64 / exact[j].len() as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        1.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Bitwise equality of two canonical CSR matrices.
+fn sparse_bitwise_eq(a: &SparseMatrix, b: &SparseMatrix) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.nnz() == b.nnz()
+        && (0..a.rows()).all(|r| a.row_iter(r).eq(b.row_iter(r)))
+}
+
 fn bench_dataset(dataset: Dataset, reps: usize) -> Row {
     let hin = dataset.load(DATA_SEED);
     let config = dataset.tmark_config();
@@ -136,8 +202,69 @@ fn bench_dataset(dataset: Dataset, reps: usize) -> Row {
         std::hint::black_box(feature_transition_matrix(hin.features()));
     });
 
+    // Per-backend W builds at explicit caps 1 / 4. Every output is
+    // verified column-stochastic, and the deterministic backends (dense,
+    // exact kNN) are verified bitwise identical across the two caps.
+    let dense_backend = DenseBackend::new(SimilarityMetric::Cosine);
+    let knn_backend = KnnBackend::new(SimilarityMetric::Cosine, KNN_K);
+    let ann_backend = AnnBackend::new(SimilarityMetric::Cosine, KNN_K, AnnParams::default());
+    let mut build_w_dense_ms = [0.0; 2];
+    let mut build_w_knn_ms = [0.0; 2];
+    let mut build_w_ann_ms = [0.0; 2];
+    let mut dense_caps = Vec::with_capacity(2);
+    let mut knn_caps = Vec::with_capacity(2);
+    let mut ann_caps = Vec::with_capacity(2);
+    for (slot, cap) in [(0usize, 1usize), (1, 4)] {
+        pool::set_thread_cap(Some(cap));
+        let mut kept = None;
+        build_w_dense_ms[slot] = time_min_ms(reps, || {
+            kept = Some(dense_backend.build_matrix(hin.features()));
+        });
+        dense_caps.push(kept.unwrap_or_else(|| die("dense W build never ran")));
+        let mut kept = None;
+        build_w_knn_ms[slot] = time_min_ms(reps, || {
+            kept = Some(knn_backend.build_sparse(hin.features()));
+        });
+        knn_caps.push(kept.unwrap_or_else(|| die("kNN W build never ran")));
+        let mut kept = None;
+        build_w_ann_ms[slot] = time_min_ms(reps, || {
+            kept = Some(ann_backend.build_sparse(hin.features()));
+        });
+        ann_caps.push(kept.unwrap_or_else(|| die("ANN W build never ran")));
+    }
+    pool::set_thread_cap(None);
+    if !dense_caps[0].is_column_stochastic(1e-6) {
+        die(&format!(
+            "{}: dense W not column-stochastic",
+            dataset.name()
+        ));
+    }
+    for (label, ws) in [("kNN", &knn_caps), ("ANN", &ann_caps)] {
+        for w in ws.iter() {
+            if !w.is_column_stochastic(1e-6) {
+                die(&format!(
+                    "{}: {label} W not column-stochastic",
+                    dataset.name()
+                ));
+            }
+        }
+    }
+    if dense_caps[0].as_slice() != dense_caps[1].as_slice() {
+        die(&format!(
+            "{}: dense W diverged across thread caps — refusing to report timings",
+            dataset.name()
+        ));
+    }
+    if !sparse_bitwise_eq(&knn_caps[0], &knn_caps[1]) {
+        die(&format!(
+            "{}: exact-kNN W diverged across thread caps — refusing to report timings",
+            dataset.name()
+        ));
+    }
+    let ann_recall = mean_recall(&ann_caps[0], &knn_caps[0], hin.num_nodes());
+
     let stoch = hin.stochastic_tensors();
-    let w = FeatureWalk::from_dense(feature_transition_matrix(hin.features()));
+    let w = hin.feature_walk(FeatureWalkMode::Dense, SimilarityMetric::Cosine);
     let sizes = stoch.entry_byte_sizes();
 
     let mut ws = SolverWorkspace::default();
@@ -268,6 +395,10 @@ fn bench_dataset(dataset: Dataset, reps: usize) -> Row {
         iterations: batched.iter().map(|o| o.report.iterations).sum(),
         build_stoch_ms,
         build_w_ms,
+        build_w_dense_ms,
+        build_w_knn_ms,
+        build_w_ann_ms,
+        ann_recall,
         per_class_ms,
         batch_ms,
         fit_ms,
@@ -302,6 +433,23 @@ fn render_json(rows: &[Row], smoke: bool, reps: usize) -> String {
         let _ = writeln!(out, "      \"iterations\": {},", r.iterations);
         let _ = writeln!(out, "      \"build_stoch_ms\": {:.3},", r.build_stoch_ms);
         let _ = writeln!(out, "      \"build_w_ms\": {:.3},", r.build_w_ms);
+        let _ = writeln!(
+            out,
+            "      \"build_w_dense_ms\": [{}],",
+            r.build_w_dense_ms.map(|v| format!("{v:.3}")).join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "      \"build_w_knn_ms\": [{}],",
+            r.build_w_knn_ms.map(|v| format!("{v:.3}")).join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "      \"build_w_ann_ms\": [{}],",
+            r.build_w_ann_ms.map(|v| format!("{v:.3}")).join(", ")
+        );
+        let _ = writeln!(out, "      \"knn_k\": {KNN_K},");
+        let _ = writeln!(out, "      \"ann_recall_at_k\": {:.4},", r.ann_recall);
         let _ = writeln!(out, "      \"per_class_ms\": {:.3},", r.per_class_ms);
         let _ = writeln!(out, "      \"batch_ms\": {:.3},", r.batch_ms);
         let _ = writeln!(out, "      \"fit_ms\": {:.3},", r.fit_ms);
@@ -405,6 +553,24 @@ fn main() {
             r.fit_threads_ms[1],
             r.fit_threads_ms[2],
             r.speedup()
+        );
+    }
+    println!();
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "dataset", "dense t1", "dense t4", "knn t1", "knn t4", "ann t1", "ann t4", "recall"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>8.4}",
+            r.name,
+            r.build_w_dense_ms[0],
+            r.build_w_dense_ms[1],
+            r.build_w_knn_ms[0],
+            r.build_w_knn_ms[1],
+            r.build_w_ann_ms[0],
+            r.build_w_ann_ms[1],
+            r.ann_recall
         );
     }
 

@@ -1,0 +1,308 @@
+//! Approximate kNN via SimHash LSH band hashing.
+//!
+//! Every node's feature vector is projected onto `bands · rows_per_band`
+//! seeded ±1 hyperplanes; the sign bits, grouped into `bands` keys of
+//! `rows_per_band` bits, bucket the nodes. Nodes sharing any bucket become
+//! candidate neighbours, and only candidates are scored with the exact
+//! metric — `O(n · candidates)` work instead of the exact backend's
+//! `O(n²)` sweep. Recall is approximate by construction, but the output
+//! is fully deterministic: the hyperplanes come from a seeded generator,
+//! candidate pairs are sorted and deduplicated into a fixed per-column
+//! order before scoring, and column blocks have exclusive owners — so a
+//! fixed [`AnnParams::seed`] fixes the walk bitwise at any thread cap.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tmark_linalg::partition::{run_chunks, uniform_bounds};
+use tmark_linalg::pool;
+use tmark_linalg::similarity::{PreparedMetric, SimilarityMetric};
+use tmark_linalg::{DenseMatrix, SparseMatrix};
+
+use crate::backend::WalkBackend;
+use crate::mode::AnnParams;
+use crate::topk::BandTopK;
+use crate::walk::FeatureWalk;
+
+/// Buckets larger than this are truncated (in ascending node order)
+/// before pairing, bounding the quadratic blowup of degenerate buckets —
+/// e.g. the all-zero-feature bucket every inactive node lands in.
+const GROUP_CAP: usize = 512;
+
+/// Approximate k-nearest-neighbour feature-walk builder (SimHash LSH).
+#[derive(Debug, Clone, Copy)]
+pub struct AnnBackend {
+    metric: SimilarityMetric,
+    k: usize,
+    params: AnnParams,
+}
+
+impl AnnBackend {
+    /// An approximate top-`k` builder for the given metric and LSH
+    /// parameters.
+    pub fn new(metric: SimilarityMetric, k: usize, params: AnnParams) -> Self {
+        AnnBackend { metric, k, params }
+    }
+
+    /// The normalized sparse `W` as a matrix, without wrapping it in a
+    /// [`FeatureWalk`].
+    pub fn build_sparse(&self, features: &DenseMatrix) -> SparseMatrix {
+        let n = features.rows();
+        if n == 0 {
+            return SparseMatrix::from_triplets(0, 0, &[]).expect("empty matrix is well-formed");
+        }
+        let prep = PreparedMetric::new(self.metric, features);
+        let kk = self.k.min(n.saturating_sub(1));
+        let (cand_ptr, cand_idx) = candidate_lists(features, self.params);
+
+        // Score candidates in fixed ascending order, one exclusive
+        // column-band owner per task.
+        let bounds = uniform_bounds(n);
+        let bs = bounds.as_slice();
+        let jobs: Vec<_> = (0..bs.len() - 1)
+            .map(|b| {
+                let (lo, hi) = (bs[b], bs[b + 1]);
+                let (prep, cand_ptr, cand_idx) = (&prep, &cand_ptr, &cand_idx);
+                move || {
+                    let mut topk = BandTopK::new(lo, hi - lo, kk);
+                    eval_candidates(prep, &mut topk, lo, hi, cand_ptr, cand_idx);
+                    topk
+                }
+            })
+            .collect();
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(n * (kk + 1));
+        for (b, result) in pool::run_tasks(jobs).into_iter().enumerate() {
+            let topk = match result {
+                Ok(topk) => topk,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for j in bs[b]..bs[b + 1] {
+                let self_sim = prep.self_sim(j);
+                if self_sim > 0.0 {
+                    triplets.push((j, j, self_sim));
+                }
+                let (idxs, sims) = topk.column(j);
+                for (&i, &s) in idxs.iter().zip(sims) {
+                    triplets.push((i as usize, j, s));
+                }
+            }
+        }
+        let mut w = SparseMatrix::from_triplets(n, n, &triplets)
+            .expect("ann triplets are in bounds by construction");
+        w.normalize_columns_stochastic();
+        w
+    }
+}
+
+/// Scores each column's candidate slice (ascending node order) with the
+/// exact metric and retains the top `k` per column.
+fn eval_candidates(
+    prep: &PreparedMetric<'_>,
+    topk: &mut BandTopK,
+    lo: usize,
+    hi: usize,
+    cand_ptr: &[usize],
+    cand_idx: &[u32],
+) {
+    let skip = prep.zero_when_inactive();
+    for j in lo..hi {
+        if skip && !prep.is_active(j) {
+            continue;
+        }
+        for &i in &cand_idx[cand_ptr[j]..cand_ptr[j + 1]] {
+            let s = prep.sim(i as usize, j);
+            if s > 0.0 {
+                topk.push(j, i, s);
+            }
+        }
+    }
+}
+
+/// SimHash candidate structure: per-column sorted, deduplicated candidate
+/// lists in CSC-like layout (`cand_idx[cand_ptr[j]..cand_ptr[j+1]]` are
+/// column `j`'s candidates, ascending, self excluded).
+fn candidate_lists(features: &DenseMatrix, params: AnnParams) -> (Vec<usize>, Vec<u32>) {
+    let n = features.rows();
+    let d = features.cols();
+    let bands = params.bands.max(1);
+    let rows_per_band = params.rows_per_band.clamp(1, 63);
+    let nplanes = bands * rows_per_band;
+
+    // Seeded ±1 hyperplanes, sampled in a fixed row-major order so the
+    // seed alone pins the projection.
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut planes = vec![0.0f64; nplanes * d];
+    for slot in planes.iter_mut() {
+        *slot = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+    }
+
+    // Projections, node-major, parallel over node blocks (each node's
+    // `nplanes` slots have one exclusive owner).
+    let mut proj = vec![0.0f64; n * nplanes];
+    let bounds = uniform_bounds(n);
+    let ebounds: Vec<usize> = bounds.as_slice().iter().map(|&b| b * nplanes).collect();
+    run_chunks(&ebounds, &mut proj, |start, chunk| {
+        project_signatures(features, &planes, nplanes, start / nplanes, chunk);
+    });
+
+    // Bucket nodes per band by their packed sign bits and pair up bucket
+    // members. Sorting by (key, node) makes grouping — and the truncation
+    // of oversized buckets — deterministic.
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut keyed: Vec<(u64, u32)> = vec![(0, 0); n];
+    for band in 0..bands {
+        for (node, slot) in keyed.iter_mut().enumerate() {
+            let base = node * nplanes + band * rows_per_band;
+            let mut key = 0u64;
+            for (bit, &p) in proj[base..base + rows_per_band].iter().enumerate() {
+                if p >= 0.0 {
+                    key |= 1 << bit;
+                }
+            }
+            *slot = (key, node as u32);
+        }
+        keyed.sort_unstable();
+        let mut start = 0;
+        while start < n {
+            let mut end = start + 1;
+            while end < n && keyed[end].0 == keyed[start].0 {
+                end += 1;
+            }
+            let group = &keyed[start..end.min(start + GROUP_CAP)];
+            for (a, &(_, i)) in group.iter().enumerate() {
+                for &(_, j) in &group[a + 1..] {
+                    pairs.push((i.min(j), i.max(j)));
+                }
+            }
+            start = end;
+        }
+    }
+
+    // Mirror each unordered pair into both columns, then sort + dedup
+    // into the CSC layout.
+    let mut directed: Vec<(u32, u32)> = Vec::with_capacity(pairs.len() * 2);
+    for &(i, j) in &pairs {
+        directed.push((j, i));
+        directed.push((i, j));
+    }
+    directed.sort_unstable();
+    directed.dedup();
+    let mut cand_ptr = vec![0usize; n + 1];
+    let mut cand_idx = Vec::with_capacity(directed.len());
+    for &(col, idx) in &directed {
+        cand_ptr[col as usize + 1] += 1;
+        cand_idx.push(idx);
+    }
+    for c in 0..n {
+        cand_ptr[c + 1] += cand_ptr[c];
+    }
+    (cand_ptr, cand_idx)
+}
+
+/// Fills the projection slots of nodes `first_node ..`: each node's block
+/// is `dot(plane_p, features[node])` for every plane, in plane order.
+fn project_signatures(
+    features: &DenseMatrix,
+    planes: &[f64],
+    nplanes: usize,
+    first_node: usize,
+    block: &mut [f64],
+) {
+    for (local, slots) in block.chunks_exact_mut(nplanes).enumerate() {
+        let row = features.row(first_node + local);
+        for (p, slot) in slots.iter_mut().enumerate() {
+            let plane = &planes[p * row.len()..(p + 1) * row.len()];
+            *slot = tmark_linalg::vector::dot(plane, row);
+        }
+    }
+}
+
+impl WalkBackend for AnnBackend {
+    fn name(&self) -> &'static str {
+        "ann"
+    }
+
+    fn build(&self, features: &DenseMatrix) -> FeatureWalk {
+        let w = self.build_sparse(features);
+        debug_assert!(
+            w.rows() == 0 || w.is_column_stochastic(crate::WALK_TOL),
+            "ann backend must emit a column-stochastic W (Eq. 9)"
+        );
+        FeatureWalk::from_sparse(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(n: usize, d: usize) -> DenseMatrix {
+        let mut f = DenseMatrix::zeros(n, d);
+        let mut state = 0xabcd_1234u64;
+        for i in 0..n {
+            for j in 0..d {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if state >> 62 > 0 {
+                    f.set(i, j, ((state >> 32) as f64) / (u32::MAX as f64));
+                }
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn ann_walk_is_column_stochastic_and_seed_deterministic() {
+        let f = features(40, 6);
+        let backend = AnnBackend::new(SimilarityMetric::Cosine, 5, AnnParams::default());
+        let a = backend.build_sparse(&f);
+        let b = backend.build_sparse(&f);
+        assert!(a.is_column_stochastic(1e-12));
+        assert_eq!(a.nnz(), b.nnz());
+        for i in 0..40 {
+            let ra: Vec<_> = a.row_iter(i).collect();
+            let rb: Vec<_> = b.row_iter(i).collect();
+            assert_eq!(ra.len(), rb.len());
+            for ((ca, va), (cb, vb)) in ra.iter().zip(&rb) {
+                assert_eq!(ca, cb);
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn changing_the_seed_changes_the_candidate_structure_not_the_invariant() {
+        let f = features(40, 6);
+        let w = AnnBackend::new(
+            SimilarityMetric::Gaussian { sigma: 1.0 },
+            4,
+            AnnParams {
+                seed: 42,
+                ..AnnParams::default()
+            },
+        )
+        .build_sparse(&f);
+        assert!(w.is_column_stochastic(1e-12));
+    }
+
+    #[test]
+    fn ann_is_bitwise_identical_across_thread_caps() {
+        let f = features(33, 5);
+        let backend = AnnBackend::new(SimilarityMetric::Cosine, 4, AnnParams::default());
+        pool::set_thread_cap(Some(1));
+        let serial = backend.build_sparse(&f);
+        pool::set_thread_cap(Some(4));
+        let parallel = backend.build_sparse(&f);
+        pool::set_thread_cap(None);
+        assert_eq!(serial.nnz(), parallel.nnz());
+        for i in 0..33 {
+            let rs: Vec<_> = serial.row_iter(i).collect();
+            let rp: Vec<_> = parallel.row_iter(i).collect();
+            for ((cs, vs), (cp, vp)) in rs.iter().zip(&rp) {
+                assert_eq!(cs, cp);
+                assert_eq!(vs.to_bits(), vp.to_bits());
+            }
+        }
+    }
+}

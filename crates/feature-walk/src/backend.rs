@@ -1,0 +1,62 @@
+//! The backend trait and the mode → backend dispatcher.
+
+use tmark_linalg::similarity::SimilarityMetric;
+use tmark_linalg::DenseMatrix;
+
+use crate::ann::AnnBackend;
+use crate::dense::DenseBackend;
+use crate::knn::KnnBackend;
+use crate::mode::FeatureWalkMode;
+use crate::walk::FeatureWalk;
+
+/// A strategy for materializing the feature-walk operator `W` (Eq. 9)
+/// from an `n × d` node-feature matrix.
+///
+/// Every implementation must emit a column-stochastic operator — the
+/// [`FeatureWalk`] constructors debug-assert it, and each backend
+/// additionally asserts it on the raw matrix it builds, so a
+/// normalization bug is caught at the offending backend rather than at
+/// first solver use.
+pub trait WalkBackend {
+    /// Short stable identifier (`"dense"`, `"knn"`, `"ann"`) used in
+    /// benchmark reports and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Builds the column-stochastic walk operator from node features
+    /// (rows are nodes, columns are feature dimensions).
+    fn build(&self, features: &DenseMatrix) -> FeatureWalk;
+}
+
+/// Builds `W` for the given mode and metric, resolving
+/// [`FeatureWalkMode::Auto`] by network size. This is the single entry
+/// point the model layer and the `Hin` walk cache go through.
+pub fn build_walk(
+    features: &DenseMatrix,
+    mode: FeatureWalkMode,
+    metric: SimilarityMetric,
+) -> FeatureWalk {
+    match mode.resolve(features.rows()) {
+        FeatureWalkMode::Dense => DenseBackend::new(metric).build(features),
+        FeatureWalkMode::Knn(k) => KnnBackend::new(metric, k).build(features),
+        FeatureWalkMode::Ann { k, params } => AnnBackend::new(metric, k, params).build(features),
+        // `resolve` canonicalizes `Auto` away.
+        FeatureWalkMode::Auto => unreachable!("FeatureWalkMode::resolve returned Auto"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_walk_dispatches_auto_to_dense_on_small_networks() {
+        let mut f = DenseMatrix::zeros(3, 2);
+        f.set(0, 0, 1.0);
+        f.set(1, 1, 1.0);
+        f.set(2, 0, 1.0);
+        let w = build_walk(&f, FeatureWalkMode::Auto, SimilarityMetric::Cosine);
+        assert!(w.as_dense().is_some());
+        let s = build_walk(&f, FeatureWalkMode::Knn(2), SimilarityMetric::Cosine);
+        assert!(s.as_sparse().is_some());
+    }
+}

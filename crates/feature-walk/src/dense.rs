@@ -1,0 +1,213 @@
+//! The paper's literal dense `W` (Eq. 9), parallelized over column blocks.
+//!
+//! Each worker owns a disjoint contiguous block of *columns* of a
+//! column-major scratch buffer and fills them in a fixed serial order, so
+//! the result is bitwise identical at any thread cap (the PR-4
+//! determinism contract: one exclusive owner per element, per-element
+//! order preserved). Per-column normalization uses a Kahan-compensated
+//! sum so long columns do not lose mass to cancellation.
+
+use tmark_linalg::kahan::KahanAccumulator;
+use tmark_linalg::partition::{run_chunks, uniform_bounds};
+use tmark_linalg::similarity::{PreparedMetric, SimilarityMetric};
+use tmark_linalg::DenseMatrix;
+
+use crate::backend::WalkBackend;
+use crate::walk::FeatureWalk;
+
+/// Dense feature-walk builder: every pairwise similarity is evaluated and
+/// each column normalized to a probability distribution (Eq. 9). `O(n²·d)`
+/// time and `O(n²)` memory — exact, and the reference the sparse backends
+/// are measured against.
+#[derive(Debug, Clone, Copy)]
+pub struct DenseBackend {
+    metric: SimilarityMetric,
+}
+
+impl DenseBackend {
+    /// A dense builder for the given similarity metric.
+    pub fn new(metric: SimilarityMetric) -> Self {
+        DenseBackend { metric }
+    }
+
+    /// The normalized dense `W` as a matrix, without wrapping it in a
+    /// [`FeatureWalk`]. Columns are filled in parallel blocks; the output
+    /// is bitwise identical at any thread cap.
+    pub fn build_matrix(&self, features: &DenseMatrix) -> DenseMatrix {
+        let n = features.rows();
+        if n == 0 {
+            return DenseMatrix::zeros(0, 0);
+        }
+        let prep = PreparedMetric::new(self.metric, features);
+        // Column-major scratch: worker-owned blocks of whole columns are
+        // contiguous, which is what `run_chunks` hands out.
+        let mut colmaj = vec![0.0; n * n];
+        let bounds = uniform_bounds(n);
+        let ebounds: Vec<usize> = bounds.as_slice().iter().map(|&b| b * n).collect();
+        run_chunks(&ebounds, &mut colmaj, |start, chunk| {
+            fill_dense_columns(&prep, start / n, chunk);
+        });
+        let mut w = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            let col = &colmaj[j * n..(j + 1) * n];
+            for (i, &v) in col.iter().enumerate() {
+                w.set(i, j, v);
+            }
+        }
+        w
+    }
+}
+
+/// Fills columns `first_col ..` of a column-major block: for each column,
+/// similarities against every node in a fixed ascending order, then a
+/// Kahan-compensated column sum and normalization. Columns with no mass
+/// (and columns of inactive nodes under metrics that vanish there) fall
+/// back to the uniform distribution so `W` stays column-stochastic.
+fn fill_dense_columns(prep: &PreparedMetric<'_>, first_col: usize, block: &mut [f64]) {
+    let n = prep.len();
+    let skip_inactive = prep.zero_when_inactive();
+    for (local, col) in block.chunks_exact_mut(n).enumerate() {
+        let j = first_col + local;
+        if skip_inactive && !prep.is_active(j) {
+            // Every similarity involving an inactive node is exactly 0.0
+            // for this metric, so skip the O(n·d) sweep entirely.
+            let u = 1.0 / n as f64;
+            for slot in col.iter_mut() {
+                *slot = u;
+            }
+            continue;
+        }
+        let mut total = KahanAccumulator::new();
+        for (i, slot) in col.iter_mut().enumerate() {
+            let s = prep.sim(i, j);
+            *slot = s;
+            total.add(s);
+        }
+        let sum = total.total();
+        if sum > 0.0 {
+            for slot in col.iter_mut() {
+                *slot /= sum;
+            }
+        } else {
+            let u = 1.0 / n as f64;
+            for slot in col.iter_mut() {
+                *slot = u;
+            }
+        }
+    }
+}
+
+impl WalkBackend for DenseBackend {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn build(&self, features: &DenseMatrix) -> FeatureWalk {
+        let w = self.build_matrix(features);
+        debug_assert!(
+            w.rows() == 0 || w.is_column_stochastic(crate::WALK_TOL),
+            "dense backend must emit a column-stochastic W (Eq. 9)"
+        );
+        FeatureWalk::from_dense(w)
+    }
+}
+
+/// Eq. (9): the dense cosine feature-walk matrix. Kept as a free function
+/// because it predates the backend trait and has call sites throughout the
+/// workspace; it is exactly `DenseBackend::new(Cosine).build_matrix(..)`.
+pub fn feature_transition_matrix(features: &DenseMatrix) -> DenseMatrix {
+    feature_transition_matrix_with(features, SimilarityMetric::Cosine)
+}
+
+/// Eq. (9) generalized to any [`SimilarityMetric`]: dense similarity
+/// matrix, column-normalized, uniform fallback for massless columns.
+pub fn feature_transition_matrix_with(
+    features: &DenseMatrix,
+    metric: SimilarityMetric,
+) -> DenseMatrix {
+    DenseBackend::new(metric).build_matrix(features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmark_linalg::pool;
+
+    fn features() -> DenseMatrix {
+        let mut f = DenseMatrix::zeros(7, 3);
+        let vals = [
+            [1.0, 0.0, 2.0],
+            [0.0, 0.0, 0.0], // inactive node
+            [3.0, 1.0, 0.0],
+            [0.5, 0.5, 0.5],
+            [0.0, 2.0, 0.0],
+            [1.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ];
+        for (i, row) in vals.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                f.set(i, j, v);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn dense_walk_is_column_stochastic_for_every_metric() {
+        let f = features();
+        for metric in [
+            SimilarityMetric::Cosine,
+            SimilarityMetric::Jaccard,
+            SimilarityMetric::Gaussian { sigma: 0.8 },
+            SimilarityMetric::Hamming,
+        ] {
+            let w = DenseBackend::new(metric).build_matrix(&f);
+            assert!(
+                w.is_column_stochastic(1e-12),
+                "{metric:?} walk must be column-stochastic"
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_features_yield_the_uniform_walk() {
+        let f = DenseMatrix::zeros(4, 3);
+        let w = feature_transition_matrix(&f);
+        for j in 0..4 {
+            for i in 0..4 {
+                assert_eq!(w.get(i, j), 0.25);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_an_empty_walk() {
+        let w = feature_transition_matrix(&DenseMatrix::zeros(0, 0));
+        assert_eq!(w.rows(), 0);
+    }
+
+    #[test]
+    fn dense_build_is_bitwise_identical_across_thread_caps() {
+        let f = features();
+        for metric in [
+            SimilarityMetric::Cosine,
+            SimilarityMetric::Gaussian { sigma: 1.3 },
+        ] {
+            let backend = DenseBackend::new(metric);
+            pool::set_thread_cap(Some(1));
+            let serial = backend.build_matrix(&f);
+            pool::set_thread_cap(Some(4));
+            let parallel = backend.build_matrix(&f);
+            pool::set_thread_cap(None);
+            for j in 0..f.rows() {
+                for i in 0..f.rows() {
+                    assert_eq!(
+                        serial.get(i, j).to_bits(),
+                        parallel.get(i, j).to_bits(),
+                        "dense walk must not depend on the thread cap"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Exact blocked top-`k` sparsification of `W` for every metric.
+//!
+//! Nodes are split into contiguous bands ([`uniform_bounds`]); each band
+//! owns the top-`k` buffers of its columns. Band pairs are scheduled as a
+//! round-robin tournament: every round pairs off disjoint bands, so each
+//! pair task exclusively owns the two [`BandTopK`] buffers it updates and
+//! every unordered node pair `(i, j)` is evaluated exactly once across
+//! the whole build (its similarity feeding both column `i` and column
+//! `j`). Because top-`k` retention is a strict total order (similarity
+//! descending, index ascending — see [`crate::topk`]), the surviving
+//! neighbour sets are independent of round scheduling, and the final
+//! matrix is canonicalized by `from_triplets`, so the build is bitwise
+//! identical at any thread cap and matches the serial
+//! stable-sort-then-truncate construction it replaces.
+
+use tmark_linalg::partition::uniform_bounds;
+use tmark_linalg::pool;
+use tmark_linalg::similarity::{PreparedMetric, SimilarityMetric};
+use tmark_linalg::SparseMatrix;
+
+use crate::backend::WalkBackend;
+use crate::topk::BandTopK;
+use crate::walk::FeatureWalk;
+
+/// Exact k-nearest-neighbour feature-walk builder: column `j` keeps its
+/// `k` most similar other nodes (plus the self-loop that keeps the chain
+/// aperiodic) and is normalized into a probability distribution. Exact —
+/// every pairwise similarity is evaluated — but `O(nk)` storage.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnBackend {
+    metric: SimilarityMetric,
+    k: usize,
+}
+
+impl KnnBackend {
+    /// A top-`k` builder for the given similarity metric.
+    pub fn new(metric: SimilarityMetric, k: usize) -> Self {
+        KnnBackend { metric, k }
+    }
+
+    /// The normalized sparse `W` as a matrix, without wrapping it in a
+    /// [`FeatureWalk`].
+    pub fn build_sparse(&self, features: &tmark_linalg::DenseMatrix) -> SparseMatrix {
+        build_knn_sparse(self.metric, self.k, features)
+    }
+}
+
+fn build_knn_sparse(
+    metric: SimilarityMetric,
+    k: usize,
+    features: &tmark_linalg::DenseMatrix,
+) -> SparseMatrix {
+    let n = features.rows();
+    if n == 0 {
+        return SparseMatrix::from_triplets(0, 0, &[]).expect("empty matrix is well-formed");
+    }
+    let prep = PreparedMetric::new(metric, features);
+    // A column holds at most n − 1 neighbours besides the self-loop.
+    let kk = k.min(n.saturating_sub(1));
+    let bounds = uniform_bounds(n);
+    let bs = bounds.as_slice();
+    let nb = bs.len() - 1;
+    let mut bands: Vec<Option<BandTopK>> = (0..nb)
+        .map(|b| Some(BandTopK::new(bs[b], bs[b + 1] - bs[b], kk)))
+        .collect();
+
+    // Round 0: each band's intra-band pairs, bands mutually disjoint.
+    run_round(
+        bands
+            .iter_mut()
+            .enumerate()
+            .map(|(b, slot)| {
+                let topk = slot.take().expect("band buffer present before round 0");
+                (vec![(b, topk)], (bs[b], bs[b + 1]), None)
+            })
+            .collect(),
+        &prep,
+        &mut bands,
+    );
+
+    // Cross-band rounds: the circle-method tournament. With bands padded
+    // to an even count `nbp`, band `nbp − 1` stays fixed and the rest
+    // rotate, so each round's pairs are disjoint and after `nbp − 1`
+    // rounds every unordered band pair has met exactly once.
+    let nbp = nb + (nb % 2);
+    for round in 0..nbp.saturating_sub(1) {
+        let mut tasks = Vec::new();
+        for m in 0..nbp / 2 {
+            let (a, b) = if m == 0 {
+                (nbp - 1, round % (nbp - 1))
+            } else {
+                ((round + m) % (nbp - 1), (round + nbp - 1 - m) % (nbp - 1))
+            };
+            if a >= nb || b >= nb || a == b {
+                continue; // the padding dummy sits out
+            }
+            let ta = bands[a].take().expect("band buffer present for round");
+            let tb = bands[b].take().expect("band buffer present for round");
+            tasks.push((
+                vec![(a, ta), (b, tb)],
+                (bs[a], bs[a + 1]),
+                Some((bs[b], bs[b + 1])),
+            ));
+        }
+        run_round(tasks, &prep, &mut bands);
+    }
+
+    emit_sparse(&prep, kk, bs, &bands)
+}
+
+type RoundTask = (
+    Vec<(usize, BandTopK)>,
+    (usize, usize),
+    Option<(usize, usize)>,
+);
+
+/// Runs one tournament round on the pool and returns each band buffer to
+/// its slot. A task owning one band sweeps its intra-band pairs; a task
+/// owning two bands sweeps the cross product of their node ranges.
+fn run_round(tasks: Vec<RoundTask>, prep: &PreparedMetric<'_>, bands: &mut [Option<BandTopK>]) {
+    let jobs: Vec<_> = tasks
+        .into_iter()
+        .map(|(mut owned, ra, rb)| {
+            move || {
+                match (rb, &mut owned[..]) {
+                    (None, [(_, topk)]) => sweep_intra(prep, topk, ra.0, ra.1),
+                    (Some(rb), [(_, ta), (_, tb)]) => sweep_cross(prep, ta, tb, ra, rb),
+                    _ => unreachable!("round task owns one or two bands"),
+                }
+                owned
+            }
+        })
+        .collect();
+    for result in pool::run_tasks(jobs) {
+        match result {
+            Ok(owned) => {
+                for (b, topk) in owned {
+                    bands[b] = Some(topk);
+                }
+            }
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// Offers every intra-band pair `lo ≤ i < j < hi` to both columns' top-`k`
+/// buffers. Fixed ascending order; zero similarities (including every
+/// pair touching an inactive node under metrics that vanish there) are
+/// dropped, as in the dangling-column convention of the serial builder.
+fn sweep_intra(prep: &PreparedMetric<'_>, topk: &mut BandTopK, lo: usize, hi: usize) {
+    let skip = prep.zero_when_inactive();
+    for j in lo..hi {
+        if skip && !prep.is_active(j) {
+            continue;
+        }
+        for i in (lo..j).chain(j + 1..hi) {
+            if skip && !prep.is_active(i) {
+                continue;
+            }
+            let s = prep.sim(i, j);
+            if s > 0.0 {
+                topk.push(j, i as u32, s);
+            }
+        }
+    }
+}
+
+/// Offers every cross pair `(i ∈ a, j ∈ b)` to both bands' buffers: the
+/// similarity is computed once and feeds column `j` (candidate `i`) and
+/// column `i` (candidate `j`) symmetrically.
+fn sweep_cross(
+    prep: &PreparedMetric<'_>,
+    ta: &mut BandTopK,
+    tb: &mut BandTopK,
+    ra: (usize, usize),
+    rb: (usize, usize),
+) {
+    let skip = prep.zero_when_inactive();
+    for i in ra.0..ra.1 {
+        if skip && !prep.is_active(i) {
+            continue;
+        }
+        for j in rb.0..rb.1 {
+            if skip && !prep.is_active(j) {
+                continue;
+            }
+            let s = prep.sim(i, j);
+            if s > 0.0 {
+                tb.push(j, i as u32, s);
+                ta.push(i, j as u32, s);
+            }
+        }
+    }
+}
+
+/// Collects the surviving candidates plus per-column self-loops into
+/// triplets and normalizes. `from_triplets` canonicalizes entry order, so
+/// the result does not depend on the order bands are drained in.
+fn emit_sparse(
+    prep: &PreparedMetric<'_>,
+    kk: usize,
+    bs: &[usize],
+    bands: &[Option<BandTopK>],
+) -> SparseMatrix {
+    let n = prep.len();
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(n * (kk + 1));
+    for (b, slot) in bands.iter().enumerate() {
+        let topk = slot.as_ref().expect("band buffer present after rounds");
+        for j in bs[b]..bs[b + 1] {
+            let self_sim = prep.self_sim(j);
+            if self_sim > 0.0 {
+                // Outside the top-k budget, mirroring the dense diagonal:
+                // the self-loop keeps active columns aperiodic.
+                triplets.push((j, j, self_sim));
+            }
+            let (idxs, sims) = topk.column(j);
+            for (&i, &s) in idxs.iter().zip(sims) {
+                triplets.push((i as usize, j, s));
+            }
+        }
+    }
+    let mut w = SparseMatrix::from_triplets(n, n, &triplets)
+        .expect("knn triplets are in bounds by construction");
+    w.normalize_columns_stochastic();
+    w
+}
+
+impl WalkBackend for KnnBackend {
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+
+    fn build(&self, features: &tmark_linalg::DenseMatrix) -> FeatureWalk {
+        let w = build_knn_sparse(self.metric, self.k, features);
+        debug_assert!(
+            w.rows() == 0 || w.is_column_stochastic(crate::WALK_TOL),
+            "knn backend must emit a column-stochastic W (Eq. 9)"
+        );
+        FeatureWalk::from_sparse(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseBackend;
+    use tmark_linalg::DenseMatrix;
+
+    fn features(n: usize, d: usize, gap: u64) -> DenseMatrix {
+        let mut f = DenseMatrix::zeros(n, d);
+        let mut state = 0x9e37_79b9u64;
+        for i in 0..n {
+            for j in 0..d {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(gap | 1);
+                if state >> 60 > 4 {
+                    f.set(i, j, ((state >> 32) as f64) / (u32::MAX as f64));
+                }
+            }
+        }
+        f
+    }
+
+    const METRICS: [SimilarityMetric; 4] = [
+        SimilarityMetric::Cosine,
+        SimilarityMetric::Jaccard,
+        SimilarityMetric::Gaussian { sigma: 0.9 },
+        SimilarityMetric::Hamming,
+    ];
+
+    #[test]
+    fn knn_walk_is_column_stochastic_for_every_metric() {
+        let f = features(23, 5, 7);
+        for metric in METRICS {
+            let w = build_knn_sparse(metric, 4, &f);
+            assert!(
+                w.is_column_stochastic(1e-12),
+                "{metric:?} knn walk must be column-stochastic"
+            );
+        }
+    }
+
+    #[test]
+    fn large_k_matches_the_dense_walk_support_and_sums() {
+        let f = features(17, 4, 3);
+        for metric in METRICS {
+            let sparse = build_knn_sparse(metric, 16, &f);
+            let dense = DenseBackend::new(metric).build_matrix(&f);
+            for j in 0..17 {
+                let mut sum = 0.0;
+                for i in 0..17 {
+                    let sv = sparse.get(i, j);
+                    sum += sv;
+                    let dv = dense.get(i, j);
+                    // With k ≥ n − 1 nothing is truncated, so supports
+                    // coincide wherever the dense entry is not a
+                    // dangling-column uniform fill.
+                    if dv > 0.0 && sv == 0.0 && !sparse.is_dangling_col(j) {
+                        panic!("{metric:?}: dense support ({i},{j}) missing from knn");
+                    }
+                }
+                assert!(
+                    (sum - 1.0).abs() < 1e-9 || sparse.is_dangling_col(j),
+                    "{metric:?}: column {j} must sum to one"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_keeps_the_k_most_similar_neighbours() {
+        // Column 0's cosine similarity to node i decreases with i, so
+        // k = 2 must keep exactly nodes 1 and 2 (plus the self-loop).
+        let mut f = DenseMatrix::zeros(5, 2);
+        f.set(0, 0, 1.0);
+        for i in 1..5 {
+            f.set(i, 0, 1.0);
+            f.set(i, 1, i as f64);
+        }
+        let w = build_knn_sparse(SimilarityMetric::Cosine, 2, &f);
+        let support: Vec<usize> = (0..5).filter(|&i| w.get(i, 0) > 0.0).collect();
+        assert_eq!(support, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_feature_nodes_become_dangling_columns_under_cosine() {
+        let mut f = DenseMatrix::zeros(4, 2);
+        f.set(0, 0, 1.0);
+        f.set(2, 1, 2.0);
+        let w = build_knn_sparse(SimilarityMetric::Cosine, 2, &f);
+        assert!(w.is_dangling_col(1) && w.is_dangling_col(3));
+        assert!(w.is_column_stochastic(1e-12));
+    }
+}

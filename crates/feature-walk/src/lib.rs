@@ -1,0 +1,53 @@
+//! Backends for the feature-walk transition matrix `W` (Eq. 9).
+//!
+//! Section 4.2 of the paper builds `W` by computing pairwise similarities
+//! between node feature vectors and column-normalizing the result into a
+//! transition-probability matrix. That construction is the workspace's
+//! only `O(n² · d)` phase and dominates model assembly on every benchmark
+//! dataset, so this crate factors it into a [`WalkBackend`] trait with
+//! three interchangeable implementations:
+//!
+//! - [`DenseBackend`]: the paper's literal dense `n × n` construction,
+//!   parallelized over column blocks on the `tmark_linalg::pool` permit
+//!   pool with per-column Kahan-compensated normalization. Bitwise
+//!   identical to its serial sweep at any thread cap (each column has one
+//!   exclusive owner and a fixed evaluation order).
+//! - [`KnnBackend`]: an exact top-`k` sparsification for **every**
+//!   [`SimilarityMetric`], built from symmetric band tiles scheduled as a
+//!   round-robin tournament so each unordered pair is evaluated once and
+//!   every band's top-`k` buffers have one exclusive owner per round.
+//!   Selection uses the strict total order (similarity desc, index asc),
+//!   so the output is independent of scheduling — bitwise equal at any
+//!   thread cap.
+//! - [`AnnBackend`]: a pure-Rust approximate backend (SimHash LSH band
+//!   hashing) behind [`FeatureWalkMode::Ann`]. Candidates come from
+//!   hash-bucket collisions and are evaluated with the exact metric in a
+//!   fixed ascending order, so results are deterministic for a fixed seed
+//!   even though recall is approximate by construction.
+//!
+//! All three produce a [`FeatureWalk`], whose constructors (and the
+//! backends themselves) assert the column-stochastic invariant behind
+//! Theorems 1–3. [`build_walk`] dispatches a [`FeatureWalkMode`] +
+//! [`SimilarityMetric`] pair to the right backend.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod ann;
+mod backend;
+mod dense;
+mod knn;
+mod mode;
+mod topk;
+mod walk;
+
+pub use ann::AnnBackend;
+pub use backend::{build_walk, WalkBackend};
+pub use dense::{feature_transition_matrix, feature_transition_matrix_with, DenseBackend};
+pub use knn::KnnBackend;
+pub use mode::{AnnParams, FeatureWalkMode};
+pub use walk::FeatureWalk;
+
+/// Tolerance for the column-stochastic checks on `W`; looser than the
+/// contraction tolerance because Eq. (9) normalizes `n`-term column sums.
+pub const WALK_TOL: f64 = 1e-6;

@@ -1,0 +1,101 @@
+//! How to materialize the feature-walk operator `W`, and the parameters
+//! of the approximate backend.
+
+/// Parameters of the approximate (SimHash LSH) feature-walk backend.
+///
+/// Node features are projected onto `bands · rows_per_band` seeded random
+/// ±1 hyperplanes; the sign bits form `bands` bucket keys of
+/// `rows_per_band` bits each, and nodes sharing any bucket become
+/// candidate neighbours. Larger `rows_per_band` makes buckets more
+/// selective (fewer, higher-precision candidates); more `bands` raises
+/// recall. All fields are plain integers so modes stay `Copy + Eq` and
+/// usable as cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnParams {
+    /// Number of hash bands (independent recall chances per pair).
+    pub bands: usize,
+    /// Sign bits per band (bucket selectivity).
+    pub rows_per_band: usize,
+    /// Seed of the hyperplane generator. Fixing it fixes the output
+    /// bitwise; changing it resamples the candidate structure.
+    pub seed: u64,
+}
+
+impl Default for AnnParams {
+    fn default() -> Self {
+        AnnParams {
+            bands: 8,
+            rows_per_band: 6,
+            seed: 0x5eed_f00d,
+        }
+    }
+}
+
+/// How to materialize the feature-walk operator `W`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureWalkMode {
+    /// Dense for `n ≤ 2048`, exact kNN (`k = 64`) beyond. The default.
+    Auto,
+    /// Always dense (`O(n²)` memory) — the paper's literal Eq. (9).
+    Dense,
+    /// Always kNN-sparse with the given neighbourhood size, built by the
+    /// exact blocked top-k backend (any similarity metric).
+    Knn(usize),
+    /// Approximate kNN via SimHash LSH band hashing: `O(n · candidates)`
+    /// instead of `O(n²)` similarity evaluations. Deterministic for a
+    /// fixed [`AnnParams::seed`]; recall is approximate by construction.
+    Ann {
+        /// Neighbourhood size, as in [`FeatureWalkMode::Knn`].
+        k: usize,
+        /// LSH hashing parameters.
+        params: AnnParams,
+    },
+}
+
+/// Largest `n` for which [`FeatureWalkMode::Auto`] stays dense.
+pub(crate) const AUTO_DENSE_LIMIT: usize = 2048;
+/// Neighbourhood size [`FeatureWalkMode::Auto`] uses beyond the limit.
+pub(crate) const AUTO_KNN: usize = 64;
+
+impl FeatureWalkMode {
+    /// Canonicalizes `Auto` for a network of `n` nodes: dense up to
+    /// [`AUTO_DENSE_LIMIT`] nodes, exact kNN with [`AUTO_KNN`] neighbours
+    /// beyond. Non-`Auto` modes return themselves, so resolved modes are
+    /// usable as cache keys (`Auto` and its resolution share one entry).
+    pub fn resolve(self, n: usize) -> FeatureWalkMode {
+        match self {
+            FeatureWalkMode::Auto => {
+                if n <= AUTO_DENSE_LIMIT {
+                    FeatureWalkMode::Dense
+                } else {
+                    FeatureWalkMode::Knn(AUTO_KNN)
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_resolves_by_size_and_explicit_modes_are_fixed_points() {
+        assert_eq!(FeatureWalkMode::Auto.resolve(8), FeatureWalkMode::Dense);
+        assert_eq!(
+            FeatureWalkMode::Auto.resolve(AUTO_DENSE_LIMIT + 1),
+            FeatureWalkMode::Knn(AUTO_KNN)
+        );
+        for mode in [
+            FeatureWalkMode::Dense,
+            FeatureWalkMode::Knn(5),
+            FeatureWalkMode::Ann {
+                k: 5,
+                params: AnnParams::default(),
+            },
+        ] {
+            assert_eq!(mode.resolve(10_000), mode);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Bounded top-k candidate selection under a strict total order.
+//!
+//! Both sparse backends keep, per column, the `k` best candidates under
+//! the order (similarity descending, then index ascending). Because the
+//! order is total and strict, the retained *set* depends only on the set
+//! of candidates pushed — never on push order — which is what makes the
+//! blocked builders bitwise independent of scheduling. Ties at the
+//! truncation boundary resolve toward smaller indices, reproducing the
+//! stable-sort-then-truncate semantics of the original serial builder.
+
+/// Top-k buffers for one contiguous band of columns, stored as flat
+/// arrays (`k` slots per column) so a band can be handed to one worker
+/// per scheduling round without aliasing any other band's slots.
+#[derive(Debug)]
+pub(crate) struct BandTopK {
+    k: usize,
+    first_col: usize,
+    sims: Vec<f64>,
+    idxs: Vec<u32>,
+    lens: Vec<u32>,
+}
+
+/// `(s_a, i_a)` is strictly worse than `(s_b, i_b)` under the selection
+/// order: smaller similarity, or equal similarity with larger index.
+#[inline]
+fn worse(s_a: f64, i_a: u32, s_b: f64, i_b: u32) -> bool {
+    match s_a.total_cmp(&s_b) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => i_a > i_b,
+    }
+}
+
+impl BandTopK {
+    /// Buffers for columns `first_col .. first_col + cols`, `k` slots each.
+    pub fn new(first_col: usize, cols: usize, k: usize) -> Self {
+        BandTopK {
+            k,
+            first_col,
+            sims: vec![0.0; cols * k],
+            idxs: vec![0; cols * k],
+            lens: vec![0; cols],
+        }
+    }
+
+    /// Offers candidate `(idx, sim)` to column `col` (global index). Kept
+    /// iff it is among the column's `k` best so far; the eventual content
+    /// is the exact top-k of everything offered, in any order. The slots
+    /// form a per-column binary heap with the *worst* kept candidate at
+    /// the root, so each offer costs `O(log k)` and allocates nothing.
+    pub fn push(&mut self, col: usize, idx: u32, sim: f64) {
+        if self.k == 0 {
+            return;
+        }
+        let local = col - self.first_col;
+        let base = local * self.k;
+        let len = self.lens[local] as usize;
+        let sims = &mut self.sims[base..base + self.k];
+        let idxs = &mut self.idxs[base..base + self.k];
+        if len < self.k {
+            // Grow: append and sift up toward the worst-at-root heap.
+            sims[len] = sim;
+            idxs[len] = idx;
+            self.lens[local] += 1;
+            let mut pos = len;
+            while pos > 0 {
+                let parent = (pos - 1) / 2;
+                if worse(sims[pos], idxs[pos], sims[parent], idxs[parent]) {
+                    sims.swap(pos, parent);
+                    idxs.swap(pos, parent);
+                    pos = parent;
+                } else {
+                    break;
+                }
+            }
+        } else if worse(sims[0], idxs[0], sim, idx) {
+            // Full and the root is worse than the candidate: replace and
+            // sift down along the worse child.
+            sims[0] = sim;
+            idxs[0] = idx;
+            let mut pos = 0;
+            loop {
+                let (l, r) = (2 * pos + 1, 2 * pos + 2);
+                let mut worst = pos;
+                if l < len && worse(sims[l], idxs[l], sims[worst], idxs[worst]) {
+                    worst = l;
+                }
+                if r < len && worse(sims[r], idxs[r], sims[worst], idxs[worst]) {
+                    worst = r;
+                }
+                if worst == pos {
+                    break;
+                }
+                sims.swap(pos, worst);
+                idxs.swap(pos, worst);
+                pos = worst;
+            }
+        }
+    }
+
+    /// The kept candidates of column `col` as `(indices, similarities)`
+    /// slices (heap order — callers needing an order must sort).
+    pub fn column(&self, col: usize) -> (&[u32], &[f64]) {
+        let local = col - self.first_col;
+        let base = local * self.k;
+        let len = self.lens[local] as usize;
+        (&self.idxs[base..base + len], &self.sims[base..base + len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kept(buf: &BandTopK, col: usize) -> Vec<(u32, f64)> {
+        let (idxs, sims) = buf.column(col);
+        let mut v: Vec<(u32, f64)> = idxs.iter().copied().zip(sims.iter().copied()).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    #[test]
+    fn keeps_the_exact_top_k_regardless_of_push_order() {
+        let cands: Vec<(u32, f64)> = (0..20).map(|i| (i, (i as f64 * 7.3) % 5.0)).collect();
+        let mut forward = BandTopK::new(0, 1, 4);
+        let mut backward = BandTopK::new(0, 1, 4);
+        for &(i, s) in &cands {
+            forward.push(0, i, s);
+        }
+        for &(i, s) in cands.iter().rev() {
+            backward.push(0, i, s);
+        }
+        let mut oracle = cands.clone();
+        oracle.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        oracle.truncate(4);
+        assert_eq!(kept(&forward, 0), oracle);
+        assert_eq!(kept(&backward, 0), oracle);
+    }
+
+    #[test]
+    fn ties_at_the_boundary_resolve_toward_smaller_indices() {
+        let mut buf = BandTopK::new(3, 1, 2);
+        for &i in &[9u32, 4, 7, 2] {
+            buf.push(3, i, 0.5);
+        }
+        let kept = kept(&buf, 3);
+        assert_eq!(kept, vec![(2, 0.5), (4, 0.5)]);
+    }
+
+    #[test]
+    fn zero_capacity_keeps_nothing() {
+        let mut buf = BandTopK::new(0, 2, 0);
+        buf.push(0, 1, 1.0);
+        assert!(buf.column(0).0.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Cross-backend properties of the feature-walk subsystem: exact-kNN
+//! agreement with the dense build at full `k`, column-stochasticity of
+//! every backend under every metric, and schedule independence.
+
+use proptest::prelude::*;
+use tmark_feature_walk::{AnnBackend, AnnParams, DenseBackend, KnnBackend};
+use tmark_linalg::similarity::SimilarityMetric;
+use tmark_linalg::{pool, DenseMatrix, SparseMatrix};
+
+const METRICS: [SimilarityMetric; 4] = [
+    SimilarityMetric::Cosine,
+    SimilarityMetric::Jaccard,
+    SimilarityMetric::Gaussian { sigma: 0.8 },
+    SimilarityMetric::Hamming,
+];
+
+/// Strategy: a feature matrix with nonnegative entries and a sprinkling
+/// of exact zeros, so zero-norm (dangling) columns and set-based metrics
+/// both get exercised.
+fn feature_matrix() -> impl Strategy<Value = DenseMatrix> {
+    (2usize..=12, 1usize..=4).prop_flat_map(|(n, d)| {
+        // Negative draws clamp to exactly zero, so roughly a quarter of
+        // the entries vanish and whole rows go inactive now and then.
+        prop::collection::vec(-2.0..8.0f64, n * d).prop_map(move |data| {
+            let mut f = DenseMatrix::zeros(n, d);
+            for i in 0..n {
+                for j in 0..d {
+                    f.set(i, j, data[i * d + j].max(0.0));
+                }
+            }
+            f
+        })
+    })
+}
+
+/// Asserts the sparse full-`k` build reproduces the dense build column by
+/// column: identical values on non-dangling columns (1e-9, the two paths
+/// normalize with differently-ordered sums) and a uniform dense column
+/// wherever the sparse build went dangling.
+fn assert_matches_dense(metric: SimilarityMetric, sparse: &SparseMatrix, dense: &DenseMatrix) {
+    let n = dense.rows();
+    for j in 0..n {
+        if sparse.is_dangling_col(j) {
+            for i in 0..n {
+                let dv = dense.get(i, j);
+                assert!(
+                    (dv - 1.0 / n as f64).abs() < 1e-12,
+                    "{metric:?}: dangling column {j} must be uniform dense, got {dv} at {i}"
+                );
+            }
+            continue;
+        }
+        for i in 0..n {
+            let sv = sparse.get(i, j);
+            let dv = dense.get(i, j);
+            assert!(
+                (sv - dv).abs() < 1e-9,
+                "{metric:?}: W[{i},{j}] diverged — sparse {sv} vs dense {dv}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn full_k_knn_reproduces_the_dense_walk_for_every_metric(f in feature_matrix()) {
+        let n = f.rows();
+        for metric in METRICS {
+            let sparse = KnnBackend::new(metric, n).build_sparse(&f);
+            let dense = DenseBackend::new(metric).build_matrix(&f);
+            prop_assert!(sparse.is_column_stochastic(1e-9), "{metric:?}: knn not stochastic");
+            prop_assert!(dense.is_column_stochastic(1e-9), "{metric:?}: dense not stochastic");
+            assert_matches_dense(metric, &sparse, &dense);
+        }
+    }
+
+    #[test]
+    fn truncated_knn_stays_stochastic_for_every_metric(f in feature_matrix(), k in 1usize..=4) {
+        for metric in METRICS {
+            let w = KnnBackend::new(metric, k).build_sparse(&f);
+            prop_assert!(
+                w.is_column_stochastic(1e-9),
+                "{metric:?} k={k}: truncated knn walk must stay column-stochastic"
+            );
+        }
+    }
+
+    #[test]
+    fn ann_walk_is_always_column_stochastic(f in feature_matrix(), k in 1usize..=4) {
+        let w = AnnBackend::new(SimilarityMetric::Cosine, k, AnnParams::default()).build_sparse(&f);
+        prop_assert!(w.is_column_stochastic(1e-9));
+    }
+}
+
+/// Bitwise equality of two canonical CSR matrices.
+fn sparse_bitwise_eq(a: &SparseMatrix, b: &SparseMatrix) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.nnz() == b.nnz()
+        && (0..a.rows()).all(|r| {
+            a.row_iter(r)
+                .zip(b.row_iter(r))
+                .all(|((ca, va), (cb, vb))| ca == cb && va.to_bits() == vb.to_bits())
+        })
+}
+
+/// Duplicated feature rows force similarity ties right at the truncation
+/// boundary; the strict total order (similarity desc, index asc) must
+/// resolve them identically at every thread cap.
+#[test]
+fn knn_with_boundary_ties_is_bitwise_identical_across_thread_caps() {
+    let mut f = DenseMatrix::zeros(24, 3);
+    for i in 0..24 {
+        // Three copies of each of eight distinct rows → 2-way ties
+        // everywhere, while k = 2 truncates inside each tie group.
+        let g = (i / 3) as f64;
+        f.set(i, 0, 1.0);
+        f.set(i, 1, g);
+        f.set(i, 2, (g * 0.5).fract());
+    }
+    for metric in METRICS {
+        let backend = KnnBackend::new(metric, 2);
+        pool::set_thread_cap(Some(1));
+        let serial = backend.build_sparse(&f);
+        pool::set_thread_cap(Some(4));
+        let parallel = backend.build_sparse(&f);
+        pool::set_thread_cap(None);
+        assert!(
+            sparse_bitwise_eq(&serial, &parallel),
+            "{metric:?}: knn build must not depend on the thread cap"
+        );
+    }
+}

@@ -1,12 +1,17 @@
 //! The immutable HIN container shared by all algorithms.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
-use tmark_linalg::similarity::feature_transition_matrix;
+use tmark_feature_walk::{build_walk, FeatureWalk, FeatureWalkMode};
+use tmark_linalg::similarity::SimilarityMetric;
 use tmark_linalg::{DenseMatrix, SparseMatrix};
 use tmark_sparse_tensor::{SparseTensor3, StochasticTensors};
 
 use crate::labels::LabelStore;
+
+/// Cache key for a materialized feature walk: the *resolved* mode (so
+/// `Auto` shares an entry with whatever it resolves to) plus the metric.
+type WalkKey = (FeatureWalkMode, SimilarityMetric);
 
 /// A heterogeneous information network over one target node type.
 ///
@@ -15,21 +20,41 @@ use crate::labels::LabelStore;
 /// [`crate::HinBuilder`]; immutable afterwards so that every algorithm in a
 /// comparison observes the same network.
 ///
-/// Because the network is immutable, the two expensive derived objects —
-/// the compressed stochastic tensor pair `(O, R)` and the dense cosine
-/// walk `W` of Eq. (9) — are memoized on first use: repeated fits on the
-/// same network (evaluation sweeps, warm-started refits) pay the
-/// normalization and similarity costs once instead of per call. The cached
-/// objects are built deterministically, so memoization cannot change any
-/// result bitwise.
-#[derive(Debug, Clone)]
+/// Because the network is immutable, the expensive derived objects — the
+/// compressed stochastic tensor pair `(O, R)` and the feature walks `W` of
+/// Eq. (9) — are memoized on first use: repeated fits on the same network
+/// (evaluation sweeps, warm-started refits, backend comparisons) pay the
+/// normalization and similarity costs once per `(mode, metric)`
+/// configuration instead of per call, and [`Hin::feature_walk`] hands out
+/// shared `Arc`s instead of clones. The cached objects are built
+/// deterministically, so memoization cannot change any result bitwise.
+#[derive(Debug)]
 pub struct Hin {
     tensor: SparseTensor3,
     features: DenseMatrix,
     link_type_names: Vec<String>,
     labels: LabelStore,
     stoch_cache: OnceLock<StochasticTensors>,
-    cosine_walk_cache: OnceLock<DenseMatrix>,
+    walk_cache: Mutex<Vec<(WalkKey, Arc<FeatureWalk>)>>,
+}
+
+impl Clone for Hin {
+    fn clone(&self) -> Self {
+        Hin {
+            tensor: self.tensor.clone(),
+            features: self.features.clone(),
+            link_type_names: self.link_type_names.clone(),
+            labels: self.labels.clone(),
+            stoch_cache: self.stoch_cache.clone(),
+            // Walks are immutable once built, so the clone shares them.
+            walk_cache: Mutex::new(
+                self.walk_cache
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
+        }
+    }
 }
 
 impl Hin {
@@ -45,7 +70,7 @@ impl Hin {
             link_type_names,
             labels,
             stoch_cache: OnceLock::new(),
-            cosine_walk_cache: OnceLock::new(),
+            walk_cache: Mutex::new(Vec::new()),
         }
     }
 
@@ -90,14 +115,31 @@ impl Hin {
             .get_or_init(|| StochasticTensors::from_tensor(&self.tensor))
     }
 
-    /// The memoized dense cosine feature walk `W` of Eq. (9), built on
-    /// first use: pairwise cosine similarities of the node features,
-    /// column-normalized to be stochastic. This is the default walk the
-    /// model uses for dense networks; other metrics or kNN sparsification
-    /// are built by the caller from [`Hin::features`].
-    pub fn cosine_walk(&self) -> &DenseMatrix {
-        self.cosine_walk_cache
-            .get_or_init(|| feature_transition_matrix(&self.features))
+    /// The memoized feature walk `W` of Eq. (9) for the given mode and
+    /// metric, built on first use and shared via `Arc` — repeated fits on
+    /// the same configuration allocate nothing. `Auto` is resolved by
+    /// network size before keying, so it shares the cache entry of the
+    /// concrete mode it resolves to. Walk construction is deterministic
+    /// (bitwise thread-cap invariant for the exact backends, seed-pinned
+    /// for the approximate one), so the cache cannot change any result.
+    pub fn feature_walk(
+        &self,
+        mode: FeatureWalkMode,
+        metric: SimilarityMetric,
+    ) -> Arc<FeatureWalk> {
+        let key = (mode.resolve(self.features.rows()), metric);
+        let mut cache = self
+            .walk_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some((_, walk)) = cache.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(walk);
+        }
+        // Built under the lock: concurrent first requests for the same
+        // configuration would otherwise race to do O(n²·d) work twice.
+        let walk = Arc::new(build_walk(&self.features, key.0, metric));
+        cache.push((key, Arc::clone(&walk)));
+        walk
     }
 
     /// The node feature matrix (one row per node).
@@ -225,5 +267,31 @@ mod tests {
         let s = h.stochastic_tensors();
         assert_eq!(s.num_nodes(), 3);
         assert_eq!(s.num_relations(), 2);
+    }
+
+    #[test]
+    fn feature_walks_are_cached_per_configuration_and_shared() {
+        let h = tiny_hin();
+        let dense = h.feature_walk(FeatureWalkMode::Dense, SimilarityMetric::Cosine);
+        // Auto resolves to Dense at n = 3, so it must hit the same entry.
+        let auto = h.feature_walk(FeatureWalkMode::Auto, SimilarityMetric::Cosine);
+        assert!(Arc::ptr_eq(&dense, &auto));
+        let again = h.feature_walk(FeatureWalkMode::Dense, SimilarityMetric::Cosine);
+        assert!(Arc::ptr_eq(&dense, &again));
+        // A different mode or metric is a different entry.
+        let knn = h.feature_walk(FeatureWalkMode::Knn(2), SimilarityMetric::Cosine);
+        assert!(!Arc::ptr_eq(&dense, &knn));
+        assert!(knn.as_sparse().is_some());
+        let jac = h.feature_walk(FeatureWalkMode::Dense, SimilarityMetric::Jaccard);
+        assert!(!Arc::ptr_eq(&dense, &jac));
+    }
+
+    #[test]
+    fn cloned_networks_share_already_built_walks() {
+        let h = tiny_hin();
+        let before = h.feature_walk(FeatureWalkMode::Dense, SimilarityMetric::Cosine);
+        let copy = h.clone();
+        let shared = copy.feature_walk(FeatureWalkMode::Dense, SimilarityMetric::Cosine);
+        assert!(Arc::ptr_eq(&before, &shared));
     }
 }

@@ -12,8 +12,9 @@
 //!   and column-stochastic normalization the algorithms need.
 //! - [`sparse`]: a compressed-sparse-row [`SparseMatrix`] for large, mostly
 //!   empty transition structures.
-//! - [`similarity`]: builders for the cosine-similarity transition matrix
-//!   `W` of Eq. (9) in the paper, in dense and k-nearest-neighbour form.
+//! - [`similarity`]: the pairwise node-similarity metrics behind the
+//!   transition matrix `W` of Eq. (9), plus the prepared-metric kernel the
+//!   `tmark-feature-walk` backends (dense, exact top-k, approximate) share.
 //! - [`pool`]: the process-wide bounded worker pool that every parallel
 //!   kernel and solver driver draws permits from.
 //! - [`partition`]: output-partitioning planners and chunk runners shared
@@ -24,7 +25,7 @@
 //! output buffers where that avoids per-iteration allocation.
 //!
 //! ```
-//! use tmark_linalg::{DenseMatrix, similarity::feature_transition_matrix};
+//! use tmark_linalg::{DenseMatrix, similarity::{similarity_matrix, SimilarityMetric}};
 //!
 //! // Two feature clusters → a column-stochastic transition matrix W.
 //! let features = DenseMatrix::from_rows(&[
@@ -32,7 +33,8 @@
 //!     vec![0.9, 0.1],
 //!     vec![0.0, 1.0],
 //! ]).unwrap();
-//! let w = feature_transition_matrix(&features);
+//! let mut w = similarity_matrix(&features, SimilarityMetric::Cosine);
+//! w.normalize_columns_stochastic();
 //! assert!(w.is_column_stochastic(1e-12));
 //! // Similar nodes exchange more probability mass.
 //! assert!(w.get(0, 1) > w.get(2, 1));

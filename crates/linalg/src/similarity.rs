@@ -1,13 +1,17 @@
-//! Builders for the feature-similarity transition matrix `W` (Eq. 9).
+//! Pairwise node-similarity metrics and the dense similarity matrix `C`.
 //!
 //! Section 4.2 of the paper computes pairwise cosine similarities between
-//! node feature vectors and column-normalizes the result into a transition
-//! probability matrix. For large `n` the full `n × n` matrix is expensive,
-//! so a k-nearest-neighbour sparsified variant is also provided; it keeps
-//! the same column-stochastic semantics.
+//! node feature vectors; column-normalizing the result yields the
+//! transition matrix `W` of Eq. (9). This module owns the *similarity*
+//! layer only: the metric definitions, a [`PreparedMetric`] that
+//! precomputes per-row norms/supports so empty feature rows cost `O(1)`
+//! instead of `O(d)`, and the dense symmetric similarity matrix. The `W`
+//! builders themselves (dense, exact top-k, and approximate) live in the
+//! `tmark-feature-walk` crate, which layers the column-stochastic
+//! normalization and the parallel blocked kernels on top of
+//! [`PreparedMetric::sim`].
 
 use crate::dense::DenseMatrix;
-use crate::sparse::SparseMatrix;
 use crate::vector;
 
 /// The node-similarity metric used to build `W`.
@@ -39,7 +43,15 @@ impl SimilarityMetric {
     pub fn similarity(self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len(), "similarity: length mismatch");
         match self {
-            SimilarityMetric::Cosine => vector::cosine(a, b).max(0.0),
+            SimilarityMetric::Cosine => {
+                if std::ptr::eq(a.as_ptr(), b.as_ptr()) && a.len() == b.len() {
+                    // cos(x, x) is exactly 1 whenever x has mass; the
+                    // quotient dot/(‖x‖·‖x‖) would leak rounding noise
+                    // into the diagonal.
+                    return if vector::norm_l2(a) > 0.0 { 1.0 } else { 0.0 };
+                }
+                vector::cosine(a, b).max(0.0)
+            }
             SimilarityMetric::Jaccard => {
                 let mut intersection = 0usize;
                 let mut union = 0usize;
@@ -78,35 +90,218 @@ impl SimilarityMetric {
     }
 }
 
+/// A [`SimilarityMetric`] bound to one feature matrix, with the per-row
+/// quantities every pairwise evaluation needs precomputed once:
+///
+/// - cosine: L2 norms;
+/// - Gaussian: squared L2 norms;
+/// - Jaccard / Hamming: nonzero-support counts.
+///
+/// Two guarantees make this the shared similarity kernel of every `W`
+/// backend (dense, exact top-k, approximate):
+///
+/// 1. [`PreparedMetric::sim`] is **bitwise identical** to
+///    [`SimilarityMetric::similarity`] on the same rows — the general case
+///    delegates to it, and the inactive-row fast paths reproduce the exact
+///    floating-point expressions the full loops would evaluate (`(0−y)²`
+///    is `y²` bit for bit, a mismatch count against an empty support is
+///    the other row's support count, and so on).
+/// 2. `sim(i, j)` equals `sim(j, i)` bitwise for every metric, so
+///    symmetric-tiled builders may evaluate each unordered pair once.
+///
+/// Rows with no mass (zero norm / empty support) are detected in `O(1)`,
+/// which is what stops Jaccard/Gaussian/Hamming dense builds from paying
+/// `O(d)` per pair involving an empty feature row.
+#[derive(Debug)]
+pub struct PreparedMetric<'a> {
+    metric: SimilarityMetric,
+    features: &'a DenseMatrix,
+    /// Cosine: `‖f_i‖₂`; Gaussian: `‖f_i‖₂²` (summed in the same
+    /// left-to-right order as the pairwise distance loop); otherwise empty.
+    norms: Vec<f64>,
+    /// Jaccard/Hamming: `|{t : f_{i,t} ≠ 0}|`; otherwise empty.
+    support: Vec<usize>,
+}
+
+impl<'a> PreparedMetric<'a> {
+    /// Precomputes the per-row norms/supports for `metric` over `features`.
+    pub fn new(metric: SimilarityMetric, features: &'a DenseMatrix) -> Self {
+        let n = features.rows();
+        let mut norms = Vec::new();
+        let mut support = Vec::new();
+        match metric {
+            SimilarityMetric::Cosine => {
+                norms = (0..n).map(|i| vector::norm_l2(features.row(i))).collect();
+            }
+            SimilarityMetric::Gaussian { sigma } => {
+                assert!(sigma > 0.0, "Gaussian bandwidth must be positive");
+                // Naive left-to-right sums of y·y: bitwise what the pair
+                // loop's `.sum()` over (0 − y)² would produce.
+                norms = (0..n)
+                    .map(|i| {
+                        let mut s = 0.0;
+                        for &y in features.row(i) {
+                            s += y * y;
+                        }
+                        s
+                    })
+                    .collect();
+            }
+            SimilarityMetric::Jaccard | SimilarityMetric::Hamming => {
+                support = (0..n)
+                    .map(|i| features.row(i).iter().filter(|&&x| x != 0.0).count())
+                    .collect();
+            }
+        }
+        PreparedMetric {
+            metric,
+            features,
+            norms,
+            support,
+        }
+    }
+
+    /// The bound metric.
+    pub fn metric(&self) -> SimilarityMetric {
+        self.metric
+    }
+
+    /// Number of feature rows.
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// True when there are no feature rows.
+    pub fn is_empty(&self) -> bool {
+        self.features.rows() == 0
+    }
+
+    /// True when row `i` carries any mass under this metric (nonzero norm
+    /// or nonempty support). Inactive rows evaluate in `O(1)`.
+    pub fn is_active(&self, i: usize) -> bool {
+        match self.metric {
+            SimilarityMetric::Cosine | SimilarityMetric::Gaussian { .. } => self.norms[i] > 0.0,
+            SimilarityMetric::Jaccard | SimilarityMetric::Hamming => self.support[i] > 0,
+        }
+    }
+
+    /// True when an inactive row's similarity to *every* row is zero, so
+    /// builders may skip it entirely (cosine and Jaccard). Gaussian and
+    /// Hamming assign empty rows nonzero similarities, which the dense
+    /// construction includes and sparse builders must therefore keep too.
+    pub fn zero_when_inactive(&self) -> bool {
+        matches!(
+            self.metric,
+            SimilarityMetric::Cosine | SimilarityMetric::Jaccard
+        )
+    }
+
+    /// The self-similarity `sim(i, i)` in `O(1)` — the dense diagonal.
+    /// Bitwise equal to `metric.similarity(row_i, row_i)`.
+    pub fn self_sim(&self, i: usize) -> f64 {
+        match self.metric {
+            SimilarityMetric::Cosine | SimilarityMetric::Jaccard => {
+                if self.is_active(i) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            // exp(−0 / 2σ²) is exactly 1.0 for any positive σ.
+            SimilarityMetric::Gaussian { .. } => 1.0,
+            SimilarityMetric::Hamming => {
+                if self.features.cols() == 0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// The pairwise similarity `sim(i, j)`, bitwise equal to
+    /// [`SimilarityMetric::similarity`] on rows `i` and `j` and symmetric
+    /// in its arguments. Pairs involving an inactive row take an `O(1)`
+    /// (Gaussian/Hamming) or constant-zero (cosine/Jaccard) fast path.
+    pub fn sim(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return self.self_sim(i);
+        }
+        match self.metric {
+            SimilarityMetric::Cosine => {
+                if self.norms[i] == 0.0 || self.norms[j] == 0.0 {
+                    return 0.0;
+                }
+                let s = vector::dot(self.features.row(i), self.features.row(j))
+                    / (self.norms[i] * self.norms[j]);
+                s.max(0.0)
+            }
+            SimilarityMetric::Jaccard => {
+                if self.support[i] == 0 || self.support[j] == 0 {
+                    return 0.0;
+                }
+                self.metric
+                    .similarity(self.features.row(i), self.features.row(j))
+            }
+            SimilarityMetric::Gaussian { sigma } => {
+                // An empty row's squared distance to f is exactly ‖f‖²:
+                // each term (0 − y)² equals y², bit for bit.
+                let sq = if !self.is_active(i) {
+                    self.norms[j]
+                } else if !self.is_active(j) {
+                    self.norms[i]
+                } else {
+                    return self
+                        .metric
+                        .similarity(self.features.row(i), self.features.row(j));
+                };
+                (-sq / (2.0 * sigma * sigma)).exp()
+            }
+            SimilarityMetric::Hamming => {
+                let d = self.features.cols();
+                if d == 0 {
+                    return 0.0;
+                }
+                // Against an empty support every nonzero of the other row
+                // mismatches, so the count is the other row's support.
+                let mismatches = if self.support[i] == 0 {
+                    self.support[j]
+                } else if self.support[j] == 0 {
+                    self.support[i]
+                } else {
+                    return self
+                        .metric
+                        .similarity(self.features.row(i), self.features.row(j));
+                };
+                1.0 - mismatches as f64 / d as f64
+            }
+        }
+    }
+}
+
 /// Computes the dense pairwise similarity matrix under any
 /// [`SimilarityMetric`]. The diagonal is the self-similarity and the
-/// result is symmetric and nonnegative.
+/// result is symmetric and nonnegative. Diagonal elements and pairs
+/// involving empty feature rows are evaluated in `O(1)` via
+/// [`PreparedMetric`] rather than `O(d)`.
 pub fn similarity_matrix(features: &DenseMatrix, metric: SimilarityMetric) -> DenseMatrix {
-    if metric == SimilarityMetric::Cosine {
-        return cosine_similarity_matrix(features);
-    }
     let n = features.rows();
+    let prep = PreparedMetric::new(metric, features);
     let mut c = DenseMatrix::zeros(n, n);
     for i in 0..n {
-        c.set(i, i, metric.similarity(features.row(i), features.row(i)));
+        c.set(i, i, prep.self_sim(i));
+        if prep.zero_when_inactive() && !prep.is_active(i) {
+            continue; // the whole row/column is zero
+        }
         for j in (i + 1)..n {
-            let s = metric.similarity(features.row(i), features.row(j));
-            c.set(i, j, s);
-            c.set(j, i, s);
+            let s = prep.sim(i, j);
+            if s != 0.0 {
+                c.set(i, j, s);
+                c.set(j, i, s);
+            }
         }
     }
     c
-}
-
-/// Builds the transition matrix `W` under any metric (Eq. 9 with a
-/// pluggable similarity): pairwise similarities, column-normalized.
-pub fn feature_transition_matrix_with(
-    features: &DenseMatrix,
-    metric: SimilarityMetric,
-) -> DenseMatrix {
-    let mut w = similarity_matrix(features, metric);
-    w.normalize_columns_stochastic();
-    w
 }
 
 /// Computes the dense cosine-similarity matrix `C` with
@@ -115,70 +310,7 @@ pub fn feature_transition_matrix_with(
 /// Negative similarities are clamped to zero: the paper's `C` feeds a
 /// transition-probability normalization, which requires nonnegative mass.
 pub fn cosine_similarity_matrix(features: &DenseMatrix) -> DenseMatrix {
-    let n = features.rows();
-    let mut c = DenseMatrix::zeros(n, n);
-    // Pre-compute norms once.
-    let norms: Vec<f64> = (0..n).map(|i| vector::norm_l2(features.row(i))).collect();
-    for i in 0..n {
-        c.set(i, i, if norms[i] > 0.0 { 1.0 } else { 0.0 });
-        for j in (i + 1)..n {
-            if norms[i] == 0.0 || norms[j] == 0.0 {
-                continue;
-            }
-            let s = vector::dot(features.row(i), features.row(j)) / (norms[i] * norms[j]);
-            let s = s.max(0.0);
-            c.set(i, j, s);
-            c.set(j, i, s);
-        }
-    }
-    c
-}
-
-/// Builds the transition matrix `W` of Eq. (9): cosine similarities,
-/// column-normalized to be stochastic. Dangling columns (all-zero feature
-/// vectors) become uniform.
-pub fn feature_transition_matrix(features: &DenseMatrix) -> DenseMatrix {
-    let mut w = cosine_similarity_matrix(features);
-    w.normalize_columns_stochastic();
-    w
-}
-
-/// Builds a sparse `W` keeping only each node's `k` most similar neighbours
-/// (plus the self-loop), then column-normalizing. For `k ≥ n − 1` this
-/// coincides with the dense construction up to the truncation of zero
-/// similarities.
-pub fn knn_feature_transition_matrix(features: &DenseMatrix, k: usize) -> SparseMatrix {
-    let n = features.rows();
-    let norms: Vec<f64> = (0..n).map(|i| vector::norm_l2(features.row(i))).collect();
-    let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
-    let mut sims: Vec<(usize, f64)> = Vec::with_capacity(n);
-    for j in 0..n {
-        if norms[j] == 0.0 {
-            continue; // dangling column: handled by normalization
-        }
-        sims.clear();
-        for i in 0..n {
-            if i == j || norms[i] == 0.0 {
-                continue;
-            }
-            let s = vector::dot(features.row(i), features.row(j)) / (norms[i] * norms[j]);
-            if s > 0.0 {
-                sims.push((i, s));
-            }
-        }
-        sims.sort_by(|a, b| b.1.total_cmp(&a.1));
-        sims.truncate(k);
-        // Self-similarity keeps the chain aperiodic, mirroring the dense
-        // construction where the diagonal is cos(f_j, f_j) = 1.
-        triplets.push((j, j, 1.0));
-        for &(i, s) in &sims {
-            triplets.push((i, j, s));
-        }
-    }
-    let mut w = SparseMatrix::from_triplets(n, n, &triplets)
-        .expect("knn triplets are in bounds by construction");
-    w.normalize_columns_stochastic();
-    w
+    similarity_matrix(features, SimilarityMetric::Cosine)
 }
 
 #[cfg(test)]
@@ -194,6 +326,13 @@ mod tests {
         ])
         .unwrap()
     }
+
+    const ALL_METRICS: [SimilarityMetric; 4] = [
+        SimilarityMetric::Cosine,
+        SimilarityMetric::Jaccard,
+        SimilarityMetric::Gaussian { sigma: 0.5 },
+        SimilarityMetric::Hamming,
+    ];
 
     #[test]
     fn similarity_is_symmetric_with_unit_diagonal() {
@@ -219,44 +358,6 @@ mod tests {
         let c = cosine_similarity_matrix(&f);
         assert_eq!(c.get(0, 0), 0.0);
         assert_eq!(c.get(0, 1), 0.0);
-    }
-
-    #[test]
-    fn transition_matrix_is_column_stochastic() {
-        let w = feature_transition_matrix(&two_cluster_features());
-        assert!(w.is_column_stochastic(1e-12));
-    }
-
-    #[test]
-    fn transition_matrix_handles_all_zero_features() {
-        let f = DenseMatrix::zeros(3, 2);
-        let w = feature_transition_matrix(&f);
-        // Every column dangles, so W is the uniform matrix.
-        assert!(w.is_column_stochastic(1e-12));
-        assert!((w.get(0, 0) - 1.0 / 3.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn knn_matrix_is_column_stochastic() {
-        let w = knn_feature_transition_matrix(&two_cluster_features(), 1);
-        assert!(w.is_column_stochastic(1e-12));
-    }
-
-    #[test]
-    fn knn_with_large_k_matches_dense_support() {
-        let f = two_cluster_features();
-        let dense = feature_transition_matrix(&f);
-        let sparse = knn_feature_transition_matrix(&f, 10).to_dense();
-        for i in 0..4 {
-            for j in 0..4 {
-                assert!(
-                    (dense.get(i, j) - sparse.get(i, j)).abs() < 1e-9,
-                    "mismatch at ({i}, {j}): {} vs {}",
-                    dense.get(i, j),
-                    sparse.get(i, j)
-                );
-            }
-        }
     }
 
     #[test]
@@ -287,20 +388,6 @@ mod tests {
     }
 
     #[test]
-    fn every_metric_yields_a_stochastic_transition_matrix() {
-        let f = two_cluster_features();
-        for metric in [
-            SimilarityMetric::Cosine,
-            SimilarityMetric::Jaccard,
-            SimilarityMetric::Gaussian { sigma: 0.5 },
-            SimilarityMetric::Hamming,
-        ] {
-            let w = feature_transition_matrix_with(&f, metric);
-            assert!(w.is_column_stochastic(1e-12), "{metric:?}");
-        }
-    }
-
-    #[test]
     fn metric_dispatch_matches_cosine_builder() {
         let f = two_cluster_features();
         let direct = cosine_similarity_matrix(&f);
@@ -315,9 +402,78 @@ mod tests {
     }
 
     #[test]
-    fn knn_truncates_neighbours() {
-        // With k = 1 each column keeps self + 1 neighbour at most.
-        let w = knn_feature_transition_matrix(&two_cluster_features(), 1);
-        assert!(w.nnz() <= 4 * 2);
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn prepared_gaussian_rejects_zero_bandwidth() {
+        PreparedMetric::new(
+            SimilarityMetric::Gaussian { sigma: 0.0 },
+            &two_cluster_features(),
+        );
+    }
+
+    /// The load-bearing guarantee of the backend refactor: the prepared
+    /// fast paths are bitwise equal to the direct metric evaluation,
+    /// including pairs with empty feature rows, and symmetric in (i, j).
+    #[test]
+    fn prepared_sim_is_bitwise_equal_to_direct_similarity() {
+        let f = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 0.0, 0.0], // empty row: exercises every fast path
+            vec![0.3, -0.7, 0.0],
+            vec![0.0, 0.0, 0.0],
+            vec![-1.0, 4.0, 0.5],
+        ])
+        .unwrap();
+        for metric in ALL_METRICS {
+            let prep = PreparedMetric::new(metric, &f);
+            for i in 0..f.rows() {
+                for j in 0..f.rows() {
+                    let direct = metric.similarity(f.row(i), f.row(j));
+                    let prepared = prep.sim(i, j);
+                    assert!(
+                        direct.to_bits() == prepared.to_bits(),
+                        "{metric:?} ({i},{j}): direct {direct:e} vs prepared {prepared:e}"
+                    );
+                    assert_eq!(prep.sim(i, j).to_bits(), prep.sim(j, i).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_matrix_matches_direct_evaluation_for_every_metric() {
+        let mut rows = vec![vec![0.0; 3]; 6];
+        rows[0] = vec![1.0, 0.0, 0.5];
+        rows[2] = vec![0.2, 0.9, 0.0];
+        rows[4] = vec![0.0, 0.1, 0.1];
+        // Rows 1, 3, 5 stay empty.
+        let f = DenseMatrix::from_rows(&rows).unwrap();
+        for metric in ALL_METRICS {
+            let c = similarity_matrix(&f, metric);
+            for i in 0..f.rows() {
+                for j in 0..f.rows() {
+                    let expect = metric.similarity(f.row(i), f.row(j));
+                    assert_eq!(
+                        c.get(i, j).to_bits(),
+                        expect.to_bits(),
+                        "{metric:?} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn activity_and_skippability_reflect_the_metric() {
+        let f = DenseMatrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0]]).unwrap();
+        for metric in ALL_METRICS {
+            let prep = PreparedMetric::new(metric, &f);
+            assert!(!prep.is_active(0), "{metric:?}");
+            assert!(prep.is_active(1), "{metric:?}");
+            if prep.zero_when_inactive() {
+                assert_eq!(prep.sim(0, 1), 0.0, "{metric:?}");
+            } else {
+                assert!(prep.sim(0, 1) > 0.0, "{metric:?}");
+            }
+        }
     }
 }

@@ -148,6 +148,15 @@ impl SparseMatrix {
         self.values.len()
     }
 
+    /// True when column `c` had no mass at normalization time and is
+    /// treated as uniform by the matvec kernels (the dangling-column
+    /// rule). Always false before
+    /// [`SparseMatrix::normalize_columns_stochastic`] runs.
+    #[inline]
+    pub fn is_dangling_col(&self, c: usize) -> bool {
+        self.uniform_dangling && self.dangling_cols[c]
+    }
+
     /// Iterates over the stored entries of row `r` as `(col, value)`.
     pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let range = self.indptr[r]..self.indptr[r + 1];

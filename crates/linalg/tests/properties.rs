@@ -1,7 +1,7 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use proptest::prelude::*;
-use tmark_linalg::similarity::{cosine_similarity_matrix, feature_transition_matrix};
+use tmark_linalg::similarity::{cosine_similarity_matrix, similarity_matrix, SimilarityMetric};
 use tmark_linalg::{vector, DenseMatrix, SparseMatrix};
 
 /// Strategy: a non-empty vector of finite, moderate floats.
@@ -164,7 +164,7 @@ proptest! {
     }
 
     #[test]
-    fn feature_transition_matrix_is_always_stochastic(
+    fn normalized_similarity_matrix_is_always_stochastic(
         rows in 1usize..8,
         cols in 1usize..6,
         raw in prop::collection::vec(-2.0..3.0f64, 1..=48),
@@ -174,7 +174,8 @@ proptest! {
             data[i % (rows * cols)] += v;
         }
         let f = DenseMatrix::from_vec(rows, cols, data).unwrap();
-        let w = feature_transition_matrix(&f);
+        let mut w = similarity_matrix(&f, SimilarityMetric::Cosine);
+        w.normalize_columns_stochastic();
         prop_assert!(w.is_column_stochastic(1e-9));
     }
 

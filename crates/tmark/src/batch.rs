@@ -328,7 +328,7 @@ pub(crate) fn solve_class_caught(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tmark_linalg::similarity::feature_transition_matrix;
+    use tmark_feature_walk::feature_transition_matrix;
     use tmark_linalg::DenseMatrix;
     use tmark_sparse_tensor::TensorBuilder;
 

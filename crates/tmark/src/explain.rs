@@ -20,7 +20,6 @@ use tmark_hin::Hin;
 use crate::config::TMarkConfig;
 use crate::model::{FitError, TMarkModel, TMarkResult};
 use crate::restart::{ica_refresh_restart, label_restart_vector};
-use crate::solver::FeatureWalk;
 
 /// The Eq. (10) decomposition of one node's confidence for one class.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,9 +99,12 @@ pub fn explain_class(
 
     let stoch = hin.stochastic_tensors();
     let ox = stoch.contract_o(&x, &z).expect("shapes fixed by fit");
-    let w = FeatureWalk::from_dense(tmark_linalg::similarity::feature_transition_matrix(
-        hin.features(),
-    ));
+    // The same memoized walk the fit above used (Auto + cosine is the
+    // model default), shared via the network's walk cache.
+    let w = hin.feature_walk(
+        crate::model::FeatureWalkMode::Auto,
+        tmark_linalg::similarity::SimilarityMetric::Cosine,
+    );
     let wx = w.apply(&x);
 
     let rel_w = config.relational_weight();

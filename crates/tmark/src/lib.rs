@@ -78,7 +78,7 @@ pub use batch::{BatchSolver, BatchWorkspace};
 pub use config::{ConfigError, TMarkConfig};
 pub use explain::{channel_shares, explain_class, Explanation};
 pub use link_prediction::{link_score, top_missing_links, LinkCandidate};
-pub use model::{FeatureWalkMode, FitError, TMarkModel, TMarkResult};
+pub use model::{AnnParams, FeatureWalkMode, FitError, TMarkModel, TMarkResult};
 pub use multirank::{har, multirank, HarResult, MultiRankConfig, MultiRankResult};
 pub use ranking::LinkRanking;
 pub use solver::{ClassStationary, SolverWorkspace};

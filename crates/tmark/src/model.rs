@@ -3,26 +3,17 @@
 use std::fmt;
 
 use tmark_hin::Hin;
-use tmark_linalg::similarity::{
-    feature_transition_matrix_with, knn_feature_transition_matrix, SimilarityMetric,
-};
+use tmark_linalg::similarity::SimilarityMetric;
 use tmark_linalg::DenseMatrix;
 use tmark_markov::ConvergenceReport;
 
 use crate::config::{ConfigError, TMarkConfig};
 use crate::ranking::LinkRanking;
-use crate::solver::FeatureWalk;
 
-/// How to materialize the feature-walk operator `W`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FeatureWalkMode {
-    /// Dense for `n ≤ 2048`, kNN-sparse (`k = 64`) beyond. The default.
-    Auto,
-    /// Always dense (`O(n²)` memory) — the paper's literal Eq. (9).
-    Dense,
-    /// Always kNN-sparse with the given neighbourhood size.
-    Knn(usize),
-}
+// The walk-mode vocabulary lives with the backends in
+// `tmark-feature-walk`; re-exported here so model users keep writing
+// `tmark::model::FeatureWalkMode`.
+pub use tmark_feature_walk::{AnnParams, FeatureWalkMode};
 
 /// Errors from [`TMarkModel::fit`].
 #[derive(Debug, Clone, PartialEq)]
@@ -39,11 +30,6 @@ pub enum FitError {
     /// a Theorem-1 assertion). The panic is caught on the worker so one
     /// bad class degrades into this error instead of aborting a sweep.
     ClassSolveFailed(usize),
-    /// [`FeatureWalkMode::Knn`] was requested together with a similarity
-    /// metric the kNN builder does not support (cosine only). Use
-    /// [`FeatureWalkMode::Dense`] (or [`FeatureWalkMode::Auto`], which
-    /// falls back to the dense construction for non-cosine metrics).
-    KnnUnsupportedMetric(SimilarityMetric),
 }
 
 impl fmt::Display for FitError {
@@ -57,13 +43,6 @@ impl fmt::Display for FitError {
             }
             FitError::ClassSolveFailed(c) => {
                 write!(f, "the solver for class {c} panicked")
-            }
-            FitError::KnnUnsupportedMetric(m) => {
-                write!(
-                    f,
-                    "FeatureWalkMode::Knn supports cosine similarity only (got {m:?}); \
-                     use FeatureWalkMode::Dense or SimilarityMetric::Cosine"
-                )
             }
         }
     }
@@ -229,12 +208,9 @@ impl TMarkModel {
     }
 
     /// Overrides the node-similarity metric used to build `W` (Section
-    /// 4.2 defaults to cosine). The kNN sparsification currently supports
-    /// cosine only: under [`FeatureWalkMode::Auto`] a non-cosine metric
-    /// falls back to the dense construction, while an explicit
-    /// [`FeatureWalkMode::Knn`] with a non-cosine metric is rejected at
-    /// fit time with [`FitError::KnnUnsupportedMetric`] rather than
-    /// silently ignoring the requested `k`.
+    /// 4.2 defaults to cosine). Every metric works with every
+    /// [`FeatureWalkMode`] — the exact top-k and approximate backends
+    /// evaluate the chosen metric directly.
     pub fn with_similarity(mut self, metric: SimilarityMetric) -> Self {
         self.similarity = metric;
         self
@@ -243,35 +219,6 @@ impl TMarkModel {
     /// The configuration this model runs with.
     pub fn config(&self) -> &TMarkConfig {
         &self.config
-    }
-
-    fn build_feature_walk(&self, hin: &Hin) -> Result<FeatureWalk, FitError> {
-        const AUTO_DENSE_LIMIT: usize = 2048;
-        const AUTO_KNN: usize = 64;
-        let dense = |metric| {
-            FeatureWalk::from_dense(feature_transition_matrix_with(hin.features(), metric))
-        };
-        match (self.feature_walk_mode, self.similarity) {
-            (FeatureWalkMode::Knn(k), SimilarityMetric::Cosine) => Ok(FeatureWalk::from_sparse(
-                knn_feature_transition_matrix(hin.features(), k),
-            )),
-            // An explicit kNN request with a metric the kNN builder cannot
-            // honour must not silently drop the user's `k`.
-            (FeatureWalkMode::Knn(_), metric) => Err(FitError::KnnUnsupportedMetric(metric)),
-            (FeatureWalkMode::Auto, SimilarityMetric::Cosine)
-                if hin.num_nodes() > AUTO_DENSE_LIMIT =>
-            {
-                Ok(FeatureWalk::from_sparse(knn_feature_transition_matrix(
-                    hin.features(),
-                    AUTO_KNN,
-                )))
-            }
-            // The default dense cosine walk is memoized on the network;
-            // repeated fits clone the cached matrix instead of redoing the
-            // O(n²·d) similarity pass.
-            (_, SimilarityMetric::Cosine) => Ok(FeatureWalk::from_dense(hin.cosine_walk().clone())),
-            (_, metric) => Ok(dense(metric)),
-        }
     }
 
     /// Fits the model: runs Algorithm 1 for every class in one lockstep
@@ -330,7 +277,10 @@ impl TMarkModel {
         let q = hin.num_classes();
         let m = hin.num_link_types();
         let stoch = hin.stochastic_tensors_ref();
-        let w = self.build_feature_walk(hin)?;
+        // The walk is memoized per `(mode, metric)` on the network and
+        // shared via `Arc`: repeated fits on the same configuration reuse
+        // the operator without re-building or cloning the n × n matrix.
+        let w = hin.feature_walk(self.feature_walk_mode, self.similarity);
 
         // Per-class seed sets from the visible training labels.
         let mut seeds: Vec<Vec<usize>> = vec![Vec::new(); q];
@@ -589,30 +539,83 @@ mod tests {
         }
     }
 
+    /// Like [`two_community_hin`] but with disjoint feature supports, so
+    /// the set-based metrics (Jaccard, Hamming) also separate the
+    /// communities instead of seeing every pair as identical.
+    fn two_community_hin_disjoint_features() -> Hin {
+        let mut b = HinBuilder::new(
+            2,
+            vec!["relevant".into(), "irrelevant".into()],
+            vec!["left".into(), "right".into()],
+        );
+        for i in 0..8 {
+            let f = if i < 4 {
+                vec![1.0, 0.0]
+            } else {
+                vec![0.0, 1.0]
+            };
+            let v = b.add_node(f);
+            b.set_label(v, if i < 4 { 0 } else { 1 }).unwrap();
+        }
+        for &(u, v) in &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (0, 3),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (4, 7),
+        ] {
+            b.add_undirected_edge(u, v, 0).unwrap();
+        }
+        for &(u, v) in &[(0, 4), (3, 7)] {
+            b.add_undirected_edge(u, v, 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
     #[test]
-    fn knn_with_non_cosine_metric_is_rejected() {
-        let hin = two_community_hin();
+    fn knn_mode_accepts_every_similarity_metric() {
+        // The exact top-k backend evaluates any metric; the historical
+        // cosine-only restriction (FitError::KnnUnsupportedMetric) is gone.
+        let hin = two_community_hin_disjoint_features();
         for metric in [
             SimilarityMetric::Jaccard,
             SimilarityMetric::Gaussian { sigma: 0.5 },
             SimilarityMetric::Hamming,
         ] {
-            let err = TMarkModel::new(TMarkConfig::default())
+            let result = TMarkModel::new(TMarkConfig::default())
                 .with_feature_walk(FeatureWalkMode::Knn(4))
                 .with_similarity(metric)
                 .fit(&hin, &[0, 4])
-                .unwrap_err();
-            assert_eq!(err, FitError::KnnUnsupportedMetric(metric));
-            // The message names the escape hatches.
-            let msg = err.to_string();
-            assert!(msg.contains("cosine"), "unhelpful message: {msg}");
-            assert!(msg.contains("Dense"), "unhelpful message: {msg}");
+                .unwrap();
+            assert_eq!(result.num_classes(), 2, "{metric:?}");
+            for v in 0..8 {
+                let expected = if v < 4 { 0 } else { 1 };
+                assert_eq!(result.predict_single(v), expected, "{metric:?} node {v}");
+            }
         }
     }
 
     #[test]
-    fn auto_mode_with_non_cosine_metric_falls_back_to_dense() {
-        // Auto + non-cosine is a documented dense fallback, not an error.
+    fn ann_mode_fits_and_classifies_the_communities() {
+        let hin = two_community_hin();
+        let result = TMarkModel::new(TMarkConfig::default())
+            .with_feature_walk(FeatureWalkMode::Ann {
+                k: 4,
+                params: AnnParams::default(),
+            })
+            .fit(&hin, &[0, 4])
+            .unwrap();
+        for v in 0..8 {
+            let expected = if v < 4 { 0 } else { 1 };
+            assert_eq!(result.predict_single(v), expected, "node {v}");
+        }
+    }
+
+    #[test]
+    fn auto_mode_with_non_cosine_metric_stays_dense_on_small_networks() {
         let hin = two_community_hin();
         let result = TMarkModel::new(TMarkConfig::default())
             .with_similarity(SimilarityMetric::Gaussian { sigma: 0.5 })

@@ -10,9 +10,9 @@
 
 use tmark::solver::{solve_class, solve_class_from, FeatureWalk, SolverWorkspace};
 use tmark::{BatchSolver, BatchWorkspace, TMarkConfig, TMarkModel};
+use tmark_feature_walk::feature_transition_matrix;
 use tmark_hin::{Hin, HinBuilder};
 use tmark_linalg::pool;
-use tmark_linalg::similarity::feature_transition_matrix;
 
 const CAPS: [usize; 3] = [1, 2, 7];
 

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use tmark::solver::{solve_class, FeatureWalk, SolverWorkspace};
 use tmark::{BatchSolver, BatchWorkspace, TMarkConfig, TMarkModel};
+use tmark_feature_walk::feature_transition_matrix;
 use tmark_hin::{Hin, HinBuilder};
-use tmark_linalg::similarity::feature_transition_matrix;
 use tmark_linalg::vector::is_stochastic;
 
 /// Strategy: a random labeled HIN with at least one edge and one labeled

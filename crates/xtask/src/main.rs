@@ -56,7 +56,7 @@ use surface::SourceFile;
 
 /// Files whose modules own the stochastic types and may construct them.
 const CONSTRUCTION_ALLOWED: &[&str] = &[
-    "crates/tmark/src/solver.rs",
+    "crates/feature-walk/src/walk.rs",
     "crates/sparse-tensor/src/stochastic.rs",
 ];
 

@@ -3,8 +3,8 @@
 
 use tmark::solver::{solve_class, FeatureWalk, SolverWorkspace};
 use tmark::{multirank, MultiRankConfig, TMarkConfig};
+use tmark_feature_walk::feature_transition_matrix;
 use tmark_hin::{Hin, HinBuilder};
-use tmark_linalg::similarity::feature_transition_matrix;
 use tmark_linalg::vector::l1_distance;
 use tmark_linalg::DenseMatrix;
 use tmark_markov::{random_walk_with_restart, PageRankConfig};
