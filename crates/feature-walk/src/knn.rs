@@ -332,4 +332,59 @@ mod tests {
         assert!(w.is_dangling_col(1) && w.is_dangling_col(3));
         assert!(w.is_column_stochastic(1e-12));
     }
+
+    /// Every `run_round` task owns its band buffers exclusively and the
+    /// tournament schedule is cap-independent, so one round — and with it
+    /// the whole built walk — must be bit-for-bit identical at any
+    /// thread cap.
+    #[test]
+    fn knn_run_round_is_bitwise_identical_across_thread_caps() {
+        let f = features(37, 5, 3);
+        let n = f.rows();
+        // One intra-band round driven through `run_round` directly.
+        let prep = PreparedMetric::new(SimilarityMetric::Cosine, &f);
+        let mid = n / 2;
+        let one_round = |cap: usize| {
+            pool::set_thread_cap(Some(cap));
+            let tasks = vec![
+                (vec![(0, BandTopK::new(0, mid, 4))], (0, mid), None),
+                (vec![(1, BandTopK::new(mid, n - mid, 4))], (mid, n), None),
+            ];
+            let mut bands: Vec<Option<BandTopK>> = vec![None, None];
+            run_round(tasks, &prep, &mut bands);
+            pool::set_thread_cap(None);
+            bands
+        };
+        let serial_round = one_round(1);
+        let parallel_round = one_round(4);
+        for (b, (lo, hi)) in [(0, mid), (mid, n)].into_iter().enumerate() {
+            let s = serial_round[b].as_ref().expect("band returned");
+            let p = parallel_round[b].as_ref().expect("band returned");
+            for j in lo..hi {
+                let ((si, sv), (pi, pv)) = (s.column(j), p.column(j));
+                assert_eq!(si, pi, "round neighbours diverged at column {j}");
+                let sv: Vec<u64> = sv.iter().map(|v| v.to_bits()).collect();
+                let pv: Vec<u64> = pv.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(sv, pv, "round similarities diverged at column {j}");
+            }
+        }
+        // And the full tournament, end to end, for every metric.
+        for metric in METRICS {
+            pool::set_thread_cap(Some(1));
+            let serial = build_knn_sparse(metric, 4, &f);
+            pool::set_thread_cap(Some(4));
+            let parallel = build_knn_sparse(metric, 4, &f);
+            pool::set_thread_cap(None);
+            assert_eq!(serial.nnz(), parallel.nnz(), "{metric:?}");
+            for i in 0..n {
+                let rs: Vec<_> = serial.row_iter(i).collect();
+                let rp: Vec<_> = parallel.row_iter(i).collect();
+                assert_eq!(rs.len(), rp.len(), "{metric:?} row {i}");
+                for ((cs, vs), (cp, vp)) in rs.iter().zip(&rp) {
+                    assert_eq!(cs, cp, "{metric:?} row {i}");
+                    assert_eq!(vs.to_bits(), vp.to_bits(), "{metric:?} row {i}");
+                }
+            }
+        }
+    }
 }

@@ -7,12 +7,17 @@
 //! - `[hot-loop-alloc]` — file path → allowed in-loop allocations in
 //!   registered hot functions;
 //! - `[dead-surface]` — crate path → allowed unused `pub` items plus
-//!   unused `[dependencies]` entries.
+//!   unused `[dependencies]` entries;
+//! - `[nondeterministic-order]` — crate path → allowed unordered
+//!   `HashMap`/`HashSet` iterations in library code;
+//! - `[determinism-coverage]` — file path → allowed registered parallel
+//!   kernels without a cap-1-vs-cap-N bitwise test.
 //!
 //! Missing keys are allowed 0, so new crates/files start (and stay)
 //! clean. Counts may only go down; `--update-baseline` refuses to raise
-//! any count unless `--allow-increase` is passed, and always prints a
-//! diff of what changed. Only the subset of TOML this file uses is parsed
+//! any count unless `--allow-increase` is passed, always prints a
+//! diff of what changed, and prunes entries whose key path no longer
+//! exists on disk. Only the subset of TOML this file uses is parsed
 //! (section headers, quoted-key integer assignments, `#` comments),
 //! keeping xtask dependency-free.
 
@@ -27,10 +32,20 @@ pub struct Baseline {
     pub hot_loop_alloc: BTreeMap<String, usize>,
     /// `crates/<name>` → allowed dead public surface entries.
     pub dead_surface: BTreeMap<String, usize>,
+    /// `crates/<name>` → allowed unordered-iteration sites.
+    pub nondeterministic_order: BTreeMap<String, usize>,
+    /// `crates/<name>/src/<file>.rs` → allowed untested parallel kernels.
+    pub determinism_coverage: BTreeMap<String, usize>,
 }
 
 /// The ratcheted rules, in render order.
-const SECTIONS: &[&str] = &["panic-surface", "hot-loop-alloc", "dead-surface"];
+const SECTIONS: &[&str] = &[
+    "panic-surface",
+    "hot-loop-alloc",
+    "dead-surface",
+    "nondeterministic-order",
+    "determinism-coverage",
+];
 
 impl Baseline {
     /// The table for a named section.
@@ -39,6 +54,8 @@ impl Baseline {
             "panic-surface" => &self.panic_surface,
             "hot-loop-alloc" => &self.hot_loop_alloc,
             "dead-surface" => &self.dead_surface,
+            "nondeterministic-order" => &self.nondeterministic_order,
+            "determinism-coverage" => &self.determinism_coverage,
             _ => unreachable!("unknown ratchet section {section}"),
         }
     }
@@ -48,6 +65,8 @@ impl Baseline {
             "panic-surface" => Some(&mut self.panic_surface),
             "hot-loop-alloc" => Some(&mut self.hot_loop_alloc),
             "dead-surface" => Some(&mut self.dead_surface),
+            "nondeterministic-order" => Some(&mut self.nondeterministic_order),
+            "determinism-coverage" => Some(&mut self.determinism_coverage),
             _ => None,
         }
     }
@@ -145,6 +164,23 @@ impl Baseline {
                 .any(|(key, &after)| after > self.table(section).get(key).copied().unwrap_or(0))
         })
     }
+
+    /// Entries whose key path no longer satisfies `exists` — dead crates
+    /// or files the baseline would otherwise carry forever. Returned as
+    /// `[section] key = count` lines for the prune diff printed by
+    /// `--update-baseline` (the rewrite drops them because the measured
+    /// baseline is rebuilt from the live tree).
+    pub fn stale_entries<F: Fn(&str) -> bool>(&self, exists: F) -> Vec<String> {
+        let mut out = Vec::new();
+        for section in SECTIONS {
+            for (key, count) in self.table(section) {
+                if !exists(key) {
+                    out.push(format!("[{section}] {key} = {count}"));
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -211,5 +247,36 @@ mod tests {
         let mut new = Baseline::default();
         new.hot_loop_alloc.insert("crates/x/src/a.rs".to_owned(), 1);
         assert!(old.has_increase(&new));
+    }
+
+    #[test]
+    fn new_sections_round_trip_and_ratchet() {
+        let mut b = Baseline::default();
+        b.nondeterministic_order.insert("crates/hin".to_owned(), 2);
+        b.determinism_coverage
+            .insert("crates/linalg/src/dense.rs".to_owned(), 0);
+        let reparsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(reparsed, b);
+        let mut raised = b.clone();
+        raised
+            .determinism_coverage
+            .insert("crates/linalg/src/dense.rs".to_owned(), 1);
+        assert!(b.has_increase(&raised));
+    }
+
+    #[test]
+    fn stale_entries_lists_keys_missing_on_disk() {
+        let mut b = sample();
+        b.determinism_coverage
+            .insert("crates/gone/src/old.rs".to_owned(), 1);
+        let stale = b.stale_entries(|key| !key.contains("gone") && !key.contains("eval"));
+        assert_eq!(
+            stale,
+            vec![
+                "[dead-surface] crates/eval = 2".to_owned(),
+                "[determinism-coverage] crates/gone/src/old.rs = 1".to_owned(),
+            ]
+        );
+        assert!(b.stale_entries(|_| true).is_empty());
     }
 }

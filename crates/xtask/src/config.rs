@@ -13,8 +13,13 @@
 //!   `StochasticTensors`/`FeatureWalk` surface must carry runtime
 //!   invariant checks, plus a `file::fn` allowlist for thin delegating
 //!   wrappers;
+//! - `[nondeterministic-order]` names the crates whose library code may
+//!   not iterate `HashMap`/`HashSet` (iteration order leaks into results);
 //! - `[unsafe-forbid]` lists crates exempt from the
 //!   `#![forbid(unsafe_code)]` crate-root requirement.
+//!
+//! Every entry is validated against the live item tree by the
+//! registry-rot rule, so the registry cannot silently go stale.
 //!
 //! Like the baseline, only the TOML subset this file needs is parsed —
 //! section headers, `#` comments, and `key = "string"` /
@@ -38,6 +43,8 @@ pub struct RuleConfig {
     pub invariant_crates: Vec<String>,
     /// `file::fn` entries excused from invariant-coverage.
     pub invariant_allow: BTreeSet<String>,
+    /// Crate directories subject to the nondeterministic-order rule.
+    pub nondeterministic_order_crates: Vec<String>,
     /// Crate directories excused from the `#![forbid(unsafe_code)]` gate.
     pub unsafe_forbid_allow: BTreeSet<String>,
 }
@@ -126,6 +133,7 @@ fn apply(
         ("invariant-coverage", "allow") => {
             config.invariant_allow = value.into_iter().collect();
         }
+        ("nondeterministic-order", "crates") => config.nondeterministic_order_crates = value,
         ("unsafe-forbid", "allow") => {
             config.unsafe_forbid_allow = value.into_iter().collect();
         }
@@ -158,6 +166,9 @@ paths = ["crates/linalg/src/vector.rs"]
 crates = ["crates/tmark"]
 allow = ["crates/tmark/src/solver.rs::solve_class"]
 
+[nondeterministic-order]
+crates = ["crates/tmark", "crates/linalg"]
+
 [unsafe-forbid]
 allow = []
 "#;
@@ -178,6 +189,10 @@ allow = []
         assert!(config
             .invariant_allow
             .contains("crates/tmark/src/solver.rs::solve_class"));
+        assert_eq!(
+            config.nondeterministic_order_crates,
+            vec!["crates/tmark", "crates/linalg"]
+        );
         assert!(config.unsafe_forbid_allow.is_empty());
     }
 

@@ -1,0 +1,572 @@
+//! The determinism-contract rules: kernel-contract, determinism-coverage,
+//! and registry-rot.
+//!
+//! The parallel kernels behind the paper's `O(qTD)` per-iteration cost
+//! promise bitwise-identical output at any thread cap. That contract has
+//! three statically checkable legs, each a rule here:
+//!
+//! - **kernel-contract** (hard error): inside every
+//!   `run_chunks`/`run_col_chunks` closure of a registered hot file, no
+//!   shared synchronization state (`Mutex`, atomics, channels — their
+//!   acquisition order is scheduler-dependent), no writes to captured
+//!   bindings other than the chunk the closure owns, and no raw scalar
+//!   `+=` float accumulation bypassing `tmark_linalg::kahan`.
+//! - **determinism-coverage** (ratcheted): every registered *parallel*
+//!   kernel (a hot function that reaches `run_chunks`/`run_col_chunks`/
+//!   `run_tasks`) must have a `#[test]` that names the kernel together
+//!   with `set_thread_cap`/`THREAD_CAP_ENV` — the cap-1-vs-cap-N bitwise
+//!   test shape used across the workspace.
+//! - **registry-rot** (hard error): every `hot-paths.toml` entry must
+//!   still resolve to a live file/function/crate, so the registries the
+//!   other rules key off can never silently go stale.
+
+use crate::items::{self, ClosureSpan, Item};
+use crate::lints::{
+    ident_ending_at, idents, is_ident_continue, next_nonspace, prev_nonspace, Finding, LineIndex,
+};
+
+/// Runner identifiers that hand work to the solver pool; a registered
+/// function whose body reaches one of these is a parallel kernel.
+pub const PARALLEL_RUNNERS: &[&str] = &["run_chunks", "run_col_chunks", "run_tasks"];
+
+/// Identifiers that prove a test unit pins the thread cap (the string
+/// form `"TMARK_SOLVER_THREADS"` is blanked by scrubbing, so tests go
+/// through `pool::set_thread_cap` or the `THREAD_CAP_ENV` const).
+pub const CAP_IDENTS: &[&str] = &["set_thread_cap", "THREAD_CAP_ENV"];
+
+/// Shared-state type/function identifiers that have no place inside a
+/// chunk closure: their acquisition order depends on the scheduler, so
+/// any data flowing through them breaks bitwise reproducibility.
+const SHARED_STATE_IDENTS: &[&str] = &[
+    "Mutex", "RwLock", "OnceLock", "OnceCell", "LazyLock", "RefCell", "Cell", "Condvar", "mpsc",
+    "Sender", "Receiver", "channel",
+];
+
+/// Method names that mean a *captured* shared-state value is being used
+/// inside the closure (the type itself was named outside): lock/atomic
+/// RMW/channel operations, matched only as `.name(` calls.
+const SHARED_STATE_METHODS: &[(&str, &str)] = &[
+    ("lock", "Mutex"),
+    ("try_lock", "Mutex"),
+    ("fetch_add", "atomic"),
+    ("fetch_sub", "atomic"),
+    ("fetch_or", "atomic"),
+    ("fetch_and", "atomic"),
+    ("fetch_xor", "atomic"),
+    ("compare_exchange", "atomic"),
+    ("compare_exchange_weak", "atomic"),
+    ("fetch_update", "atomic"),
+    ("get_or_init", "OnceLock/OnceCell"),
+    ("recv", "channel"),
+    ("try_recv", "channel"),
+];
+
+/// Kernel-contract rule over one library-only (test-stripped) file view:
+/// every `run_chunks`/`run_col_chunks` closure is checked for shared
+/// synchronization state, writes escaping the closure's owned bindings,
+/// and raw scalar float accumulation.
+pub fn kernel_contract_sites(library_only: &str, lines: &LineIndex) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for closure in items::kernel_closures(library_only) {
+        check_closure(library_only, &closure, lines, &mut out);
+    }
+    out.sort_by_key(|f| f.line);
+    out
+}
+
+fn check_closure(text: &str, closure: &ClosureSpan, lines: &LineIndex, out: &mut Vec<Finding>) {
+    let (lo, hi) = closure.body;
+    let body = &text[lo..hi];
+    let runner = closure.runner;
+    let call_line = lines.line_of(closure.call_at);
+
+    // Bindings the closure owns: its parameters (including the chunk
+    // slice the runner hands it) plus everything `let`/`for` binds in
+    // the body. Writes resolving to these stay inside the one-owner
+    // contract; writes to anything else escape into captured state.
+    let mut owned: Vec<String> = closure.params.clone();
+    for name in local_bindings(body.as_bytes()) {
+        if !owned.contains(&name) {
+            owned.push(name);
+        }
+    }
+
+    for (s, e) in idents(body) {
+        let word = &body[s..e];
+        let at = lo + s;
+        // Leg 1a: shared synchronization state named by type/module.
+        let shared = SHARED_STATE_IDENTS.contains(&word) || word.starts_with("Atomic");
+        if shared {
+            // `channel` only counts as the constructor call.
+            if word == "channel" && next_nonspace(body.as_bytes(), e).map(|(_, c)| c) != Some(b'(')
+            {
+                continue;
+            }
+            out.push(Finding {
+                line: lines.line_of(at),
+                message: format!(
+                    "`{word}` inside a `{runner}` closure — chunk closures must \
+                     not touch shared synchronization state; give each chunk \
+                     exclusive ownership of its output instead (see \
+                     `cargo xtask lint --explain kernel-contract`)"
+                ),
+            });
+            continue;
+        }
+        // Leg 1b: shared state used through a captured value (`.lock()`,
+        // `.fetch_add(..)`): the type was named outside the closure, the
+        // operation happens inside it.
+        if let Some((_, kind)) = SHARED_STATE_METHODS.iter().find(|(m, _)| *m == word) {
+            let bb = body.as_bytes();
+            let is_method_call = prev_nonspace(bb, s).map(|(_, c)| c) == Some(b'.')
+                && next_nonspace(bb, e).map(|(_, c)| c) == Some(b'(');
+            if is_method_call {
+                out.push(Finding {
+                    line: lines.line_of(at),
+                    message: format!(
+                        "`.{word}()` ({kind} use) inside a `{runner}` closure — \
+                         chunk closures must not synchronize on captured shared \
+                         state; give each chunk exclusive ownership of its \
+                         output instead"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Legs 2 and 3: assignment targets.
+    let bb = body.as_bytes();
+    let mut i = 0;
+    while i < bb.len() {
+        let Some((kind, eq_at)) = assignment_at(bb, i) else {
+            i += 1;
+            continue;
+        };
+        i = eq_at + 1;
+        let Some(root) = lhs_root(bb, kind.lhs_end) else {
+            continue;
+        };
+        let at = lo + eq_at;
+        if !owned.iter().any(|o| o.as_str() == root) {
+            out.push(Finding {
+                line: lines.line_of(at),
+                message: format!(
+                    "write to captured binding `{root}` inside the `{runner}` \
+                     closure called at line {call_line} — a chunk may only \
+                     write its own `out` slice and locals; route other results \
+                     through the runner's owned chunk or return them from the \
+                     task"
+                ),
+            });
+        } else if kind.op == b'+' && kind.bare_scalar && !integer_rhs(bb, eq_at + 1) {
+            out.push(Finding {
+                line: lines.line_of(at),
+                message: format!(
+                    "raw `{root} += …` accumulation inside a `{runner}` closure \
+                     bypasses `tmark_linalg::kahan` — scalar float reductions \
+                     must use `kahan_sum`/`KahanAccumulator` so the rounding \
+                     error stays fixed-order"
+                ),
+            });
+        }
+    }
+}
+
+/// One recognized assignment: the operator (`0` for plain `=`), where the
+/// LHS ends, and whether the LHS is a bare identifier (a scalar
+/// accumulator rather than an element scatter like `chunk[i] +=`).
+struct Assignment {
+    op: u8,
+    lhs_end: usize,
+    bare_scalar: bool,
+}
+
+/// Detects an assignment whose `=` sits at or after `i`, returning it
+/// with the offset of the `=` so scanning can resume past it.
+fn assignment_at(b: &[u8], i: usize) -> Option<(Assignment, usize)> {
+    if b[i] != b'=' {
+        return None;
+    }
+    // Not `==`, `=>`, `<=`, `>=`, `!=`.
+    if b.get(i + 1) == Some(&b'=') || b.get(i + 1) == Some(&b'>') {
+        return None;
+    }
+    if i == 0 {
+        return None;
+    }
+    let prev = b[i - 1];
+    if matches!(prev, b'=' | b'!' | b'<' | b'>') {
+        return None;
+    }
+    let (op, lhs_end) = if matches!(prev, b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^') {
+        // `<<=`/`>>=` never target floats; ignore the shift forms.
+        (prev, i - 1)
+    } else {
+        (0u8, i)
+    };
+    // Bare scalar: the LHS is a single identifier — not an element
+    // scatter (`chunk[i] +=`), a field (`self.total +=`), or a deref
+    // write through an owned iterator cell (`*cell +=`).
+    let (end, last) = prev_nonspace(b, lhs_end)?;
+    let bare_scalar = is_ident_continue(last)
+        && ident_ending_at(b, end + 1).is_some_and(|name| {
+            let start = end + 1 - name.len();
+            !matches!(
+                prev_nonspace(b, start).map(|(_, c)| c),
+                Some(b'.' | b'*' | b':')
+            )
+        });
+    Some((
+        Assignment {
+            op,
+            lhs_end,
+            bare_scalar,
+        },
+        i,
+    ))
+}
+
+/// Resolves the root binding of an assignment's left-hand side: walks
+/// back from the `=`/`op=` over index groups (`x[i]`), field chains
+/// (`x.y`), and a leading `*` deref to the base identifier. Returns
+/// `None` for forms that are not writes to a binding (tuple-struct
+/// patterns, `let` destructuring ending in `)`).
+fn lhs_root(b: &[u8], lhs_end: usize) -> Option<&str> {
+    let (mut j, mut c) = prev_nonspace(b, lhs_end)?;
+    loop {
+        match c {
+            b']' | b')' => {
+                // Walk back over the matching `[` / `(` (index groups and
+                // method-call argument lists both continue the chain).
+                let (close, open) = if c == b']' {
+                    (b']', b'[')
+                } else {
+                    (b')', b'(')
+                };
+                let mut depth = 0usize;
+                loop {
+                    if b[j] == close {
+                        depth += 1;
+                    } else if b[j] == open {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j = j.checked_sub(1)?;
+                }
+                (j, c) = prev_nonspace(b, j)?;
+            }
+            _ if is_ident_continue(c) => {
+                let name = ident_ending_at(b, j + 1)?;
+                let start = j + 1 - name.len();
+                // A field access continues the chain leftwards; a `:`
+                // before the base means a type (ascription or path), and
+                // a capitalized base is a tuple-struct/variant pattern
+                // (`if let Some(v) = …`), not a binding write.
+                match prev_nonspace(b, start) {
+                    Some((dot, b'.')) => (j, c) = prev_nonspace(b, dot)?,
+                    Some((_, b':')) => return None,
+                    _ => {
+                        if name == b"let" || name == b"else" || name[0].is_ascii_uppercase() {
+                            return None;
+                        }
+                        return std::str::from_utf8(name).ok();
+                    }
+                }
+            }
+            _ => return None, // `}`, operators: not a binding write
+        }
+    }
+}
+
+/// Identifiers bound by `let` and `for` patterns (and nested closure
+/// parameters) inside a closure body — writes to these are local.
+fn local_bindings(b: &[u8]) -> Vec<String> {
+    let mut out = Vec::new();
+    let text = std::str::from_utf8(b).unwrap_or("");
+    for (s, e) in idents(text) {
+        let word = &b[s..e];
+        let pat_end = match word {
+            // `let pat = …` / `let pat: T = …` / `if let pat = …`.
+            b"let" => pattern_end(b, e, b"=:;"),
+            // `for pat in …`.
+            b"for" => pattern_end(b, e, b""),
+            _ => continue,
+        };
+        if let Some(end) = pat_end {
+            for name in items::pattern_idents(&b[e..end]) {
+                if !out.contains(&name) {
+                    out.push(name);
+                }
+            }
+        }
+    }
+    // Nested closure parameters: any further `|params|` groups directly
+    // after `(`/`,`/`=` (closure positions, not bitwise-or).
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == b'|' && b.get(i + 1) != Some(&b'|') {
+            let opens_closure = prev_nonspace(b, i)
+                .map_or(true, |(_, c)| matches!(c, b'(' | b',' | b'=' | b'{' | b';'));
+            if opens_closure {
+                if let Some(close) = (i + 1..b.len().min(i + 200)).find(|&j| b[j] == b'|') {
+                    for name in items::pattern_idents(&b[i + 1..close]) {
+                        if !out.contains(&name) {
+                            out.push(name);
+                        }
+                    }
+                    i = close;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The end of a binding pattern: the first top-depth stop byte (or `in`
+/// keyword when `stops` is empty, the `for` form).
+fn pattern_end(b: &[u8], from: usize, stops: &[u8]) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = from;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'(' | b'[' | b'<' => depth += 1,
+            b')' | b']' | b'>' => depth = depth.saturating_sub(1),
+            b'{' | b'}' => return None, // ran off the statement
+            _ if depth == 0 && stops.contains(&c) => return Some(i),
+            _ if depth == 0
+                && stops.is_empty()
+                && c == b'i'
+                && b.get(i + 1) == Some(&b'n')
+                && !is_ident_continue(b[i.saturating_sub(1)])
+                && b.get(i + 2).map_or(true, |&c2| !is_ident_continue(c2)) =>
+            {
+                return Some(i);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// True when the expression after the assignment operator is a bare
+/// integer literal — counter bumps (`n += 1`) are not float reductions.
+fn integer_rhs(b: &[u8], from: usize) -> bool {
+    let Some((start, c)) = next_nonspace(b, from) else {
+        return false;
+    };
+    if !c.is_ascii_digit() {
+        return false;
+    }
+    let mut i = start;
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    matches!(b.get(i), None | Some(b';' | b')' | b'}' | b',')) || b[i].is_ascii_whitespace()
+}
+
+/// True when a registered hot function is a *parallel* kernel: its body
+/// reaches one of the pool runners.
+pub fn is_parallel_kernel(body_text: &str) -> bool {
+    let b = body_text.as_bytes();
+    idents(body_text)
+        .iter()
+        .any(|&(s, e)| PARALLEL_RUNNERS.iter().any(|r| r.as_bytes() == &b[s..e]))
+}
+
+/// True when some test unit proves bitwise determinism for `kernel`: the
+/// unit names the kernel and pins the thread cap. Units are whole
+/// `tests/` files plus the `#[cfg(test)]` spans of library files.
+pub fn kernel_is_covered(kernel: &str, test_units: &[&str]) -> bool {
+    test_units.iter().any(|unit| {
+        let mut names_kernel = false;
+        let mut pins_cap = false;
+        let b = unit.as_bytes();
+        for (s, e) in idents(unit) {
+            let word = &b[s..e];
+            names_kernel |= word == kernel.as_bytes();
+            pins_cap |= CAP_IDENTS.iter().any(|c| c.as_bytes() == word);
+            if names_kernel && pins_cap {
+                return true;
+            }
+        }
+        false
+    })
+}
+
+/// One registry-rot finding: the registry key at fault and the message.
+pub struct RotFinding {
+    pub key: String,
+    pub message: String,
+}
+
+/// Validates that a registered file's function list resolves against its
+/// item tree. `tree` is `None` when the file itself is missing.
+pub fn rot_check_fns(file: &str, fns: &[String], tree: Option<&[Item]>) -> Vec<RotFinding> {
+    let Some(tree) = tree else {
+        return vec![RotFinding {
+            key: file.to_owned(),
+            message: "registered file does not exist — remove or fix the entry".to_owned(),
+        }];
+    };
+    fns.iter()
+        .filter(|name| items::find_fns(tree, name).is_empty())
+        .map(|name| RotFinding {
+            key: file.to_owned(),
+            message: format!(
+                "registered function `{name}` does not resolve to an item in \
+                 {file} — remove or fix the entry"
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse;
+    use crate::scrub::scrub;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let s = scrub(src);
+        kernel_contract_sites(&s, &LineIndex::new(&s))
+    }
+
+    #[test]
+    fn clean_workspace_shaped_closures_pass() {
+        // The real kernels: delegation into a helper, and per-column
+        // writes to the owned chunk.
+        let src = "fn build(&self) {\n\
+                   run_chunks(&ebounds, &mut data, |start, chunk| {\n\
+                   fill_dense_columns(&prep, start / n, chunk);\n\
+                   });\n\
+                   run_col_chunks(&bounds, out, col_len, |c, start, chunk| {\n\
+                   for (local, cell) in chunk.iter_mut().enumerate() {\n\
+                   let mut acc = kahan_sum(parts(c, start + local));\n\
+                   *cell = acc.value();\n\
+                   }\n\
+                   });\n\
+                   }\n";
+        assert!(findings(src).is_empty(), "{:?}", findings(src));
+    }
+
+    #[test]
+    fn mutex_inside_a_kernel_closure_is_flagged_with_its_line() {
+        let src = "fn k(out: &mut [f64]) {\n\
+                   let total = Mutex::new(0.0);\n\
+                   run_chunks(&bounds, out, |start, chunk| {\n\
+                   *total.lock().unwrap() += chunk[0];\n\
+                   });\n\
+                   }\n";
+        let hits = findings(src);
+        assert!(
+            hits.iter()
+                .any(|f| f.line == 4 && f.message.contains("Mutex")),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn atomics_and_channels_are_flagged() {
+        let src = "fn k(out: &mut [f64]) {\n\
+                   run_chunks(&bounds, out, |start, chunk| {\n\
+                   COUNT.fetch_add(1, Ordering::SeqCst);\n\
+                   let n = AtomicUsize::new(0);\n\
+                   let (tx, rx) = mpsc::channel();\n\
+                   });\n\
+                   }\n";
+        let hits = findings(src);
+        // AtomicUsize, mpsc, channel(. `tx`/`rx` locals are fine.
+        assert!(hits.len() >= 3, "{hits:?}");
+        assert!(hits.iter().any(|f| f.message.contains("AtomicUsize")));
+    }
+
+    #[test]
+    fn writes_outside_the_owned_chunk_are_flagged() {
+        let src = "fn k(out: &mut [f64], scratch: &mut [f64]) {\n\
+                   run_chunks(&bounds, out, |start, chunk| {\n\
+                   chunk[0] = 1.0;\n\
+                   scratch[start] = 2.0;\n\
+                   });\n\
+                   }\n";
+        let hits = findings(src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 4);
+        assert!(hits[0].message.contains("`scratch`"), "{hits:?}");
+    }
+
+    #[test]
+    fn local_and_param_writes_stay_silent() {
+        let src = "fn k(out: &mut [f64]) {\n\
+                   run_chunks(&bounds, out, |start, chunk| {\n\
+                   let mut idx = start;\n\
+                   idx = idx + 1;\n\
+                   for (i, cell) in chunk.iter_mut().enumerate() {\n\
+                   *cell = go(i);\n\
+                   }\n\
+                   chunk[idx] *= 2.0;\n\
+                   });\n\
+                   }\n";
+        let hits = findings(src);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn raw_scalar_float_accumulation_bypassing_kahan_is_flagged() {
+        let src = "fn k(out: &mut [f64]) {\n\
+                   run_chunks(&bounds, out, |start, chunk| {\n\
+                   let mut acc = 0.0;\n\
+                   let mut count = 0;\n\
+                   for &v in vals {\n\
+                   acc += v;\n\
+                   count += 1;\n\
+                   }\n\
+                   chunk[0] = acc;\n\
+                   });\n\
+                   }\n";
+        let hits = findings(src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 6);
+        assert!(hits[0].message.contains("kahan"), "{hits:?}");
+    }
+
+    #[test]
+    fn parallel_kernel_detection_and_coverage() {
+        assert!(is_parallel_kernel("{ run_chunks(&b, out, |s, c| {}); }"));
+        assert!(is_parallel_kernel("{ pool::run_tasks(jobs) }"));
+        assert!(!is_parallel_kernel("{ for i in 0..n { go(i); } }"));
+        // run_chunks_like is a different identifier.
+        assert!(!is_parallel_kernel("{ run_chunks_like(x) }"));
+
+        let covering = "fn t() { pool::set_thread_cap(Some(1)); build_matrix(&f); }";
+        let unrelated = "fn t() { build_matrix(&f); }";
+        assert!(kernel_is_covered("build_matrix", &[unrelated, covering]));
+        assert!(!kernel_is_covered("build_matrix", &[unrelated]));
+        assert!(!kernel_is_covered("build_sparse", &[covering]));
+        let env_form = "fn t() { pin(pool::THREAD_CAP_ENV); build_sparse(&f); }";
+        assert!(kernel_is_covered("build_sparse", &[env_form]));
+    }
+
+    #[test]
+    fn registry_rot_resolves_functions_against_the_tree() {
+        let scrubbed = scrub("pub fn real() {}\nimpl T { pub fn method(&self) {} }\n");
+        let tree = parse(&scrubbed);
+        let fns = vec!["real".to_owned(), "method".to_owned(), "ghost".to_owned()];
+        let rot = rot_check_fns("crates/x/src/a.rs", &fns, Some(&tree));
+        assert_eq!(
+            rot.len(),
+            1,
+            "{:?}",
+            rot.iter().map(|r| &r.message).collect::<Vec<_>>()
+        );
+        assert!(rot[0].message.contains("`ghost`"));
+
+        let missing = rot_check_fns("crates/x/src/gone.rs", &fns, None);
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].message.contains("does not exist"));
+    }
+}

@@ -133,6 +133,87 @@ up the caller that was meant to exist. Dependencies used only by
 tests/benches belong in [dev-dependencies].",
     },
     RuleDoc {
+        name: "nondeterministic-order",
+        summary: "ratcheted HashMap/HashSet iteration in library code",
+        detail: "\
+In crates registered under `[nondeterministic-order]` in
+xtask/hot-paths.toml, flags traversal of bindings typed or constructed
+as `HashMap`/`HashSet` in library code: `.iter()`, `.iter_mut()`,
+`.keys()`, `.values()`, `.drain()`, `.retain()`, `.into_iter()` and
+`for .. in` loops. Order-free lookups (`.get`, `.contains_key`) and
+test code are exempt. Counts are ratcheted per crate in
+`[nondeterministic-order]` of xtask/lint-baseline.toml.
+
+Rationale: the default hasher is randomized per process, so any fold,
+output ordering, or tie-break that touches hash iteration order makes
+two runs of the same classification disagree — invisibly, because each
+run is internally consistent. Use `BTreeMap`/`BTreeSet`, index-keyed
+`Vec`s, or collect-and-sort the keys before iterating. A finding that
+is provably order-insensitive (e.g. feeding a commutative integer
+count) can be absorbed by the baseline until reworked.",
+    },
+    RuleDoc {
+        name: "kernel-contract",
+        summary: "hard error on shared state inside chunk closures",
+        detail: "\
+For every file registered in `[hot-loop-alloc]` of
+xtask/hot-paths.toml, inspects the closures passed to `run_chunks` /
+`run_col_chunks` and rejects three escapes from the
+one-owner-per-output-element contract: (a) shared synchronization
+state (`Mutex`, `RwLock`, `Atomic*`, `OnceLock`, cells, channels) —
+acquisition order is scheduler-dependent; (b) assignments whose target
+resolves to a captured binding rather than the closure's parameters or
+locals — a write outside the chunk the closure owns races with other
+chunks; (c) bare scalar float accumulation (`acc += x`) — partial sums
+must go through `tmark_linalg::kahan` so rounding stays fixed-order.
+
+Rationale: the solver's scale story (ROADMAP determinism contract)
+promises bitwise-identical output at any thread cap; these are exactly
+the three ways a kernel closure can silently break that while still
+passing every single-threaded test. There is no allowlist: restructure
+the kernel so each chunk writes only its own slice and returns any
+reduction through the runner.",
+    },
+    RuleDoc {
+        name: "determinism-coverage",
+        summary: "ratcheted parallel kernels without a cap-bitwise test",
+        detail: "\
+Cross-references the `[hot-loop-alloc]` registry against the test
+tree: every registered function whose body reaches `run_chunks`,
+`run_col_chunks`, or `run_tasks` must be named by some `#[test]` (or
+tests/ file) that also pins the thread cap via `set_thread_cap` or
+`THREAD_CAP_ENV`. Counts are ratcheted per file in
+`[determinism-coverage]` of xtask/lint-baseline.toml, and every
+registered parallel kernel's file is pinned at an explicit count so
+new kernels start covered.
+
+Rationale: the static kernel-contract rule catches structural escapes,
+but bitwise equality across caps is ultimately an empirical property —
+the cap-1-vs-cap-N test shape (build serially, build with a cap of N,
+compare `to_bits()`) is the executable form of the determinism
+contract. Add such a test next to the kernel; see
+crates/sparse-tensor/tests/parallel_determinism.rs for the canonical
+shape.",
+    },
+    RuleDoc {
+        name: "registry-rot",
+        summary: "hard error on stale hot-paths.toml registry entries",
+        detail: "\
+Validates every entry of xtask/hot-paths.toml against the live item
+tree: `[hot-loop-alloc]` file keys must exist and their function lists
+must resolve via the item parser, `allocating-calls` must resolve
+somewhere in the workspace, `[float-determinism]` paths must exist,
+`[invariant-coverage]` / `[nondeterministic-order]` crates must exist,
+and `file::fn` allow entries must resolve to real items.
+
+Rationale: the registries are the contract between the codebase and
+this gate — a renamed kernel whose registry entry silently stops
+matching would turn the hot-loop-alloc, kernel-contract, and
+determinism-coverage rules into no-ops for exactly the code they were
+written to guard. There is deliberately no allowlist: fix or remove
+the stale entry in the same change that moved the code.",
+    },
+    RuleDoc {
         name: "unsafe-forbid",
         summary: "crate roots must carry #![forbid(unsafe_code)]",
         detail: "\
@@ -175,7 +256,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalogue_covers_all_seven_rules_plus_unsafe_gate() {
+    fn catalogue_covers_all_eleven_rules_plus_unsafe_gate() {
         let names: Vec<&str> = RULES.iter().map(|r| r.name).collect();
         assert_eq!(
             names,
@@ -187,6 +268,10 @@ mod tests {
                 "float-determinism",
                 "invariant-coverage",
                 "dead-surface",
+                "nondeterministic-order",
+                "kernel-contract",
+                "determinism-coverage",
+                "registry-rot",
                 "unsafe-forbid",
             ]
         );

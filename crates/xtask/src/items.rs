@@ -669,6 +669,176 @@ pub fn collect_pub_items(items: &[Item]) -> Vec<&Item> {
     out
 }
 
+/// Byte spans of every `#[cfg(test)]`-gated item in the tree (attribute
+/// through closing brace). The determinism-coverage rule scans these —
+/// plus whole `tests/` files — as the test corpus.
+pub fn cfg_test_spans(items: &[Item]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    fn walk(items: &[Item], out: &mut Vec<(usize, usize)>) {
+        for item in items {
+            if item.cfg_test {
+                out.push((item.start, item.end));
+            } else {
+                walk(&item.children, out);
+            }
+        }
+    }
+    walk(items, &mut out);
+    out
+}
+
+/// The `run_chunks`/`run_col_chunks` runner names whose closure arguments
+/// carry the one-owner-per-element determinism contract.
+pub const KERNEL_RUNNERS: &[&str] = &["run_chunks", "run_col_chunks"];
+
+/// One closure argument of a `run_chunks`/`run_col_chunks` call: the
+/// per-chunk worker whose body the kernel-contract rule inspects.
+#[derive(Debug, Clone)]
+pub struct ClosureSpan {
+    /// `run_chunks` or `run_col_chunks`.
+    pub runner: &'static str,
+    /// Byte offset of the runner identifier (for `file:line` reporting).
+    pub call_at: usize,
+    /// Identifiers bound by the closure's parameter list.
+    pub params: Vec<String>,
+    /// Byte span of the closure body (inside the braces, or the bare
+    /// expression up to the end of the argument).
+    pub body: (usize, usize),
+}
+
+/// Extracts the closure argument of every `run_chunks(..)` /
+/// `run_col_chunks(..)` *call* in the scrubbed text (definitions —
+/// `fn run_chunks` — are skipped). The closure is recognized as the
+/// first `|params| body` at the call's top argument depth; `body` is the
+/// matched brace group when braced, otherwise the expression up to the
+/// next top-depth `,` or the call's `)`.
+pub fn kernel_closures(scrubbed: &str) -> Vec<ClosureSpan> {
+    let b = scrubbed.as_bytes();
+    let hi = b.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < hi {
+        let Some((s, e)) = ident_at(b, i, hi) else {
+            i += 1;
+            continue;
+        };
+        if s > 0 && is_ident_byte(b[s - 1]) {
+            i = e;
+            continue;
+        }
+        let word = &b[s..e];
+        let Some(runner) = KERNEL_RUNNERS
+            .iter()
+            .find(|r| r.as_bytes() == word)
+            .copied()
+        else {
+            i = e;
+            continue;
+        };
+        // Skip the definitions in `tmark_linalg::partition` itself: a
+        // runner ident preceded by `fn` is a declaration, not a call.
+        let mut p = s;
+        while p > 0 && b[p - 1].is_ascii_whitespace() {
+            p -= 1;
+        }
+        let is_def = p >= 2 && &b[p - 2..p] == b"fn" && (p == 2 || !is_ident_byte(b[p - 3]));
+        let open = skip_ws(b, e, hi);
+        if is_def || open >= hi || b[open] != b'(' {
+            i = e;
+            continue;
+        }
+        let after = matching_paren(b, open, hi);
+        let close = after.saturating_sub(1); // the `)` itself
+        if let Some(span) = closure_in_args(b, open + 1, close, runner, s) {
+            out.push(span);
+        }
+        i = e;
+    }
+    out
+}
+
+/// Finds the first `|params| body` closure at top depth in `b[lo..hi)`
+/// (the argument list of a runner call, delimiters excluded).
+fn closure_in_args(
+    b: &[u8],
+    lo: usize,
+    hi: usize,
+    runner: &'static str,
+    call_at: usize,
+) -> Option<ClosureSpan> {
+    let mut depth = 0usize;
+    let mut i = lo;
+    while i < hi {
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth = depth.saturating_sub(1),
+            b'|' if depth == 0 => {
+                // `||` here is an empty parameter list (the contract
+                // closures always bind parameters, but stay robust).
+                let (params, params_end) = if i + 1 < hi && b[i + 1] == b'|' {
+                    (Vec::new(), i + 2)
+                } else {
+                    let close_bar = (i + 1..hi).find(|&j| b[j] == b'|')?;
+                    (pattern_idents(&b[i + 1..close_bar]), close_bar + 1)
+                };
+                let at = skip_ws(b, params_end, hi);
+                let body = if at < hi && b[at] == b'{' {
+                    (at + 1, matching_brace(b, at, hi))
+                } else {
+                    (at, arg_end(b, at, hi))
+                };
+                return Some(ClosureSpan {
+                    runner,
+                    call_at,
+                    params,
+                    body,
+                });
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The end of the current argument: the next `,` at top depth, or `hi`.
+fn arg_end(b: &[u8], lo: usize, hi: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = lo;
+    while i < hi {
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth = depth.saturating_sub(1),
+            b',' if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    hi
+}
+
+/// The identifiers a pattern binds: every lowercase/underscore-initial
+/// identifier that is not a binding-mode keyword. Capitalized names are
+/// enum variants or types, not bindings.
+pub fn pattern_idents(pat: &[u8]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < pat.len() {
+        let Some((s, e)) = ident_at(pat, i, pat.len()) else {
+            i += 1;
+            continue;
+        };
+        let word = &pat[s..e];
+        let binds = matches!(word[0], b'a'..=b'z' | b'_')
+            && !matches!(word, b"mut" | b"ref" | b"box" | b"_" | b"usize" | b"f64");
+        if binds {
+            out.push(String::from_utf8_lossy(word).into_owned());
+        }
+        i = e;
+    }
+    out
+}
+
 /// Byte spans of every `for`/`while`/`loop` body inside `span`
 /// (outermost loops only — nested loops are inside the returned spans).
 pub fn loop_body_spans(b: &[u8], span: (usize, usize)) -> Vec<(usize, usize)> {
@@ -842,6 +1012,46 @@ mod tests {
         assert_eq!(items[0].children.len(), 2);
         assert_eq!(items[0].children[0].body, None);
         assert!(items[0].children[1].body.is_some());
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_gated_items_only() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() {} }\nfn tail() {}\n";
+        let scrubbed = scrub(src);
+        let spans = cfg_test_spans(&parse(&scrubbed));
+        assert_eq!(spans.len(), 1);
+        let text = &scrubbed[spans[0].0..spans[0].1];
+        assert!(text.contains("mod tests") && !text.contains("fn tail"));
+    }
+
+    #[test]
+    fn kernel_closures_extracts_params_and_braced_body() {
+        let src = "fn go(&self, y: &mut [f64]) {\n\
+                   partition::run_chunks(&self.parts, y, |start, chunk| {\n\
+                   self.gather(start, chunk);\n});\n}";
+        let scrubbed = scrub(src);
+        let closures = kernel_closures(&scrubbed);
+        assert_eq!(closures.len(), 1);
+        assert_eq!(closures[0].runner, "run_chunks");
+        assert_eq!(closures[0].params, vec!["start", "chunk"]);
+        let body = &scrubbed[closures[0].body.0..closures[0].body.1];
+        assert!(body.contains("self.gather(start, chunk)"), "{body}");
+    }
+
+    #[test]
+    fn kernel_closures_handles_col_variant_and_expression_bodies() {
+        let src = "run_col_chunks(bs, ys, n, |c, start, chunk| work(c, start, chunk));";
+        let closures = kernel_closures(&scrub(src));
+        assert_eq!(closures.len(), 1);
+        assert_eq!(closures[0].runner, "run_col_chunks");
+        assert_eq!(closures[0].params, vec!["c", "start", "chunk"]);
+    }
+
+    #[test]
+    fn kernel_closures_skips_the_runner_definitions() {
+        let src = "pub fn run_chunks<F>(bounds: &[usize], out: &mut [f64], work: F) {\n\
+                   finish(pool::run_tasks(tasks));\n}";
+        assert!(kernel_closures(&scrub(src)).is_empty());
     }
 
     #[test]

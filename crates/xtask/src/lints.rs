@@ -16,26 +16,52 @@ pub struct Finding {
     pub message: String,
 }
 
-/// 1-based line number of byte offset `pos`.
-pub fn line_of(s: &str, pos: usize) -> usize {
-    s.as_bytes()
-        .iter()
-        .take(pos)
-        .filter(|&&c| c == b'\n')
-        .count()
-        + 1
+/// Precomputed line-start offsets for one file: built once, then every
+/// `file:line` lookup is an O(log n) binary search instead of the old
+/// per-finding O(file) newline recount. The scrubbed and test-stripped
+/// views of a file blank bytes but preserve every newline, so one index
+/// serves all passes over that file.
+#[derive(Debug, Default, Clone)]
+pub struct LineIndex {
+    /// Byte offset of the first character of each line, ascending.
+    starts: Vec<usize>,
 }
 
-fn is_ident_start(c: u8) -> bool {
+impl LineIndex {
+    /// Builds the index with one scan of `text`.
+    pub fn new(text: &str) -> Self {
+        let mut starts = Vec::with_capacity(128);
+        starts.push(0);
+        for (i, &c) in text.as_bytes().iter().enumerate() {
+            if c == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    /// 1-based line number of byte offset `pos`.
+    pub fn line_of(&self, pos: usize) -> usize {
+        // The number of line starts at or before `pos` is the line.
+        self.starts.partition_point(|&s| s <= pos)
+    }
+
+    /// Line numbers for a list of byte offsets.
+    pub fn lines_for(&self, offsets: &[usize]) -> Vec<usize> {
+        offsets.iter().map(|&o| self.line_of(o)).collect()
+    }
+}
+
+pub(crate) fn is_ident_start(c: u8) -> bool {
     c.is_ascii_alphabetic() || c == b'_'
 }
 
-fn is_ident_continue(c: u8) -> bool {
+pub(crate) fn is_ident_continue(c: u8) -> bool {
     c.is_ascii_alphanumeric() || c == b'_'
 }
 
 /// All identifier tokens as `(start, end)` byte ranges.
-fn idents(s: &str) -> Vec<(usize, usize)> {
+pub(crate) fn idents(s: &str) -> Vec<(usize, usize)> {
     let b = s.as_bytes();
     let mut out = Vec::new();
     let mut i = 0;
@@ -53,7 +79,7 @@ fn idents(s: &str) -> Vec<(usize, usize)> {
     out
 }
 
-fn next_nonspace(b: &[u8], mut i: usize) -> Option<(usize, u8)> {
+pub(crate) fn next_nonspace(b: &[u8], mut i: usize) -> Option<(usize, u8)> {
     while i < b.len() {
         if !b[i].is_ascii_whitespace() {
             return Some((i, b[i]));
@@ -63,7 +89,7 @@ fn next_nonspace(b: &[u8], mut i: usize) -> Option<(usize, u8)> {
     None
 }
 
-fn prev_nonspace(b: &[u8], i: usize) -> Option<(usize, u8)> {
+pub(crate) fn prev_nonspace(b: &[u8], i: usize) -> Option<(usize, u8)> {
     let mut j = i;
     while j > 0 {
         j -= 1;
@@ -75,7 +101,7 @@ fn prev_nonspace(b: &[u8], i: usize) -> Option<(usize, u8)> {
 }
 
 /// The identifier ending at byte `end` (exclusive), if any.
-fn ident_ending_at(b: &[u8], end: usize) -> Option<&[u8]> {
+pub(crate) fn ident_ending_at(b: &[u8], end: usize) -> Option<&[u8]> {
     if end == 0 || !is_ident_continue(b[end - 1]) {
         return None;
     }
@@ -134,7 +160,7 @@ pub fn panic_sites(scrubbed: &str) -> Vec<usize> {
 /// (`.unwrap()`, `.unwrap_or(Ordering::Equal)`, `.unwrap_or_else(..)`).
 /// On floats every one of these mis-sorts or panics on NaN; `f64::total_cmp`
 /// is total and needs no fallback.
-pub fn nan_compare_sites(scrubbed: &str) -> Vec<Finding> {
+pub fn nan_compare_sites(scrubbed: &str, lines: &LineIndex) -> Vec<Finding> {
     let b = scrubbed.as_bytes();
     let mut out = Vec::new();
     for (start, end) in idents(scrubbed) {
@@ -162,7 +188,7 @@ pub fn nan_compare_sites(scrubbed: &str) -> Vec<Finding> {
         if follow == b"unwrap" || follow == b"unwrap_or" || follow == b"unwrap_or_else" {
             let called = String::from_utf8_lossy(follow).into_owned();
             out.push(Finding {
-                line: line_of(scrubbed, start),
+                line: lines.line_of(start),
                 message: format!(
                     "NaN-unsafe comparison: `partial_cmp(..).{called}(..)` \
                      mis-sorts or panics on NaN — use `f64::total_cmp`"
@@ -183,7 +209,7 @@ const NON_CONSTRUCTION_PREV: &[&[u8]] = &[
 /// escape hatch, outside the defining modules and test code. Both types
 /// carry a column-stochastic invariant that only their normalizing
 /// constructors establish.
-pub fn stochastic_construction_sites(scrubbed: &str) -> Vec<Finding> {
+pub fn stochastic_construction_sites(scrubbed: &str, lines: &LineIndex) -> Vec<Finding> {
     let b = scrubbed.as_bytes();
     let mut out = Vec::new();
     for (start, end) in idents(scrubbed) {
@@ -210,7 +236,7 @@ pub fn stochastic_construction_sites(scrubbed: &str) -> Vec<Finding> {
                     }
                 }
                 out.push(Finding {
-                    line: line_of(scrubbed, start),
+                    line: lines.line_of(start),
                     message: format!(
                         "direct construction of `{name}` bypasses the normalizing \
                          constructor that establishes its stochastic invariant — \
@@ -228,7 +254,7 @@ pub fn stochastic_construction_sites(scrubbed: &str) -> Vec<Finding> {
                     }
                 }
                 out.push(Finding {
-                    line: line_of(scrubbed, start),
+                    line: lines.line_of(start),
                     message: "`from_dense_unchecked` skips the column-stochastic check; \
                               it is reserved for tests that prove the apply-time guard fires"
                         .to_owned(),
@@ -238,11 +264,6 @@ pub fn stochastic_construction_sites(scrubbed: &str) -> Vec<Finding> {
         }
     }
     out
-}
-
-/// Line numbers for a list of byte offsets (for panic-site reporting).
-pub fn lines_for(scrubbed: &str, offsets: &[usize]) -> Vec<usize> {
-    offsets.iter().map(|&o| line_of(scrubbed, o)).collect()
 }
 
 /// Method calls that heap-allocate when they appear in a loop body.
@@ -272,6 +293,7 @@ pub fn hot_loop_alloc_sites(
     scrubbed: &str,
     loop_spans: &[(usize, usize)],
     allocating_calls: &[String],
+    lines: &LineIndex,
 ) -> Vec<Finding> {
     let b = scrubbed.as_bytes();
     let mut out = Vec::new();
@@ -286,7 +308,7 @@ pub fn hot_loop_alloc_sites(
             && next_nonspace(b, end).map(|(_, c)| c) == Some(b'(')
         {
             out.push(Finding {
-                line: line_of(scrubbed, start),
+                line: lines.line_of(start),
                 message: format!(
                     "`{}(..)` is a registered allocating wrapper — call its \
                      `*_into` variant with a workspace buffer inside hot loops",
@@ -322,7 +344,7 @@ pub fn hot_loop_alloc_sites(
         };
         if let Some(what) = describe {
             out.push(Finding {
-                line: line_of(scrubbed, start),
+                line: lines.line_of(start),
                 message: format!(
                     "`{what}` allocates inside a registered hot loop — every \
                      per-iteration allocation multiplies by T and breaks the \
@@ -361,7 +383,7 @@ fn ident_after_colons(b: &[u8], i: usize) -> Option<&[u8]> {
 /// the shared fixed-order `tmark_linalg::kahan::kahan_sum` helper so the
 /// summation order — and therefore every convergence trace — is identical
 /// across refactors and future parallel backends.
-pub fn float_determinism_sites(scrubbed: &str) -> Vec<Finding> {
+pub fn float_determinism_sites(scrubbed: &str, lines: &LineIndex) -> Vec<Finding> {
     let b = scrubbed.as_bytes();
     let mut out = Vec::new();
     // `.sum(` / `.sum::<…>(` iterator reductions.
@@ -379,7 +401,7 @@ pub fn float_determinism_sites(scrubbed: &str) -> Vec<Finding> {
             continue;
         }
         out.push(Finding {
-            line: line_of(scrubbed, start),
+            line: lines.line_of(start),
             message: "order-sensitive float reduction `.sum()` in \
                       normalization/contraction code — use \
                       `tmark_linalg::kahan::kahan_sum` (fixed-order, \
@@ -423,7 +445,7 @@ pub fn float_determinism_sites(scrubbed: &str) -> Vec<Finding> {
             continue;
         }
         out.push(Finding {
-            line: line_of(scrubbed, at),
+            line: lines.line_of(at),
             message: format!(
                 "order-sensitive float accumulation `{} += …` in \
                  normalization/contraction code — use \
@@ -436,10 +458,227 @@ pub fn float_determinism_sites(scrubbed: &str) -> Vec<Finding> {
     out
 }
 
+/// Types whose iteration order is arbitrary (and, for `HashMap`/`HashSet`
+/// with the default hasher, randomized per process).
+const UNORDERED_TYPES: &[&[u8]] = &[b"HashMap", b"HashSet"];
+
+/// Methods that traverse a collection in its internal order.
+const UNORDERED_ITER_METHODS: &[&[u8]] = &[
+    b"iter",
+    b"iter_mut",
+    b"keys",
+    b"values",
+    b"values_mut",
+    b"drain",
+    b"into_iter",
+    b"into_keys",
+    b"into_values",
+    b"retain",
+];
+
+/// Nondeterministic-order lint: iteration over `HashMap`/`HashSet`
+/// bindings in library code of registered crates.
+///
+/// Pass 1 collects identifiers bound to an unordered type — type
+/// ascriptions (`x: HashMap<..>`, `x: &mut std::collections::HashSet<..>`
+/// in lets, fields, and parameters) and constructor assignments
+/// (`x = HashMap::new()`). Pass 2 flags order-dependent traversal of
+/// those bindings: `.iter()`, `.keys()`, `.values()`, `.drain()`,
+/// `.retain()`, `for … in x`, and friends. Lookups (`.get`, `.contains`)
+/// are order-free and stay silent.
+pub fn unordered_iteration_sites(scrubbed: &str, lines: &LineIndex) -> Vec<Finding> {
+    let b = scrubbed.as_bytes();
+    let all = idents(scrubbed);
+    // Pass 1: bindings with an unordered type.
+    let mut bound: Vec<&[u8]> = Vec::new();
+    for &(start, end) in &all {
+        if !UNORDERED_TYPES.contains(&&b[start..end]) {
+            continue;
+        }
+        if let Some(name) = binding_before_type(b, start) {
+            if !bound.contains(&name) {
+                bound.push(name);
+            }
+        }
+        // `x = HashMap::new()` — constructor assigned to a binding.
+        if next_nonspace(b, end).map(|(_, c)| c) == Some(b':') {
+            if let Some((eq, b'=')) = prev_nonspace(b, start) {
+                let plain_assign = eq > 0 && !matches!(b[eq - 1], b'=' | b'!' | b'<' | b'>');
+                if plain_assign {
+                    if let Some((le, c)) = prev_nonspace(b, eq) {
+                        if is_ident_continue(c) {
+                            if let Some(name) = ident_ending_at(b, le + 1) {
+                                if !bound.contains(&name) {
+                                    bound.push(name);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let flag = |out: &mut Vec<Finding>, at: usize, name: &[u8], how: &str| {
+        out.push(Finding {
+            line: lines.line_of(at),
+            message: format!(
+                "iteration over unordered `{}` ({how}) in library code — \
+                 HashMap/HashSet order is arbitrary, so any fold, output, or \
+                 tie-break over it is nondeterministic; use a BTreeMap/BTreeSet \
+                 or sort the keys first",
+                String::from_utf8_lossy(name)
+            ),
+        });
+    };
+    // Pass 2a: `x.iter()`-style traversal of a bound name.
+    for &(start, end) in &all {
+        if !UNORDERED_ITER_METHODS.contains(&&b[start..end]) {
+            continue;
+        }
+        let Some((dot, b'.')) = prev_nonspace(b, start) else {
+            continue;
+        };
+        if next_nonspace(b, end).map(|(_, c)| c) != Some(b'(') {
+            continue;
+        }
+        let Some((re, c)) = prev_nonspace(b, dot) else {
+            continue;
+        };
+        if !is_ident_continue(c) {
+            continue;
+        }
+        let Some(recv) = ident_ending_at(b, re + 1) else {
+            continue;
+        };
+        if bound.contains(&recv) {
+            let method = String::from_utf8_lossy(&b[start..end]).into_owned();
+            flag(&mut out, start, recv, &format!(".{method}()"));
+        }
+    }
+    // Pass 2b: `for pat in x {` over a bound name (no method call).
+    for &(start, end) in &all {
+        if &b[start..end] != b"for" {
+            continue;
+        }
+        // The matching `in` at top depth, within a short lookahead.
+        let mut depth = 0usize;
+        let mut j = end;
+        let stop = (end + 200).min(b.len());
+        let mut in_end = None;
+        while j < stop {
+            match b[j] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth = depth.saturating_sub(1),
+                b'{' => break,
+                b'i' if depth == 0
+                    && !is_ident_continue(b[j.saturating_sub(1)])
+                    && b.get(j + 1) == Some(&b'n')
+                    && b.get(j + 2).map_or(true, |&c| !is_ident_continue(c)) =>
+                {
+                    in_end = Some(j + 2);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(mut k) = in_end else { continue };
+        // Skip `&`, `&mut`.
+        while let Some((p, c)) = next_nonspace(b, k) {
+            if c == b'&' {
+                k = p + 1;
+                continue;
+            }
+            if is_ident_start(c) {
+                let mut e2 = p;
+                while e2 < b.len() && is_ident_continue(b[e2]) {
+                    e2 += 1;
+                }
+                if &b[p..e2] == b"mut" {
+                    k = e2;
+                    continue;
+                }
+                // The iterated expression's head identifier; only a bare
+                // `for v in x {` form counts — method chains were pass 2a.
+                if bound.contains(&&b[p..e2])
+                    && next_nonspace(b, e2).map(|(_, c2)| c2) == Some(b'{')
+                {
+                    flag(&mut out, p, &b[p..e2], "for … in");
+                }
+            }
+            break;
+        }
+    }
+    out.sort_by_key(|f| f.line);
+    out
+}
+
+/// Resolves the binding identifier of a type ascription ending at the
+/// unordered type starting at `type_start`: walks back over path
+/// segments (`std::collections::`), reference sigils, and `mut` to the
+/// single `:` and returns the identifier before it.
+fn binding_before_type(b: &[u8], type_start: usize) -> Option<&[u8]> {
+    let mut j = type_start;
+    loop {
+        let (p, c) = prev_nonspace(b, j)?;
+        match c {
+            b':' => {
+                if p > 0 && b[p - 1] == b':' {
+                    // `::` — skip the preceding path segment and continue.
+                    let (se, c2) = prev_nonspace(b, p - 1)?;
+                    if !is_ident_continue(c2) {
+                        return None;
+                    }
+                    let seg = ident_ending_at(b, se + 1)?;
+                    j = se + 1 - seg.len();
+                } else {
+                    // The single `:` of the ascription: the binding is
+                    // the identifier before it.
+                    let (le, c2) = prev_nonspace(b, p)?;
+                    if !is_ident_continue(c2) {
+                        return None;
+                    }
+                    return ident_ending_at(b, le + 1);
+                }
+            }
+            b'&' | b'\'' => j = p,
+            _ if is_ident_continue(c) => {
+                let word = ident_ending_at(b, p + 1)?;
+                if word == b"mut" || word == b"dyn" {
+                    j = p + 1 - word.len();
+                } else {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scrub::scrub;
+
+    fn index(s: &str) -> LineIndex {
+        LineIndex::new(s)
+    }
+
+    #[test]
+    fn line_index_matches_naive_count() {
+        let text = "a\nbb\n\nccc\n";
+        let lines = index(text);
+        for pos in 0..text.len() {
+            let naive = text.as_bytes()[..pos]
+                .iter()
+                .filter(|&&c| c == b'\n')
+                .count()
+                + 1;
+            assert_eq!(lines.line_of(pos), naive, "pos {pos}");
+        }
+        assert_eq!(lines.lines_for(&[0, 2, 5]), vec![1, 2, 3]);
+    }
 
     #[test]
     fn panic_sites_match_calls_not_lookalikes() {
@@ -454,7 +693,8 @@ mod tests {
                    a.partial_cmp(&b).unwrap_or(Ordering::Equal);\n\
                    a.partial_cmp(&b).unwrap_or_else(|| Ordering::Equal);\n\
                    a.partial_cmp(&b).map(|o| o);\n";
-        let findings = nan_compare_sites(&scrub(src));
+        let s = scrub(src);
+        let findings = nan_compare_sites(&s, &index(&s));
         assert_eq!(findings.len(), 3);
         assert_eq!(findings[0].line, 1);
         assert_eq!(findings[2].line, 3);
@@ -462,8 +702,11 @@ mod tests {
 
     #[test]
     fn construction_lint_flags_literals_but_not_declarations() {
-        let flagged = "let s = StochasticTensors { n, m, entries };";
-        assert_eq!(stochastic_construction_sites(&scrub(flagged)).len(), 1);
+        let flagged = scrub("let s = StochasticTensors { n, m, entries };");
+        assert_eq!(
+            stochastic_construction_sites(&flagged, &index(&flagged)).len(),
+            1
+        );
         for ok in [
             "pub struct FeatureWalk { repr: WalkRepr }",
             "impl FeatureWalk { }",
@@ -471,8 +714,9 @@ mod tests {
             "fn build(&self) -> FeatureWalk { self.clone() }",
             "let w = FeatureWalk::from_dense(m);",
         ] {
+            let s = scrub(ok);
             assert!(
-                stochastic_construction_sites(&scrub(ok)).is_empty(),
+                stochastic_construction_sites(&s, &index(&s)).is_empty(),
                 "false positive on: {ok}"
             );
         }
@@ -480,10 +724,10 @@ mod tests {
 
     #[test]
     fn construction_lint_flags_the_unchecked_escape_hatch() {
-        let src = "let w = FeatureWalk::from_dense_unchecked(m);";
-        assert_eq!(stochastic_construction_sites(&scrub(src)).len(), 1);
-        let def = "pub fn from_dense_unchecked(w: DenseMatrix) -> Self {";
-        assert!(stochastic_construction_sites(&scrub(def)).is_empty());
+        let src = scrub("let w = FeatureWalk::from_dense_unchecked(m);");
+        assert_eq!(stochastic_construction_sites(&src, &index(&src)).len(), 1);
+        let def = scrub("pub fn from_dense_unchecked(w: DenseMatrix) -> Self {");
+        assert!(stochastic_construction_sites(&def, &index(&def)).is_empty());
     }
 
     #[test]
@@ -495,7 +739,7 @@ mod tests {
         let items = crate::items::parse(&scrubbed);
         let body = items[0].body.unwrap();
         let spans = crate::items::loop_body_spans(scrubbed.as_bytes(), (body.0 + 1, body.1));
-        let findings = hot_loop_alloc_sites(&scrubbed, &spans, &[]);
+        let findings = hot_loop_alloc_sites(&scrubbed, &spans, &[], &index(&scrubbed));
         // clone, collect, Vec::new, vec!, to_vec — but NOT the clone
         // before the loop.
         assert_eq!(findings.len(), 5, "{findings:?}");
@@ -508,7 +752,7 @@ mod tests {
         let items = crate::items::parse(&scrubbed);
         let body = items[0].body.unwrap();
         let spans = crate::items::loop_body_spans(scrubbed.as_bytes(), (body.0 + 1, body.1));
-        assert!(hot_loop_alloc_sites(&scrubbed, &spans, &[]).is_empty());
+        assert!(hot_loop_alloc_sites(&scrubbed, &spans, &[], &index(&scrubbed)).is_empty());
     }
 
     #[test]
@@ -520,7 +764,7 @@ mod tests {
         let body = items[0].body.unwrap();
         let spans = crate::items::loop_body_spans(scrubbed.as_bytes(), (body.0 + 1, body.1));
         let calls = vec!["apply".to_owned()];
-        let findings = hot_loop_alloc_sites(&scrubbed, &spans, &calls);
+        let findings = hot_loop_alloc_sites(&scrubbed, &spans, &calls, &index(&scrubbed));
         // The in-loop `apply` is flagged; the pre-loop call and the
         // `apply_into` variant are not.
         assert_eq!(findings.len(), 1, "{findings:?}");
@@ -532,7 +776,8 @@ mod tests {
         let src = "let t: f64 = x.iter().sum();\n\
                    let u = z.iter().sum::<f64>();\n\
                    sum += src[end].value;\n";
-        let findings = float_determinism_sites(&scrub(src));
+        let s = scrub(src);
+        let findings = float_determinism_sites(&s, &index(&s));
         assert_eq!(findings.len(), 3, "{findings:?}");
         assert_eq!(findings[2].line, 3);
     }
@@ -542,14 +787,99 @@ mod tests {
         let src = "i += 1;\nend += 2;\ny[e.i as usize] += e.o * x[j];\n\
                    *yi += share;\nself.total += v;\n\
                    let s = kahan_sum(x.iter().copied());\n";
-        let findings = float_determinism_sites(&scrub(src));
+        let s = scrub(src);
+        let findings = float_determinism_sites(&s, &index(&s));
         assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]
     fn comments_and_strings_never_trip_lints() {
         let src = "// a.partial_cmp(&b).unwrap()\nlet s = \"panic!\"; /* x.unwrap() */";
-        assert!(panic_sites(&scrub(src)).is_empty());
-        assert!(nan_compare_sites(&scrub(src)).is_empty());
+        let s = scrub(src);
+        assert!(panic_sites(&s).is_empty());
+        assert!(nan_compare_sites(&s, &index(&s)).is_empty());
+    }
+
+    #[test]
+    fn unordered_iteration_flags_traversal_of_hash_bindings() {
+        let src = "fn f(map: &HashMap<usize, f64>) -> f64 {\n\
+                   let mut seen: HashSet<usize> = HashSet::new();\n\
+                   let mut acc = 0.0;\n\
+                   for (k, v) in map.iter() {\n\
+                   acc += v;\n\
+                   }\n\
+                   for k in seen {\n\
+                   acc += k as f64;\n\
+                   }\n\
+                   acc\n\
+                   }\n";
+        let s = scrub(src);
+        let findings = unordered_iteration_sites(&s, &index(&s));
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert_eq!(findings[0].line, 4);
+        assert!(findings[0].message.contains("`map`"));
+        assert_eq!(findings[1].line, 7);
+        assert!(findings[1].message.contains("`seen`"));
+    }
+
+    #[test]
+    fn unordered_iteration_flags_keys_values_and_drain() {
+        let src = "let m: HashMap<u32, u32> = HashMap::new();\n\
+                   let a: Vec<_> = m.keys().collect();\n\
+                   let b: Vec<_> = m.values().collect();\n\
+                   m.retain(|_, v| *v > 0);\n";
+        let s = scrub(src);
+        let findings = unordered_iteration_sites(&s, &index(&s));
+        assert_eq!(
+            findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn unordered_iteration_ignores_lookups_and_unbound_names() {
+        let src = "let m: HashMap<u32, u32> = HashMap::new();\n\
+                   let hit = m.get(&3);\n\
+                   let yes = m.contains_key(&3);\n\
+                   let v: Vec<u32> = Vec::new();\n\
+                   for x in v.iter() { use_it(x); }\n";
+        let s = scrub(src);
+        let findings = unordered_iteration_sites(&s, &index(&s));
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unordered_iteration_resolves_pathed_and_referenced_types() {
+        let src = "fn g(idx: &mut std::collections::HashMap<String, usize>) {\n\
+                   for k in idx.keys() { log(k); }\n\
+                   }\n";
+        let s = scrub(src);
+        let findings = unordered_iteration_sites(&s, &index(&s));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn unordered_iteration_is_silent_on_test_stripped_source() {
+        // The analyzer runs on `library_only` text: a HashMap iterated
+        // only inside #[cfg(test)] must not fire once stripped.
+        let src = "pub fn stable() -> usize { 3 }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   use std::collections::HashMap;\n\
+                   #[test]\n\
+                   fn t() {\n\
+                   let m: HashMap<u32, u32> = HashMap::new();\n\
+                   for (k, v) in m.iter() { assert!(k <= v); }\n\
+                   }\n\
+                   }\n";
+        let scrubbed = scrub(src);
+        let items = crate::items::parse(&scrubbed);
+        let library_only = crate::items::strip_cfg_test(&scrubbed, &items);
+        let findings = unordered_iteration_sites(&library_only, &index(&library_only));
+        assert!(findings.is_empty(), "{findings:?}");
+        // Sanity: the un-stripped text does fire.
+        assert!(!unordered_iteration_sites(&scrubbed, &index(&scrubbed)).is_empty());
     }
 }

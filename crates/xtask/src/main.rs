@@ -1,7 +1,7 @@
 //! `cargo xtask lint` — the workspace lint gate.
 //!
-//! Seven T-Mark-specific rules plus the unsafe-code gate, run over every
-//! crate under `crates/`:
+//! Eleven T-Mark-specific rules plus the unsafe-code gate, run over
+//! every crate under `crates/`:
 //!
 //! 1. **panic-surface** (ratcheted): `.unwrap()` / `.expect()` / `panic!`
 //!    in library code, counted per crate against the checked-in baseline
@@ -21,6 +21,19 @@
 //!    a `debug_assert_*` invariant macro or be allowlisted.
 //! 7. **dead-surface** (ratcheted): unused `pub` items and unused
 //!    `[dependencies]` entries per crate.
+//! 8. **nondeterministic-order** (ratcheted): iteration over
+//!    `HashMap`/`HashSet` in the library code of registered crates —
+//!    unordered traversal leaks arbitrary order into results.
+//! 9. **kernel-contract** (hard error): `run_chunks`/`run_col_chunks`
+//!    closures in registered hot files must not touch shared
+//!    synchronization state, write captured bindings outside their owned
+//!    chunk, or accumulate floats with raw `+=` (use `kahan`).
+//! 10. **determinism-coverage** (ratcheted): every registered parallel
+//!     kernel needs a `#[test]` naming it together with
+//!     `set_thread_cap`/`THREAD_CAP_ENV` — the cap-1-vs-cap-N bitwise
+//!     test shape.
+//! 11. **registry-rot** (hard error): every `hot-paths.toml` entry must
+//!     resolve to a live file/function/crate.
 //!
 //! Plus **unsafe-forbid**: every crate root must carry
 //! `#![forbid(unsafe_code)]` unless allowlisted.
@@ -32,11 +45,12 @@
 //! rule's rationale.
 //!
 //! Usage: `cargo xtask lint [--update-baseline [--allow-increase]]
-//! [--format text|json]` or `cargo xtask lint --explain <rule>`.
+//! [--format text|json|github]` or `cargo xtask lint --explain <rule>`.
 
 #![forbid(unsafe_code)]
 mod baseline;
 mod config;
+mod contract;
 mod explain;
 mod items;
 mod lints;
@@ -64,13 +78,25 @@ const BASELINE_PATH: &str = "xtask/lint-baseline.toml";
 const CONFIG_PATH: &str = "xtask/hot-paths.toml";
 
 const USAGE: &str = "usage: cargo xtask lint [--update-baseline [--allow-increase]] \
-                     [--format text|json] | cargo xtask lint --explain <rule>";
+                     [--format text|json|github] | cargo xtask lint --explain <rule>";
+
+/// Output format for the lint run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// Human text: errors to stderr, notes and summary to stdout.
+    Text,
+    /// Machine JSON document for the CI artifact.
+    Json,
+    /// GitHub `::error file=…` annotations plus the text summary, so
+    /// findings surface inline on PR diffs.
+    Github,
+}
 
 /// Parsed command line for `xtask lint`.
 struct Options {
     update_baseline: bool,
     allow_increase: bool,
-    json: bool,
+    format: Format,
 }
 
 fn main() -> ExitCode {
@@ -82,7 +108,7 @@ fn main() -> ExitCode {
     let mut opts = Options {
         update_baseline: false,
         allow_increase: false,
-        json: false,
+        format: Format::Text,
     };
     let mut rest = args[1..].iter();
     while let Some(arg) = rest.next() {
@@ -101,10 +127,11 @@ fn main() -> ExitCode {
                 };
             }
             "--format" => match rest.next().map(String::as_str) {
-                Some("json") => opts.json = true,
-                Some("text") => opts.json = false,
+                Some("json") => opts.format = Format::Json,
+                Some("text") => opts.format = Format::Text,
+                Some("github") => opts.format = Format::Github,
                 _ => {
-                    eprintln!("xtask: --format takes `text` or `json`");
+                    eprintln!("xtask: --format takes `text`, `json`, or `github`");
                     return ExitCode::FAILURE;
                 }
             },
@@ -212,11 +239,13 @@ fn load_crates(root: &Path) -> Result<Vec<CrateData>, String> {
                 let scrubbed = scrub::scrub(&read(p)?);
                 let tree = items::parse(&scrubbed);
                 let library_only = items::strip_cfg_test(&scrubbed, &tree);
+                let lines = lints::LineIndex::new(&scrubbed);
                 Ok(SrcFile {
                     file: SourceFile {
                         display: rel(root, p).into_owned(),
                         scrubbed,
                         tree,
+                        lines,
                     },
                     library_only,
                 })
@@ -225,10 +254,13 @@ fn load_crates(root: &Path) -> Result<Vec<CrateData>, String> {
         let aux = aux_paths
             .iter()
             .map(|p| -> Result<SourceFile, String> {
+                let scrubbed = scrub::scrub(&read(p)?);
+                let lines = lints::LineIndex::new(&scrubbed);
                 Ok(SourceFile {
                     display: rel(root, p).into_owned(),
-                    scrubbed: scrub::scrub(&read(p)?),
+                    scrubbed,
                     tree: Vec::new(),
+                    lines,
                 })
             })
             .collect::<Result<_, _>>()?;
@@ -313,7 +345,10 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
         let mut panic_sites: Vec<(String, usize, String)> = Vec::new();
         for src in &krate.src {
             let display = &src.file.display;
-            for line in lints::lines_for(&src.library_only, &lints::panic_sites(&src.library_only))
+            for line in src
+                .file
+                .lines
+                .lines_for(&lints::panic_sites(&src.library_only))
             {
                 panic_sites.push((
                     display.clone(),
@@ -323,11 +358,11 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
                         .to_owned(),
                 ));
             }
-            for f in lints::nan_compare_sites(&src.file.scrubbed) {
+            for f in lints::nan_compare_sites(&src.file.scrubbed, &src.file.lines) {
                 report.push("nan-compare", Severity::Error, display, f.line, f.message);
             }
             if !CONSTRUCTION_ALLOWED.contains(&display.as_str()) {
-                for f in lints::stochastic_construction_sites(&src.library_only) {
+                for f in lints::stochastic_construction_sites(&src.library_only, &src.file.lines) {
                     report.push(
                         "stochastic-construction",
                         Severity::Error,
@@ -339,7 +374,7 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
             }
         }
         for aux in &krate.aux {
-            for f in lints::nan_compare_sites(&aux.scrubbed) {
+            for f in lints::nan_compare_sites(&aux.scrubbed, &aux.lines) {
                 report.push(
                     "nan-compare",
                     Severity::Error,
@@ -382,41 +417,123 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
         }
     }
 
-    // hot-loop-alloc: registered files/functions only, ratcheted per file.
-    let mut alloc_found: RatchetFindings = RatchetFindings::new();
-    for (file_key, fn_names) in &config.hot_loop_alloc {
-        let Some(src) = crates
+    // registry-rot: every hot-paths.toml entry must resolve to a live
+    // file/function/crate. Hard error, no allowlist — the registries the
+    // other rules key off can never silently go stale.
+    let find_src = |path: &str| {
+        crates
             .iter()
             .flat_map(|k| &k.src)
-            .find(|s| &s.file.display == file_key)
-        else {
+            .find(|s| s.file.display == path)
+    };
+    for (file_key, fn_names) in &config.hot_loop_alloc {
+        let tree = find_src(file_key).map(|s| s.file.tree.as_slice());
+        for rot in contract::rot_check_fns(file_key, fn_names, tree) {
             report.push(
-                "hot-loop-alloc",
+                "registry-rot",
                 Severity::Error,
-                file_key,
+                &rot.key,
                 0,
-                format!("registered in {CONFIG_PATH} but the file does not exist"),
+                format!("[hot-loop-alloc] in {CONFIG_PATH}: {}", rot.message),
             );
+        }
+    }
+    for name in &config.allocating_calls {
+        let resolves = crates
+            .iter()
+            .flat_map(|k| &k.src)
+            .any(|s| !items::find_fns(&s.file.tree, name).is_empty());
+        if !resolves {
+            report.push(
+                "registry-rot",
+                Severity::Error,
+                CONFIG_PATH,
+                0,
+                format!(
+                    "[hot-loop-alloc] allocating-call `{name}` does not resolve \
+                     to any function in the workspace — remove or fix the entry"
+                ),
+            );
+        }
+    }
+    for path in &config.float_determinism_paths {
+        if find_src(path).is_none() {
+            report.push(
+                "registry-rot",
+                Severity::Error,
+                path,
+                0,
+                "[float-determinism] registered file does not exist — remove or \
+                 fix the entry"
+                    .to_owned(),
+            );
+        }
+    }
+    for entry in &config.invariant_allow {
+        let split = entry.rsplit_once("::");
+        let resolved = split.is_some_and(|(file, fn_name)| {
+            find_src(file).is_some_and(|s| !items::find_fns(&s.file.tree, fn_name).is_empty())
+        });
+        if !resolved {
+            report.push(
+                "registry-rot",
+                Severity::Error,
+                CONFIG_PATH,
+                0,
+                format!(
+                    "[invariant-coverage] allow entry `{entry}` does not resolve \
+                     to a `file::fn` item — remove or fix the entry"
+                ),
+            );
+        }
+    }
+    for (section, keys) in [
+        ("invariant-coverage", &config.invariant_crates),
+        (
+            "nondeterministic-order",
+            &config.nondeterministic_order_crates,
+        ),
+    ] {
+        for crate_key in keys {
+            if !crates.iter().any(|k| &k.key == crate_key) {
+                report.push(
+                    "registry-rot",
+                    Severity::Error,
+                    crate_key,
+                    0,
+                    format!(
+                        "[{section}] registered crate does not exist — remove or \
+                         fix the entry"
+                    ),
+                );
+            }
+        }
+    }
+    for crate_key in &config.unsafe_forbid_allow {
+        if !crates.iter().any(|k| &k.key == crate_key) {
+            report.push(
+                "registry-rot",
+                Severity::Error,
+                crate_key,
+                0,
+                "[unsafe-forbid] allowlisted crate does not exist — remove the \
+                 entry"
+                    .to_owned(),
+            );
+        }
+    }
+
+    // hot-loop-alloc: registered files/functions only, ratcheted per file
+    // (stale entries are registry-rot's findings, skipped here).
+    let mut alloc_found: RatchetFindings = RatchetFindings::new();
+    for (file_key, fn_names) in &config.hot_loop_alloc {
+        let Some(src) = find_src(file_key) else {
             continue;
         };
         let bytes = src.file.scrubbed.as_bytes();
         let mut sites: Vec<(String, usize, String)> = Vec::new();
         for fn_name in fn_names {
-            let fns = items::find_fns(&src.file.tree, fn_name);
-            if fns.is_empty() {
-                report.push(
-                    "hot-loop-alloc",
-                    Severity::Error,
-                    file_key,
-                    0,
-                    format!(
-                        "hot function `{fn_name}` is registered in {CONFIG_PATH} \
-                         but not found — fix the registry"
-                    ),
-                );
-                continue;
-            }
-            for f in fns {
+            for f in items::find_fns(&src.file.tree, fn_name) {
                 let Some((open, close)) = f.item.body else {
                     continue;
                 };
@@ -425,6 +542,7 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
                     &src.file.scrubbed,
                     &loops,
                     &config.allocating_calls,
+                    &src.file.lines,
                 ) {
                     sites.push((
                         src.file.display.clone(),
@@ -439,23 +557,103 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
         }
     }
 
-    // float-determinism: registered files, hard error.
-    for path in &config.float_determinism_paths {
-        let Some(src) = crates
-            .iter()
-            .flat_map(|k| &k.src)
-            .find(|s| &s.file.display == path)
-        else {
-            report.push(
-                "float-determinism",
-                Severity::Error,
-                path,
-                0,
-                format!("registered in {CONFIG_PATH} but the file does not exist"),
-            );
+    // kernel-contract: the chunk closures of every registered hot file,
+    // hard error.
+    for file_key in config.hot_loop_alloc.keys() {
+        let Some(src) = find_src(file_key) else {
             continue;
         };
-        for f in lints::float_determinism_sites(&src.library_only) {
+        for f in contract::kernel_contract_sites(&src.library_only, &src.file.lines) {
+            report.push(
+                "kernel-contract",
+                Severity::Error,
+                &src.file.display,
+                f.line,
+                f.message,
+            );
+        }
+    }
+
+    // determinism-coverage: every registered parallel kernel must appear
+    // in a test unit together with a thread-cap pin. Test units are whole
+    // `tests/` files plus the `#[cfg(test)]` spans of library files.
+    let mut test_units: Vec<String> = Vec::new();
+    for krate in &crates {
+        for aux in &krate.aux {
+            if aux.display.contains("/tests/") {
+                test_units.push(aux.scrubbed.clone());
+            }
+        }
+        for src in &krate.src {
+            for (s, e) in items::cfg_test_spans(&src.file.tree) {
+                test_units.push(src.file.scrubbed[s..e.min(src.file.scrubbed.len())].to_owned());
+            }
+        }
+    }
+    let unit_refs: Vec<&str> = test_units.iter().map(String::as_str).collect();
+    let mut coverage_found: RatchetFindings = RatchetFindings::new();
+    let mut parallel_files: Vec<&String> = Vec::new();
+    for (file_key, fn_names) in &config.hot_loop_alloc {
+        let Some(src) = find_src(file_key) else {
+            continue;
+        };
+        let mut sites: Vec<(String, usize, String)> = Vec::new();
+        for fn_name in fn_names {
+            let parallel_at = items::find_fns(&src.file.tree, fn_name)
+                .into_iter()
+                .filter_map(|f| {
+                    let (open, close) = f.item.body?;
+                    let body = &src.file.scrubbed[open..(close + 1).min(src.file.scrubbed.len())];
+                    contract::is_parallel_kernel(body).then_some(f.item.start)
+                })
+                .next();
+            let Some(at) = parallel_at else {
+                continue;
+            };
+            if !parallel_files.contains(&file_key) {
+                parallel_files.push(file_key);
+            }
+            if !contract::kernel_is_covered(fn_name, &unit_refs) {
+                sites.push((
+                    src.file.display.clone(),
+                    src.file.lines.line_of(at),
+                    format!(
+                        "parallel kernel `{fn_name}` has no cap-1-vs-cap-N \
+                         bitwise test — add a #[test] that names it together \
+                         with `set_thread_cap` or `THREAD_CAP_ENV`"
+                    ),
+                ));
+            }
+        }
+        if !sites.is_empty() {
+            coverage_found.insert(file_key.clone(), sites);
+        }
+    }
+
+    // nondeterministic-order: library code of registered crates, ratcheted
+    // per crate.
+    let mut order_found: RatchetFindings = RatchetFindings::new();
+    for crate_key in &config.nondeterministic_order_crates {
+        let Some(krate) = crates.iter().find(|k| &k.key == crate_key) else {
+            continue;
+        };
+        let mut sites: Vec<(String, usize, String)> = Vec::new();
+        for src in &krate.src {
+            for f in lints::unordered_iteration_sites(&src.library_only, &src.file.lines) {
+                sites.push((src.file.display.clone(), f.line, f.message));
+            }
+        }
+        if !sites.is_empty() {
+            order_found.insert(crate_key.clone(), sites);
+        }
+    }
+
+    // float-determinism: registered files, hard error.
+    for path in &config.float_determinism_paths {
+        let Some(src) = find_src(path) else {
+            continue;
+        };
+        for f in lints::float_determinism_sites(&src.library_only, &src.file.lines) {
             report.push(
                 "float-determinism",
                 Severity::Error,
@@ -469,13 +667,6 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
     // invariant-coverage: registered crates, hard error.
     for crate_key in &config.invariant_crates {
         let Some(krate) = crates.iter().find(|k| &k.key == crate_key) else {
-            report.push(
-                "invariant-coverage",
-                Severity::Error,
-                crate_key,
-                0,
-                format!("registered in {CONFIG_PATH} but the crate does not exist"),
-            );
             continue;
         };
         for src in &krate.src {
@@ -484,6 +675,7 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
                 &src.file.scrubbed,
                 &src.file.tree,
                 &config.invariant_allow,
+                &src.file.lines,
             ) {
                 report.push(
                     "invariant-coverage",
@@ -544,6 +736,30 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
     for (key, sites) in &dead_found {
         measured.dead_surface.insert(key.clone(), sites.len());
     }
+    for (key, sites) in &order_found {
+        measured
+            .nondeterministic_order
+            .insert(key.clone(), sites.len());
+    }
+    // Registered crates and parallel-kernel files always get an entry, so
+    // clean ones are pinned at an explicit `= 0`.
+    for crate_key in &config.nondeterministic_order_crates {
+        measured
+            .nondeterministic_order
+            .entry(crate_key.clone())
+            .or_insert(0);
+    }
+    for (key, sites) in &coverage_found {
+        measured
+            .determinism_coverage
+            .insert(key.clone(), sites.len());
+    }
+    for file_key in &parallel_files {
+        measured
+            .determinism_coverage
+            .entry((*file_key).clone())
+            .or_insert(0);
+    }
 
     let baseline_path = root.join(BASELINE_PATH);
     let existing = match fs::read_to_string(&baseline_path) {
@@ -568,7 +784,13 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
         }
         fs::write(&baseline_path, measured.render())
             .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
-        if diff.is_empty() {
+        // The rewrite rebuilds every section from the live tree, so
+        // entries keyed to deleted crates/files drop out — surface them
+        // as an explicit prune diff rather than a silent disappearance.
+        for line in old.stale_entries(|key| root.join(key).exists()) {
+            println!("baseline: pruned {line} (path no longer exists)");
+        }
+        if diff.is_empty() && old.render() == measured.render() {
             println!("xtask: baseline unchanged at {BASELINE_PATH}");
         } else {
             for line in &diff {
@@ -587,6 +809,14 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
             ));
         }
     };
+    if !opts.update_baseline {
+        for line in baseline.stale_entries(|key| root.join(key).exists()) {
+            report.note(format!(
+                "stale baseline entry {line} — its path no longer exists; run \
+                 `cargo xtask lint --update-baseline` to prune it"
+            ));
+        }
+    }
 
     apply_ratchet(
         "panic-surface",
@@ -606,11 +836,23 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
         &baseline.dead_surface,
         &mut report,
     );
+    apply_ratchet(
+        "nondeterministic-order",
+        &order_found,
+        &baseline.nondeterministic_order,
+        &mut report,
+    );
+    apply_ratchet(
+        "determinism-coverage",
+        &coverage_found,
+        &baseline.determinism_coverage,
+        &mut report,
+    );
 
-    if opts.json {
-        print!("{}", report.render_json());
-    } else {
-        report.render_text();
+    match opts.format {
+        Format::Json => print!("{}", report.render_json()),
+        Format::Github => report.render_github(),
+        Format::Text => report.render_text(),
     }
     Ok(report.clean())
 }

@@ -1,11 +1,12 @@
-//! Finding collection and rendering (`--format text|json`).
+//! Finding collection and rendering (`--format text|json|github`).
 //!
 //! Rules append [`Record`]s to a [`Report`] instead of printing directly,
-//! so one run can render either the human text stream or the machine
-//! JSON document consumed by the CI lint job. The JSON is emitted by
-//! hand — the workspace builds offline and `serde_json` is not in the
-//! vendored dependency set — with full string escaping, so the document
-//! round-trips through standard parsers.
+//! so one run can render the human text stream, the machine JSON
+//! document consumed by the CI lint job, or GitHub workflow-command
+//! annotations (`::error file=…`) that surface findings inline on PR
+//! diffs. The JSON is emitted by hand — the workspace builds offline and
+//! `serde_json` is not in the vendored dependency set — with full string
+//! escaping, so the document round-trips through standard parsers.
 
 use std::fmt::Write as _;
 
@@ -115,10 +116,51 @@ impl Report {
         }
     }
 
+    /// Prints GitHub workflow-command annotations for every run-failing
+    /// finding, then the text summary. GitHub attaches each `::error`
+    /// line to the named file/line on the PR diff; messages must be
+    /// single-line, so newlines are folded.
+    pub fn render_github(&self) {
+        for r in &self.records {
+            if r.severity == Severity::Error {
+                let message: String = r
+                    .message
+                    .chars()
+                    .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+                    .collect();
+                println!(
+                    "::error file={},line={},title={}::{message}",
+                    r.file,
+                    r.line.max(1),
+                    r.rule
+                );
+            }
+        }
+        self.render_text();
+    }
+
+    /// The distinct rules that produced findings, with per-rule counts,
+    /// in first-seen order.
+    fn rule_counts(&self) -> Vec<(&'static str, usize, usize)> {
+        let mut out: Vec<(&'static str, usize, usize)> = Vec::new();
+        for r in &self.records {
+            if !out.iter().any(|(rule, _, _)| *rule == r.rule) {
+                out.push((r.rule, 0, 0));
+            }
+            for slot in out.iter_mut().filter(|(rule, _, _)| *rule == r.rule) {
+                match r.severity {
+                    Severity::Error => slot.1 += 1,
+                    Severity::Allowed => slot.2 += 1,
+                }
+            }
+        }
+        out
+    }
+
     /// Renders the machine-readable document for the CI artifact.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema_version\": 1,");
+        let _ = writeln!(out, "  \"schema_version\": 2,");
         let _ = writeln!(out, "  \"clean\": {},", self.clean());
         let _ = writeln!(out, "  \"crates\": {},", self.crates);
         let _ = writeln!(out, "  \"errors\": {},", self.error_count());
@@ -127,6 +169,23 @@ impl Report {
             "  \"allowed\": {},",
             self.records.len() - self.error_count()
         );
+        out.push_str("  \"rules\": [");
+        let rules = self.rule_counts();
+        for (i, (rule, errors, allowed)) in rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"errors\": {errors}, \"allowed\": {allowed}}}",
+                json_string(rule)
+            );
+        }
+        if rules.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n  ],\n");
+        }
         out.push_str("  \"findings\": [");
         for (i, r) in self.records.iter().enumerate() {
             if i > 0 {
@@ -229,10 +288,14 @@ mod tests {
         );
         report.note("something to know".to_owned());
         let json = report.render_json();
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"clean\": false"));
         assert!(json.contains("\\\"unused\\\""));
         assert!(json.contains("\"line\": 12"));
+        assert!(
+            json.contains("{\"rule\": \"dead-surface\", \"errors\": 1, \"allowed\": 0}"),
+            "{json}"
+        );
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes, "{json}");
@@ -243,7 +306,38 @@ mod tests {
         let report = Report::default();
         let json = report.render_json();
         assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"rules\": []"));
         assert!(json.contains("\"notes\": []"));
         assert!(json.contains("\"clean\": true"));
+    }
+
+    #[test]
+    fn rule_counts_aggregate_by_severity_in_first_seen_order() {
+        let mut report = Report::default();
+        report.push(
+            "kernel-contract",
+            Severity::Error,
+            "a.rs",
+            1,
+            "x".to_owned(),
+        );
+        report.push(
+            "determinism-coverage",
+            Severity::Allowed,
+            "b.rs",
+            2,
+            "y".to_owned(),
+        );
+        report.push(
+            "kernel-contract",
+            Severity::Error,
+            "c.rs",
+            3,
+            "z".to_owned(),
+        );
+        assert_eq!(
+            report.rule_counts(),
+            vec![("kernel-contract", 2, 0), ("determinism-coverage", 0, 1)]
+        );
     }
 }

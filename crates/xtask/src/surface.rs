@@ -19,7 +19,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use crate::items::{self, Item};
-use crate::lints::{line_of, Finding};
+use crate::lints::{Finding, LineIndex};
 
 /// Types whose flow must be invariant-checked (the carriers of the
 /// column-stochastic invariant behind Theorems 1–3).
@@ -113,6 +113,7 @@ pub fn invariant_coverage(
     scrubbed: &str,
     tree: &[Item],
     allow: &BTreeSet<String>,
+    lines: &LineIndex,
 ) -> Vec<Finding> {
     let mut out = Vec::new();
     for f in items::collect_fns(tree) {
@@ -140,7 +141,7 @@ pub fn invariant_coverage(
             || CHECK_IDENTS.iter().any(|c| has_ident(body, c));
         if !checked {
             out.push(Finding {
-                line: line_of(scrubbed, item.start),
+                line: lines.line_of(item.start),
                 message: format!(
                     "public fn `{}` handles {} but never calls a \
                      `debug_assert_*` invariant macro or violation checker \
@@ -169,6 +170,9 @@ pub struct SourceFile {
     /// Item tree (empty for test/bench/example files, which are only a
     /// usage corpus).
     pub tree: Vec<Item>,
+    /// Precomputed line-start index over `scrubbed` (scrubbing preserves
+    /// newlines, so the index is valid for the original text too).
+    pub lines: LineIndex,
 }
 
 /// Dead-pub-item half of the dead-surface rule: `pub` items of
@@ -192,7 +196,7 @@ pub fn dead_pub_items(
             let in_own_definition = ident_occurrences(own_span, &item.name);
             if total <= in_own_definition {
                 out.push(Finding {
-                    line: line_of(&file.scrubbed, item.start),
+                    line: file.lines.line_of(item.start),
                     message: format!(
                         "pub item `{}` is referenced nowhere in the workspace \
                          outside its own definition — remove it or make it \
@@ -261,10 +265,12 @@ mod tests {
         } else {
             Vec::new()
         };
+        let lines = LineIndex::new(&scrubbed);
         SourceFile {
             display: display.to_owned(),
             scrubbed,
             tree,
+            lines,
         }
     }
 
@@ -277,7 +283,8 @@ mod tests {
                    pub fn unrelated(a: usize) -> usize { a }\n";
         let scrubbed = scrub(src);
         let tree = parse(&scrubbed);
-        let findings = invariant_coverage("f.rs", &scrubbed, &tree, &BTreeSet::new());
+        let lines = LineIndex::new(&scrubbed);
+        let findings = invariant_coverage("f.rs", &scrubbed, &tree, &BTreeSet::new(), &lines);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].message.contains("`build`"));
     }
@@ -290,7 +297,8 @@ mod tests {
                    }\n";
         let scrubbed = scrub(src);
         let tree = parse(&scrubbed);
-        let findings = invariant_coverage("f.rs", &scrubbed, &tree, &BTreeSet::new());
+        let lines = LineIndex::new(&scrubbed);
+        let findings = invariant_coverage("f.rs", &scrubbed, &tree, &BTreeSet::new(), &lines);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].message.contains("`contract`"));
     }
@@ -300,10 +308,11 @@ mod tests {
         let src = "pub fn wrap(w: &FeatureWalk) -> Vec<f64> { w.go() }\n";
         let scrubbed = scrub(src);
         let tree = parse(&scrubbed);
+        let lines = LineIndex::new(&scrubbed);
         let allow: BTreeSet<String> = ["f.rs::wrap".to_owned()].into();
-        assert!(invariant_coverage("f.rs", &scrubbed, &tree, &allow).is_empty());
+        assert!(invariant_coverage("f.rs", &scrubbed, &tree, &allow, &lines).is_empty());
         assert_eq!(
-            invariant_coverage("f.rs", &scrubbed, &tree, &BTreeSet::new()).len(),
+            invariant_coverage("f.rs", &scrubbed, &tree, &BTreeSet::new(), &lines).len(),
             1
         );
     }
