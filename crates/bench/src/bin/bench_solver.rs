@@ -29,6 +29,10 @@
 //! - `*_bytes`: the AoS entry footprint the compressed slice-pointer
 //!   layout replaced, against the compressed O-path and R-path footprints
 //!   actually held in memory,
+//! - `max_node_index` / `nnz` / `index_headroom_bits`: width-contract
+//!   telemetry — the largest node index the adjacency tensor actually
+//!   stores, its stored-entry count, and how many unused bits remain
+//!   below the `u32` packed-index limit the compressed kernels rely on,
 //!
 //! and cross-checks that (a) the batched and per-class solutions agree
 //! bit for bit and (b) the fit confidences are bitwise identical at every
@@ -74,6 +78,12 @@ struct Row {
     nodes: usize,
     classes: usize,
     link_types: usize,
+    /// Largest node index stored in the adjacency tensor.
+    max_node_index: usize,
+    /// Stored-entry count of the adjacency tensor.
+    nnz: usize,
+    /// Unused bits below the `u32` packed-index limit at this scale.
+    index_headroom_bits: u32,
     /// Total solver iterations across classes (identical for the batched
     /// and per-class runs by the bit-exactness contract).
     iterations: usize,
@@ -177,6 +187,21 @@ fn sparse_bitwise_eq(a: &SparseMatrix, b: &SparseMatrix) -> bool {
 fn bench_dataset(dataset: Dataset, reps: usize) -> Row {
     let hin = dataset.load(DATA_SEED);
     let config = dataset.tmark_config();
+
+    // Width-contract telemetry. `from_entries` already validated every
+    // index against the u32 packing limit, so this only reports how much
+    // headroom the dataset leaves under that contract.
+    let nnz = hin.tensor().nnz();
+    let max_node_index = hin
+        .tensor()
+        .entries()
+        .iter()
+        .map(|e| e.i.max(e.j))
+        .max()
+        .unwrap_or(0);
+    let used_bits = 64 - (max_node_index as u64).leading_zeros();
+    let index_headroom_bits = 32 - used_bits;
+
     let (train, _) = tmark_datasets::stratified_split(&hin, FRACTION, SPLIT_SEED);
     let q = hin.num_classes();
     let seeds: Vec<Vec<usize>> = (0..q)
@@ -223,12 +248,20 @@ fn bench_dataset(dataset: Dataset, reps: usize) -> Row {
         dense_caps.push(kept.unwrap_or_else(|| die("dense W build never ran")));
         let mut kept = None;
         build_w_knn_ms[slot] = time_min_ms(reps, || {
-            kept = Some(knn_backend.build_sparse(hin.features()));
+            kept = Some(
+                knn_backend
+                    .build_sparse(hin.features())
+                    .unwrap_or_else(|e| die(&format!("kNN W build failed: {e}"))),
+            );
         });
         knn_caps.push(kept.unwrap_or_else(|| die("kNN W build never ran")));
         let mut kept = None;
         build_w_ann_ms[slot] = time_min_ms(reps, || {
-            kept = Some(ann_backend.build_sparse(hin.features()));
+            kept = Some(
+                ann_backend
+                    .build_sparse(hin.features())
+                    .unwrap_or_else(|e| die(&format!("ANN W build failed: {e}"))),
+            );
         });
         ann_caps.push(kept.unwrap_or_else(|| die("ANN W build never ran")));
     }
@@ -392,6 +425,9 @@ fn bench_dataset(dataset: Dataset, reps: usize) -> Row {
         nodes: n,
         classes: q,
         link_types: hin.num_link_types(),
+        max_node_index,
+        nnz,
+        index_headroom_bits,
         iterations: batched.iter().map(|o| o.report.iterations).sum(),
         build_stoch_ms,
         build_w_ms,
@@ -430,6 +466,13 @@ fn render_json(rows: &[Row], smoke: bool, reps: usize) -> String {
         let _ = writeln!(out, "      \"nodes\": {},", r.nodes);
         let _ = writeln!(out, "      \"classes\": {},", r.classes);
         let _ = writeln!(out, "      \"link_types\": {},", r.link_types);
+        let _ = writeln!(out, "      \"max_node_index\": {},", r.max_node_index);
+        let _ = writeln!(out, "      \"nnz\": {},", r.nnz);
+        let _ = writeln!(
+            out,
+            "      \"index_headroom_bits\": {},",
+            r.index_headroom_bits
+        );
         let _ = writeln!(out, "      \"iterations\": {},", r.iterations);
         let _ = writeln!(out, "      \"build_stoch_ms\": {:.3},", r.build_stoch_ms);
         let _ = writeln!(out, "      \"build_w_ms\": {:.3},", r.build_w_ms);

@@ -370,4 +370,70 @@ mod tests {
         cfg.link_types[0].class_affinity = Some(9);
         cfg.generate();
     }
+
+    /// ROADMAP item 1 scale smoke: 10^5 nodes and ~10^6 stored entries
+    /// through the checked build path (`SparseTensor3::from_entries`
+    /// validates the packed-index width before any entry is packed).
+    /// `#[ignore]`d in the default suite — it takes seconds, not
+    /// milliseconds; the CI bench-smoke job runs it via
+    /// `cargo test -p tmark-datasets --release -- --ignored`.
+    #[test]
+    #[ignore = "scale smoke; run via cargo test --release -- --ignored"]
+    fn hundred_thousand_node_generation_stays_width_safe() {
+        let cfg = SyntheticHinConfig {
+            num_nodes: 100_000,
+            class_names: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            link_types: vec![
+                LinkTypeSpec {
+                    name: "pure".into(),
+                    class_affinity: Some(0),
+                    num_edges: 250_000,
+                    purity: 1.0,
+                },
+                LinkTypeSpec {
+                    name: "mixed".into(),
+                    class_affinity: None,
+                    num_edges: 250_000,
+                    purity: 0.0,
+                },
+            ],
+            feature_dim: 16,
+            tokens_per_node: 8,
+            feature_signal: 0.7,
+            extra_label_prob: 0.0,
+            label_noise: 0.0,
+            seed: 7,
+        };
+        let hin = cfg.generate();
+        assert_eq!(hin.num_nodes(), 100_000);
+        // 500k undirected edges → ~10^6 stored entries minus the few
+        // random collisions that merge.
+        let nnz = hin.tensor().nnz();
+        assert!(nnz >= 900_000, "expected ~10^6 stored entries, got {nnz}");
+        let max_index = hin
+            .tensor()
+            .entries()
+            .iter()
+            .map(|e| e.i.max(e.j))
+            .max()
+            .expect("generated tensor is nonempty");
+        assert!(max_index < 100_000, "entry index past n: {max_index}");
+    }
+
+    /// A node count past the packed `u32` width must come back as a
+    /// typed overflow from the tensor build boundary — never a silent
+    /// wrap into a bogus small id.
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn past_u32_node_count_is_a_typed_overflow_not_a_wrap() {
+        use tmark_sparse_tensor::{SparseTensor3, TensorError};
+        let n = u32::MAX as usize + 2;
+        match SparseTensor3::from_entries(n, 1, vec![]) {
+            Err(TensorError::IndexOverflow { what, value, .. }) => {
+                assert_eq!(what, "node count");
+                assert_eq!(value, n);
+            }
+            other => panic!("expected IndexOverflow, got {other:?}"),
+        }
+    }
 }

@@ -19,7 +19,7 @@ use tmark_linalg::pool;
 use tmark_linalg::similarity::{PreparedMetric, SimilarityMetric};
 use tmark_linalg::{DenseMatrix, SparseMatrix};
 
-use crate::backend::WalkBackend;
+use crate::backend::{check_node_width, WalkBackend, WalkError};
 use crate::mode::AnnParams;
 use crate::topk::BandTopK;
 use crate::walk::FeatureWalk;
@@ -46,10 +46,17 @@ impl AnnBackend {
 
     /// The normalized sparse `W` as a matrix, without wrapping it in a
     /// [`FeatureWalk`].
-    pub fn build_sparse(&self, features: &DenseMatrix) -> SparseMatrix {
+    ///
+    /// # Errors
+    /// [`WalkError::IndexOverflow`] when the node count exceeds what the
+    /// packed `u32` candidate indices can represent.
+    pub fn build_sparse(&self, features: &DenseMatrix) -> Result<SparseMatrix, WalkError> {
         let n = features.rows();
+        // Width contract: candidate lists and top-k buffers pack node
+        // indices as u32, so reject wider node counts before hashing.
+        check_node_width(n)?;
         if n == 0 {
-            return SparseMatrix::from_triplets(0, 0, &[]).expect("empty matrix is well-formed");
+            return Ok(SparseMatrix::from_triplets(0, 0, &[]).expect("empty matrix is well-formed"));
         }
         let prep = PreparedMetric::new(self.metric, features);
         let kk = self.k.min(n.saturating_sub(1));
@@ -90,7 +97,7 @@ impl AnnBackend {
         let mut w = SparseMatrix::from_triplets(n, n, &triplets)
             .expect("ann triplets are in bounds by construction");
         w.normalize_columns_stochastic();
-        w
+        Ok(w)
     }
 }
 
@@ -179,8 +186,14 @@ fn candidate_lists(features: &DenseMatrix, params: AnnParams) -> (Vec<usize>, Ve
     }
 
     // Mirror each unordered pair into both columns, then sort + dedup
-    // into the CSC layout.
-    let mut directed: Vec<(u32, u32)> = Vec::with_capacity(pairs.len() * 2);
+    // into the CSC layout. `pairs` is materialized at 8 bytes per
+    // element, so doubling its count fits usize; checked_mul makes that
+    // bound executable.
+    let directed_cap = pairs
+        .len()
+        .checked_mul(2)
+        .unwrap_or_else(|| unreachable!("candidate pair count is bounded by allocated memory"));
+    let mut directed: Vec<(u32, u32)> = Vec::with_capacity(directed_cap);
     for &(i, j) in &pairs {
         directed.push((j, i));
         directed.push((i, j));
@@ -194,7 +207,11 @@ fn candidate_lists(features: &DenseMatrix, params: AnnParams) -> (Vec<usize>, Ve
         cand_idx.push(idx);
     }
     for c in 0..n {
-        cand_ptr[c + 1] += cand_ptr[c];
+        // Column-pointer prefix sums are bounded by the materialized
+        // candidate count; checked_add keeps that bound executable.
+        cand_ptr[c + 1] = cand_ptr[c + 1]
+            .checked_add(cand_ptr[c])
+            .unwrap_or_else(|| unreachable!("candidate prefix sums are bounded by the pair count"));
     }
     (cand_ptr, cand_idx)
 }
@@ -222,13 +239,13 @@ impl WalkBackend for AnnBackend {
         "ann"
     }
 
-    fn build(&self, features: &DenseMatrix) -> FeatureWalk {
-        let w = self.build_sparse(features);
+    fn build(&self, features: &DenseMatrix) -> Result<FeatureWalk, WalkError> {
+        let w = self.build_sparse(features)?;
         debug_assert!(
             w.rows() == 0 || w.is_column_stochastic(crate::WALK_TOL),
             "ann backend must emit a column-stochastic W (Eq. 9)"
         );
-        FeatureWalk::from_sparse(w)
+        Ok(FeatureWalk::from_sparse(w))
     }
 }
 
@@ -256,8 +273,8 @@ mod tests {
     fn ann_walk_is_column_stochastic_and_seed_deterministic() {
         let f = features(40, 6);
         let backend = AnnBackend::new(SimilarityMetric::Cosine, 5, AnnParams::default());
-        let a = backend.build_sparse(&f);
-        let b = backend.build_sparse(&f);
+        let a = backend.build_sparse(&f).unwrap();
+        let b = backend.build_sparse(&f).unwrap();
         assert!(a.is_column_stochastic(1e-12));
         assert_eq!(a.nnz(), b.nnz());
         for i in 0..40 {
@@ -282,7 +299,8 @@ mod tests {
                 ..AnnParams::default()
             },
         )
-        .build_sparse(&f);
+        .build_sparse(&f)
+        .unwrap();
         assert!(w.is_column_stochastic(1e-12));
     }
 
@@ -291,9 +309,9 @@ mod tests {
         let f = features(33, 5);
         let backend = AnnBackend::new(SimilarityMetric::Cosine, 4, AnnParams::default());
         pool::set_thread_cap(Some(1));
-        let serial = backend.build_sparse(&f);
+        let serial = backend.build_sparse(&f).unwrap();
         pool::set_thread_cap(Some(4));
-        let parallel = backend.build_sparse(&f);
+        let parallel = backend.build_sparse(&f).unwrap();
         pool::set_thread_cap(None);
         assert_eq!(serial.nnz(), parallel.nnz());
         for i in 0..33 {

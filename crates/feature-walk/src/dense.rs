@@ -12,7 +12,7 @@ use tmark_linalg::partition::{run_chunks, uniform_bounds};
 use tmark_linalg::similarity::{PreparedMetric, SimilarityMetric};
 use tmark_linalg::DenseMatrix;
 
-use crate::backend::WalkBackend;
+use crate::backend::{WalkBackend, WalkError};
 use crate::walk::FeatureWalk;
 
 /// Dense feature-walk builder: every pairwise similarity is evaluated and
@@ -102,13 +102,15 @@ impl WalkBackend for DenseBackend {
         "dense"
     }
 
-    fn build(&self, features: &DenseMatrix) -> FeatureWalk {
+    // The dense build indexes with usize throughout (no u32 packing), so
+    // it is width-safe for any addressable n and never errors.
+    fn build(&self, features: &DenseMatrix) -> Result<FeatureWalk, WalkError> {
         let w = self.build_matrix(features);
         debug_assert!(
             w.rows() == 0 || w.is_column_stochastic(crate::WALK_TOL),
             "dense backend must emit a column-stochastic W (Eq. 9)"
         );
-        FeatureWalk::from_dense(w)
+        Ok(FeatureWalk::from_dense(w))
     }
 }
 

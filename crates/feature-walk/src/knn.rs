@@ -18,7 +18,7 @@ use tmark_linalg::pool;
 use tmark_linalg::similarity::{PreparedMetric, SimilarityMetric};
 use tmark_linalg::SparseMatrix;
 
-use crate::backend::WalkBackend;
+use crate::backend::{check_node_width, WalkBackend, WalkError};
 use crate::topk::BandTopK;
 use crate::walk::FeatureWalk;
 
@@ -40,7 +40,14 @@ impl KnnBackend {
 
     /// The normalized sparse `W` as a matrix, without wrapping it in a
     /// [`FeatureWalk`].
-    pub fn build_sparse(&self, features: &tmark_linalg::DenseMatrix) -> SparseMatrix {
+    ///
+    /// # Errors
+    /// [`WalkError::IndexOverflow`] when the node count exceeds what the
+    /// packed `u32` neighbour indices can represent.
+    pub fn build_sparse(
+        &self,
+        features: &tmark_linalg::DenseMatrix,
+    ) -> Result<SparseMatrix, WalkError> {
         build_knn_sparse(self.metric, self.k, features)
     }
 }
@@ -49,10 +56,13 @@ fn build_knn_sparse(
     metric: SimilarityMetric,
     k: usize,
     features: &tmark_linalg::DenseMatrix,
-) -> SparseMatrix {
+) -> Result<SparseMatrix, WalkError> {
     let n = features.rows();
+    // Width contract: the band buffers pack candidate indices as u32, so
+    // reject node counts past that once, here, before any sweep runs.
+    check_node_width(n)?;
     if n == 0 {
-        return SparseMatrix::from_triplets(0, 0, &[]).expect("empty matrix is well-formed");
+        return Ok(SparseMatrix::from_triplets(0, 0, &[]).expect("empty matrix is well-formed"));
     }
     let prep = PreparedMetric::new(metric, features);
     // A column holds at most n − 1 neighbours besides the self-loop.
@@ -105,7 +115,7 @@ fn build_knn_sparse(
         run_round(tasks, &prep, &mut bands);
     }
 
-    emit_sparse(&prep, kk, bs, &bands)
+    Ok(emit_sparse(&prep, kk, bs, &bands))
 }
 
 type RoundTask = (
@@ -230,13 +240,13 @@ impl WalkBackend for KnnBackend {
         "knn"
     }
 
-    fn build(&self, features: &tmark_linalg::DenseMatrix) -> FeatureWalk {
-        let w = build_knn_sparse(self.metric, self.k, features);
+    fn build(&self, features: &tmark_linalg::DenseMatrix) -> Result<FeatureWalk, WalkError> {
+        let w = build_knn_sparse(self.metric, self.k, features)?;
         debug_assert!(
             w.rows() == 0 || w.is_column_stochastic(crate::WALK_TOL),
             "knn backend must emit a column-stochastic W (Eq. 9)"
         );
-        FeatureWalk::from_sparse(w)
+        Ok(FeatureWalk::from_sparse(w))
     }
 }
 
@@ -273,7 +283,7 @@ mod tests {
     fn knn_walk_is_column_stochastic_for_every_metric() {
         let f = features(23, 5, 7);
         for metric in METRICS {
-            let w = build_knn_sparse(metric, 4, &f);
+            let w = build_knn_sparse(metric, 4, &f).unwrap();
             assert!(
                 w.is_column_stochastic(1e-12),
                 "{metric:?} knn walk must be column-stochastic"
@@ -285,7 +295,7 @@ mod tests {
     fn large_k_matches_the_dense_walk_support_and_sums() {
         let f = features(17, 4, 3);
         for metric in METRICS {
-            let sparse = build_knn_sparse(metric, 16, &f);
+            let sparse = build_knn_sparse(metric, 16, &f).unwrap();
             let dense = DenseBackend::new(metric).build_matrix(&f);
             for j in 0..17 {
                 let mut sum = 0.0;
@@ -318,7 +328,7 @@ mod tests {
             f.set(i, 0, 1.0);
             f.set(i, 1, i as f64);
         }
-        let w = build_knn_sparse(SimilarityMetric::Cosine, 2, &f);
+        let w = build_knn_sparse(SimilarityMetric::Cosine, 2, &f).unwrap();
         let support: Vec<usize> = (0..5).filter(|&i| w.get(i, 0) > 0.0).collect();
         assert_eq!(support, vec![0, 1, 2]);
     }
@@ -328,7 +338,7 @@ mod tests {
         let mut f = DenseMatrix::zeros(4, 2);
         f.set(0, 0, 1.0);
         f.set(2, 1, 2.0);
-        let w = build_knn_sparse(SimilarityMetric::Cosine, 2, &f);
+        let w = build_knn_sparse(SimilarityMetric::Cosine, 2, &f).unwrap();
         assert!(w.is_dangling_col(1) && w.is_dangling_col(3));
         assert!(w.is_column_stochastic(1e-12));
     }
@@ -371,9 +381,9 @@ mod tests {
         // And the full tournament, end to end, for every metric.
         for metric in METRICS {
             pool::set_thread_cap(Some(1));
-            let serial = build_knn_sparse(metric, 4, &f);
+            let serial = build_knn_sparse(metric, 4, &f).unwrap();
             pool::set_thread_cap(Some(4));
-            let parallel = build_knn_sparse(metric, 4, &f);
+            let parallel = build_knn_sparse(metric, 4, &f).unwrap();
             pool::set_thread_cap(None);
             assert_eq!(serial.nnz(), parallel.nnz(), "{metric:?}");
             for i in 0..n {

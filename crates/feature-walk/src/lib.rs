@@ -42,7 +42,7 @@ mod topk;
 mod walk;
 
 pub use ann::AnnBackend;
-pub use backend::{build_walk, WalkBackend};
+pub use backend::{build_walk, WalkBackend, WalkError};
 pub use dense::{feature_transition_matrix, feature_transition_matrix_with, DenseBackend};
 pub use knn::KnnBackend;
 pub use mode::{AnnParams, FeatureWalkMode};

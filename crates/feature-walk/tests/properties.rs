@@ -66,7 +66,7 @@ proptest! {
     fn full_k_knn_reproduces_the_dense_walk_for_every_metric(f in feature_matrix()) {
         let n = f.rows();
         for metric in METRICS {
-            let sparse = KnnBackend::new(metric, n).build_sparse(&f);
+            let sparse = KnnBackend::new(metric, n).build_sparse(&f).unwrap();
             let dense = DenseBackend::new(metric).build_matrix(&f);
             prop_assert!(sparse.is_column_stochastic(1e-9), "{metric:?}: knn not stochastic");
             prop_assert!(dense.is_column_stochastic(1e-9), "{metric:?}: dense not stochastic");
@@ -77,7 +77,7 @@ proptest! {
     #[test]
     fn truncated_knn_stays_stochastic_for_every_metric(f in feature_matrix(), k in 1usize..=4) {
         for metric in METRICS {
-            let w = KnnBackend::new(metric, k).build_sparse(&f);
+            let w = KnnBackend::new(metric, k).build_sparse(&f).unwrap();
             prop_assert!(
                 w.is_column_stochastic(1e-9),
                 "{metric:?} k={k}: truncated knn walk must stay column-stochastic"
@@ -87,7 +87,7 @@ proptest! {
 
     #[test]
     fn ann_walk_is_always_column_stochastic(f in feature_matrix(), k in 1usize..=4) {
-        let w = AnnBackend::new(SimilarityMetric::Cosine, k, AnnParams::default()).build_sparse(&f);
+        let w = AnnBackend::new(SimilarityMetric::Cosine, k, AnnParams::default()).build_sparse(&f).unwrap();
         prop_assert!(w.is_column_stochastic(1e-9));
     }
 }
@@ -121,9 +121,9 @@ fn knn_with_boundary_ties_is_bitwise_identical_across_thread_caps() {
     for metric in METRICS {
         let backend = KnnBackend::new(metric, 2);
         pool::set_thread_cap(Some(1));
-        let serial = backend.build_sparse(&f);
+        let serial = backend.build_sparse(&f).unwrap();
         pool::set_thread_cap(Some(4));
-        let parallel = backend.build_sparse(&f);
+        let parallel = backend.build_sparse(&f).unwrap();
         pool::set_thread_cap(None);
         assert!(
             sparse_bitwise_eq(&serial, &parallel),

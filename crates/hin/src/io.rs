@@ -209,17 +209,27 @@ pub fn read_hin<R: BufRead>(input: R) -> Result<Hin, IoError> {
                 labels.push((v, c));
             }
             Some("edge") => {
-                let nums: Result<Vec<f64>, _> = tok.map(str::parse).collect();
-                let nums = nums.map_err(|e| parse_err(ln, format!("bad edge value: {e}")))?;
-                if nums.len() != 4 {
+                // Parse the three indices as integers directly: routing
+                // them through f64 (as the weight is) would silently
+                // truncate ids past 2^53 and accept fractional ids.
+                let mut next_id = |what: &str| -> Result<usize, IoError> {
+                    tok.next()
+                        .ok_or_else(|| parse_err(ln, "edge line needs '<i> <j> <k> <weight>'"))?
+                        .parse::<usize>()
+                        .map_err(|e| parse_err(ln, format!("bad edge {what}: {e}")))
+                };
+                let i = next_id("source index")?;
+                let j = next_id("target index")?;
+                let k = next_id("relation index")?;
+                let weight: f64 = tok
+                    .next()
+                    .ok_or_else(|| parse_err(ln, "edge line needs '<i> <j> <k> <weight>'"))?
+                    .parse()
+                    .map_err(|e| parse_err(ln, format!("bad edge weight: {e}")))?;
+                if tok.next().is_some() {
                     return Err(parse_err(ln, "edge line needs '<i> <j> <k> <weight>'"));
                 }
-                edges.push((
-                    nums[0] as usize,
-                    nums[1] as usize,
-                    nums[2] as usize,
-                    nums[3],
-                ));
+                edges.push((i, j, k, weight));
             }
             Some(other) => {
                 return Err(parse_err(ln, format!("unknown record kind {other:?}")));

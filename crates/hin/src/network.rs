@@ -137,7 +137,15 @@ impl Hin {
         }
         // Built under the lock: concurrent first requests for the same
         // configuration would otherwise race to do O(n²·d) work twice.
-        let walk = Arc::new(build_walk(&self.features, key.0, metric));
+        // The node count was validated against the packed-index width by
+        // `SparseTensor3::from_entries` when this Hin was built, and the
+        // feature matrix has one row per node, so the walk builders'
+        // overflow arm cannot fire here.
+        let walk = Arc::new(
+            build_walk(&self.features, key.0, metric).unwrap_or_else(|e| {
+                unreachable!("node width validated at tensor construction: {e}")
+            }),
+        );
         cache.push((key, Arc::clone(&walk)));
         walk
     }

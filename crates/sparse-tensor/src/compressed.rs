@@ -100,7 +100,12 @@ impl CompressedSlices {
             o_row_ptr[i as usize + 1] += 1;
         }
         for i in 0..n {
-            o_row_ptr[i + 1] += o_row_ptr[i];
+            // Row-pointer prefix sums are bounded by nnz (the counts they
+            // accumulate are entry counts of a materialized slice);
+            // checked_add keeps that bound executable at 10^7+ nnz.
+            o_row_ptr[i + 1] = o_row_ptr[i + 1]
+                .checked_add(o_row_ptr[i])
+                .unwrap_or_else(|| unreachable!("row prefix sums are bounded by nnz"));
         }
         let mut next = o_row_ptr.clone();
         let mut o_col = vec![0u32; nnz];

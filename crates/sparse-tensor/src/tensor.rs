@@ -36,6 +36,19 @@ pub enum TensorError {
     },
     /// The tensor has zero nodes or zero relations.
     EmptyShape,
+    /// A declared dimension exceeds the width the packed kernels can
+    /// represent. The compressed layouts store node and relation indices
+    /// as `u32`; validating here, once, is what lets every downstream
+    /// kernel cast raw (see the `[lossy-cast]` allowlist in
+    /// xtask/scale-registry.toml).
+    IndexOverflow {
+        /// Which dimension overflowed (`"node count"` / `"relation count"`).
+        what: &'static str,
+        /// The declared value.
+        value: usize,
+        /// The largest representable value.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -62,6 +75,11 @@ impl fmt::Display for TensorError {
             TensorError::EmptyShape => {
                 write!(f, "tensor must have n > 0 nodes and m > 0 relations")
             }
+            TensorError::IndexOverflow { what, value, limit } => write!(
+                f,
+                "{what} {value} exceeds the packed-index limit {limit}; the \
+                 compressed kernels store indices as u32"
+            ),
         }
     }
 }
@@ -104,6 +122,8 @@ impl SparseTensor3 {
     ///
     /// # Errors
     /// [`TensorError::EmptyShape`] if `n == 0 || m == 0`;
+    /// [`TensorError::IndexOverflow`] if `n` or `m` exceeds what the
+    /// packed `u32` kernel indices can represent;
     /// [`TensorError::IndexOutOfBounds`] / [`TensorError::NegativeValue`]
     /// per offending entry.
     pub fn from_entries(
@@ -113,6 +133,25 @@ impl SparseTensor3 {
     ) -> Result<Self, TensorError> {
         if n == 0 || m == 0 {
             return Err(TensorError::EmptyShape);
+        }
+        // Width contract: every valid index is < n (resp. m), so
+        // requiring n - 1 <= u32::MAX makes `idx as u32` exact in every
+        // kernel downstream (`n - 1` rather than comparing n itself so
+        // the check cannot overflow on 32-bit usize).
+        let limit = u32::MAX as usize;
+        if n - 1 > limit {
+            return Err(TensorError::IndexOverflow {
+                what: "node count",
+                value: n,
+                limit: limit + 1,
+            });
+        }
+        if m - 1 > limit {
+            return Err(TensorError::IndexOverflow {
+                what: "relation count",
+                value: m,
+                limit: limit + 1,
+            });
         }
         let mut entries: Vec<Entry> = Vec::with_capacity(raw.len());
         for (i, j, k, value) in raw {
@@ -148,7 +187,13 @@ impl SparseTensor3 {
             slice_ptr[e.k + 1] += 1;
         }
         for k in 0..m {
-            slice_ptr[k + 1] += slice_ptr[k];
+            // Prefix sums of per-relation entry counts are bounded by
+            // nnz, which fits usize because `merged` is materialized;
+            // checked_add makes that bound executable at 10^7+ nnz
+            // instead of relying on debug assertions.
+            slice_ptr[k + 1] = slice_ptr[k + 1]
+                .checked_add(slice_ptr[k])
+                .unwrap_or_else(|| unreachable!("prefix sums of entry counts are bounded by nnz"));
         }
         Ok(SparseTensor3 {
             n,
@@ -361,6 +406,32 @@ mod tests {
             SparseTensor3::from_entries(3, 0, vec![]),
             Err(TensorError::EmptyShape)
         );
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn from_entries_rejects_dimensions_past_u32() {
+        // A node count whose largest index cannot be packed into u32 must
+        // come back as a typed overflow, not a silent wrap downstream.
+        let too_many = u32::MAX as usize + 2;
+        assert_eq!(
+            SparseTensor3::from_entries(too_many, 1, vec![]),
+            Err(TensorError::IndexOverflow {
+                what: "node count",
+                value: too_many,
+                limit: u32::MAX as usize + 1,
+            })
+        );
+        assert_eq!(
+            SparseTensor3::from_entries(2, too_many, vec![]),
+            Err(TensorError::IndexOverflow {
+                what: "relation count",
+                value: too_many,
+                limit: u32::MAX as usize + 1,
+            })
+        );
+        // The boundary itself (largest index == u32::MAX) is accepted.
+        assert!(SparseTensor3::from_entries(u32::MAX as usize + 1, 1, vec![]).is_ok());
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //! - `[nondeterministic-order]` — crate path → allowed unordered
 //!   `HashMap`/`HashSet` iterations in library code;
 //! - `[determinism-coverage]` — file path → allowed registered parallel
-//!   kernels without a cap-1-vs-cap-N bitwise test.
+//!   kernels without a cap-1-vs-cap-N bitwise test;
+//! - `[lossy-cast]` — crate path → allowed narrowing/float-truncating
+//!   `as` casts in library code;
+//! - `[overflow-arith]` — crate path → allowed unchecked offset/count
+//!   arithmetic sites in registered build-path functions.
 //!
 //! Missing keys are allowed 0, so new crates/files start (and stay)
 //! clean. Counts may only go down; `--update-baseline` refuses to raise
@@ -36,6 +40,10 @@ pub struct Baseline {
     pub nondeterministic_order: BTreeMap<String, usize>,
     /// `crates/<name>/src/<file>.rs` → allowed untested parallel kernels.
     pub determinism_coverage: BTreeMap<String, usize>,
+    /// `crates/<name>` → allowed lossy index/float casts.
+    pub lossy_cast: BTreeMap<String, usize>,
+    /// `crates/<name>` → allowed unchecked offset-arithmetic sites.
+    pub overflow_arith: BTreeMap<String, usize>,
 }
 
 /// The ratcheted rules, in render order.
@@ -45,6 +53,8 @@ const SECTIONS: &[&str] = &[
     "dead-surface",
     "nondeterministic-order",
     "determinism-coverage",
+    "lossy-cast",
+    "overflow-arith",
 ];
 
 impl Baseline {
@@ -56,6 +66,8 @@ impl Baseline {
             "dead-surface" => &self.dead_surface,
             "nondeterministic-order" => &self.nondeterministic_order,
             "determinism-coverage" => &self.determinism_coverage,
+            "lossy-cast" => &self.lossy_cast,
+            "overflow-arith" => &self.overflow_arith,
             _ => unreachable!("unknown ratchet section {section}"),
         }
     }
@@ -67,6 +79,8 @@ impl Baseline {
             "dead-surface" => Some(&mut self.dead_surface),
             "nondeterministic-order" => Some(&mut self.nondeterministic_order),
             "determinism-coverage" => Some(&mut self.determinism_coverage),
+            "lossy-cast" => Some(&mut self.lossy_cast),
+            "overflow-arith" => Some(&mut self.overflow_arith),
             _ => None,
         }
     }
@@ -262,6 +276,25 @@ mod tests {
             .determinism_coverage
             .insert("crates/linalg/src/dense.rs".to_owned(), 1);
         assert!(b.has_increase(&raised));
+    }
+
+    #[test]
+    fn scale_sections_round_trip_and_ratchet() {
+        let mut b = Baseline::default();
+        b.lossy_cast.insert("crates/sparse-tensor".to_owned(), 0);
+        b.lossy_cast.insert("crates/nn".to_owned(), 2);
+        b.overflow_arith.insert("crates/feature-walk".to_owned(), 0);
+        let rendered = b.render();
+        assert!(rendered.contains("[lossy-cast]"), "{rendered}");
+        assert!(rendered.contains("[overflow-arith]"), "{rendered}");
+        let reparsed = Baseline::parse(&rendered).unwrap();
+        assert_eq!(reparsed, b);
+        let mut raised = b.clone();
+        raised
+            .overflow_arith
+            .insert("crates/feature-walk".to_owned(), 1);
+        assert!(b.has_increase(&raised));
+        assert!(!b.has_increase(&b.clone()));
     }
 
     #[test]

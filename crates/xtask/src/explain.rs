@@ -196,15 +196,81 @@ crates/sparse-tensor/tests/parallel_determinism.rs for the canonical
 shape.",
     },
     RuleDoc {
+        name: "lossy-cast",
+        summary: "ratcheted narrowing/float-truncating casts in library code",
+        detail: "\
+Per crate, counts (a) narrowing `as` casts (`as u32`, `as i32`, and the
+other sub-64-bit integer targets) and (b) integer casts of bindings
+ascribed a float type (`nums[0] as usize` on a float-parsed id — the
+cast silently truncates toward zero). Test code is exempt; counts are
+ratcheted per crate in `[lossy-cast]` of xtask/lint-baseline.toml, and
+the ingestion/build crates listed under `pinned` in
+xtask/scale-registry.toml are held at an explicit 0.
+
+Rationale: the compressed kernels pack node and relation indices as
+u32; at the million-node scale of ROADMAP item 1 a raw `as u32` wraps
+silently and corrupts ids instead of failing. Validate once at the
+build boundary — `SparseTensor3::from_entries` returns
+`TensorError::IndexOverflow`, the feature-walk builders return
+`WalkError::IndexOverflow` — and add the consuming kernel fn to the
+`allow` list of `[lossy-cast]` (validated by registry-rot), which
+documents exactly where raw casts are provably width-safe.",
+    },
+    RuleDoc {
+        name: "overflow-arith",
+        summary: "ratcheted unchecked offset arithmetic in build-path fns",
+        detail: "\
+Inside the functions registered under `[overflow-arith]` in
+xtask/scale-registry.toml, flags bare `+`, `*`, `+=`, and `*=` where an
+adjacent operand is named as an offset, length, or count (`*_ptr`,
+`nnz`, `len`, `offset`, `stride`). Literal counter bumps
+(`row_ptr[i] += 1`) are exempt — a counter bounded by a loop trip count
+cannot overflow usize before the allocation it indexes fails first.
+Counts are ratcheted per crate in `[overflow-arith]` of
+xtask/lint-baseline.toml.
+
+Rationale: slice-pointer prefix sums and capacity math are exactly the
+expressions that wrap only at 10^7+ nnz, where debug assertions no
+longer run. Use `checked_add`/`checked_mul` routed through a typed
+`IndexOverflow` error at fallible boundaries; in infallible builders
+whose sums are provably bounded by nnz, pair `checked_add` with
+`unwrap_or_else(|| unreachable!(..))` and document the bound — that
+keeps the panic-surface ratchet flat while making the assumption
+executable. Widening to u64 before multiplying also passes.",
+    },
+    RuleDoc {
+        name: "quadratic-alloc",
+        summary: "hard error on node-by-node sized allocations",
+        detail: "\
+Flags `vec![..; a * b]` and `with_capacity(a * b)` in library code
+where both factors resolve to node-count identifiers (`n`, `num_nodes`,
+`rows`, `cols`, ...). Bounded factors (`n * (k + 1)`), method-call
+dimensions (`y.rows() * y.cols()`), and test code are exempt. Hard
+error: the only escape is registering the file under `dense` in
+`[quadratic-alloc]` of xtask/scale-registry.toml.
+
+Rationale: the paper's O(qTD) per-iteration cost (Sec. V) holds only
+while every build path scales along nnz, not n² — an 800-node dev
+dataset hides a dense n×n buffer that is 8 TB at 10^6 nodes. The dense
+walk backend (the paper's literal Eq. 9) and the DenseMatrix type are
+intentionally dense and registered; everything else must build CSR/CSC
+triplets sized by nnz. Kong et al.'s meta-path classification and Gao
+et al.'s tensor factorization (PAPERS.md) both keep this invariant.",
+    },
+    RuleDoc {
         name: "registry-rot",
-        summary: "hard error on stale hot-paths.toml registry entries",
+        summary: "hard error on stale registry entries (hot-paths, scale)",
         detail: "\
 Validates every entry of xtask/hot-paths.toml against the live item
 tree: `[hot-loop-alloc]` file keys must exist and their function lists
 must resolve via the item parser, `allocating-calls` must resolve
 somewhere in the workspace, `[float-determinism]` paths must exist,
 `[invariant-coverage]` / `[nondeterministic-order]` crates must exist,
-and `file::fn` allow entries must resolve to real items.
+and `file::fn` allow entries must resolve to real items. The same
+checks cover xtask/scale-registry.toml: `[lossy-cast]` allow entries
+must resolve as `file::fn`, `pinned` crates must exist,
+`[overflow-arith]` file/function lists must resolve, and
+`[quadratic-alloc]` dense files must exist.
 
 Rationale: the registries are the contract between the codebase and
 this gate — a renamed kernel whose registry entry silently stops
@@ -256,7 +322,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalogue_covers_all_eleven_rules_plus_unsafe_gate() {
+    fn catalogue_covers_all_fourteen_rules_plus_unsafe_gate() {
         let names: Vec<&str> = RULES.iter().map(|r| r.name).collect();
         assert_eq!(
             names,
@@ -271,6 +337,9 @@ mod tests {
                 "nondeterministic-order",
                 "kernel-contract",
                 "determinism-coverage",
+                "lossy-cast",
+                "overflow-arith",
+                "quadratic-alloc",
                 "registry-rot",
                 "unsafe-forbid",
             ]

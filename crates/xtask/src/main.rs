@@ -1,6 +1,6 @@
 //! `cargo xtask lint` — the workspace lint gate.
 //!
-//! Eleven T-Mark-specific rules plus the unsafe-code gate, run over
+//! Fourteen T-Mark-specific rules plus the unsafe-code gate, run over
 //! every crate under `crates/`:
 //!
 //! 1. **panic-surface** (ratcheted): `.unwrap()` / `.expect()` / `panic!`
@@ -32,8 +32,21 @@
 //!     kernel needs a `#[test]` naming it together with
 //!     `set_thread_cap`/`THREAD_CAP_ENV` — the cap-1-vs-cap-N bitwise
 //!     test shape.
-//! 11. **registry-rot** (hard error): every `hot-paths.toml` entry must
-//!     resolve to a live file/function/crate.
+//! 11. **registry-rot** (hard error): every `hot-paths.toml` and
+//!     `scale-registry.toml` entry must resolve to a live
+//!     file/function/crate.
+//! 12. **lossy-cast** (ratcheted): narrowing `as` casts and integer
+//!     casts of float bindings in library code — validate once at the
+//!     build boundary (`TensorError::IndexOverflow` /
+//!     `WalkError::IndexOverflow`); kernels consuming validated `u32`
+//!     indices are allowlisted in `xtask/scale-registry.toml`.
+//! 13. **overflow-arith** (ratcheted): bare `+`/`*`/`+=`/`*=` on
+//!     offset/length/count bindings (`*_ptr`, `nnz`, `len`, …) inside
+//!     registered build-path functions — use `checked_add`/`checked_mul`
+//!     or widen to `u64`.
+//! 14. **quadratic-alloc** (hard error): `vec![…; a * b]` /
+//!     `with_capacity(a * b)` with two node-count factors outside the
+//!     files registered as intentionally dense.
 //!
 //! Plus **unsafe-forbid**: every crate root must carry
 //! `#![forbid(unsafe_code)]` unless allowlisted.
@@ -55,6 +68,7 @@ mod explain;
 mod items;
 mod lints;
 mod report;
+mod scale;
 mod scrub;
 mod surface;
 
@@ -76,6 +90,7 @@ const CONSTRUCTION_ALLOWED: &[&str] = &[
 
 const BASELINE_PATH: &str = "xtask/lint-baseline.toml";
 const CONFIG_PATH: &str = "xtask/hot-paths.toml";
+const SCALE_REGISTRY_PATH: &str = "xtask/scale-registry.toml";
 
 const USAGE: &str = "usage: cargo xtask lint [--update-baseline [--allow-increase]] \
                      [--format text|json|github] | cargo xtask lint --explain <rule>";
@@ -332,6 +347,9 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
     let config_path = root.join(CONFIG_PATH);
     let config: RuleConfig =
         config::parse(&read(&config_path)?).map_err(|e| format!("{CONFIG_PATH}: {e}"))?;
+    let scale_registry_path = root.join(SCALE_REGISTRY_PATH);
+    let scale_registry = scale::parse(&read(&scale_registry_path)?)
+        .map_err(|e| format!("{SCALE_REGISTRY_PATH}: {e}"))?;
     let crates = load_crates(&root)?;
 
     let mut report = Report {
@@ -518,6 +536,67 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
                 0,
                 "[unsafe-forbid] allowlisted crate does not exist — remove the \
                  entry"
+                    .to_owned(),
+            );
+        }
+    }
+
+    // registry-rot over the scale registry: the lossy-cast allowlist,
+    // pinned crates, registered overflow-arith functions, and dense files
+    // must all resolve, so a refactor cannot leave a stale allowance
+    // silently excusing new code.
+    for entry in &scale_registry.lossy_cast_allow {
+        let split = entry.rsplit_once("::");
+        let resolved = split.is_some_and(|(file, fn_name)| {
+            find_src(file).is_some_and(|s| !items::find_fns(&s.file.tree, fn_name).is_empty())
+        });
+        if !resolved {
+            report.push(
+                "registry-rot",
+                Severity::Error,
+                SCALE_REGISTRY_PATH,
+                0,
+                format!(
+                    "[lossy-cast] allow entry `{entry}` does not resolve to a \
+                     `file::fn` item — remove or fix the entry"
+                ),
+            );
+        }
+    }
+    for crate_key in &scale_registry.lossy_cast_pinned {
+        if !crates.iter().any(|k| &k.key == crate_key) {
+            report.push(
+                "registry-rot",
+                Severity::Error,
+                crate_key,
+                0,
+                "[lossy-cast] pinned crate does not exist — remove or fix the \
+                 entry"
+                    .to_owned(),
+            );
+        }
+    }
+    for (file_key, fn_names) in &scale_registry.overflow_arith {
+        let tree = find_src(file_key).map(|s| s.file.tree.as_slice());
+        for rot in contract::rot_check_fns(file_key, fn_names, tree) {
+            report.push(
+                "registry-rot",
+                Severity::Error,
+                &rot.key,
+                0,
+                format!("[overflow-arith] in {SCALE_REGISTRY_PATH}: {}", rot.message),
+            );
+        }
+    }
+    for path in &scale_registry.quadratic_alloc_dense {
+        if find_src(path).is_none() {
+            report.push(
+                "registry-rot",
+                Severity::Error,
+                path,
+                0,
+                "[quadratic-alloc] dense-registered file does not exist — remove \
+                 or fix the entry"
                     .to_owned(),
             );
         }
@@ -719,6 +798,81 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
         }
     }
 
+    // lossy-cast: library code of every crate, ratcheted per crate, with
+    // the registry's `file::fn` allowlist excusing kernels that consume
+    // already-validated u32 indices.
+    let mut lossy_found: RatchetFindings = RatchetFindings::new();
+    for krate in &crates {
+        let mut sites: Vec<(String, usize, String)> = Vec::new();
+        for src in &krate.src {
+            for f in scale::lossy_cast_sites(
+                &src.file.display,
+                &src.library_only,
+                &src.file.tree,
+                &scale_registry.lossy_cast_allow,
+                &src.file.lines,
+            ) {
+                sites.push((src.file.display.clone(), f.line, f.message));
+            }
+        }
+        if !sites.is_empty() {
+            lossy_found.insert(krate.key.clone(), sites);
+        }
+    }
+
+    // overflow-arith: the registered build-path functions, ratcheted per
+    // crate (stale entries are registry-rot's findings, skipped here).
+    let crate_of = |file_key: &str| -> String {
+        file_key
+            .splitn(3, '/')
+            .take(2)
+            .collect::<Vec<_>>()
+            .join("/")
+    };
+    let mut overflow_found: RatchetFindings = RatchetFindings::new();
+    for (file_key, fn_names) in &scale_registry.overflow_arith {
+        let Some(src) = find_src(file_key) else {
+            continue;
+        };
+        let sites: Vec<(String, usize, String)> = scale::overflow_arith_sites(
+            &src.library_only,
+            &src.file.tree,
+            fn_names,
+            &src.file.lines,
+        )
+        .into_iter()
+        .map(|f| (src.file.display.clone(), f.line, f.message))
+        .collect();
+        if !sites.is_empty() {
+            overflow_found
+                .entry(crate_of(file_key))
+                .or_default()
+                .extend(sites);
+        }
+    }
+
+    // quadratic-alloc: hard error in every library file not registered as
+    // intentionally dense.
+    for krate in &crates {
+        for src in &krate.src {
+            if scale_registry
+                .quadratic_alloc_dense
+                .contains(&src.file.display)
+            {
+                continue;
+            }
+            for f in scale::quadratic_alloc_sites(&src.library_only, &src.file.lines) {
+                report.push(
+                    "quadratic-alloc",
+                    Severity::Error,
+                    &src.file.display,
+                    f.line,
+                    f.message,
+                );
+            }
+        }
+    }
+
     // Ratchet bookkeeping: build the would-be baseline, then guard the
     // update and compare.
     let mut measured = Baseline::default();
@@ -758,6 +912,24 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
         measured
             .determinism_coverage
             .entry((*file_key).clone())
+            .or_insert(0);
+    }
+    for (key, sites) in &lossy_found {
+        measured.lossy_cast.insert(key.clone(), sites.len());
+    }
+    // Pinned ingestion/build crates always get an entry, so clean ones
+    // carry an explicit `= 0` the ratchet holds them to.
+    for crate_key in &scale_registry.lossy_cast_pinned {
+        measured.lossy_cast.entry(crate_key.clone()).or_insert(0);
+    }
+    for (key, sites) in &overflow_found {
+        measured.overflow_arith.insert(key.clone(), sites.len());
+    }
+    // Every crate with a registered build-path fn gets an entry too.
+    for file_key in scale_registry.overflow_arith.keys() {
+        measured
+            .overflow_arith
+            .entry(crate_of(file_key))
             .or_insert(0);
     }
 
@@ -846,6 +1018,18 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
         "determinism-coverage",
         &coverage_found,
         &baseline.determinism_coverage,
+        &mut report,
+    );
+    apply_ratchet(
+        "lossy-cast",
+        &lossy_found,
+        &baseline.lossy_cast,
+        &mut report,
+    );
+    apply_ratchet(
+        "overflow-arith",
+        &overflow_found,
+        &baseline.overflow_arith,
         &mut report,
     );
 
