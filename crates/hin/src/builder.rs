@@ -28,6 +28,18 @@ pub enum HinError {
     NoNodes,
     /// The builder was declared with no link types.
     NoLinkTypes,
+    /// A negative edge weight was supplied; the adjacency tensor is
+    /// nonnegative by definition (Section 3.1).
+    NegativeEdgeWeight {
+        /// The offending walk-direction edge `(from, to, link_type)`.
+        edge: (usize, usize, usize),
+    },
+    /// Growing the network would exceed the packed-index width of the
+    /// tensor kernels (node indices are stored as `u32`).
+    TooManyNodes {
+        /// The requested node count.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for HinError {
@@ -41,6 +53,15 @@ impl fmt::Display for HinError {
             }
             HinError::NoNodes => write!(f, "a HIN needs at least one node"),
             HinError::NoLinkTypes => write!(f, "a HIN needs at least one link type"),
+            HinError::NegativeEdgeWeight { edge } => write!(
+                f,
+                "negative weight on edge ({}, {}, {}); the adjacency tensor is nonnegative",
+                edge.0, edge.1, edge.2
+            ),
+            HinError::TooManyNodes { requested } => write!(
+                f,
+                "node count {requested} exceeds the packed-index width of the tensor kernels"
+            ),
         }
     }
 }

@@ -73,6 +73,15 @@ impl LabelStore {
         }
     }
 
+    /// Extends the store to track `new_n` nodes; added nodes start
+    /// unlabeled. Nodes are never dropped, so a smaller `new_n` is a
+    /// no-op.
+    pub fn grow(&mut self, new_n: usize) {
+        if new_n > self.node_labels.len() {
+            self.node_labels.resize(new_n, Vec::new());
+        }
+    }
+
     /// The sorted class ids of `node` (empty when unlabeled).
     pub fn labels_of(&self, node: usize) -> &[usize] {
         &self.node_labels[node]

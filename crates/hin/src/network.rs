@@ -1,4 +1,5 @@
-//! The immutable HIN container shared by all algorithms.
+//! The HIN container shared by all algorithms: cached derived operators
+//! plus an epoch-tracked mutation API for the serving scenario.
 
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
@@ -7,33 +8,63 @@ use tmark_linalg::similarity::SimilarityMetric;
 use tmark_linalg::{DenseMatrix, SparseMatrix};
 use tmark_sparse_tensor::{SparseTensor3, StochasticTensors};
 
+use crate::builder::HinError;
 use crate::labels::LabelStore;
 
 /// Cache key for a materialized feature walk: the *resolved* mode (so
 /// `Auto` shares an entry with whatever it resolves to) plus the metric.
 type WalkKey = (FeatureWalkMode, SimilarityMetric);
 
+/// Upper bound on cached feature walks. Each entry is an `O(n·d)`-to-
+/// `O(n²)` object, and the `(mode, metric)` configuration space is small
+/// but unbounded over a long-lived serving process (`Knn(k)` is keyed per
+/// `k`), so the cache is a tiny LRU: a hit refreshes the entry, an
+/// insertion past the cap evicts the least recently used walk. Evicted
+/// walks stay alive for whoever still holds their `Arc`.
+const WALK_CACHE_CAP: usize = 8;
+
 /// A heterogeneous information network over one target node type.
 ///
 /// Holds the adjacency tensor `A` (n × n × m), the node feature matrix
 /// (n × d), the named link types, and the ground-truth labels. Built via
-/// [`crate::HinBuilder`]; immutable afterwards so that every algorithm in a
-/// comparison observes the same network.
+/// [`crate::HinBuilder`], then evolved — if at all — only through the
+/// epoch-tracked mutation API ([`Hin::add_labels`], [`Hin::add_edges`],
+/// [`Hin::add_node`]), so that every algorithm in a comparison observes
+/// the same network unless the caller explicitly mutates it.
 ///
-/// Because the network is immutable, the expensive derived objects — the
-/// compressed stochastic tensor pair `(O, R)` and the feature walks `W` of
-/// Eq. (9) — are memoized on first use: repeated fits on the same network
-/// (evaluation sweeps, warm-started refits, backend comparisons) pay the
-/// normalization and similarity costs once per `(mode, metric)`
-/// configuration instead of per call, and [`Hin::feature_walk`] hands out
-/// shared `Arc`s instead of clones. The cached objects are built
-/// deterministically, so memoization cannot change any result bitwise.
+/// The expensive derived objects — the compressed stochastic tensor pair
+/// `(O, R)` and the feature walks `W` of Eq. (9) — are memoized on first
+/// use: repeated fits on the same network (evaluation sweeps, warm-started
+/// refits, backend comparisons) pay the normalization and similarity costs
+/// once per `(mode, metric)` configuration instead of per call, and
+/// [`Hin::feature_walk`] hands out shared `Arc`s instead of clones. The
+/// cached objects are built deterministically, so memoization cannot
+/// change any result bitwise.
+///
+/// Every mutation bumps [`Hin::cache_epoch`] and either *patches* or
+/// *invalidates* the caches so a stale operator can never be observed
+/// (the decision table lives in DESIGN.md):
+///
+/// - label mutations touch neither `(O, R)` nor `W` — both caches survive;
+/// - edge mutations re-normalize the cached `(O, R)` in place when every
+///   edge lands on an already-stored coordinate, and drop it otherwise;
+///   `W` depends only on features and survives;
+/// - node additions change `n` (and with it the dangling-fiber analytics
+///   and walk shapes) — both caches are dropped.
+///
+/// Mutations take `&mut self`, so a clone made *before* a mutation keeps
+/// its own still-correct caches: the stochastic pair is cloned by value,
+/// and the `Arc`-shared walks are immutable objects the mutated network
+/// merely stops referencing.
 #[derive(Debug)]
 pub struct Hin {
     tensor: SparseTensor3,
     features: DenseMatrix,
     link_type_names: Vec<String>,
     labels: LabelStore,
+    /// Bumped by every mutation; serving layers key prediction caches on
+    /// it (see [`Hin::cache_epoch`]).
+    epoch: u64,
     stoch_cache: OnceLock<StochasticTensors>,
     walk_cache: Mutex<Vec<(WalkKey, Arc<FeatureWalk>)>>,
 }
@@ -45,6 +76,7 @@ impl Clone for Hin {
             features: self.features.clone(),
             link_type_names: self.link_type_names.clone(),
             labels: self.labels.clone(),
+            epoch: self.epoch,
             stoch_cache: self.stoch_cache.clone(),
             // Walks are immutable once built, so the clone shares them.
             walk_cache: Mutex::new(
@@ -69,9 +101,158 @@ impl Hin {
             features,
             link_type_names,
             labels,
+            epoch: 0,
             stoch_cache: OnceLock::new(),
             walk_cache: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The mutation epoch: starts at zero and is bumped by every
+    /// [`Hin::add_labels`], [`Hin::add_edges`], and [`Hin::add_node`]
+    /// call. Anything derived from a fit — prediction caches, serving
+    /// snapshots — records the epoch it was computed at and treats a
+    /// mismatch as stale.
+    pub fn cache_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records ground-truth class assignments `(node, class)`, multi-label
+    /// capable and idempotent per pair.
+    ///
+    /// Labels feed only the restart vectors of Algorithm 1, never the
+    /// cached `(O, R)` pair or the feature walks, so both caches survive;
+    /// the epoch still advances because fitted results are now stale.
+    /// Validation is all-or-nothing: on error the network is unchanged.
+    ///
+    /// # Errors
+    /// [`HinError::UnknownNode`] / [`HinError::UnknownClass`] for bad ids.
+    pub fn add_labels(&mut self, assignments: &[(usize, usize)]) -> Result<(), HinError> {
+        let n = self.num_nodes();
+        let q = self.num_classes();
+        for &(node, c) in assignments {
+            if node >= n {
+                return Err(HinError::UnknownNode(node));
+            }
+            if c >= q {
+                return Err(HinError::UnknownClass(c));
+            }
+        }
+        for &(node, c) in assignments {
+            self.labels.add_label(node, c);
+        }
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Adds weighted directed edges `(from, to, link_type, weight)` in the
+    /// walk convention of [`crate::HinBuilder`]: the walker at `from` can
+    /// move to `to`, stored as tensor entry `a_{to, from, k}`. Weights
+    /// accumulate onto existing entries, exactly as parallel edges do at
+    /// construction.
+    ///
+    /// When every (nonzero) edge lands on an already-stored coordinate,
+    /// the cached `(O, R)` pair is re-normalized in place via
+    /// [`StochasticTensors::patch_entries`] — `O(f log D)` for the touched
+    /// fibers — and stays bitwise identical to a full rebuild. An edge
+    /// creating a new entry changes the compressed layout, so the cache is
+    /// dropped and rebuilt lazily on next use. The feature walks depend
+    /// only on node features and survive either way. Validation is
+    /// all-or-nothing: on error the network is unchanged.
+    ///
+    /// # Errors
+    /// [`HinError::UnknownNode`] / [`HinError::UnknownLinkType`] /
+    /// [`HinError::NegativeEdgeWeight`] per offending edge.
+    pub fn add_edges(&mut self, edges: &[(usize, usize, usize, f64)]) -> Result<(), HinError> {
+        let n = self.num_nodes();
+        let m = self.num_link_types();
+        for &(from, to, k, weight) in edges {
+            if from >= n {
+                return Err(HinError::UnknownNode(from));
+            }
+            if to >= n {
+                return Err(HinError::UnknownNode(to));
+            }
+            if k >= m {
+                return Err(HinError::UnknownLinkType(k));
+            }
+            if weight < 0.0 {
+                return Err(HinError::NegativeEdgeWeight {
+                    edge: (from, to, k),
+                });
+            }
+        }
+        // Walk direction from → to is tensor coordinate (i=to, j=from, k).
+        let updates: Vec<(usize, usize, usize, f64)> = edges
+            .iter()
+            .map(|&(from, to, k, weight)| (to, from, k, weight))
+            .collect();
+        let summary = self
+            .tensor
+            .patch_entries(&updates)
+            .unwrap_or_else(|e| unreachable!("edge updates validated above: {e}"));
+        if summary.inserted == 0 {
+            // Value-only change: the compressed layout is intact, so the
+            // cached pair (if built) is re-normalized in place. Zero-weight
+            // updates changed nothing and are not "touched".
+            if let Some(stoch) = self.stoch_cache.get_mut() {
+                let touched: Vec<(usize, usize, usize)> = updates
+                    .iter()
+                    .filter(|&&(_, _, _, weight)| weight != 0.0)
+                    .map(|&(i, j, k, _)| (i, j, k))
+                    .collect();
+                stoch
+                    .patch_entries(&self.tensor, &touched)
+                    .unwrap_or_else(|e| {
+                        unreachable!("value-only patch of a pair built from this tensor: {e}")
+                    });
+            }
+        } else {
+            // Structural change: drop the pair, rebuild lazily.
+            self.stoch_cache.take();
+        }
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Adds an isolated node with the given feature vector, returning its
+    /// id. New nodes start unlabeled and unlinked; follow up with
+    /// [`Hin::add_labels`] / [`Hin::add_edges`].
+    ///
+    /// Growing `n` changes the dangling-fiber denominators of the `(O, R)`
+    /// pair and the shape of every feature walk, so *both* caches are
+    /// dropped and rebuilt lazily on next use (walks shared with clones
+    /// stay alive through their `Arc`s). Validation is all-or-nothing: on
+    /// error the network is unchanged.
+    ///
+    /// # Errors
+    /// [`HinError::FeatureDimMismatch`] on a wrong-length feature vector;
+    /// [`HinError::TooManyNodes`] past the packed `u32` index width.
+    pub fn add_node(&mut self, features: Vec<f64>) -> Result<usize, HinError> {
+        let d = self.feature_dim();
+        if features.len() != d {
+            return Err(HinError::FeatureDimMismatch {
+                expected: d,
+                found: features.len(),
+            });
+        }
+        let new_id = self.num_nodes();
+        self.tensor
+            .grow_nodes(new_id + 1)
+            .map_err(|_| HinError::TooManyNodes {
+                requested: new_id + 1,
+            })?;
+        let mut data = self.features.as_slice().to_vec();
+        data.extend_from_slice(&features);
+        self.features = DenseMatrix::from_vec(new_id + 1, d, data)
+            .unwrap_or_else(|e| unreachable!("feature row length validated above: {e}"));
+        self.labels.grow(new_id + 1);
+        self.stoch_cache.take();
+        self.walk_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.epoch += 1;
+        Ok(new_id)
     }
 
     /// Number of target nodes `n`.
@@ -122,6 +303,10 @@ impl Hin {
     /// concrete mode it resolves to. Walk construction is deterministic
     /// (bitwise thread-cap invariant for the exact backends, seed-pinned
     /// for the approximate one), so the cache cannot change any result.
+    ///
+    /// The cache holds at most [`WALK_CACHE_CAP`] walks in LRU order; an
+    /// eviction only drops this network's reference, so walks shared with
+    /// clones or earlier callers survive through their `Arc`s.
     pub fn feature_walk(
         &self,
         mode: FeatureWalkMode,
@@ -132,21 +317,28 @@ impl Hin {
             .walk_cache
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        if let Some((_, walk)) = cache.iter().find(|(k, _)| *k == key) {
-            return Arc::clone(walk);
+        if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
+            // Refresh the hit to the front so the cap evicts the least
+            // recently used configuration.
+            let hit = cache.remove(pos);
+            let walk = Arc::clone(&hit.1);
+            cache.insert(0, hit);
+            return walk;
         }
         // Built under the lock: concurrent first requests for the same
         // configuration would otherwise race to do O(n²·d) work twice.
         // The node count was validated against the packed-index width by
-        // `SparseTensor3::from_entries` when this Hin was built, and the
-        // feature matrix has one row per node, so the walk builders'
-        // overflow arm cannot fire here.
+        // `SparseTensor3::from_entries` when this Hin was built (and
+        // re-validated by every `grow_nodes`), and the feature matrix has
+        // one row per node, so the walk builders' overflow arm cannot
+        // fire here.
         let walk = Arc::new(
             build_walk(&self.features, key.0, metric).unwrap_or_else(|e| {
                 unreachable!("node width validated at tensor construction: {e}")
             }),
         );
-        cache.push((key, Arc::clone(&walk)));
+        cache.insert(0, (key, Arc::clone(&walk)));
+        cache.truncate(WALK_CACHE_CAP);
         walk
     }
 
@@ -301,5 +493,145 @@ mod tests {
         let copy = h.clone();
         let shared = copy.feature_walk(FeatureWalkMode::Dense, SimilarityMetric::Cosine);
         assert!(Arc::ptr_eq(&before, &shared));
+    }
+
+    #[test]
+    fn add_labels_keeps_caches_and_bumps_epoch() {
+        let mut h = tiny_hin();
+        let walk = h.feature_walk(FeatureWalkMode::Dense, SimilarityMetric::Cosine);
+        h.stochastic_tensors_ref();
+        assert_eq!(h.cache_epoch(), 0);
+        h.add_labels(&[(1, 1), (2, 0)]).unwrap();
+        assert_eq!(h.cache_epoch(), 1);
+        assert_eq!(h.labels().labels_of(1), &[1]);
+        // Neither cache was dropped.
+        assert!(h.stoch_cache.get().is_some());
+        let again = h.feature_walk(FeatureWalkMode::Dense, SimilarityMetric::Cosine);
+        assert!(Arc::ptr_eq(&walk, &again));
+        // Validation is all-or-nothing.
+        assert_eq!(
+            h.add_labels(&[(0, 0), (9, 0)]).unwrap_err(),
+            HinError::UnknownNode(9)
+        );
+        assert_eq!(
+            h.add_labels(&[(0, 7)]).unwrap_err(),
+            HinError::UnknownClass(7)
+        );
+        assert!(h.labels().labels_of(0) == &[0usize][..]);
+        assert_eq!(h.cache_epoch(), 1);
+    }
+
+    #[test]
+    fn add_edges_patches_or_drops_the_stochastic_cache() {
+        let mut h = tiny_hin();
+        h.stochastic_tensors_ref();
+        // Re-weighting the existing a -> c edge is a value-only patch.
+        h.add_edges(&[(0, 1, 0, 2.0)]).unwrap();
+        assert_eq!(h.cache_epoch(), 1);
+        assert!(h.stoch_cache.get().is_some(), "value patch keeps the cache");
+        assert_eq!(h.tensor().get(1, 0, 0), 3.0);
+        // A brand-new coordinate is structural: the cache is dropped.
+        h.add_edges(&[(0, 2, 0, 1.0)]).unwrap();
+        assert!(h.stoch_cache.get().is_none(), "insertion drops the cache");
+        assert_eq!(h.cache_epoch(), 2);
+        // Error paths leave the network untouched.
+        assert_eq!(
+            h.add_edges(&[(0, 1, 5, 1.0)]).unwrap_err(),
+            HinError::UnknownLinkType(5)
+        );
+        assert_eq!(
+            h.add_edges(&[(0, 1, 0, -2.0)]).unwrap_err(),
+            HinError::NegativeEdgeWeight { edge: (0, 1, 0) }
+        );
+        assert_eq!(h.cache_epoch(), 2);
+    }
+
+    #[test]
+    fn add_node_drops_both_caches_and_grows_every_plane() {
+        let mut h = tiny_hin();
+        h.stochastic_tensors_ref();
+        h.feature_walk(FeatureWalkMode::Dense, SimilarityMetric::Cosine);
+        let id = h.add_node(vec![0.25, 0.75]).unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(h.num_nodes(), 4);
+        assert_eq!(h.features().row(3), &[0.25, 0.75]);
+        assert!(h.labels().labels_of(3).is_empty());
+        assert!(h.stoch_cache.get().is_none());
+        assert!(h
+            .walk_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_empty());
+        assert_eq!(h.cache_epoch(), 1);
+        // The new node is immediately linkable and labelable.
+        h.add_edges(&[(id, 0, 0, 1.0)]).unwrap();
+        h.add_labels(&[(id, 1)]).unwrap();
+        assert_eq!(h.stochastic_tensors_ref().num_nodes(), 4);
+        // Wrong feature dimension is rejected without mutating.
+        assert_eq!(
+            h.add_node(vec![1.0]).unwrap_err(),
+            HinError::FeatureDimMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+        assert_eq!(h.num_nodes(), 4);
+    }
+
+    #[test]
+    fn mutating_a_network_does_not_disturb_prior_clones() {
+        let mut h = tiny_hin();
+        let frozen = h.clone();
+        let frozen_walk = frozen.feature_walk(FeatureWalkMode::Dense, SimilarityMetric::Cosine);
+        h.stochastic_tensors_ref();
+        h.add_edges(&[(0, 1, 0, 4.0)]).unwrap();
+        h.add_node(vec![0.0, 1.0]).unwrap();
+        // The clone still answers from its own unmutated state.
+        assert_eq!(frozen.num_nodes(), 3);
+        assert_eq!(frozen.tensor().get(1, 0, 0), 1.0);
+        assert_eq!(frozen.cache_epoch(), 0);
+        let again = frozen.feature_walk(FeatureWalkMode::Dense, SimilarityMetric::Cosine);
+        assert!(Arc::ptr_eq(&frozen_walk, &again));
+        assert_eq!(
+            frozen.stochastic_tensors_ref().num_nodes(),
+            3,
+            "clone rebuilds from its own tensor"
+        );
+    }
+
+    #[test]
+    fn walk_cache_is_a_bounded_lru() {
+        let h = tiny_hin();
+        // Fill past the cap with distinct Knn(k) configurations, touching
+        // the first entry periodically so it stays recent.
+        let first = h.feature_walk(FeatureWalkMode::Knn(1), SimilarityMetric::Cosine);
+        for k in 2..=WALK_CACHE_CAP + 1 {
+            h.feature_walk(FeatureWalkMode::Knn(k), SimilarityMetric::Cosine);
+        }
+        {
+            let cache = h.walk_cache.lock().unwrap_or_else(PoisonError::into_inner);
+            assert_eq!(cache.len(), WALK_CACHE_CAP, "cap bounds the cache");
+        }
+        // Knn(1) was the least recently used entry: it must have been
+        // evicted, so asking again builds a fresh walk.
+        let rebuilt = h.feature_walk(FeatureWalkMode::Knn(1), SimilarityMetric::Cosine);
+        assert!(!Arc::ptr_eq(&first, &rebuilt), "LRU evicted the oldest");
+    }
+
+    #[test]
+    fn walk_cache_hits_refresh_recency() {
+        let h = tiny_hin();
+        let a = h.feature_walk(FeatureWalkMode::Knn(1), SimilarityMetric::Cosine);
+        let b = h.feature_walk(FeatureWalkMode::Knn(2), SimilarityMetric::Cosine);
+        // Touch `a` so `b` becomes the least recently used, then push
+        // exactly enough fresh configurations to evict one entry.
+        let _ = h.feature_walk(FeatureWalkMode::Knn(1), SimilarityMetric::Cosine);
+        for k in 10..10 + WALK_CACHE_CAP - 1 {
+            h.feature_walk(FeatureWalkMode::Knn(k), SimilarityMetric::Cosine);
+        }
+        let a_again = h.feature_walk(FeatureWalkMode::Knn(1), SimilarityMetric::Cosine);
+        assert!(Arc::ptr_eq(&a, &a_again), "refreshed entry survived");
+        let b_again = h.feature_walk(FeatureWalkMode::Knn(2), SimilarityMetric::Cosine);
+        assert!(!Arc::ptr_eq(&b, &b_again), "stale entry was evicted");
     }
 }

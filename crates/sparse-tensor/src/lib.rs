@@ -55,4 +55,4 @@ pub mod tensor;
 
 pub use builder::TensorBuilder;
 pub use stochastic::StochasticTensors;
-pub use tensor::{SparseTensor3, TensorError};
+pub use tensor::{PatchSummary, SparseTensor3, TensorError};

@@ -30,7 +30,7 @@
 // clippy's iterator rewrite would obscure the shared-index structure.
 #![allow(clippy::needless_range_loop)]
 use crate::compressed::CompressedSlices;
-use crate::tensor::{SparseTensor3, TensorError};
+use crate::tensor::{Entry, SparseTensor3, TensorError};
 use tmark_linalg::kahan::{kahan_map_sum, kahan_sum, KahanAccumulator};
 use tmark_linalg::{partition, pool};
 
@@ -138,6 +138,103 @@ impl StochasticTensors {
             present_columns,
             present_pairs,
         }
+    }
+
+    /// Re-normalizes the pair in place after a *value-only* patch of the
+    /// source tensor: `a` is the already-patched tensor and `touched`
+    /// lists the `(i, j, k)` coordinates whose values changed. Only the
+    /// mode-1 fibers (fixed `(j, k)`) and mode-3 fibers (fixed `(i, j)`)
+    /// containing a touched coordinate are re-normalized — `O(f log D)`
+    /// for `f` entries in touched fibers instead of the `O(D log D)` full
+    /// [`StochasticTensors::from_tensor`] rebuild.
+    ///
+    /// The patched pair is bitwise identical to `from_tensor(a)`: each
+    /// fiber's Kahan sum visits the same values in the same storage order
+    /// as the construction passes, and untouched fibers keep the values
+    /// those passes produced. The fiber *structure* (which coordinates
+    /// are stored) must be unchanged, which is why a touched coordinate
+    /// with no stored entry is an error: insertions and removals change
+    /// the compressed layout and require a rebuild (see the decision
+    /// table in DESIGN.md).
+    ///
+    /// Validation is all-or-nothing: on error the pair is unchanged.
+    ///
+    /// # Errors
+    /// [`TensorError::VectorLengthMismatch`] when `a`'s shape or entry
+    /// count disagrees with the layout this pair was built from (a
+    /// structural change happened); [`TensorError::IndexOutOfBounds`] for
+    /// a touched coordinate outside the shape;
+    /// [`TensorError::StructuralPatch`] for a touched coordinate with no
+    /// stored entry.
+    pub fn patch_entries(
+        &mut self,
+        a: &SparseTensor3,
+        touched: &[(usize, usize, usize)],
+    ) -> Result<(), TensorError> {
+        if a.num_nodes() != self.n {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "patched tensor node count",
+                expected: self.n,
+                found: a.num_nodes(),
+            });
+        }
+        if a.num_relations() != self.m {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "patched tensor relation count",
+                expected: self.m,
+                found: a.num_relations(),
+            });
+        }
+        if a.nnz() != self.nnz() {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "patched tensor entry count",
+                expected: self.nnz(),
+                found: a.nnz(),
+            });
+        }
+        let src = a.entries();
+        for &(i, j, k) in touched {
+            if i >= self.n || j >= self.n || k >= self.m {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: (i, j, k),
+                    shape: (self.n, self.n, self.m),
+                });
+            }
+            if src
+                .binary_search_by_key(&(k, j, i), |e| (e.k, e.j, e.i))
+                .is_err()
+            {
+                return Err(TensorError::StructuralPatch { index: (i, j, k) });
+            }
+        }
+
+        // Distinct mode-1 fibers (k, j) and mode-3 fibers (i, j) holding a
+        // touched coordinate; sorted + deduplicated so each is
+        // re-normalized exactly once.
+        let mut fibers: Vec<(usize, usize)> = touched.iter().map(|&(_, j, k)| (k, j)).collect();
+        fibers.sort_unstable();
+        fibers.dedup();
+        let mut pairs: Vec<(usize, usize)> = touched.iter().map(|&(i, j, _)| (i, j)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let relation_base = a.slice_ptr();
+        for &(k, j) in &fibers {
+            let slice = a.entries_for_relation(k);
+            let lo = slice.partition_point(|e| e.j < j);
+            let hi = slice.partition_point(|e| e.j <= j);
+            patch_o_fiber(&mut self.cs, &slice[lo..hi], relation_base[k] + lo);
+        }
+        for &(i, j) in &pairs {
+            let p = self
+                .present_pairs
+                .binary_search_by(|&(pi, pj)| (pi as usize, pj as usize).cmp(&(i, j)))
+                .unwrap_or_else(|_| {
+                    unreachable!("touched coordinates were validated against stored entries")
+                });
+            patch_r_pair(&mut self.cs, src, p);
+        }
+        Ok(())
     }
 
     /// Number of nodes `n`.
@@ -699,6 +796,68 @@ impl StochasticTensors {
     }
 }
 
+/// Re-normalizes one stored mode-1 fiber in place: `run` is the fiber's
+/// contiguous `(k, j)` entry run in the patched tensor and `base` its
+/// offset into the storage-order arrays. Recomputes the Eq. (1)
+/// probabilities `o = value / Σ value` with the same Kahan sum over the
+/// same storage-order values as `from_tensor`'s pass 1, so the result is
+/// bitwise identical to a full rebuild. Each entry's row-grouped slot is
+/// found by the `o_get` binary search over `(o_rel, o_col)`; the raw
+/// value mirror is refreshed alongside. Allocation-free.
+fn patch_o_fiber(cs: &mut CompressedSlices, run: &[Entry], base: usize) {
+    let sum = kahan_map_sum(run, |e| e.value);
+    let mut check = KahanAccumulator::new();
+    for (t, e) in run.iter().enumerate() {
+        cs.raw_vals[base + t] = e.value;
+        let o = e.value / sum;
+        let mut lo = cs.o_row_ptr[e.i];
+        let mut hi = cs.o_row_ptr[e.i + 1];
+        let row_end = hi;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if (cs.o_rel[mid] as usize, cs.o_col[mid] as usize) < (e.k, e.j) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        debug_assert!(
+            lo < row_end && cs.o_rel[lo] as usize == e.k && cs.o_col[lo] as usize == e.j,
+            "stored fiber entry must have a row-grouped slot"
+        );
+        cs.o_vals[lo] = o;
+        check.add(o);
+    }
+    debug_assert!(
+        (check.total() - 1.0).abs() <= crate::invariants::SIMPLEX_TOL,
+        "patched O fiber must stay stochastic (Eq. 1)"
+    );
+}
+
+/// Re-normalizes one stored mode-3 fiber in place: `p` indexes the
+/// `(i, j)` pair in `present_pairs` / `pair_ptr` and `src` is the patched
+/// tensor's storage-order entry stream. The Kahan sum walks `pair_order`
+/// exactly as `from_tensor`'s pass 2 walked `order`, so the recomputed
+/// Eq. (2) probabilities are bitwise identical to a full rebuild.
+/// Allocation-free.
+fn patch_r_pair(cs: &mut CompressedSlices, src: &[Entry], p: usize) {
+    let (seg_lo, seg_hi) = (cs.pair_ptr[p], cs.pair_ptr[p + 1]);
+    let sum = kahan_map_sum(&cs.pair_order[seg_lo..seg_hi], |&sidx| {
+        src[sidx as usize].value
+    });
+    let mut check = KahanAccumulator::new();
+    for t in seg_lo..seg_hi {
+        let sidx = cs.pair_order[t] as usize;
+        let r = src[sidx].value / sum;
+        cs.r_vals[sidx] = r;
+        check.add(r);
+    }
+    debug_assert!(
+        (check.total() - 1.0).abs() <= crate::invariants::SIMPLEX_TOL,
+        "patched R fiber must stay stochastic (Eq. 2)"
+    );
+}
+
 /// Debug-build verification that the fiber normalizations of Eqs. (1)
 /// and (2) produced genuinely stochastic operators: every stored `o`
 /// fiber (fixed `(j, k)`) and `r` fiber (fixed `(i, j)`) sums to one,
@@ -806,6 +965,56 @@ mod tests {
         for k in 0..3 {
             assert!((s.r_get(0, 2, k) - 1.0 / 3.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn patch_entries_matches_full_rebuild_bitwise() {
+        let (mut t, mut s) = example();
+        // Touch two coordinates in different fibers: one shared-fiber
+        // citation edge and one co-author edge.
+        let updates = [(1usize, 2usize, 1usize, 0.5f64), (0, 1, 0, 2.0)];
+        let summary = t.patch_entries(&updates).unwrap();
+        assert_eq!(summary.inserted, 0);
+        let touched: Vec<(usize, usize, usize)> =
+            updates.iter().map(|&(i, j, k, _)| (i, j, k)).collect();
+        s.patch_entries(&t, &touched).unwrap();
+        let fresh = StochasticTensors::from_tensor(&t);
+        // Bitwise identity of every hot and cold value array.
+        assert_eq!(s.cs.o_vals, fresh.cs.o_vals);
+        assert_eq!(s.cs.r_vals, fresh.cs.r_vals);
+        assert_eq!(s.cs.raw_vals, fresh.cs.raw_vals);
+        assert_eq!(s.present_pairs, fresh.present_pairs);
+        assert_eq!(s.present_columns, fresh.present_columns);
+    }
+
+    #[test]
+    fn patch_entries_rejects_structural_changes() {
+        let (mut t, mut s) = example();
+        // A coordinate with no stored entry is a structural patch.
+        assert!(matches!(
+            s.patch_entries(&t, &[(0, 2, 0)]),
+            Err(TensorError::StructuralPatch { index: (0, 2, 0) })
+        ));
+        // An inserted entry desynchronizes the entry count.
+        t.patch_entries(&[(0, 2, 0, 1.0)]).unwrap();
+        assert!(matches!(
+            s.patch_entries(&t, &[(0, 2, 0)]),
+            Err(TensorError::VectorLengthMismatch { .. })
+        ));
+        // Either failure leaves the pair untouched and fully usable.
+        let (t0, fresh) = example();
+        assert_eq!(s.cs.o_vals, fresh.cs.o_vals);
+        assert_eq!(s.cs.r_vals, fresh.cs.r_vals);
+        drop(t0);
+    }
+
+    #[test]
+    fn patch_entries_validates_bounds() {
+        let (t, mut s) = example();
+        assert!(matches!(
+            s.patch_entries(&t, &[(4, 0, 0)]),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -49,6 +49,15 @@ pub enum TensorError {
         /// The largest representable value.
         limit: usize,
     },
+    /// An in-place stochastic patch referenced a coordinate with no stored
+    /// entry. Value patches can only re-normalize fibers that already
+    /// exist in the compressed layout; a patch that would create or remove
+    /// an entry is structural and requires a
+    /// [`crate::StochasticTensors::from_tensor`] rebuild.
+    StructuralPatch {
+        /// The `(i, j, k)` coordinate that is not stored.
+        index: (usize, usize, usize),
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -80,6 +89,12 @@ impl fmt::Display for TensorError {
                 "{what} {value} exceeds the packed-index limit {limit}; the \
                  compressed kernels store indices as u32"
             ),
+            TensorError::StructuralPatch { index } => write!(
+                f,
+                "coordinate ({}, {}, {}) has no stored entry; structural \
+                 changes require a from_tensor rebuild, not a value patch",
+                index.0, index.1, index.2
+            ),
         }
     }
 }
@@ -97,6 +112,19 @@ pub struct Entry {
     pub k: usize,
     /// Nonnegative weight (1.0 for an unweighted HIN).
     pub value: f64,
+}
+
+/// What [`SparseTensor3::patch_entries`] did to each coordinate it was
+/// given: callers use the split to decide whether the derived `(O, R)`
+/// operators can be value-patched in place (`inserted == 0`) or must be
+/// rebuilt from scratch (the compressed layout gained entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PatchSummary {
+    /// Coordinates that already had a stored entry; their values were
+    /// incremented in place.
+    pub updated: usize,
+    /// Coordinates with no prior entry; a new entry was inserted.
+    pub inserted: usize,
 }
 
 /// A sparse, nonnegative third-order tensor of shape `n × n × m`.
@@ -352,6 +380,99 @@ impl SparseTensor3 {
         Ok(z)
     }
 
+    /// Accumulates weight deltas into the tensor in place: each update
+    /// `(i, j, k, w)` adds `w` to the stored value at that coordinate,
+    /// inserting a new entry (at its `(k, j, i)` sort position, bumping
+    /// the relation slice pointers) when the coordinate is absent.
+    ///
+    /// The result is exactly what [`SparseTensor3::from_entries`] would
+    /// build from the original entry list extended with `updates` —
+    /// bitwise, because `from_entries` stable-sorts and then merges
+    /// duplicates with sequential `+=` in supplied order, which is the
+    /// same accumulation this performs in place. Zero-weight updates are
+    /// skipped, matching the constructor's explicit-zero drop.
+    ///
+    /// Validation is all-or-nothing: on error the tensor is unchanged.
+    ///
+    /// # Errors
+    /// [`TensorError::IndexOutOfBounds`] / [`TensorError::NegativeValue`]
+    /// per offending update.
+    pub fn patch_entries(
+        &mut self,
+        updates: &[(usize, usize, usize, f64)],
+    ) -> Result<PatchSummary, TensorError> {
+        for &(i, j, k, value) in updates {
+            if i >= self.n || j >= self.n || k >= self.m {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: (i, j, k),
+                    shape: (self.n, self.n, self.m),
+                });
+            }
+            if value < 0.0 {
+                return Err(TensorError::NegativeValue {
+                    index: (i, j, k),
+                    value,
+                });
+            }
+        }
+        let mut summary = PatchSummary::default();
+        for &(i, j, k, value) in updates {
+            if value == 0.0 {
+                continue;
+            }
+            match self
+                .entries
+                .binary_search_by_key(&(k, j, i), |e| (e.k, e.j, e.i))
+            {
+                Ok(pos) => {
+                    self.entries[pos].value += value;
+                    summary.updated += 1;
+                }
+                Err(pos) => {
+                    self.entries.insert(pos, Entry { i, j, k, value });
+                    for p in &mut self.slice_ptr[k + 1..] {
+                        // Entry counts stay bounded by the materialized
+                        // vector length, so the literal bump cannot wrap.
+                        *p += 1;
+                    }
+                    summary.inserted += 1;
+                }
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Widens the node dimension to `new_n`; the added nodes start
+    /// isolated (no stored entries mention them). Stored entries, their
+    /// order, and the relation slice pointers are untouched, so derived
+    /// operators over the *old* shape keep their meaning for old nodes —
+    /// though callers normalizing per fiber must still rebuild, because
+    /// the dangling-share denominators involve `n`.
+    ///
+    /// # Errors
+    /// [`TensorError::VectorLengthMismatch`] if `new_n < n` (shrinking
+    /// could orphan stored entries); [`TensorError::IndexOverflow`] if the
+    /// new count exceeds the packed `u32` index width.
+    pub fn grow_nodes(&mut self, new_n: usize) -> Result<(), TensorError> {
+        if new_n < self.n {
+            return Err(TensorError::VectorLengthMismatch {
+                operand: "grow_nodes node count",
+                expected: self.n,
+                found: new_n,
+            });
+        }
+        let limit = u32::MAX as usize;
+        if new_n - 1 > limit {
+            return Err(TensorError::IndexOverflow {
+                what: "node count",
+                value: new_n,
+                limit: limit + 1,
+            });
+        }
+        self.n = new_n;
+        Ok(())
+    }
+
     /// Total stored weight `Σ a_{i,j,k}`.
     pub fn total_weight(&self) -> f64 {
         self.entries.iter().map(|e| e.value).sum()
@@ -536,6 +657,84 @@ mod tests {
         assert!(t.contract_mode1_mode3(&[0.0; 3], &[0.0; 3]).is_err());
         assert!(t.contract_mode1_mode3(&[0.0; 4], &[0.0; 2]).is_err());
         assert!(t.contract_mode1_mode2(&[0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn patch_entries_matches_fresh_build_bitwise() {
+        let mut patched = worked_example();
+        let updates = vec![
+            (1, 2, 1, 0.5),  // existing coordinate: accumulate
+            (2, 3, 0, 2.0),  // absent coordinate: insert
+            (0, 0, 2, 1.25), // absent coordinate in the last relation
+        ];
+        let summary = patched.patch_entries(&updates).unwrap();
+        assert_eq!(
+            summary,
+            PatchSummary {
+                updated: 1,
+                inserted: 2
+            }
+        );
+        // The in-place result must equal from_entries on the combined list.
+        let mut raw: Vec<(usize, usize, usize, f64)> = worked_example()
+            .entries()
+            .iter()
+            .map(|e| (e.i, e.j, e.k, e.value))
+            .collect();
+        raw.extend_from_slice(&updates);
+        let fresh = SparseTensor3::from_entries(4, 3, raw).unwrap();
+        assert_eq!(patched, fresh);
+        assert_eq!(patched.relation_nnz(), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn patch_entries_skips_zero_updates() {
+        let mut t = worked_example();
+        let summary = t.patch_entries(&[(2, 3, 0, 0.0)]).unwrap();
+        assert_eq!(summary, PatchSummary::default());
+        assert_eq!(t, worked_example());
+    }
+
+    #[test]
+    fn patch_entries_validates_before_mutating() {
+        let mut t = worked_example();
+        // The first update is fine, the second is out of bounds: nothing
+        // may be applied.
+        assert!(matches!(
+            t.patch_entries(&[(1, 2, 1, 0.5), (4, 0, 0, 1.0)]),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            t.patch_entries(&[(1, 2, 1, 0.5), (0, 0, 0, -1.0)]),
+            Err(TensorError::NegativeValue { .. })
+        ));
+        assert_eq!(t, worked_example());
+    }
+
+    #[test]
+    fn grow_nodes_widens_without_touching_entries() {
+        let mut t = worked_example();
+        t.grow_nodes(6).unwrap();
+        assert_eq!(t.shape(), (6, 6, 3));
+        assert_eq!(t.nnz(), 7);
+        // New nodes are valid coordinates now.
+        let summary = t.patch_entries(&[(5, 4, 0, 1.0)]).unwrap();
+        assert_eq!(summary.inserted, 1);
+        // Shrinking is rejected.
+        assert!(matches!(
+            t.grow_nodes(2),
+            Err(TensorError::VectorLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn grow_nodes_rejects_dimensions_past_u32() {
+        let mut t = worked_example();
+        assert!(matches!(
+            t.grow_nodes(u32::MAX as usize + 2),
+            Err(TensorError::IndexOverflow { .. })
+        ));
     }
 
     #[test]

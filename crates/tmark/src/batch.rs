@@ -147,9 +147,13 @@ impl<'a> BatchSolver<'a> {
             let xcol = &mut ws.xs[p * n..(p + 1) * n];
             let zcol = &mut ws.zs[p * m..(p + 1) * m];
             match warm.get(classes[p]).and_then(|o| o.as_ref()) {
-                Some((x0, z0)) => {
-                    debug_assert_eq!(x0.len(), n, "warm-start x length mismatch");
-                    debug_assert_eq!(z0.len(), m, "warm-start z length mismatch");
+                // The match guard is the fit_warm doc contract made real
+                // in release builds: a shape-stale warm start (the network
+                // changed size since `previous` was fitted) falls through
+                // to the cold arm for this class instead of indexing past
+                // a debug-only assertion. Theorem 3 uniqueness means the
+                // fallback changes only the iteration count.
+                Some((x0, z0)) if x0.len() == n && z0.len() == m => {
                     xcol.copy_from_slice(x0);
                     zcol.copy_from_slice(z0);
                     if !vector::normalize_sum_to_one(xcol) {
@@ -159,7 +163,7 @@ impl<'a> BatchSolver<'a> {
                         vector::fill_uniform(zcol);
                     }
                 }
-                None => {
+                _ => {
                     if class_seeds.is_empty() {
                         vector::fill_uniform(xcol);
                     } else {

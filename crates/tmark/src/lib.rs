@@ -72,6 +72,7 @@ pub mod multirank;
 pub use tmark_linalg::pool;
 pub mod ranking;
 pub mod restart;
+pub mod serving;
 pub mod solver;
 
 pub use batch::{BatchSolver, BatchWorkspace};
@@ -81,4 +82,5 @@ pub use link_prediction::{link_score, top_missing_links, LinkCandidate};
 pub use model::{AnnParams, FeatureWalkMode, FitError, TMarkModel, TMarkResult};
 pub use multirank::{har, multirank, HarResult, MultiRankConfig, MultiRankResult};
 pub use ranking::LinkRanking;
+pub use serving::{ServingError, ServingSession, ServingStats};
 pub use solver::{ClassStationary, SolverWorkspace};

@@ -1,0 +1,400 @@
+//! Online serving: classification requests against a *mutable* network.
+//!
+//! The paper's fixed point is unique given the network, the revealed
+//! labels, and the configuration (Theorem 3), so when labels or edges
+//! arrive incrementally the correct answer changes but a warm-started
+//! Algorithm 1 re-converges in a handful of iterations. A
+//! [`ServingSession`] packages that loop:
+//!
+//! - it owns the [`Hin`] and forwards the mutation API
+//!   ([`ServingSession::add_labels`] / [`ServingSession::add_edges`] /
+//!   [`ServingSession::add_node`]), so every mutation is observed;
+//! - it memoizes one fitted [`TMarkResult`] per [`Hin::cache_epoch`]: any
+//!   number of classification requests between mutations are answered
+//!   from the cached stationary distributions without touching the
+//!   solver;
+//! - on the first request after a mutation it *delta re-solves* — rebuilds
+//!   the restart vectors from the enlarged label set and warm-starts the
+//!   lockstep [`crate::batch::BatchSolver`] pass (all classes as columns)
+//!   from the previous stationary pair. A mutation that changed the
+//!   network's shape (node additions) degrades per class to a cold start
+//!   via the solver's runtime length guard instead of failing.
+//!
+//! The session is deliberately synchronous: one fit serves an arbitrary
+//! batch of requests, and the solver's kernels already parallelize over
+//! the bounded worker pool internally, so concurrent callers should share
+//! a session behind their own lock rather than race multiple solvers.
+
+use std::fmt;
+
+use tmark_hin::{Hin, HinError};
+
+use crate::model::{FitError, TMarkModel, TMarkResult};
+
+/// Errors from a [`ServingSession`] request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServingError {
+    /// The (re)fit behind the request failed.
+    Fit(FitError),
+    /// A mutation was rejected by the network.
+    Network(HinError),
+    /// A classification request named a node the network does not have.
+    NodeOutOfRange(usize),
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingError::Fit(e) => write!(f, "refit failed: {e}"),
+            ServingError::Network(e) => write!(f, "mutation rejected: {e}"),
+            ServingError::NodeOutOfRange(v) => write!(f, "request for unknown node {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+impl From<FitError> for ServingError {
+    fn from(e: FitError) -> Self {
+        ServingError::Fit(e)
+    }
+}
+
+impl From<HinError> for ServingError {
+    fn from(e: HinError) -> Self {
+        ServingError::Network(e)
+    }
+}
+
+/// Counters describing how a [`ServingSession`] answered its requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServingStats {
+    /// Individual node classifications served.
+    pub requests: usize,
+    /// Classifications answered from the epoch-fresh prediction cache
+    /// (no solver work at all).
+    pub cache_hits: usize,
+    /// Fits with no usable previous result (session start, or after a
+    /// failed fit dropped the snapshot).
+    pub cold_fits: usize,
+    /// Delta re-solves: fits warm-started from the previous stationary
+    /// distributions.
+    pub warm_fits: usize,
+}
+
+/// The fitted snapshot backing the prediction cache: the stationary
+/// result plus the mutation epoch it was computed at.
+#[derive(Debug, Clone)]
+struct Fitted {
+    result: TMarkResult,
+    epoch: u64,
+}
+
+/// A stateful serving loop over one network: classify nodes, apply
+/// mutations, and let the session decide when a (warm) refit is needed.
+/// See the module docs for the caching contract.
+#[derive(Debug, Clone)]
+pub struct ServingSession {
+    hin: Hin,
+    model: TMarkModel,
+    /// Sorted, deduplicated ids of the nodes whose labels supervise the
+    /// fit. Grows as labels arrive.
+    train: Vec<usize>,
+    fitted: Option<Fitted>,
+    stats: ServingStats,
+}
+
+impl ServingSession {
+    /// Creates a session over `hin` supervised by the labels of
+    /// `train_nodes` (deduplicated here; validated by the first fit).
+    /// No fit happens until the first request or [`ServingSession::refresh`].
+    pub fn new(hin: Hin, model: TMarkModel, train_nodes: &[usize]) -> Self {
+        let mut train = train_nodes.to_vec();
+        train.sort_unstable();
+        train.dedup();
+        ServingSession {
+            hin,
+            model,
+            train,
+            fitted: None,
+            stats: ServingStats::default(),
+        }
+    }
+
+    /// The network being served.
+    pub fn hin(&self) -> &Hin {
+        &self.hin
+    }
+
+    /// The sorted supervision set the next fit will use.
+    pub fn train_nodes(&self) -> &[usize] {
+        &self.train
+    }
+
+    /// Request counters.
+    pub fn stats(&self) -> &ServingStats {
+        &self.stats
+    }
+
+    /// The fitted result currently backing the prediction cache, if any.
+    /// `None` before the first fit; possibly stale (from an earlier
+    /// epoch) after a mutation — [`ServingSession::refresh`] to re-solve.
+    pub fn result(&self) -> Option<&TMarkResult> {
+        self.fitted.as_ref().map(|f| &f.result)
+    }
+
+    /// Whether the cached result matches the network's current epoch.
+    pub fn is_fresh(&self) -> bool {
+        self.fitted
+            .as_ref()
+            .is_some_and(|f| f.epoch == self.hin.cache_epoch())
+    }
+
+    /// Ensures the prediction cache is epoch-fresh, re-solving if needed,
+    /// and returns the backing result. A re-solve is warm-started from
+    /// the previous stationary distributions when one exists (the delta
+    /// re-solve of the module docs); shape-stale columns fall back to
+    /// cold starts inside the solver.
+    ///
+    /// # Errors
+    /// [`ServingError::Fit`] when the underlying fit fails; the stale
+    /// snapshot is dropped so the next attempt cold-starts.
+    pub fn refresh(&mut self) -> Result<&TMarkResult, ServingError> {
+        let epoch = self.hin.cache_epoch();
+        if !self.is_fresh() {
+            let outcome = match self.fitted.as_ref() {
+                Some(prev) => {
+                    self.stats.warm_fits += 1;
+                    self.model.fit_warm(&self.hin, &self.train, &prev.result)
+                }
+                None => {
+                    self.stats.cold_fits += 1;
+                    self.model.fit(&self.hin, &self.train)
+                }
+            };
+            match outcome {
+                Ok(result) => self.fitted = Some(Fitted { result, epoch }),
+                Err(e) => {
+                    // A half-usable snapshot must not serve stale answers.
+                    self.fitted = None;
+                    return Err(ServingError::Fit(e));
+                }
+            }
+        }
+        Ok(&self
+            .fitted
+            .as_ref()
+            .unwrap_or_else(|| unreachable!("refresh just installed a snapshot"))
+            .result)
+    }
+
+    /// Classifies one node (argmax class). Equivalent to a length-one
+    /// [`ServingSession::classify_batch`].
+    ///
+    /// # Errors
+    /// As for [`ServingSession::classify_batch`].
+    pub fn classify(&mut self, node: usize) -> Result<usize, ServingError> {
+        Ok(self.classify_batch(&[node])?[0])
+    }
+
+    /// Classifies a batch of nodes. All requests in the batch — and every
+    /// batch until the next mutation — share a single fit: the solver
+    /// runs all `q` classes as lockstep [`crate::batch::BatchSolver`]
+    /// columns once per epoch, and each node's answer is an argmax over
+    /// the cached stationary confidences.
+    ///
+    /// # Errors
+    /// [`ServingError::NodeOutOfRange`] for an unknown node (checked
+    /// before any solver work); [`ServingError::Fit`] if the backing
+    /// (re)fit fails.
+    pub fn classify_batch(&mut self, nodes: &[usize]) -> Result<Vec<usize>, ServingError> {
+        let n = self.hin.num_nodes();
+        for &v in nodes {
+            if v >= n {
+                return Err(ServingError::NodeOutOfRange(v));
+            }
+        }
+        let was_fresh = self.is_fresh();
+        self.refresh()?;
+        self.stats.requests += nodes.len();
+        if was_fresh {
+            self.stats.cache_hits += nodes.len();
+        }
+        let result = &self
+            .fitted
+            .as_ref()
+            .unwrap_or_else(|| unreachable!("refresh just installed a snapshot"))
+            .result;
+        Ok(nodes.iter().map(|&v| result.predict_single(v)).collect())
+    }
+
+    /// Records ground-truth labels and adds the labeled nodes to the
+    /// supervision set; the next request delta re-solves from the
+    /// previous stationary distributions with the updated restart
+    /// vectors. The network keeps its operator caches (labels touch
+    /// neither `(O, R)` nor `W`).
+    ///
+    /// # Errors
+    /// [`ServingError::Network`] on invalid ids (all-or-nothing).
+    pub fn add_labels(&mut self, assignments: &[(usize, usize)]) -> Result<(), ServingError> {
+        self.hin.add_labels(assignments)?;
+        for &(node, _) in assignments {
+            if let Err(pos) = self.train.binary_search(&node) {
+                self.train.insert(pos, node);
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds weighted directed edges (walk convention, see
+    /// [`Hin::add_edges`]); the network patches or drops its `(O, R)`
+    /// cache as appropriate and the next request delta re-solves.
+    ///
+    /// # Errors
+    /// [`ServingError::Network`] on invalid edges (all-or-nothing).
+    pub fn add_edges(&mut self, edges: &[(usize, usize, usize, f64)]) -> Result<(), ServingError> {
+        self.hin.add_edges(edges)?;
+        Ok(())
+    }
+
+    /// Adds an isolated node (see [`Hin::add_node`]), returning its id.
+    /// The next fit's warm start is shape-stale for every class and
+    /// degrades to cold starts via the solver's runtime length guard —
+    /// the documented fallback, not an error.
+    ///
+    /// # Errors
+    /// [`ServingError::Network`] on a feature-dimension mismatch.
+    pub fn add_node(&mut self, features: Vec<f64>) -> Result<usize, ServingError> {
+        Ok(self.hin.add_node(features)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TMarkConfig;
+    use tmark_hin::HinBuilder;
+
+    /// Two feature-aligned communities (see `model.rs` tests).
+    fn two_community_hin() -> Hin {
+        let mut b = HinBuilder::new(
+            2,
+            vec!["relevant".into(), "irrelevant".into()],
+            vec!["left".into(), "right".into()],
+        );
+        for i in 0..8 {
+            let f = if i < 4 {
+                vec![1.0, 0.1]
+            } else {
+                vec![0.1, 1.0]
+            };
+            let v = b.add_node(f);
+            b.set_label(v, if i < 4 { 0 } else { 1 }).unwrap();
+        }
+        for &(u, v) in &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (0, 3),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (4, 7),
+        ] {
+            b.add_undirected_edge(u, v, 0).unwrap();
+        }
+        for &(u, v) in &[(0, 4), (3, 7)] {
+            b.add_undirected_edge(u, v, 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn session() -> ServingSession {
+        ServingSession::new(
+            two_community_hin(),
+            TMarkModel::new(TMarkConfig::default()),
+            &[0, 4, 4, 0],
+        )
+    }
+
+    #[test]
+    fn requests_between_mutations_share_one_fit() {
+        let mut s = session();
+        assert_eq!(s.train_nodes(), &[0, 4]);
+        assert!(!s.is_fresh());
+        let first = s.classify_batch(&[1, 2, 5, 6]).unwrap();
+        assert_eq!(first, vec![0, 0, 1, 1]);
+        assert_eq!(s.classify(3).unwrap(), 0);
+        let stats = *s.stats();
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.cold_fits, 1);
+        assert_eq!(stats.warm_fits, 0);
+        // Only the first batch paid for the fit.
+        assert_eq!(stats.cache_hits, 1);
+        assert!(s.is_fresh());
+    }
+
+    #[test]
+    fn mutations_invalidate_the_prediction_cache() {
+        let mut s = session();
+        s.classify(1).unwrap();
+        s.add_labels(&[(1, 0), (5, 1)]).unwrap();
+        assert!(!s.is_fresh(), "label mutation staled the cache");
+        assert_eq!(s.train_nodes(), &[0, 1, 4, 5]);
+        s.classify(2).unwrap();
+        assert_eq!(s.stats().warm_fits, 1, "refit was a delta re-solve");
+        s.add_edges(&[(2, 3, 0, 1.0)]).unwrap();
+        assert!(!s.is_fresh());
+        s.add_node(vec![0.2, 0.9]).unwrap();
+        let batch = s.classify_batch(&[8]).unwrap();
+        assert_eq!(batch.len(), 1, "new node is classifiable");
+        assert_eq!(s.stats().warm_fits, 2);
+        assert_eq!(s.stats().cold_fits, 1);
+    }
+
+    #[test]
+    fn served_answers_match_a_fresh_offline_fit() {
+        let mut s = session();
+        s.add_labels(&[(1, 0), (5, 1)]).unwrap();
+        s.add_edges(&[(2, 6, 1, 1.0)]).unwrap();
+        let served = s.classify_batch(&[0, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+        // An offline model fitted cold on the same final state agrees.
+        let offline = TMarkModel::new(TMarkConfig::default())
+            .fit(s.hin(), s.train_nodes())
+            .unwrap();
+        let expect: Vec<usize> = (0..8).map(|v| offline.predict_single(v)).collect();
+        assert_eq!(served, expect);
+    }
+
+    #[test]
+    fn bad_requests_and_mutations_are_typed_errors() {
+        let mut s = session();
+        assert_eq!(
+            s.classify(99).unwrap_err(),
+            ServingError::NodeOutOfRange(99)
+        );
+        assert!(matches!(
+            s.add_labels(&[(99, 0)]).unwrap_err(),
+            ServingError::Network(HinError::UnknownNode(99))
+        ));
+        assert!(matches!(
+            s.add_edges(&[(0, 1, 9, 1.0)]).unwrap_err(),
+            ServingError::Network(HinError::UnknownLinkType(9))
+        ));
+        assert!(matches!(
+            s.add_node(vec![1.0]).unwrap_err(),
+            ServingError::Network(HinError::FeatureDimMismatch { .. })
+        ));
+        // A fit error surfaces as ServingError::Fit and drops the snapshot.
+        let mut empty = ServingSession::new(
+            two_community_hin(),
+            TMarkModel::new(TMarkConfig::default()),
+            &[],
+        );
+        assert!(matches!(
+            empty.refresh().unwrap_err(),
+            ServingError::Fit(FitError::NoTrainingNodes)
+        ));
+        assert!(empty.result().is_none());
+    }
+}

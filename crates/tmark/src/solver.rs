@@ -102,9 +102,12 @@ pub fn solve_class_from(
     ws.x.resize(n, 0.0);
     ws.z.resize(m, 0.0);
     match warm_start {
-        Some((x0, z0)) => {
-            debug_assert_eq!(x0.len(), n, "warm-start x length mismatch");
-            debug_assert_eq!(z0.len(), m, "warm-start z length mismatch");
+        // The guard makes the documented shape contract real in release
+        // builds: a warm start whose lengths disagree with the current
+        // network (it was fitted before a mutation changed `n` or `m`)
+        // cold-starts this class instead of indexing out of bounds.
+        // Theorem 3 uniqueness means only the iteration count differs.
+        Some((x0, z0)) if x0.len() == n && z0.len() == m => {
             ws.x.copy_from_slice(x0);
             ws.z.copy_from_slice(z0);
             if !vector::normalize_sum_to_one(&mut ws.x) {
@@ -114,7 +117,7 @@ pub fn solve_class_from(
                 vector::fill_uniform(&mut ws.z);
             }
         }
-        None => {
+        _ => {
             if seeds.is_empty() {
                 vector::fill_uniform(&mut ws.x);
             } else {

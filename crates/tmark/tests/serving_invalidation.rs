@@ -1,0 +1,228 @@
+//! Cache-invalidation correctness of the `Hin` mutation API.
+//!
+//! The serving contract: after any mutation, a fit on the mutated network
+//! must be *bitwise identical* to a fit on a fresh network built from the
+//! same final state — whether the mutation patched the cached `(O, R)`
+//! pair in place (edge re-weighting), dropped it (edge insertion, node
+//! addition), or left it alone (labels). The fixture is big enough that
+//! the contraction kernels genuinely take their partitioned parallel
+//! paths at caps > 1, and every comparison runs at thread caps 1 and 4.
+//! Pre-mutation clones (which share `Arc`-cached walks) must keep
+//! answering from their own frozen state.
+
+use tmark::{TMarkConfig, TMarkModel, TMarkResult};
+use tmark_hin::{Hin, HinBuilder};
+use tmark_linalg::pool;
+
+const CAPS: [usize; 2] = [1, 4];
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 16
+}
+
+/// A deterministic pseudo-random HIN with ≥ 2048 stored entries so the
+/// stochastic kernels clear their internal parallelism threshold.
+fn big_hin() -> (Hin, Vec<usize>) {
+    let (n, m, q, d) = (260usize, 3usize, 3usize, 4usize);
+    let mut state = 2024u64;
+    let link_names = (0..m).map(|k| format!("r{k}")).collect();
+    let class_names = (0..q).map(|c| format!("c{c}")).collect();
+    let mut b = HinBuilder::new(d, link_names, class_names);
+    for v in 0..n {
+        let feats: Vec<f64> = (0..d)
+            .map(|_| 0.05 + (lcg(&mut state) % 1000) as f64 / 1000.0)
+            .collect();
+        b.add_node(feats);
+        b.set_label(v, v % q).unwrap();
+    }
+    let mut edges = 0usize;
+    while edges < 2200 {
+        let u = (lcg(&mut state) as usize) % n;
+        let v = (lcg(&mut state) as usize) % n;
+        let k = (lcg(&mut state) as usize) % m;
+        if u != v {
+            b.add_undirected_edge(u, v, k).unwrap();
+            edges += 1;
+        }
+    }
+    let train: Vec<usize> = (0..18).collect();
+    (b.build().unwrap(), train)
+}
+
+/// Rebuilds a fresh, never-mutated network holding exactly the final
+/// state of `h`: same features, labels, link types, and tensor entries.
+fn rebuild_fresh(h: &Hin) -> Hin {
+    let mut b = HinBuilder::new(
+        h.feature_dim(),
+        h.link_type_names().to_vec(),
+        h.labels().class_names().to_vec(),
+    );
+    for v in 0..h.num_nodes() {
+        b.add_node(h.features().row(v).to_vec());
+        for &c in h.labels().labels_of(v) {
+            b.set_label(v, c).unwrap();
+        }
+    }
+    for e in h.tensor().entries() {
+        // Tensor entry a_{i,j,k} is the walk edge j -> i of type k.
+        b.add_weighted_directed_edge(e.j, e.i, e.k, e.value)
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn config() -> TMarkConfig {
+    TMarkConfig {
+        max_iterations: 40,
+        ..TMarkConfig::default()
+    }
+}
+
+fn assert_bitwise_equal(a: &TMarkResult, b: &TMarkResult, what: &str) {
+    assert_eq!(
+        a.confidences().as_slice(),
+        b.confidences().as_slice(),
+        "{what}: confidences diverged"
+    );
+    assert_eq!(
+        a.link_scores().as_slice(),
+        b.link_scores().as_slice(),
+        "{what}: link scores diverged"
+    );
+    for c in 0..a.num_classes() {
+        assert_eq!(
+            a.convergence(c).iterations,
+            b.convergence(c).iterations,
+            "{what}: iteration count diverged for class {c}"
+        );
+    }
+}
+
+/// Fit `mutated` and a fresh rebuild of its final state at every thread
+/// cap; the pair must agree bitwise each time.
+fn assert_matches_fresh_build(mutated: &Hin, train: &[usize], what: &str) {
+    let fresh = rebuild_fresh(mutated);
+    let model = TMarkModel::new(config());
+    for cap in CAPS {
+        pool::set_thread_cap(Some(cap));
+        let on_mutated = model.fit(mutated, train).unwrap();
+        let on_fresh = model.fit(&fresh, train).unwrap();
+        assert_bitwise_equal(&on_mutated, &on_fresh, &format!("{what} at cap {cap}"));
+    }
+    pool::set_thread_cap(None);
+}
+
+#[test]
+fn label_mutation_matches_fresh_build_bitwise() {
+    let (mut hin, mut train) = big_hin();
+    // Prime both caches, then mutate labels only.
+    TMarkModel::new(config()).fit(&hin, &train).unwrap();
+    hin.add_labels(&[(30, 0), (31, 1), (32, 2), (33, 0)])
+        .unwrap();
+    train.extend([30, 31, 32, 33]);
+    assert_matches_fresh_build(&hin, &train, "label mutation");
+}
+
+#[test]
+fn edge_value_patch_matches_fresh_build_bitwise() {
+    let (mut hin, train) = big_hin();
+    TMarkModel::new(config()).fit(&hin, &train).unwrap();
+    // Re-weight existing edges: pick stored coordinates so the patch-in
+    // path (no insertion) is the one exercised.
+    let existing: Vec<(usize, usize, usize, f64)> = hin
+        .tensor()
+        .entries()
+        .iter()
+        .step_by(97)
+        .take(12)
+        .map(|e| (e.j, e.i, e.k, 1.5))
+        .collect();
+    assert!(existing.len() >= 8);
+    hin.add_edges(&existing).unwrap();
+    assert_matches_fresh_build(&hin, &train, "edge value patch");
+}
+
+#[test]
+fn edge_insertion_matches_fresh_build_bitwise() {
+    let (mut hin, train) = big_hin();
+    TMarkModel::new(config()).fit(&hin, &train).unwrap();
+    // Find a handful of absent coordinates to force insertions.
+    let mut inserts = Vec::new();
+    'outer: for from in 0..hin.num_nodes() {
+        for to in 0..hin.num_nodes() {
+            if from != to && hin.tensor().get(to, from, 0) == 0.0 {
+                inserts.push((from, to, 0usize, 1.0f64));
+                if inserts.len() == 5 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert_eq!(inserts.len(), 5);
+    hin.add_edges(&inserts).unwrap();
+    assert_matches_fresh_build(&hin, &train, "edge insertion");
+}
+
+#[test]
+fn node_addition_matches_fresh_build_bitwise() {
+    let (mut hin, mut train) = big_hin();
+    TMarkModel::new(config()).fit(&hin, &train).unwrap();
+    let id = hin.add_node(vec![0.3, 0.6, 0.2, 0.8]).unwrap();
+    hin.add_edges(&[(id, 0, 0, 1.0), (1, id, 1, 2.0), (id, 2, 2, 1.0)])
+        .unwrap();
+    hin.add_labels(&[(id, 1)]).unwrap();
+    train.push(id);
+    assert_matches_fresh_build(&hin, &train, "node addition");
+}
+
+#[test]
+fn mixed_mutation_sequence_matches_fresh_build_bitwise() {
+    let (mut hin, mut train) = big_hin();
+    TMarkModel::new(config()).fit(&hin, &train).unwrap();
+    // Interleave every mutation kind, refitting in between so each step
+    // re-primes the caches that survive it.
+    hin.add_labels(&[(40, 1)]).unwrap();
+    train.push(40);
+    TMarkModel::new(config()).fit(&hin, &train).unwrap();
+    let e = hin.tensor().entries()[17];
+    hin.add_edges(&[(e.j, e.i, e.k, 0.5)]).unwrap();
+    TMarkModel::new(config()).fit(&hin, &train).unwrap();
+    let id = hin.add_node(vec![0.9, 0.1, 0.4, 0.4]).unwrap();
+    hin.add_edges(&[(id, 5, 1, 1.0), (6, id, 0, 1.0)]).unwrap();
+    hin.add_labels(&[(id, 2)]).unwrap();
+    train.push(id);
+    assert_matches_fresh_build(&hin, &train, "mixed mutation sequence");
+}
+
+#[test]
+fn pre_mutation_clones_keep_their_frozen_answers() {
+    let (mut hin, train) = big_hin();
+    let model = TMarkModel::new(config());
+    // Prime the shared caches, snapshot a clone, then mutate the original.
+    let before = model.fit(&hin, &train).unwrap();
+    let frozen = hin.clone();
+    let e = hin.tensor().entries()[3];
+    hin.add_edges(&[(e.j, e.i, e.k, 3.0)]).unwrap();
+    let id = hin.add_node(vec![0.5; 4]).unwrap();
+    hin.add_labels(&[(id, 0)]).unwrap();
+    for cap in CAPS {
+        pool::set_thread_cap(Some(cap));
+        // The clone must answer from its own unmutated state, bitwise
+        // equal to the pre-mutation fit, despite the Arc-shared walks.
+        let on_frozen = model.fit(&frozen, &train).unwrap();
+        assert_bitwise_equal(&on_frozen, &before, &format!("frozen clone at cap {cap}"));
+        // And the mutated original agrees with its own fresh rebuild.
+        let on_mutated = model.fit(&hin, &train).unwrap();
+        let fresh = rebuild_fresh(&hin);
+        let on_fresh = model.fit(&fresh, &train).unwrap();
+        assert_bitwise_equal(
+            &on_mutated,
+            &on_fresh,
+            &format!("mutated original at cap {cap}"),
+        );
+    }
+    pool::set_thread_cap(None);
+}

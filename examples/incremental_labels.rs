@@ -3,60 +3,93 @@
 //! previous stationary distributions. Theorem 3's uniqueness guarantees
 //! the warm start changes only the iteration count, never the answer.
 //!
+//! The campaign runs through a [`tmark::ServingSession`] driving the
+//! `Hin` mutation API end to end: each batch of labels lands via
+//! `add_labels` (keeping the network's operator caches), the session
+//! delta re-solves on the next request, and a late-arriving node enters
+//! through `add_node` + `add_edges`.
+//!
 //! Run with: `cargo run --release --example incremental_labels`
 
-use tmark::TMarkModel;
+use tmark::{ServingSession, TMarkModel, TMarkResult};
 use tmark_bench::Dataset;
 use tmark_datasets::stratified_split;
 use tmark_eval::metrics::accuracy;
 
+fn total_iterations(hin_classes: usize, result: &TMarkResult) -> usize {
+    (0..hin_classes)
+        .map(|c| result.convergence(c).iterations)
+        .sum()
+}
+
 fn main() {
     let hin = Dataset::Dblp.load(7);
     let model = TMarkModel::new(Dataset::Dblp.tmark_config());
+    let q = hin.num_classes();
 
     // The annotation campaign: 10% -> 20% -> 40% labels revealed.
     let (batch3, _) = stratified_split(&hin, 0.4, 42);
     let batch2: Vec<usize> = batch3.iter().copied().take(batch3.len() / 2).collect();
     let batch1: Vec<usize> = batch2.iter().copied().take(batch2.len() / 2).collect();
 
+    // Held-out evaluation set: everything outside the final label batch.
+    // Sorting once turns the membership filter into a binary search —
+    // O(n log |train|) overall instead of the O(n · |train|) linear scan.
+    let mut final_train = batch3.clone();
+    final_train.sort_unstable();
     let test: Vec<usize> = (0..hin.num_nodes())
-        .filter(|v| !batch3.contains(v))
+        .filter(|v| final_train.binary_search(v).is_err())
         .collect();
 
-    let mut previous = None;
-    for (stage, train) in [("10%", &batch1), ("20%", &batch2), ("40%", &batch3)] {
-        let result = match &previous {
-            None => model.fit(&hin, train).unwrap(),
-            Some(prev) => model.fit_warm(&hin, train, prev).unwrap(),
-        };
-        let iters: usize = (0..hin.num_classes())
-            .map(|c| result.convergence(c).iterations)
-            .sum();
+    // The session starts with the 10% batch; later batches arrive as
+    // mutations. Ground-truth classes come from the network's label store.
+    let reveal = |nodes: &[usize]| -> Vec<(usize, usize)> {
+        nodes
+            .iter()
+            .filter_map(|&v| hin.labels().labels_of(v).first().map(|&c| (v, c)))
+            .collect()
+    };
+    let mut session = ServingSession::new(hin.clone(), model, &batch1);
+
+    let stages: [(&str, &[usize]); 3] = [("10%", &[]), ("20%", &batch2), ("40%", &batch3)];
+    for (stage, batch) in stages {
+        if !batch.is_empty() {
+            // Labels already supervising the fit are skipped; the rest
+            // land through the mutation API and stale the prediction
+            // cache without dropping the (O, R) or W operator caches.
+            let fresh: Vec<usize> = batch
+                .iter()
+                .copied()
+                .filter(|v| session.train_nodes().binary_search(v).is_err())
+                .collect();
+            session.add_labels(&reveal(&fresh)).unwrap();
+        }
+        let result = session.refresh().unwrap();
+        let iters = total_iterations(q, result);
         let acc = accuracy(&hin, result.confidences(), &test);
+        let stats = session.stats();
         println!(
             "{stage:>4} labels: accuracy {acc:.3}, {iters} total solver iterations{}",
-            if previous.is_some() {
-                " (warm-started)"
+            if stats.warm_fits > 0 {
+                " (delta re-solve)"
             } else {
                 ""
             }
         );
-        previous = Some(result);
     }
 
     // Cold-start comparison at the final stage: same fixed point (up to
     // tolerance), more iterations.
-    let cold = model.fit(&hin, &batch3).unwrap();
-    let warm = model
-        .fit_warm(&hin, &batch3, previous.as_ref().unwrap())
+    let cold_model = TMarkModel::new(Dataset::Dblp.tmark_config());
+    let cold = cold_model
+        .fit(session.hin(), session.train_nodes())
         .unwrap();
-    let cold_iters: usize = (0..hin.num_classes())
-        .map(|c| cold.convergence(c).iterations)
-        .sum();
-    let warm_iters: usize = (0..hin.num_classes())
-        .map(|c| warm.convergence(c).iterations)
-        .sum();
-    println!("\nrefit at 40%: cold {cold_iters} iterations, warm {warm_iters} iterations");
+    let warm = session.result().unwrap();
+    let cold_iters = total_iterations(q, &cold);
+    let warm_iters = total_iterations(q, warm);
+    println!(
+        "\nrefit at 40%: cold {cold_iters} iterations, delta re-solve {warm_iters} iterations"
+    );
     let agree = (0..hin.num_nodes())
         .filter(|&v| cold.predict_single(v) == warm.predict_single(v))
         .count();
@@ -65,4 +98,20 @@ fn main() {
         hin.num_nodes()
     );
     assert!(agree as f64 / hin.num_nodes() as f64 > 0.99);
+
+    // A late-arriving paper: enters the network through the mutation API,
+    // linked to its venue's neighbourhood, and is classifiable at once.
+    let neighbour = test[0];
+    let new_id = session
+        .add_node(hin.features().row(neighbour).to_vec())
+        .unwrap();
+    session
+        .add_edges(&[(new_id, neighbour, 0, 1.0), (neighbour, new_id, 0, 1.0)])
+        .unwrap();
+    let predicted = session.classify(new_id).unwrap();
+    let expected = session.result().unwrap().predict_single(neighbour);
+    println!(
+        "late-arriving node {new_id} (linked to {neighbour}) classified as {predicted} \
+         (neighbour is {expected})"
+    );
 }
