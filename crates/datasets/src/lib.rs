@@ -37,7 +37,7 @@ pub mod split;
 
 pub use acm::acm;
 pub use dblp::dblp;
-pub use generator::{LinkTypeSpec, SyntheticHinConfig};
+pub use generator::{LinkTypeSpec, PowerLawHinConfig, PowerLawRelationSpec, SyntheticHinConfig};
 pub use movies::movies;
 pub use nus::{nus, Tagset};
 pub use split::{stratified_k_fold, stratified_split, train_fraction_split};

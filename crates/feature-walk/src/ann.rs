@@ -10,6 +10,11 @@
 //! candidate pairs are sorted and deduplicated into a fixed per-column
 //! order before scoring, and column blocks have exclusive owners — so a
 //! fixed [`AnnParams::seed`] fixes the walk bitwise at any thread cap.
+//!
+//! [`AnnParams::probes`] enables multi-probe lookups: each node also
+//! enters the buckets reached by flipping its least-confident sign bits,
+//! trading candidate volume for recall without extra hashing. The
+//! default of one probe reproduces classic single-probe LSH bitwise.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -153,12 +158,19 @@ fn candidate_lists(features: &DenseMatrix, params: AnnParams) -> (Vec<usize>, Ve
     });
 
     // Bucket nodes per band by their packed sign bits and pair up bucket
-    // members. Sorting by (key, node) makes grouping — and the truncation
-    // of oversized buckets — deterministic.
+    // members. Multi-probe: besides its own key, each node also enters
+    // the buckets reached by flipping the sign bits whose projections
+    // landed closest to the hyperplane (the likeliest misassignments),
+    // in closeness order. With `probes == 1` the keyed array is exactly
+    // the classic one-entry-per-node layout, so the default is bitwise
+    // identical to single-probe hashing. Sorting by (key, node) makes
+    // grouping — and the truncation of oversized buckets — deterministic.
+    let probes = params.probes.clamp(1, rows_per_band + 1);
     let mut pairs: Vec<(u32, u32)> = Vec::new();
-    let mut keyed: Vec<(u64, u32)> = vec![(0, 0); n];
+    let mut keyed: Vec<(u64, u32)> = vec![(0, 0); n * probes];
+    let mut flip_rank: Vec<(f64, usize)> = Vec::with_capacity(rows_per_band);
     for band in 0..bands {
-        for (node, slot) in keyed.iter_mut().enumerate() {
+        for node in 0..n {
             let base = node * nplanes + band * rows_per_band;
             let mut key = 0u64;
             for (bit, &p) in proj[base..base + rows_per_band].iter().enumerate() {
@@ -166,13 +178,26 @@ fn candidate_lists(features: &DenseMatrix, params: AnnParams) -> (Vec<usize>, Ve
                     key |= 1 << bit;
                 }
             }
-            *slot = (key, node as u32);
+            keyed[node * probes] = (key, node as u32);
+            if probes > 1 {
+                flip_rank.clear();
+                for (bit, &p) in proj[base..base + rows_per_band].iter().enumerate() {
+                    flip_rank.push((p.abs(), bit));
+                }
+                // total_cmp + bit index: a total, platform-independent order
+                // even on ties, so probe keys are pinned by the seed alone.
+                flip_rank.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                for (extra, &(_, bit)) in flip_rank.iter().take(probes - 1).enumerate() {
+                    keyed[node * probes + 1 + extra] = (key ^ (1 << bit), node as u32);
+                }
+            }
         }
         keyed.sort_unstable();
+        let total = keyed.len();
         let mut start = 0;
-        while start < n {
+        while start < total {
             let mut end = start + 1;
-            while end < n && keyed[end].0 == keyed[start].0 {
+            while end < total && keyed[end].0 == keyed[start].0 {
                 end += 1;
             }
             let group = &keyed[start..end.min(start + GROUP_CAP)];
@@ -302,6 +327,77 @@ mod tests {
         .build_sparse(&f)
         .unwrap();
         assert!(w.is_column_stochastic(1e-12));
+    }
+
+    #[test]
+    fn multi_probe_widens_candidates_and_stays_deterministic() {
+        let f = features(60, 6);
+        let build = |probes: usize| {
+            AnnBackend::new(
+                SimilarityMetric::Cosine,
+                5,
+                AnnParams {
+                    probes,
+                    ..AnnParams::default()
+                },
+            )
+            .build_sparse(&f)
+            .unwrap()
+        };
+        // probes: 1 must reproduce the default (single-probe) walk bitwise.
+        let single = build(1);
+        let default = AnnBackend::new(SimilarityMetric::Cosine, 5, AnnParams::default())
+            .build_sparse(&f)
+            .unwrap();
+        assert_eq!(single.nnz(), default.nnz());
+        for i in 0..60 {
+            let rs: Vec<_> = single.row_iter(i).collect();
+            let rd: Vec<_> = default.row_iter(i).collect();
+            assert_eq!(rs.len(), rd.len());
+            for ((cs, vs), (cd, vd)) in rs.iter().zip(&rd) {
+                assert_eq!(cs, cd);
+                assert_eq!(vs.to_bits(), vd.to_bits());
+            }
+        }
+        // More probes only widen the candidate structure.
+        let multi = build(4);
+        assert!(multi.is_column_stochastic(1e-12));
+        assert!(
+            multi.nnz() >= single.nnz(),
+            "probes must not lose candidates: {} < {}",
+            multi.nnz(),
+            single.nnz()
+        );
+        // Repeat build is bit-identical.
+        let again = build(4);
+        assert_eq!(multi.nnz(), again.nnz());
+    }
+
+    #[test]
+    fn multi_probe_is_bitwise_identical_across_thread_caps() {
+        let f = features(33, 5);
+        let backend = AnnBackend::new(
+            SimilarityMetric::Cosine,
+            4,
+            AnnParams {
+                probes: 3,
+                ..AnnParams::default()
+            },
+        );
+        pool::set_thread_cap(Some(1));
+        let serial = backend.build_sparse(&f).unwrap();
+        pool::set_thread_cap(Some(4));
+        let parallel = backend.build_sparse(&f).unwrap();
+        pool::set_thread_cap(None);
+        assert_eq!(serial.nnz(), parallel.nnz());
+        for i in 0..33 {
+            let rs: Vec<_> = serial.row_iter(i).collect();
+            let rp: Vec<_> = parallel.row_iter(i).collect();
+            for ((cs, vs), (cp, vp)) in rs.iter().zip(&rp) {
+                assert_eq!(cs, cp);
+                assert_eq!(vs.to_bits(), vp.to_bits());
+            }
+        }
     }
 
     #[test]

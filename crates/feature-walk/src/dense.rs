@@ -9,6 +9,7 @@
 
 use tmark_linalg::kahan::KahanAccumulator;
 use tmark_linalg::partition::{run_chunks, uniform_bounds};
+use tmark_linalg::pool;
 use tmark_linalg::similarity::{PreparedMetric, SimilarityMetric};
 use tmark_linalg::DenseMatrix;
 
@@ -42,11 +43,21 @@ impl DenseBackend {
         // Column-major scratch: worker-owned blocks of whole columns are
         // contiguous, which is what `run_chunks` hands out.
         let mut colmaj = vec![0.0; n * n];
-        let bounds = uniform_bounds(n);
-        let ebounds: Vec<usize> = bounds.as_slice().iter().map(|&b| b * n).collect();
-        run_chunks(&ebounds, &mut colmaj, |start, chunk| {
-            fill_dense_columns(&prep, start / n, chunk);
-        });
+        // Adaptive gate: each of the n² cells costs a length-d similarity
+        // sweep, so the work is n²·d entry visits. Toy networks run the
+        // plain serial fill (identical bits) instead of paying pool
+        // overhead.
+        let d = features.cols().max(1);
+        let work = n.saturating_mul(n).saturating_mul(d);
+        if pool::should_parallelize(work) {
+            let bounds = uniform_bounds(n);
+            let ebounds: Vec<usize> = bounds.as_slice().iter().map(|&b| b * n).collect();
+            run_chunks(&ebounds, &mut colmaj, |start, chunk| {
+                fill_dense_columns(&prep, start / n, chunk);
+            });
+        } else {
+            fill_dense_columns(&prep, 0, &mut colmaj);
+        }
         let mut w = DenseMatrix::zeros(n, n);
         for j in 0..n {
             let col = &colmaj[j * n..(j + 1) * n];

@@ -16,6 +16,14 @@ pub struct AnnParams {
     pub bands: usize,
     /// Sign bits per band (bucket selectivity).
     pub rows_per_band: usize,
+    /// Bucket keys probed per band (multi-probe LSH). `1` looks up only
+    /// a node's own bucket — the classic scheme. Each extra probe also
+    /// visits the bucket reached by flipping the sign bit whose
+    /// projection was closest to the hyperplane, in closeness order —
+    /// the flips most likely to separate true near-neighbours — raising
+    /// recall without more bands or hashing. Clamped to
+    /// `1 ..= rows_per_band + 1` at build time.
+    pub probes: usize,
     /// Seed of the hyperplane generator. Fixing it fixes the output
     /// bitwise; changing it resamples the candidate structure.
     pub seed: u64,
@@ -26,6 +34,7 @@ impl Default for AnnParams {
         AnnParams {
             bands: 8,
             rows_per_band: 6,
+            probes: 1,
             seed: 0x5eed_f00d,
         }
     }

@@ -40,6 +40,16 @@ pub enum HinError {
         /// The requested node count.
         requested: usize,
     },
+    /// Bulk parts handed to [`crate::Hin::from_bulk`] disagree on a
+    /// dimension the tensor fixed.
+    PartShapeMismatch {
+        /// Which part disagrees (feature rows, label-store nodes, …).
+        what: &'static str,
+        /// The tensor's value for that dimension.
+        expected: usize,
+        /// The disagreeing part's value.
+        found: usize,
+    },
 }
 
 impl fmt::Display for HinError {
@@ -61,6 +71,14 @@ impl fmt::Display for HinError {
             HinError::TooManyNodes { requested } => write!(
                 f,
                 "node count {requested} exceeds the packed-index width of the tensor kernels"
+            ),
+            HinError::PartShapeMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "bulk part mismatch: {what} is {found}, the tensor fixes {expected}"
             ),
         }
     }

@@ -107,6 +107,49 @@ impl Hin {
         }
     }
 
+    /// Assembles a network directly from pre-built bulk parts — the fast
+    /// path for generated networks whose adjacency tensor was already
+    /// built through a chunked [`SparseTensor3`] constructor, skipping
+    /// the per-edge builder round trip entirely.
+    ///
+    /// The tensor is authoritative: the feature matrix must have one row
+    /// per node, the label store must track exactly `n` nodes, and the
+    /// link-type names must match the tensor's relation count.
+    ///
+    /// # Errors
+    /// [`HinError::PartShapeMismatch`] naming the first disagreeing part.
+    pub fn from_bulk(
+        tensor: SparseTensor3,
+        features: DenseMatrix,
+        link_type_names: Vec<String>,
+        labels: LabelStore,
+    ) -> Result<Self, HinError> {
+        let n = tensor.num_nodes();
+        let m = tensor.num_relations();
+        if features.rows() != n {
+            return Err(HinError::PartShapeMismatch {
+                what: "feature rows",
+                expected: n,
+                found: features.rows(),
+            });
+        }
+        if labels.num_nodes() != n {
+            return Err(HinError::PartShapeMismatch {
+                what: "label-store nodes",
+                expected: n,
+                found: labels.num_nodes(),
+            });
+        }
+        if link_type_names.len() != m {
+            return Err(HinError::PartShapeMismatch {
+                what: "link-type names",
+                expected: m,
+                found: link_type_names.len(),
+            });
+        }
+        Ok(Hin::from_parts(tensor, features, link_type_names, labels))
+    }
+
     /// The mutation epoch: starts at zero and is bumped by every
     /// [`Hin::add_labels`], [`Hin::add_edges`], and [`Hin::add_node`]
     /// call. Anything derived from a fit — prediction caches, serving
@@ -422,6 +465,59 @@ mod tests {
         b.add_undirected_edge(c, d, 1).unwrap();
         b.set_label(a, 0).unwrap();
         b.build().unwrap()
+    }
+
+    #[test]
+    fn from_bulk_validates_every_part_against_the_tensor() {
+        let parts = || {
+            let tensor =
+                SparseTensor3::from_entries(3, 1, vec![(1, 0, 0, 1.0), (0, 1, 0, 1.0)]).unwrap();
+            let features =
+                DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5]]).unwrap();
+            let labels = LabelStore::from_single_labels(&[0, 1, 0], vec!["a".into(), "b".into()]);
+            (tensor, features, labels)
+        };
+        let (tensor, features, labels) = parts();
+        let h = Hin::from_bulk(tensor, features, vec!["cites".into()], labels).unwrap();
+        assert_eq!(h.num_nodes(), 3);
+        assert_eq!(h.num_link_types(), 1);
+        assert_eq!(h.tensor().get(1, 0, 0), 1.0);
+
+        let (tensor, features, labels) = parts();
+        let err =
+            Hin::from_bulk(tensor, features, vec!["a".into(), "b".into()], labels).unwrap_err();
+        assert_eq!(
+            err,
+            HinError::PartShapeMismatch {
+                what: "link-type names",
+                expected: 1,
+                found: 2,
+            }
+        );
+
+        let (tensor, _, labels) = parts();
+        let short = DenseMatrix::from_rows(&[vec![1.0], vec![0.0]]).unwrap();
+        let err = Hin::from_bulk(tensor, short, vec!["cites".into()], labels).unwrap_err();
+        assert_eq!(
+            err,
+            HinError::PartShapeMismatch {
+                what: "feature rows",
+                expected: 3,
+                found: 2,
+            }
+        );
+
+        let (tensor, features, _) = parts();
+        let labels = LabelStore::from_single_labels(&[0], vec!["a".into(), "b".into()]);
+        let err = Hin::from_bulk(tensor, features, vec!["cites".into()], labels).unwrap_err();
+        assert_eq!(
+            err,
+            HinError::PartShapeMismatch {
+                what: "label-store nodes",
+                expected: 3,
+                found: 1,
+            }
+        );
     }
 
     #[test]

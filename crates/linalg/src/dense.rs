@@ -8,11 +8,6 @@ use crate::error::LinalgError;
 use crate::vector;
 use crate::{partition, pool};
 
-/// Below this cell count (`rows × cols`) a product runs its plain serial
-/// loop even when pool permits are free: the output is identical either
-/// way and the work is too small to amortize spawning workers.
-const PAR_MIN_CELLS: usize = 4096;
-
 /// A row-major dense matrix of `f64`.
 ///
 /// The layout favours row iteration (feature vectors are rows) while the
@@ -192,7 +187,7 @@ impl DenseMatrix {
                 found: (y.len(), x.len()),
             });
         }
-        if self.use_parallel() {
+        if self.use_parallel(1) {
             let bounds = partition::uniform_bounds(self.rows);
             partition::run_chunks(bounds.as_slice(), y, |start, chunk| {
                 self.row_dots(x, start, chunk);
@@ -203,12 +198,15 @@ impl DenseMatrix {
         Ok(())
     }
 
-    /// Whether a product should partition its output over pool workers.
-    /// Purely a scheduling decision — results are bitwise identical
-    /// either way.
+    /// Whether a product over `columns` operand columns should partition
+    /// its output over pool workers: the adaptive work gate
+    /// ([`pool::should_parallelize`], entry visits = cells × columns) plus
+    /// a sanity floor of two partitionable rows. Purely a scheduling
+    /// decision — results are bitwise identical either way.
     #[inline]
-    fn use_parallel(&self) -> bool {
-        self.rows >= 2 && self.rows * self.cols >= PAR_MIN_CELLS && pool::parallelism_hint() > 1
+    fn use_parallel(&self, columns: usize) -> bool {
+        let cells = self.rows.saturating_mul(self.cols);
+        self.rows >= 2 && pool::should_parallelize(cells.saturating_mul(columns))
     }
 
     /// Writes `out[t] = row(start + t) · x` for every element of `out`.
@@ -249,7 +247,7 @@ impl DenseMatrix {
                 found: (ys.len(), xs.len()),
             });
         }
-        if q > 0 && self.use_parallel() {
+        if q > 0 && self.use_parallel(q) {
             let bounds = partition::uniform_bounds(self.rows);
             partition::run_col_chunks(bounds.as_slice(), ys, self.rows, |c, start, chunk| {
                 self.row_dots(&xs[c * self.cols..(c + 1) * self.cols], start, chunk);

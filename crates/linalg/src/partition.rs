@@ -171,6 +171,36 @@ where
     ));
 }
 
+/// Runs owned-result tasks over the pool and returns their values in
+/// input order, re-raising the first worker panic. This is the
+/// deterministic fan-out/concatenate primitive behind the parallel
+/// assembly paths: each worker *returns* an owned buffer instead of
+/// writing shared state, and the caller stitches the buffers back
+/// together in task order — so the combined result is bitwise identical
+/// at any thread cap by construction.
+pub fn run_owned<T, F>(tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let mut out = Vec::with_capacity(tasks.len());
+    let mut first_panic = None;
+    for r in pool::run_tasks(tasks) {
+        match r {
+            Ok(v) => out.push(v),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    out
+}
+
 /// Re-raises the first chunk panic so kernel invariant failures surface on
 /// the caller exactly as they would from the serial loop.
 fn finish(results: Vec<std::thread::Result<()>>) {
@@ -236,6 +266,33 @@ mod tests {
         run_chunks(&bounds, &mut parallel, fill);
         pool::set_thread_cap(None);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn run_owned_returns_results_in_task_order_at_any_cap() {
+        let expect: Vec<Vec<usize>> = (0..10).map(|t| vec![t, t * t]).collect();
+        for cap in [1, 3, 9] {
+            pool::set_thread_cap(Some(cap));
+            let tasks: Vec<_> = (0..10).map(|t| move || vec![t, t * t]).collect();
+            let got = run_owned(tasks);
+            assert_eq!(got, expect, "task order broken at cap {cap}");
+        }
+        pool::set_thread_cap(None);
+    }
+
+    #[test]
+    fn run_owned_reraises_worker_panics() {
+        pool::set_thread_cap(Some(2));
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("worker bug")),
+            Box::new(|| 3),
+        ];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_owned(tasks)))
+            .expect_err("panic should re-raise");
+        pool::set_thread_cap(None);
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "worker bug");
     }
 
     #[test]

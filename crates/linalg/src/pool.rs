@@ -29,8 +29,21 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Environment variable that pins the worker cap (a positive integer).
 pub const THREAD_CAP_ENV: &str = "TMARK_SOLVER_THREADS";
 
+/// Default work threshold (in *entry visits*: stored entries × operand
+/// columns for sparse kernels, cells × columns for dense ones) below
+/// which a kernel runs its plain serial loop even when pool permits are
+/// free. [`run_tasks`] spawns fresh scoped threads per call — roughly
+/// 0.1–0.6 ms of overhead — while a serial gather sweeps on the order of
+/// 10⁹ entry visits per second, so parallelism only amortizes once a call
+/// carries several milliseconds of work. The toy benchmark datasets
+/// (≤ 10⁵ visits per kernel call) sit far below this line, which is
+/// exactly why caps 2/4 used to *lose* to cap 1 on them.
+pub const PAR_WORK_DEFAULT: usize = 4_000_000;
+
 /// Programmatic cap override: 0 = unset (derive from env / hardware).
 static CAP_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// Programmatic work-threshold override: 0 = unset (use the default).
+static WORK_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// Extra-worker permits currently held by running [`run_tasks`] calls.
 static EXTRA_IN_USE: AtomicUsize = AtomicUsize::new(0);
 /// High-water mark of concurrently live workers (spawned + the caller),
@@ -76,6 +89,40 @@ pub fn peak_workers() -> usize {
 /// Resets the [`peak_workers`] gauge to zero.
 pub fn reset_peak_workers() {
     PEAK_WORKERS.store(0, Ordering::SeqCst);
+}
+
+/// The current serial-fallback work threshold: the programmatic override
+/// if set, else [`PAR_WORK_DEFAULT`].
+pub fn parallel_work_threshold() -> usize {
+    let over = WORK_OVERRIDE.load(Ordering::SeqCst);
+    if over > 0 {
+        over
+    } else {
+        PAR_WORK_DEFAULT
+    }
+}
+
+/// Overrides the serial-fallback work threshold for the whole process
+/// (`None` reverts to [`PAR_WORK_DEFAULT`]). Tests use `Some(1)` to force
+/// the parallel path on small fixtures; because parallel and serial paths
+/// are bitwise-identical by construction, the setting is purely a
+/// scheduling knob and racing it between tests cannot change results.
+pub fn set_parallel_work_threshold(threshold: Option<usize>) {
+    WORK_OVERRIDE.store(
+        threshold.unwrap_or(0).max(usize::from(threshold.is_some())),
+        Ordering::SeqCst,
+    );
+}
+
+/// The adaptive scheduling gate shared by every parallel kernel: `work`
+/// is the call's entry-visit count (stored entries × operand columns for
+/// sparse kernels, cells × columns for dense ones). Returns true when the
+/// call is big enough to amortize worker spawning *and* the pool could
+/// actually grant an extra worker right now. Purely a scheduling
+/// decision — results are bitwise identical either way.
+#[inline]
+pub fn should_parallelize(work: usize) -> bool {
+    work >= parallel_work_threshold() && parallelism_hint() > 1
 }
 
 /// A cheap, racy estimate of how many workers a [`run_tasks`] call made
@@ -245,5 +292,18 @@ mod tests {
     #[test]
     fn thread_cap_is_at_least_one() {
         assert!(thread_cap() >= 1);
+    }
+
+    #[test]
+    fn work_threshold_override_round_trips() {
+        assert_eq!(parallel_work_threshold(), PAR_WORK_DEFAULT);
+        set_parallel_work_threshold(Some(123));
+        assert_eq!(parallel_work_threshold(), 123);
+        // Some(0) still forces the most aggressive (always-parallel) gate
+        // rather than silently reverting to the default.
+        set_parallel_work_threshold(Some(0));
+        assert_eq!(parallel_work_threshold(), 1);
+        set_parallel_work_threshold(None);
+        assert_eq!(parallel_work_threshold(), PAR_WORK_DEFAULT);
     }
 }

@@ -12,11 +12,6 @@
 use crate::error::LinalgError;
 use crate::{partition, pool};
 
-/// Below this stored-entry count a product runs its plain serial loop even
-/// when pool permits are free: the output is identical either way and the
-/// work is too small to amortize spawning workers.
-const PAR_MIN_NNZ: usize = 2048;
-
 /// A CSR (compressed sparse row) matrix of `f64`.
 ///
 /// Duplicate coordinates supplied at construction are summed, matching the
@@ -203,7 +198,7 @@ impl SparseMatrix {
             });
         }
         let (share, correct) = self.dangling_share(x);
-        if self.use_parallel() {
+        if self.use_parallel(1) {
             let bounds = partition::balanced_bounds(&self.indptr);
             partition::run_chunks(bounds.as_slice(), y, |start, chunk| {
                 self.row_gather(x, share, correct, start, chunk);
@@ -214,12 +209,14 @@ impl SparseMatrix {
         Ok(())
     }
 
-    /// Whether a product should partition its output over pool workers.
-    /// Purely a scheduling decision — results are bitwise identical
-    /// either way.
+    /// Whether a product over `columns` operand columns should partition
+    /// its output over pool workers: the adaptive work gate
+    /// ([`pool::should_parallelize`], entry visits = nnz × columns) plus a
+    /// sanity floor of two partitionable rows. Purely a scheduling
+    /// decision — results are bitwise identical either way.
     #[inline]
-    fn use_parallel(&self) -> bool {
-        self.rows >= 2 && self.nnz() >= PAR_MIN_NNZ && pool::parallelism_hint() > 1
+    fn use_parallel(&self, columns: usize) -> bool {
+        self.rows >= 2 && pool::should_parallelize(self.nnz().saturating_mul(columns))
     }
 
     /// The uniform per-row share contributed by dangling columns, and
@@ -293,7 +290,7 @@ impl SparseMatrix {
         for c in 0..q {
             shares[c] = self.dangling_share(&xs[c * self.cols..(c + 1) * self.cols]);
         }
-        if self.use_parallel() {
+        if self.use_parallel(q) {
             let bounds = partition::balanced_bounds(&self.indptr);
             partition::run_col_chunks(bounds.as_slice(), ys, self.rows, |c, start, chunk| {
                 let (share, correct) = shares[c];

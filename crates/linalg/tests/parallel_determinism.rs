@@ -6,14 +6,20 @@
 //! *exact*: every output element is owned by one chunk and summed in a
 //! fixed order, so the parallel result must be bit-for-bit `==` the
 //! cap-1 result at any thread cap — these tests compare `f64::to_bits`,
-//! never a tolerance. Operands are sized above the thresholds
-//! (`PAR_MIN_CELLS` / `PAR_MIN_NNZ`) so the parallel path really runs.
+//! never a tolerance. The adaptive work threshold is forced down to 1
+//! (`pool::set_parallel_work_threshold`) so the parallel path really
+//! runs on these deliberately small fixtures.
 //!
-//! This is an integration binary so the process-global thread cap
-//! belongs to it alone.
+//! This is an integration binary so the process-global thread cap and
+//! work threshold belong to it alone.
 
 use tmark_linalg::pool;
 use tmark_linalg::{DenseMatrix, SparseMatrix};
+
+/// Forces every product in this binary through the partitioned path.
+fn force_parallel() {
+    pool::set_parallel_work_threshold(Some(1));
+}
 
 /// Thread caps under test: minimal parallelism and more workers than the
 /// partition count of small outputs.
@@ -30,8 +36,7 @@ fn unit(state: &mut u64) -> f64 {
     (lcg(state) % 10_000) as f64 / 10_000.0 - 0.5
 }
 
-/// A pseudo-random dense matrix with `rows * cols` well above
-/// `PAR_MIN_CELLS`.
+/// A pseudo-random dense matrix.
 fn big_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
     let mut state = seed;
     let mut a = DenseMatrix::zeros(rows, cols);
@@ -44,7 +49,7 @@ fn big_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
 }
 
 /// A pseudo-random sparse matrix with at least `draws / 2` stored
-/// entries (duplicates merge), sized above `PAR_MIN_NNZ`.
+/// entries (duplicates merge).
 fn big_sparse(n: usize, draws: usize, seed: u64) -> SparseMatrix {
     let mut state = seed;
     let mut triplets = Vec::with_capacity(draws);
@@ -67,6 +72,7 @@ fn bits(v: &[f64]) -> Vec<u64> {
 
 #[test]
 fn dense_matvec_into_is_bitwise_identical_across_thread_caps() {
+    force_parallel();
     let (rows, cols) = (90, 70);
     let a = big_dense(rows, cols, 3);
     assert!(rows * cols >= 4096, "operand too small to parallelize");
@@ -96,6 +102,7 @@ fn dense_matvec_into_is_bitwise_identical_across_thread_caps() {
 
 #[test]
 fn dense_matvec_multi_into_is_bitwise_identical_across_thread_caps() {
+    force_parallel();
     let (rows, cols, q) = (80, 64, 5);
     let a = big_dense(rows, cols, 7);
     let xs = dense_vec(cols * q, 11);
@@ -119,6 +126,7 @@ fn dense_matvec_multi_into_is_bitwise_identical_across_thread_caps() {
 
 #[test]
 fn sparse_matvec_into_is_bitwise_identical_across_thread_caps() {
+    force_parallel();
     let n = 240;
     let a = big_sparse(n, 4000, 13);
     assert!(a.nnz() >= 2048, "matrix too small to parallelize");
@@ -148,6 +156,7 @@ fn sparse_matvec_into_is_bitwise_identical_across_thread_caps() {
 
 #[test]
 fn sparse_matvec_multi_into_is_bitwise_identical_across_thread_caps() {
+    force_parallel();
     let (n, q) = (200, 4);
     let a = big_sparse(n, 4400, 19);
     assert!(a.nnz() >= 2048, "matrix too small to parallelize");

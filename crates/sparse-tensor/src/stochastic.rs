@@ -44,11 +44,6 @@ type BuildEntry = (u32, u32, f64, f64, f64);
 /// 24 value bytes). Kept as the baseline for the bench memory report.
 const AOS_ENTRY_BYTES: usize = 40;
 
-/// Below this entry count a contraction runs its plain serial loop even
-/// when pool permits are free: the output is identical either way and the
-/// work is too small to amortize spawning workers.
-const PAR_MIN_NNZ: usize = 2048;
-
 /// Hot-storage byte footprint of one [`StochasticTensors`] instance,
 /// reported by [`StochasticTensors::entry_byte_sizes`] for the bench
 /// memory sanity check.
@@ -83,7 +78,25 @@ pub struct StochasticTensors {
 
 impl StochasticTensors {
     /// Normalizes an adjacency tensor into its `(O, R)` pair.
+    ///
+    /// Above the adaptive work threshold the normalization passes and the
+    /// counting-sort assembly run chunk-parallel over the permit pool;
+    /// below it (or with no free permits) the classic serial build runs.
+    /// The two paths are bitwise identical: every chunk boundary is
+    /// aligned to a fiber/row group, every Kahan sum visits the same
+    /// values in the same storage order, and workers return owned buffers
+    /// that are concatenated in deterministic chunk order.
     pub fn from_tensor(a: &SparseTensor3) -> Self {
+        if pool::should_parallelize(a.nnz()) {
+            Self::from_tensor_parallel(a)
+        } else {
+            Self::from_tensor_serial(a)
+        }
+    }
+
+    /// The classic single-thread build (also the reference the parallel
+    /// path is tested against, bit for bit).
+    fn from_tensor_serial(a: &SparseTensor3) -> Self {
         let n = a.num_nodes();
         let m = a.num_relations();
         let src = a.entries();
@@ -131,6 +144,176 @@ impl StochasticTensors {
 
         debug_verify_normalization(a.slice_ptr(), &entries, &present_columns, &present_pairs);
         let cs = CompressedSlices::build(n, a.slice_ptr().to_vec(), pair_ptr, &order, &entries);
+        StochasticTensors {
+            n,
+            m,
+            cs,
+            present_columns,
+            present_pairs,
+        }
+    }
+
+    /// Chunk-parallel build. Three stages, all bitwise-equal to
+    /// [`StochasticTensors::from_tensor_serial`] by construction:
+    ///
+    /// 1. **Mode-1 normalization** over fiber-aligned entry ranges: each
+    ///    worker runs the serial pass-1 loop on whole `(j, k)` fibers and
+    ///    returns owned buffers, concatenated in range order.
+    /// 2. **Row bucketing** (serial, one streaming pass): storage indices
+    ///    are dealt into nnz-balanced row blocks; each block's bucket is
+    ///    the storage order restricted to its rows.
+    /// 3. **Per-block assembly** in parallel: the O-path counting sort
+    ///    (appending per row preserves each row's storage `(k, j)` order)
+    ///    and the mode-3 pair normalization (a stable `(i, j)` sort of
+    ///    the bucket equals the serial pass's global stable sort
+    ///    restricted to the block's rows — a pair never spans blocks
+    ///    because its row is fixed). Workers return owned segments;
+    ///    concatenating them in block order rebuilds the global arrays.
+    fn from_tensor_parallel(a: &SparseTensor3) -> Self {
+        let n = a.num_nodes();
+        let m = a.num_relations();
+        let src = a.entries();
+        let nnz = src.len();
+        let slice_ptr = a.slice_ptr();
+
+        // Stage 1: mode-1 fiber normalization over fiber-aligned ranges.
+        let fiber_bounds = fiber_aligned_bounds(src);
+        let pass1 = partition::run_owned(
+            fiber_bounds
+                .windows(2)
+                .map(|w| {
+                    let (start, end) = (w[0], w[1]);
+                    move || normalize_o_range(src, start, end)
+                })
+                .collect(),
+        );
+        let mut entries: Vec<BuildEntry> = Vec::with_capacity(nnz);
+        let mut present_columns: Vec<(u32, u32)> = Vec::new();
+        for (seg, cols) in pass1 {
+            entries.extend_from_slice(&seg);
+            present_columns.extend_from_slice(&cols);
+        }
+
+        // Row histogram: identical to the serial build's o_row_ptr, and
+        // the basis of the nnz-balanced row blocks.
+        let mut o_row_ptr = vec![0usize; n + 1];
+        for &(i, ..) in &entries {
+            o_row_ptr[i as usize + 1] += 1;
+        }
+        for i in 0..n {
+            // Row prefix sums are bounded by nnz (a materialized slice);
+            // checked_add keeps the bound executable at 10^7+ entries.
+            o_row_ptr[i + 1] = o_row_ptr[i + 1]
+                .checked_add(o_row_ptr[i])
+                .unwrap_or_else(|| unreachable!("row prefix sums are bounded by nnz"));
+        }
+
+        // Relation of each storage index (slice_ptr expanded), so block
+        // workers emit o_rel without a per-entry search.
+        let mut k_of = vec![0u32; nnz];
+        for k in 0..m {
+            for idx in slice_ptr[k]..slice_ptr[k + 1] {
+                k_of[idx] = k as u32;
+            }
+        }
+
+        // Stage 2: deal storage indices into row-block buckets (order
+        // within a bucket = storage order restricted to the block).
+        let block_bounds = partition::balanced_bounds(&o_row_ptr);
+        let blocks = block_bounds.as_slice();
+        let nblocks = blocks.len() - 1;
+        let mut row_block = vec![0u8; n];
+        for b in 0..nblocks {
+            for r in blocks[b]..blocks[b + 1] {
+                row_block[r] = b as u8;
+            }
+        }
+        let mut buckets: Vec<Vec<u32>> = (0..nblocks).map(|_| Vec::new()).collect();
+        for (idx, &(i, ..)) in entries.iter().enumerate() {
+            buckets[row_block[i as usize] as usize].push(idx as u32);
+        }
+
+        // Stage 3: per-block counting sort + pair normalization.
+        let entries_ref: &[BuildEntry] = &entries;
+        let k_of_ref: &[u32] = &k_of;
+        let o_row_ptr_ref: &[usize] = &o_row_ptr;
+        let per_block = partition::run_owned(
+            buckets
+                .into_iter()
+                .zip(blocks.windows(2))
+                .map(|(bucket, w)| {
+                    let (r_lo, r_hi) = (w[0], w[1]);
+                    move || {
+                        assemble_row_block(entries_ref, k_of_ref, o_row_ptr_ref, r_lo, r_hi, bucket)
+                    }
+                })
+                .collect(),
+        );
+
+        // Stitch the owned segments back together in block order. Blocks
+        // cover ascending disjoint row ranges, so concatenation IS the
+        // global row-grouped / (i, j)-sorted order.
+        let mut o_col: Vec<u32> = Vec::with_capacity(nnz);
+        let mut o_rel: Vec<u32> = Vec::with_capacity(nnz);
+        let mut o_vals: Vec<f64> = Vec::with_capacity(nnz);
+        let mut pair_order: Vec<u32> = Vec::with_capacity(nnz);
+        let mut r_by_order: Vec<f64> = Vec::with_capacity(nnz);
+        let mut present_pairs: Vec<(u32, u32)> = Vec::new();
+        let mut pair_ptr: Vec<usize> = Vec::new();
+        let mut offset = 0usize;
+        for blk in per_block {
+            for &p in &blk.pair_starts {
+                pair_ptr.push(
+                    p.checked_add(offset)
+                        .unwrap_or_else(|| unreachable!("pair offsets are bounded by nnz")),
+                );
+            }
+            offset = offset
+                .checked_add(blk.order.len())
+                .unwrap_or_else(|| unreachable!("segment lengths sum to nnz"));
+            o_col.extend_from_slice(&blk.o_col);
+            o_rel.extend_from_slice(&blk.o_rel);
+            o_vals.extend_from_slice(&blk.o_vals);
+            pair_order.extend_from_slice(&blk.order);
+            present_pairs.extend_from_slice(&blk.pairs);
+            r_by_order.extend_from_slice(&blk.r_by_order);
+        }
+        pair_ptr.push(offset);
+
+        // Scatter the pair-normalized r values back into storage order,
+        // then peel the storage arrays off in one pass.
+        for (t, &idx) in pair_order.iter().enumerate() {
+            entries[idx as usize].3 = r_by_order[t];
+        }
+        let mut row_idx: Vec<u32> = Vec::with_capacity(nnz);
+        let mut col_idx: Vec<u32> = Vec::with_capacity(nnz);
+        let mut r_vals: Vec<f64> = Vec::with_capacity(nnz);
+        let mut raw_vals: Vec<f64> = Vec::with_capacity(nnz);
+        for &(i, j, _, r, raw) in &entries {
+            row_idx.push(i);
+            col_idx.push(j);
+            r_vals.push(r);
+            raw_vals.push(raw);
+        }
+
+        debug_verify_normalization(slice_ptr, &entries, &present_columns, &present_pairs);
+        let o_parts = partition::balanced_bounds(&o_row_ptr).as_slice().to_vec();
+        let r_parts = partition::balanced_bounds(slice_ptr).as_slice().to_vec();
+        let cs = CompressedSlices {
+            slice_ptr: slice_ptr.to_vec(),
+            row_idx,
+            col_idx,
+            r_vals,
+            raw_vals,
+            o_row_ptr,
+            o_col,
+            o_rel,
+            o_vals,
+            pair_ptr,
+            pair_order,
+            o_parts,
+            r_parts,
+        };
         StochasticTensors {
             n,
             m,
@@ -265,12 +448,14 @@ impl StochasticTensors {
         }
     }
 
-    /// Whether a contraction should partition its output over pool
-    /// workers. Purely a scheduling decision — results are bitwise
-    /// identical either way.
+    /// Whether a contraction over `columns` operand columns should
+    /// partition its output over pool workers: the adaptive work gate
+    /// ([`pool::should_parallelize`], entry visits = nnz × columns).
+    /// Purely a scheduling decision — results are bitwise identical
+    /// either way.
     #[inline]
-    fn use_parallel(&self) -> bool {
-        self.cs.nnz() >= PAR_MIN_NNZ && pool::parallelism_hint() > 1
+    fn use_parallel(&self, columns: usize) -> bool {
+        pool::should_parallelize(self.cs.nnz().saturating_mul(columns))
     }
 
     /// `o_{i,j,k}` including the dangling rule (uniform `1/n` on absent
@@ -441,7 +626,7 @@ impl StochasticTensors {
             });
         }
         let (share, correct) = self.o_share(x, z);
-        if self.use_parallel() {
+        if self.use_parallel(1) {
             partition::run_chunks(&self.cs.o_parts, y, |start, chunk| {
                 self.o_gather(x, z, share, correct, start, chunk);
             });
@@ -499,7 +684,7 @@ impl StochasticTensors {
             });
         }
         let (share, correct) = self.r_share(x, x);
-        if self.use_parallel() {
+        if self.use_parallel(1) {
             partition::run_chunks(&self.cs.r_parts, z, |start, chunk| {
                 self.r_gather(x, x, share, correct, start, chunk);
             });
@@ -571,7 +756,7 @@ impl StochasticTensors {
         for c in 0..q {
             shares[c] = self.o_share(&xs[c * n..(c + 1) * n], &zs[c * m..(c + 1) * m]);
         }
-        if self.use_parallel() {
+        if self.use_parallel(q) {
             partition::run_col_chunks(&self.cs.o_parts, ys, n, |c, start, chunk| {
                 let (share, correct) = shares[c];
                 self.o_gather(
@@ -657,7 +842,7 @@ impl StochasticTensors {
             let x = &xs[c * n..(c + 1) * n];
             shares[c] = self.r_share(x, x);
         }
-        if self.use_parallel() {
+        if self.use_parallel(q) {
             partition::run_col_chunks(&self.cs.r_parts, zs, m, |c, start, chunk| {
                 let (share, correct) = shares[c];
                 let x = &xs[c * n..(c + 1) * n];
@@ -722,7 +907,7 @@ impl StochasticTensors {
         }
         let mut z = vec![0.0; self.m];
         let (share, correct) = self.r_share(u, v);
-        if self.use_parallel() {
+        if self.use_parallel(1) {
             partition::run_chunks(&self.cs.r_parts, &mut z, |start, chunk| {
                 self.r_gather(u, v, share, correct, start, chunk);
             });
@@ -793,6 +978,156 @@ impl StochasticTensors {
         }
         self.debug_verify_simplex_preserved(&[x, z], &y, "O' ×̄₁ x ×̄₃ z (hub operator)");
         Ok(y)
+    }
+}
+
+/// Entry-range boundaries for the parallel mode-1 normalization pass:
+/// roughly nnz-balanced, snapped *forward* so every `(j, k)` fiber run is
+/// fully contained in one range (a fiber's Kahan sum must be computed by
+/// one worker over the whole run, exactly as the serial pass does).
+fn fiber_aligned_bounds(src: &[Entry]) -> Vec<usize> {
+    let nnz = src.len();
+    let parts = partition::MAX_PARTS.min(nnz.max(1));
+    let step = nnz / parts;
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(0);
+    let mut last = 0usize;
+    for t in 1..parts {
+        // step <= nnz / parts and t < parts, so step * t <= nnz.
+        let mut cut = step * t;
+        while cut > 0 && cut < nnz && src[cut].k == src[cut - 1].k && src[cut].j == src[cut - 1].j {
+            cut += 1;
+        }
+        if cut > last && cut < nnz {
+            bounds.push(cut);
+            last = cut;
+        }
+    }
+    bounds.push(nnz);
+    bounds
+}
+
+/// One worker of the parallel mode-1 normalization: the serial pass-1
+/// loop restricted to a fiber-aligned entry range. Returns the
+/// normalized entries and present `(j, k)` columns of the range as owned
+/// buffers; concatenating the per-range buffers in range order is
+/// bitwise identical to the serial pass over the whole entry stream.
+fn normalize_o_range(
+    src: &[Entry],
+    range_start: usize,
+    range_end: usize,
+) -> (Vec<BuildEntry>, Vec<(u32, u32)>) {
+    let mut entries: Vec<BuildEntry> = Vec::with_capacity(range_end - range_start);
+    let mut cols: Vec<(u32, u32)> = Vec::new();
+    let mut start = range_start;
+    while start < range_end {
+        let (k, j) = (src[start].k, src[start].j);
+        let mut end = start;
+        while end < range_end && src[end].k == k && src[end].j == j {
+            end += 1;
+        }
+        let sum = kahan_map_sum(&src[start..end], |e| e.value);
+        cols.push((j as u32, k as u32));
+        for e in &src[start..end] {
+            entries.push((e.i as u32, e.j as u32, e.value / sum, 0.0, e.value));
+        }
+        start = end;
+    }
+    (entries, cols)
+}
+
+/// The owned buffers one row-block worker returns from
+/// [`assemble_row_block`]: contiguous segments of the global compressed
+/// arrays, ready to concatenate in block order.
+struct BlockAssembly {
+    /// O-path source columns, row-grouped within the block.
+    o_col: Vec<u32>,
+    /// O-path relations, row-grouped within the block.
+    o_rel: Vec<u32>,
+    /// O-path probabilities, row-grouped within the block.
+    o_vals: Vec<f64>,
+    /// Storage indices stable-sorted by `(i, j)` — the block's segment of
+    /// the global pair order.
+    order: Vec<u32>,
+    /// Eq. (2) probability for each position of `order`.
+    r_by_order: Vec<f64>,
+    /// Present `(i, j)` pairs of the block, ascending.
+    pairs: Vec<(u32, u32)>,
+    /// Pair start positions relative to the block's `order` segment.
+    pair_starts: Vec<usize>,
+}
+
+/// One worker of the parallel assembly: the O-path counting sort and the
+/// mode-3 pair normalization restricted to rows `r_lo .. r_hi`. `bucket`
+/// holds the block's storage indices in storage order.
+///
+/// Bitwise contract: appending per row in bucket order reproduces each
+/// row's storage `(k, j)` entry order (the serial counting sort); the
+/// stable `(i, j)` sort of the bucket equals the serial pass-2 global
+/// stable sort restricted to these rows, and every `(i, j)` pair lies
+/// entirely within one block, so the per-pair Kahan sums visit the same
+/// values in the same order as the serial pass.
+fn assemble_row_block(
+    entries: &[BuildEntry],
+    k_of: &[u32],
+    o_row_ptr: &[usize],
+    r_lo: usize,
+    r_hi: usize,
+    mut bucket: Vec<u32>,
+) -> BlockAssembly {
+    let base = o_row_ptr[r_lo];
+    let seg_len = o_row_ptr[r_hi] - base;
+    // Counting-sort scatter: next free slot per row, relative to the
+    // block segment.
+    let mut next: Vec<usize> = o_row_ptr[r_lo..r_hi].iter().map(|&p| p - base).collect();
+    let mut o_col = vec![0u32; seg_len];
+    let mut o_rel = vec![0u32; seg_len];
+    let mut o_vals = vec![0.0f64; seg_len];
+    for &idx in &bucket {
+        let (i, j, o, ..) = entries[idx as usize];
+        let slot = next[i as usize - r_lo];
+        next[i as usize - r_lo] += 1;
+        o_col[slot] = j;
+        o_rel[slot] = k_of[idx as usize];
+        o_vals[slot] = o;
+    }
+
+    // Pair normalization: stable (i, j) sort, then per-pair Kahan sums
+    // over the raw values in sorted order.
+    bucket.sort_by_key(|&idx| (entries[idx as usize].0, entries[idx as usize].1));
+    let order = bucket;
+    let mut r_by_order = vec![0.0f64; order.len()];
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut pair_starts: Vec<usize> = Vec::new();
+    let mut pos = 0;
+    while pos < order.len() {
+        let (i, j) = {
+            let e = &entries[order[pos] as usize];
+            (e.0, e.1)
+        };
+        let mut end = pos;
+        while end < order.len()
+            && entries[order[end] as usize].0 == i
+            && entries[order[end] as usize].1 == j
+        {
+            end += 1;
+        }
+        let sum = kahan_map_sum(&order[pos..end], |&idx| entries[idx as usize].4);
+        pairs.push((i, j));
+        pair_starts.push(pos);
+        for t in pos..end {
+            r_by_order[t] = entries[order[t] as usize].4 / sum;
+        }
+        pos = end;
+    }
+    BlockAssembly {
+        o_col,
+        o_rel,
+        o_vals,
+        order,
+        r_by_order,
+        pairs,
+        pair_starts,
     }
 }
 
@@ -1245,5 +1580,87 @@ mod tests {
             err,
             TensorError::VectorLengthMismatch { operand: "zs", .. }
         ));
+    }
+
+    /// A pseudo-random tensor with duplicate coordinates, skewed rows, and
+    /// guaranteed dangling structure, for the build-path equivalence test.
+    fn random_tensor(n: usize, m: usize, draws: usize, seed: u64) -> SparseTensor3 {
+        let mut state = seed;
+        let mut lcg = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 16
+        };
+        let mut entries = Vec::with_capacity(draws);
+        for _ in 0..draws {
+            let i = (lcg() as usize) % n;
+            let j = (lcg() as usize) % (n - 1);
+            let k = (lcg() as usize) % m;
+            let v = 1.0 + (lcg() % 1000) as f64 / 250.0;
+            entries.push((i, j, k, v));
+        }
+        SparseTensor3::from_entries(n, m, entries).unwrap()
+    }
+
+    fn assert_builds_identical(a: &StochasticTensors, b: &StochasticTensors, label: &str) {
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(a.n, b.n, "{label}: n");
+        assert_eq!(a.m, b.m, "{label}: m");
+        assert_eq!(
+            a.present_columns, b.present_columns,
+            "{label}: present_columns"
+        );
+        assert_eq!(a.present_pairs, b.present_pairs, "{label}: present_pairs");
+        assert_eq!(a.cs.slice_ptr, b.cs.slice_ptr, "{label}: slice_ptr");
+        assert_eq!(a.cs.row_idx, b.cs.row_idx, "{label}: row_idx");
+        assert_eq!(a.cs.col_idx, b.cs.col_idx, "{label}: col_idx");
+        assert_eq!(bits(&a.cs.r_vals), bits(&b.cs.r_vals), "{label}: r_vals");
+        assert_eq!(
+            bits(&a.cs.raw_vals),
+            bits(&b.cs.raw_vals),
+            "{label}: raw_vals"
+        );
+        assert_eq!(a.cs.o_row_ptr, b.cs.o_row_ptr, "{label}: o_row_ptr");
+        assert_eq!(a.cs.o_col, b.cs.o_col, "{label}: o_col");
+        assert_eq!(a.cs.o_rel, b.cs.o_rel, "{label}: o_rel");
+        assert_eq!(bits(&a.cs.o_vals), bits(&b.cs.o_vals), "{label}: o_vals");
+        assert_eq!(a.cs.pair_ptr, b.cs.pair_ptr, "{label}: pair_ptr");
+        assert_eq!(a.cs.pair_order, b.cs.pair_order, "{label}: pair_order");
+        assert_eq!(a.cs.o_parts, b.cs.o_parts, "{label}: o_parts");
+        assert_eq!(a.cs.r_parts, b.cs.r_parts, "{label}: r_parts");
+    }
+
+    #[test]
+    fn from_tensor_parallel_matches_from_tensor_serial_bitwise() {
+        // Several shapes so the fiber ranges and row blocks land on
+        // different boundaries; every compressed array must match the
+        // serial build bit for bit at any thread cap.
+        for (n, m, draws, seed) in [(97, 4, 3000, 11u64), (23, 2, 300, 7), (151, 6, 5000, 23)] {
+            let t = random_tensor(n, m, draws, seed);
+            let serial = StochasticTensors::from_tensor_serial(&t);
+            // Direct call: the parallel algorithm itself, serial schedule.
+            pool::set_thread_cap(Some(1));
+            let par1 = StochasticTensors::from_tensor_parallel(&t);
+            assert_builds_identical(&serial, &par1, "cap 1");
+            // Dispatch through from_tensor with the work threshold forced
+            // to 1 and workers available.
+            pool::set_parallel_work_threshold(Some(1));
+            pool::set_thread_cap(Some(4));
+            let par4 = StochasticTensors::from_tensor(&t);
+            assert_builds_identical(&serial, &par4, "cap 4");
+            pool::set_thread_cap(None);
+            pool::set_parallel_work_threshold(None);
+        }
+    }
+
+    #[test]
+    fn from_tensor_dispatches_to_the_serial_build_below_the_threshold() {
+        let t = random_tensor(31, 3, 200, 5);
+        // Default threshold (4M entry visits) is far above 200 draws: the
+        // dispatch must take the serial path and still equal it.
+        let via_dispatch = StochasticTensors::from_tensor(&t);
+        let serial = StochasticTensors::from_tensor_serial(&t);
+        assert_builds_identical(&serial, &via_dispatch, "dispatch");
     }
 }

@@ -159,13 +159,50 @@ impl SparseTensor3 {
         m: usize,
         raw: Vec<(usize, usize, usize, f64)>,
     ) -> Result<Self, TensorError> {
+        Self::check_shape(n, m)?;
+        let mut entries: Vec<Entry> = Vec::with_capacity(raw.len());
+        Self::validate_into(n, m, raw, &mut entries)?;
+        Ok(Self::finish_entries(n, m, entries))
+    }
+
+    /// Builds a tensor from a stream of entry chunks — same validation,
+    /// dedup, and ordering as [`SparseTensor3::from_entries`], bitwise
+    /// identical on the same logical entry sequence for *any* chunking.
+    ///
+    /// Unlike the one-shot constructor, the caller never materializes the
+    /// full raw entry list: each chunk is validated, compacted (zeros
+    /// dropped), and freed before the next one is pulled, so peak memory
+    /// is one chunk plus the compact entry array — the ingestion half of
+    /// the out-of-core build path for 10⁷+-nnz generated networks.
+    ///
+    /// # Errors
+    /// Exactly those of [`SparseTensor3::from_entries`], including the
+    /// `u32` [`TensorError::IndexOverflow`] width contract, checked before
+    /// any chunk is pulled.
+    pub fn from_entry_chunks<I>(n: usize, m: usize, chunks: I) -> Result<Self, TensorError>
+    where
+        I: IntoIterator<Item = Vec<(usize, usize, usize, f64)>>,
+    {
+        Self::check_shape(n, m)?;
+        let mut entries: Vec<Entry> = Vec::new();
+        for chunk in chunks {
+            // `chunk` is consumed and dropped here: only the surviving
+            // compact entries accumulate.
+            Self::validate_into(n, m, chunk, &mut entries)?;
+        }
+        Ok(Self::finish_entries(n, m, entries))
+    }
+
+    /// The shared shape/width contract of every constructor.
+    ///
+    /// Width contract: every valid index is < n (resp. m), so requiring
+    /// `n - 1 <= u32::MAX` makes `idx as u32` exact in every kernel
+    /// downstream (`n - 1` rather than comparing n itself so the check
+    /// cannot overflow on 32-bit usize).
+    fn check_shape(n: usize, m: usize) -> Result<(), TensorError> {
         if n == 0 || m == 0 {
             return Err(TensorError::EmptyShape);
         }
-        // Width contract: every valid index is < n (resp. m), so
-        // requiring n - 1 <= u32::MAX makes `idx as u32` exact in every
-        // kernel downstream (`n - 1` rather than comparing n itself so
-        // the check cannot overflow on 32-bit usize).
         let limit = u32::MAX as usize;
         if n - 1 > limit {
             return Err(TensorError::IndexOverflow {
@@ -181,7 +218,19 @@ impl SparseTensor3 {
                 limit: limit + 1,
             });
         }
-        let mut entries: Vec<Entry> = Vec::with_capacity(raw.len());
+        Ok(())
+    }
+
+    /// Validates one run of raw entries against the declared shape and
+    /// appends the surviving (nonzero) ones. Shared by the one-shot and
+    /// chunked constructors so both enforce identical rules in identical
+    /// order.
+    fn validate_into(
+        n: usize,
+        m: usize,
+        raw: impl IntoIterator<Item = (usize, usize, usize, f64)>,
+        entries: &mut Vec<Entry>,
+    ) -> Result<(), TensorError> {
         for (i, j, k, value) in raw {
             if i >= n || j >= n || k >= m {
                 return Err(TensorError::IndexOutOfBounds {
@@ -199,6 +248,14 @@ impl SparseTensor3 {
                 entries.push(Entry { i, j, k, value });
             }
         }
+        Ok(())
+    }
+
+    /// The shared back half of every constructor: canonical `(k, j, i)`
+    /// sort, duplicate merge (summing in sorted order, so the result does
+    /// not depend on how the input was chunked), and the relation
+    /// slice-pointer prefix sums.
+    fn finish_entries(n: usize, m: usize, mut entries: Vec<Entry>) -> Self {
         entries.sort_by_key(|e| (e.k, e.j, e.i));
         // Merge duplicates in place.
         let mut merged: Vec<Entry> = Vec::with_capacity(entries.len());
@@ -223,12 +280,12 @@ impl SparseTensor3 {
                 .checked_add(slice_ptr[k])
                 .unwrap_or_else(|| unreachable!("prefix sums of entry counts are bounded by nnz"));
         }
-        Ok(SparseTensor3 {
+        SparseTensor3 {
             n,
             m,
             entries: merged,
             slice_ptr,
-        })
+        }
     }
 
     /// Number of nodes `n`.
@@ -553,6 +610,96 @@ mod tests {
         );
         // The boundary itself (largest index == u32::MAX) is accepted.
         assert!(SparseTensor3::from_entries(u32::MAX as usize + 1, 1, vec![]).is_ok());
+    }
+
+    #[test]
+    fn from_entry_chunks_matches_from_entries_on_the_worked_example() {
+        let raw = vec![
+            (1, 0, 0, 1.0),
+            (2, 0, 0, 1.0),
+            (3, 2, 0, 1.0),
+            (0, 1, 1, 1.0),
+            (1, 2, 1, 1.0),
+            (2, 3, 2, 1.0),
+            (3, 2, 2, 1.0),
+        ];
+        let whole = SparseTensor3::from_entries(4, 3, raw.clone()).unwrap();
+        // Uneven chunk boundaries, including an empty chunk in the middle.
+        let chunks = vec![
+            raw[..2].to_vec(),
+            vec![],
+            raw[2..5].to_vec(),
+            raw[5..].to_vec(),
+        ];
+        let chunked = SparseTensor3::from_entry_chunks(4, 3, chunks).unwrap();
+        assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn from_entry_chunks_dedups_across_chunk_boundaries() {
+        // The same coordinate split across chunks must merge exactly as if
+        // the entries had arrived in one batch.
+        let whole =
+            SparseTensor3::from_entries(2, 1, vec![(0, 1, 0, 1.0), (0, 1, 0, 2.0)]).unwrap();
+        let chunked = SparseTensor3::from_entry_chunks(
+            2,
+            1,
+            vec![vec![(0, 1, 0, 1.0)], vec![(0, 1, 0, 2.0)]],
+        )
+        .unwrap();
+        assert_eq!(whole, chunked);
+        assert_eq!(chunked.nnz(), 1);
+        assert_eq!(chunked.get(0, 1, 0), 3.0);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn from_entry_chunks_rejects_dimensions_past_u32_before_pulling_chunks() {
+        // The width contract fails up front: the chunk iterator must not
+        // be consumed at all (a streaming source may be expensive).
+        let too_many = u32::MAX as usize + 2;
+        let mut pulled = false;
+        let chunks = std::iter::from_fn(|| {
+            pulled = true;
+            Some(vec![(0usize, 0usize, 0usize, 1.0f64)])
+        })
+        .take(1);
+        assert_eq!(
+            SparseTensor3::from_entry_chunks(too_many, 1, chunks),
+            Err(TensorError::IndexOverflow {
+                what: "node count",
+                value: too_many,
+                limit: u32::MAX as usize + 1,
+            })
+        );
+        assert!(
+            !pulled,
+            "overflow must be detected before any chunk is pulled"
+        );
+        assert_eq!(
+            SparseTensor3::from_entry_chunks(2, too_many, Vec::new()),
+            Err(TensorError::IndexOverflow {
+                what: "relation count",
+                value: too_many,
+                limit: u32::MAX as usize + 1,
+            })
+        );
+    }
+
+    #[test]
+    fn from_entry_chunks_rejects_bad_entries_in_any_chunk() {
+        assert!(matches!(
+            SparseTensor3::from_entry_chunks(
+                2,
+                2,
+                vec![vec![(0, 0, 0, 1.0)], vec![(2, 0, 0, 1.0)]],
+            ),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            SparseTensor3::from_entry_chunks(2, 2, vec![vec![(0, 0, 0, -1.0)]]),
+            Err(TensorError::NegativeValue { .. })
+        ));
     }
 
     #[test]

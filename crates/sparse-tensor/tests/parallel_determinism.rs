@@ -4,18 +4,23 @@
 //! when permits are free. The contract is *exact*: every output element is
 //! summed by one owner in a fixed order, so the parallel result must be
 //! bit-for-bit `==` the serial one at any thread cap — these tests assert
-//! equality with `assert_eq!`, never a tolerance. The tensors are sized
-//! above the kernels' internal work threshold so the parallel path really
-//! runs at caps > 1.
+//! equality with `assert_eq!`, never a tolerance. The adaptive work
+//! threshold is forced down to 1 (`pool::set_parallel_work_threshold`) so
+//! the parallel path really runs at caps > 1 on these small fixtures.
 //!
-//! This is an integration binary so the process-global thread cap belongs
-//! to it alone. Even so, the assertions would hold under any concurrent
-//! cap change — that is the point of the contract.
+//! This is an integration binary so the process-global thread cap and
+//! work threshold belong to it alone. Even so, the assertions would hold
+//! under any concurrent cap change — that is the point of the contract.
 
 use proptest::prelude::*;
 use tmark_linalg::pool;
 use tmark_linalg::vector::normalize_sum_to_one;
 use tmark_sparse_tensor::{SparseTensor3, StochasticTensors};
+
+/// Forces every contraction in this binary through the partitioned path.
+fn force_parallel() {
+    pool::set_parallel_work_threshold(Some(1));
+}
 
 /// Thread caps under test: forced-serial, minimal parallelism, and more
 /// workers than the partition count of small outputs.
@@ -63,6 +68,7 @@ fn simplex_block(len: usize, q: usize, seed: u64) -> Vec<f64> {
 
 #[test]
 fn single_vector_contractions_are_bitwise_identical_across_caps() {
+    force_parallel();
     let (n, m) = (251, 6);
     let s = StochasticTensors::from_tensor(&big_tensor(n, m, 4000, 11));
     assert!(s.nnz() >= 2048, "tensor too small to exercise parallelism");
@@ -101,6 +107,7 @@ fn single_vector_contractions_are_bitwise_identical_across_caps() {
 
 #[test]
 fn batched_contractions_are_bitwise_identical_across_caps() {
+    force_parallel();
     let (n, m, q) = (199, 5, 4);
     let s = StochasticTensors::from_tensor(&big_tensor(n, m, 4400, 17));
     assert!(s.nnz() >= 2048, "tensor too small to exercise parallelism");
@@ -137,6 +144,7 @@ fn batched_contractions_are_bitwise_identical_across_caps() {
 
 #[test]
 fn dangling_fiber_corrections_survive_parallel_partitioning() {
+    force_parallel();
     // A tensor whose mass is concentrated on few fibers: most of the
     // probability flows through the analytic dangling correction, the part
     // of the kernel that is computed serially and applied per chunk.
@@ -188,6 +196,7 @@ proptest! {
         m in 2usize..6,
         seed in any::<u64>(),
     ) {
+        force_parallel();
         let s = StochasticTensors::from_tensor(&big_tensor(n, m, 3000, seed));
         prop_assert!(s.nnz() >= 2048, "generator should clear the threshold");
         let x = simplex(n, seed ^ 0xa5a5);

@@ -27,7 +27,7 @@ use crate::lints::{
 
 /// Runner identifiers that hand work to the solver pool; a registered
 /// function whose body reaches one of these is a parallel kernel.
-pub const PARALLEL_RUNNERS: &[&str] = &["run_chunks", "run_col_chunks", "run_tasks"];
+pub const PARALLEL_RUNNERS: &[&str] = &["run_chunks", "run_col_chunks", "run_owned", "run_tasks"];
 
 /// Identifiers that prove a test unit pins the thread cap (the string
 /// form `"TMARK_SOLVER_THREADS"` is blanked by scrubbing, so tests go
